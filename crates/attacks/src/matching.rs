@@ -1,0 +1,466 @@
+//! HMM map-matching recovery attack (Newson & Krumm, SIGSPATIAL'09).
+//!
+//! Given an anonymized trajectory, the attacker matches every sample to
+//! a road-network node and re-infers the route between consecutive
+//! matches, reconstructing a plausible original trace:
+//!
+//! * **Emission**: a sample observes its true node through Gaussian GPS
+//!   noise, `p(z | node) ∝ exp(−d(z, node)² / 2σ²)`.
+//! * **Transition**: the network route length between consecutive
+//!   matched nodes should resemble the crow-fly distance between their
+//!   samples, `p ∝ exp(−|route − crowfly| / β)`.
+//! * **Decoding**: Viterbi over the candidate lattice; broken lattices
+//!   (no candidate within range) restart at the next sample.
+//!
+//! The recovered route then expands matched nodes via shortest paths —
+//! the paper's §V-B3 measures how much of the original data such an
+//! attacker can reconstruct from each anonymization model's output.
+
+use std::collections::HashMap;
+use trajdp_model::{Point, Sample, Trajectory};
+use trajdp_synth::road::{NodeId, RoadNetwork};
+
+/// A configured HMM map-matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct HmmMapMatcher<'a> {
+    /// The road network routes are inferred on.
+    pub network: &'a RoadNetwork,
+    /// GPS noise standard deviation σ, metres.
+    pub sigma: f64,
+    /// Transition tolerance β, metres.
+    pub beta: f64,
+    /// Candidate search radius around each sample, metres.
+    pub radius: f64,
+    /// Maximum candidates per sample.
+    pub max_candidates: usize,
+}
+
+impl<'a> HmmMapMatcher<'a> {
+    /// Creates a matcher with Newson–Krumm-style defaults scaled to the
+    /// synthetic network (600 m edges).
+    pub fn new(network: &'a RoadNetwork) -> Self {
+        Self { network, sigma: 150.0, beta: 500.0, radius: 900.0, max_candidates: 4 }
+    }
+
+    fn candidates(&self, p: &Point) -> Vec<(NodeId, f64)> {
+        let mut c = self.network.nodes_within(p, self.radius);
+        c.sort_by(|a, b| a.1.total_cmp(&b.1));
+        c.truncate(self.max_candidates);
+        if c.is_empty() {
+            // Always provide at least the nearest node so decoding can
+            // continue.
+            let n = self.network.nearest_node(p);
+            c.push((n, self.network.node(n).dist(p)));
+        }
+        c
+    }
+
+    fn emission_log(&self, dist: f64) -> f64 {
+        -(dist * dist) / (2.0 * self.sigma * self.sigma)
+    }
+
+    fn transition_log(&self, route: f64, crowfly: f64) -> f64 {
+        -(route - crowfly).abs() / self.beta
+    }
+
+    /// Bounded multi-target Dijkstra: network distances from `from` to
+    /// every node in `targets`, abandoning routes longer than `bound`.
+    fn route_distances(&self, from: NodeId, targets: &[NodeId], bound: f64) -> HashMap<NodeId, f64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut out = HashMap::with_capacity(targets.len());
+        let mut pending: usize = targets.len();
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist.insert(from, 0.0);
+        heap.push(Reverse((0u64, from)));
+        while let Some(Reverse((dbits, u))) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > *dist.get(&u).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            if targets.contains(&u) && !out.contains_key(&u) {
+                out.insert(u, d);
+                pending -= 1;
+                if pending == 0 {
+                    break;
+                }
+            }
+            if d > bound {
+                break;
+            }
+            for &v in self.network.neighbors(u) {
+                let nd = d + self.network.node(u).dist(&self.network.node(v));
+                if nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                    dist.insert(v, nd);
+                    heap.push(Reverse((nd.to_bits(), v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matches each sample of `traj` to a network node via Viterbi.
+    pub fn match_nodes(&self, traj: &Trajectory) -> Vec<NodeId> {
+        if traj.is_empty() {
+            return Vec::new();
+        }
+        let cands: Vec<Vec<(NodeId, f64)>> =
+            traj.samples.iter().map(|s| self.candidates(&s.loc)).collect();
+        let n = traj.len();
+        // viterbi[i][j] = (score, backpointer into layer i−1)
+        let mut score: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+        score.push(cands[0].iter().map(|&(_, d)| (self.emission_log(d), usize::MAX)).collect());
+        for i in 1..n {
+            let crowfly = traj.samples[i - 1].loc.dist(&traj.samples[i].loc);
+            let bound = crowfly * 4.0 + 4.0 * self.radius;
+            let targets: Vec<NodeId> = cands[i].iter().map(|&(id, _)| id).collect();
+            let mut layer = Vec::with_capacity(cands[i].len());
+            // Route distances from each previous candidate to all current.
+            let routes: Vec<HashMap<NodeId, f64>> = cands[i - 1]
+                .iter()
+                .map(|&(prev, _)| self.route_distances(prev, &targets, bound))
+                .collect();
+            for &(node, d) in &cands[i] {
+                let em = self.emission_log(d);
+                let mut best = (f64::NEG_INFINITY, usize::MAX);
+                for (j, &(_, _)) in cands[i - 1].iter().enumerate() {
+                    let prev_score = score[i - 1][j].0;
+                    if prev_score == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let tr = match routes[j].get(&node) {
+                        Some(&r) => self.transition_log(r, crowfly),
+                        None => -1e6, // unreachable within bound
+                    };
+                    let s = prev_score + tr;
+                    if s > best.0 {
+                        best = (s, j);
+                    }
+                }
+                if best.1 == usize::MAX {
+                    // Lattice break: restart scoring at this sample.
+                    layer.push((em, usize::MAX));
+                } else {
+                    layer.push((best.0 + em, best.1));
+                }
+            }
+            score.push(layer);
+        }
+        // Backtrack from the best final state.
+        let mut idx = score[n - 1]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut matched = vec![0usize; n];
+        for i in (0..n).rev() {
+            matched[i] = idx;
+            let bp = score[i][idx].1;
+            idx = if bp == usize::MAX {
+                // Restart point: pick the best state of the previous layer.
+                if i > 0 {
+                    score[i - 1]
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                        .map(|(j, _)| j)
+                        .unwrap_or(0)
+                } else {
+                    0
+                }
+            } else {
+                bp
+            };
+        }
+        matched.iter().enumerate().map(|(i, &j)| cands[i][j].0).collect()
+    }
+
+    /// Full recovery: match nodes, then expand consecutive matches into
+    /// network shortest paths, producing the recovered trajectory with
+    /// interpolated timestamps.
+    pub fn recover(&self, traj: &Trajectory) -> Trajectory {
+        let matched = self.match_nodes(traj);
+        let mut samples: Vec<Sample> = Vec::with_capacity(traj.len());
+        for (i, &node) in matched.iter().enumerate() {
+            let t = traj.samples[i].t;
+            let loc = self.network.node(node);
+            if let Some(last) = samples.last() {
+                if last.loc.key() == loc.key() {
+                    continue; // collapse repeats at the same node
+                }
+                // Expand the route between the previous match and this one.
+                let prev = self.network.nearest_node(&last.loc);
+                if let Some(path) = self.network.shortest_path(prev, node) {
+                    let hops = path.len().saturating_sub(1).max(1);
+                    let t0 = last.t;
+                    for (h, &mid) in path.iter().enumerate().skip(1) {
+                        let tt = t0 + ((t - t0) as f64 * h as f64 / hops as f64).round() as i64;
+                        samples.push(Sample::new(self.network.node(mid), tt));
+                    }
+                    continue;
+                }
+            }
+            samples.push(Sample::new(loc, t));
+        }
+        Trajectory::new(traj.id, samples)
+    }
+
+    /// Recovers every trajectory of a dataset.
+    pub fn recover_all(&self, trajs: &[Trajectory]) -> Vec<Trajectory> {
+        trajs.iter().map(|t| self.recover(t)).collect()
+    }
+}
+
+/// The naive recovery baseline: snap every sample to its nearest
+/// network node independently, with no route inference and no
+/// transition model. Cheap, but it cannot fill observation gaps and a
+/// single displaced sample snaps to the wrong road — the contrast that
+/// motivates HMM map-matching in the recovery experiment.
+pub fn snap_recover(network: &RoadNetwork, traj: &Trajectory) -> Trajectory {
+    let mut samples: Vec<Sample> = Vec::with_capacity(traj.len());
+    for s in &traj.samples {
+        let node = network.nearest_node(&s.loc);
+        let loc = network.node(node);
+        if samples.last().map(|p| p.loc.key()) == Some(loc.key()) {
+            continue;
+        }
+        samples.push(Sample::new(loc, s.t));
+    }
+    Trajectory::new(traj.id, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use trajdp_model::Dataset;
+    use trajdp_synth::road::RoadNetworkConfig;
+    use trajdp_synth::{generate, GeneratorConfig};
+
+    fn world() -> trajdp_synth::generator::SyntheticWorld {
+        generate(&GeneratorConfig {
+            num_trajectories: 10,
+            points_per_trajectory: 60,
+            network: RoadNetworkConfig { nx: 12, ny: 12, ..Default::default() },
+            num_hotspots: 4,
+            anchors_per_agent: 3,
+            seed: 7,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn on_network_trajectories_recover_near_perfectly() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let m = trajdp_metrics_recovery(&w.dataset, &matcher);
+        assert!(m.0 > 0.95, "precision on clean data should be ≈1, got {}", m.0);
+        assert!(m.1 > 0.95, "recall on clean data should be ≈1, got {}", m.1);
+    }
+
+    /// (precision, recall) of recovery over a dataset, route-set based.
+    fn trajdp_metrics_recovery(ds: &Dataset, matcher: &HmmMapMatcher) -> (f64, f64) {
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        for t in &ds.trajectories {
+            let rec = matcher.recover(t);
+            let truth: std::collections::HashSet<_> =
+                t.samples.iter().map(|s| s.loc.key()).collect();
+            let guess: std::collections::HashSet<_> =
+                rec.samples.iter().map(|s| s.loc.key()).collect();
+            let inter = truth.intersection(&guess).count() as f64;
+            precision += inter / guess.len().max(1) as f64;
+            recall += inter / truth.len().max(1) as f64;
+        }
+        let n = ds.len() as f64;
+        (precision / n, recall / n)
+    }
+
+    #[test]
+    fn gps_noise_is_tolerated() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut noisy = w.dataset.clone();
+        for t in &mut noisy.trajectories {
+            for s in &mut t.samples {
+                s.loc = Point::new(
+                    s.loc.x + rng.gen_range(-80.0..80.0),
+                    s.loc.y + rng.gen_range(-80.0..80.0),
+                );
+            }
+        }
+        let matcher = HmmMapMatcher::new(&w.network);
+        // Compare recovered routes against the *original* on-network data.
+        let mut recall = 0.0;
+        for (orig, noisy) in w.dataset.trajectories.iter().zip(&noisy.trajectories) {
+            let rec = matcher.recover(noisy);
+            let truth: std::collections::HashSet<_> =
+                orig.samples.iter().map(|s| s.loc.key()).collect();
+            let guess: std::collections::HashSet<_> =
+                rec.samples.iter().map(|s| s.loc.key()).collect();
+            recall += truth.intersection(&guess).count() as f64 / truth.len().max(1) as f64;
+        }
+        recall /= w.dataset.len() as f64;
+        assert!(recall > 0.8, "80 m GPS noise should still recover most of the route, got {recall}");
+    }
+
+    #[test]
+    fn recovery_preserves_time_order_and_id() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        for t in &w.dataset.trajectories {
+            let rec = matcher.recover(t);
+            assert_eq!(rec.id, t.id);
+            assert!(rec.samples.windows(2).all(|p| p[0].t <= p[1].t));
+            assert!(!rec.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_trajectory_recovers_empty() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let rec = matcher.recover(&Trajectory::new(9, vec![]));
+        assert!(rec.is_empty());
+        assert!(matcher.match_nodes(&Trajectory::new(9, vec![])).is_empty());
+    }
+
+    #[test]
+    fn candidate_fallback_off_network() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        // A point far outside the network still yields one candidate.
+        let far = Point::new(-50_000.0, -50_000.0);
+        let c = matcher.candidates(&far);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn sparse_observations_are_reexpanded() {
+        // Drop every other sample (the stride-2 publication regime): the
+        // recovered route should re-include most of the skipped nodes.
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let mut recall = 0.0;
+        for t in &w.dataset.trajectories {
+            let sparse = Trajectory::new(
+                t.id,
+                t.samples.iter().step_by(2).copied().collect(),
+            );
+            let rec = matcher.recover(&sparse);
+            let truth: std::collections::HashSet<_> =
+                t.samples.iter().map(|s| s.loc.key()).collect();
+            let guess: std::collections::HashSet<_> =
+                rec.samples.iter().map(|s| s.loc.key()).collect();
+            recall += truth.intersection(&guess).count() as f64 / truth.len().max(1) as f64;
+        }
+        recall /= w.dataset.len() as f64;
+        assert!(
+            recall > 0.7,
+            "path inference should reconstruct most skipped nodes, got {recall}"
+        );
+    }
+
+    #[test]
+    fn recover_all_matches_individual_calls() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let all = matcher.recover_all(&w.dataset.trajectories[..3]);
+        for (t, r) in w.dataset.trajectories[..3].iter().zip(&all) {
+            assert_eq!(&matcher.recover(t), r);
+        }
+    }
+
+    #[test]
+    fn match_nodes_returns_one_node_per_sample() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let t = &w.dataset.trajectories[0];
+        let matched = matcher.match_nodes(t);
+        assert_eq!(matched.len(), t.len());
+        for &n in &matched {
+            assert!(n < w.network.num_nodes());
+        }
+    }
+
+    #[test]
+    fn emission_and_transition_likelihoods_decay() {
+        let w = world();
+        let m = HmmMapMatcher::new(&w.network);
+        assert!(m.emission_log(0.0) > m.emission_log(100.0));
+        assert!(m.emission_log(100.0) > m.emission_log(500.0));
+        // Route equal to crow-fly is the most plausible transition.
+        assert!(m.transition_log(1000.0, 1000.0) > m.transition_log(2500.0, 1000.0));
+        assert!(m.transition_log(1000.0, 1000.0) > m.transition_log(400.0, 1000.0));
+    }
+
+    #[test]
+    fn snap_baseline_is_weaker_than_hmm_under_noise() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut hmm_recall = 0.0;
+        let mut snap_recall = 0.0;
+        for orig in &w.dataset.trajectories {
+            // Sparse + noisy publication: every other node, ±150 m.
+            let sparse = Trajectory::new(
+                orig.id,
+                orig.samples
+                    .iter()
+                    .step_by(2)
+                    .map(|s| {
+                        Sample::new(
+                            Point::new(
+                                s.loc.x + rng.gen_range(-150.0..150.0),
+                                s.loc.y + rng.gen_range(-150.0..150.0),
+                            ),
+                            s.t,
+                        )
+                    })
+                    .collect(),
+            );
+            let truth: std::collections::HashSet<_> =
+                orig.samples.iter().map(|s| s.loc.key()).collect();
+            let rec = |t: &Trajectory| -> f64 {
+                let guess: std::collections::HashSet<_> =
+                    t.samples.iter().map(|s| s.loc.key()).collect();
+                truth.intersection(&guess).count() as f64 / truth.len().max(1) as f64
+            };
+            hmm_recall += rec(&matcher.recover(&sparse));
+            snap_recall += rec(&crate::matching::snap_recover(&w.network, &sparse));
+        }
+        let n = w.dataset.len() as f64;
+        hmm_recall /= n;
+        snap_recall /= n;
+        assert!(
+            hmm_recall > snap_recall,
+            "HMM ({hmm_recall:.3}) must beat naive snapping ({snap_recall:.3})"
+        );
+    }
+
+    #[test]
+    fn snap_recover_collapses_repeats() {
+        let w = world();
+        let loc = w.network.node(3);
+        let t = Trajectory::new(
+            0,
+            vec![Sample::new(loc, 0), Sample::new(loc, 10), Sample::new(loc, 20)],
+        );
+        let rec = snap_recover(&w.network, &t);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn single_sample_trajectory_recovers_single_node() {
+        let w = world();
+        let matcher = HmmMapMatcher::new(&w.network);
+        let loc = w.network.node(5);
+        let t = Trajectory::new(1, vec![Sample::new(loc, 0)]);
+        let rec = matcher.recover(&t);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.samples[0].loc.key(), loc.key());
+    }
+}

@@ -1,0 +1,501 @@
+//! The k-anonymity family: W4M, GLOVE, KLT.
+//!
+//! These are reimplemented at the fidelity needed for the paper's
+//! comparison axes (privacy / utility / recovery), with the following
+//! simplifications relative to the original systems:
+//!
+//! * **W4M** (Abul et al., Inf. Syst.'10) originally clusters by
+//!   spatiotemporal edit distance and edits trajectories until each
+//!   cluster co-locates within a cylinder of radius δ. Here clustering
+//!   uses time-aligned average point distance (a cheap edit-distance
+//!   surrogate) and co-location is enforced by pulling each sample
+//!   toward the time-aligned pivot sample until it is within δ —
+//!   preserving W4M's signature behaviour: trajectories deviate from
+//!   real paths toward their pivot (hard to map-match, decent utility).
+//! * **GLOVE** (Gramaglia & Fiore, CoNEXT'15) merges trajectory pairs
+//!   with minimal generalization cost until k-anonymity holds, and
+//!   publishes generalized (region) samples. Here every cluster member
+//!   is published as the per-index bounding-box centre of the cluster —
+//!   region-based generalization with exactly GLOVE's heavy utility
+//!   cost and strong indistinguishability.
+//! * **KLT** (Tu et al., TNSM'19) adds l-diversity / t-closeness over
+//!   POI semantics. Without a POI layer, location categories are
+//!   derived by hashing grid cells into `num_categories` classes; a
+//!   cluster whose members do not jointly cover `l` categories is merged
+//!   further (the l-diversity repair loop).
+
+use trajdp_model::{Dataset, GridLevel, Point, Sample, Trajectory};
+
+/// W4M parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct W4mConfig {
+    /// Anonymity set size `k`.
+    pub k: usize,
+    /// Cylinder radius δ, metres.
+    pub delta: f64,
+}
+
+impl Default for W4mConfig {
+    fn default() -> Self {
+        Self { k: 5, delta: 300.0 }
+    }
+}
+
+/// GLOVE parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GloveConfig {
+    /// Anonymity set size `k`.
+    pub k: usize,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+/// KLT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KltConfig {
+    /// Anonymity set size `k`.
+    pub k: usize,
+    /// Diversity requirement `l` (distinct location categories per
+    /// cluster).
+    pub l: usize,
+    /// t-closeness bound: the total-variation distance between a
+    /// cluster's category distribution and the global one must not
+    /// exceed `t` (the paper uses t = 0.1).
+    pub t: f64,
+    /// Number of synthetic location categories.
+    pub num_categories: usize,
+    /// Grid granularity used to derive categories. Coarser grids make
+    /// categories scarcer, so the repair loop actually triggers.
+    pub granularity: u32,
+}
+
+impl Default for KltConfig {
+    fn default() -> Self {
+        Self { k: 5, l: 3, t: 0.1, num_categories: 8, granularity: 16 }
+    }
+}
+
+/// Time-aligned average distance between two trajectories — the cheap
+/// surrogate for spatiotemporal edit distance used in clustering.
+fn aligned_distance(a: &Trajectory, b: &Trajectory) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let sum: f64 =
+        (0..n).map(|i| a.samples[i].loc.dist(&b.samples[i].loc)).sum();
+    sum / n as f64 + (a.len() as f64 - b.len() as f64).abs()
+}
+
+/// Greedy clustering into groups of at least `k`: repeatedly seed a
+/// cluster with an unassigned trajectory and absorb its `k−1` nearest
+/// unassigned neighbours. The trailing remainder joins the last cluster.
+fn cluster_by_k(ds: &Dataset, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "k must be positive");
+    let n = ds.len();
+    let mut assigned = vec![false; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for seed in 0..n {
+        if assigned[seed] {
+            continue;
+        }
+        let remaining = assigned.iter().filter(|a| !**a).count();
+        if remaining < 2 * k {
+            // Sweep everything left into one final cluster.
+            let members: Vec<usize> = (0..n).filter(|&i| !assigned[i]).collect();
+            for &m in &members {
+                assigned[m] = true;
+            }
+            clusters.push(members);
+            break;
+        }
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&i| !assigned[i] && i != seed)
+            .map(|i| (aligned_distance(&ds.trajectories[seed], &ds.trajectories[i]), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut members = vec![seed];
+        members.extend(dists.into_iter().take(k - 1).map(|(_, i)| i));
+        for &m in &members {
+            assigned[m] = true;
+        }
+        clusters.push(members);
+    }
+    clusters
+}
+
+/// W4M: `(k, δ)`-anonymity by pulling every trajectory toward its
+/// cluster pivot until each time-aligned sample lies within δ of the
+/// pivot's.
+pub fn w4m(ds: &Dataset, cfg: &W4mConfig) -> Dataset {
+    assert!(cfg.delta >= 0.0, "delta must be non-negative");
+    let clusters = cluster_by_k(ds, cfg.k);
+    let mut out: Vec<Option<Trajectory>> = vec![None; ds.len()];
+    for members in clusters {
+        // Pivot: the member minimizing total distance to the others.
+        let pivot = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da: f64 = members
+                    .iter()
+                    .map(|&m| aligned_distance(&ds.trajectories[a], &ds.trajectories[m]))
+                    .sum();
+                let db: f64 = members
+                    .iter()
+                    .map(|&m| aligned_distance(&ds.trajectories[b], &ds.trajectories[m]))
+                    .sum();
+                da.total_cmp(&db)
+            })
+            .expect("non-empty cluster");
+        let pivot_t = ds.trajectories[pivot].clone();
+        for &m in &members {
+            let orig = &ds.trajectories[m];
+            let samples = orig
+                .samples
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let target = pivot_t
+                        .samples
+                        .get(i.min(pivot_t.len().saturating_sub(1)))
+                        .map(|p| p.loc)
+                        .unwrap_or(s.loc);
+                    let d = s.loc.dist(&target);
+                    let loc = if d <= cfg.delta || d == 0.0 {
+                        s.loc
+                    } else {
+                        // Pull onto the δ-sphere around the pivot sample.
+                        target.lerp(&s.loc, cfg.delta / d)
+                    };
+                    // Blur time toward the pivot's aligned timestamp —
+                    // W4M anonymizes the spatiotemporal cylinder, not
+                    // just space. Midpoints of two monotone sequences
+                    // stay monotone.
+                    let pivot_time = pivot_t
+                        .samples
+                        .get(i.min(pivot_t.len().saturating_sub(1)))
+                        .map(|p| p.t)
+                        .unwrap_or(s.t);
+                    Sample::new(loc, (s.t + pivot_time) / 2)
+                })
+                .collect();
+            out[m] = Some(Trajectory::new(orig.id, samples));
+        }
+    }
+    Dataset::new(ds.domain, out.into_iter().map(|t| t.expect("all slots filled")).collect())
+}
+
+/// GLOVE: region-based generalization — each member of a cluster is
+/// published as the per-index bounding-box centre of all members.
+pub fn glove(ds: &Dataset, cfg: &GloveConfig) -> Dataset {
+    let clusters = cluster_by_k(ds, cfg.k);
+    generalize_clusters(ds, &clusters)
+}
+
+fn generalize_clusters(ds: &Dataset, clusters: &[Vec<usize>]) -> Dataset {
+    let mut out: Vec<Option<Trajectory>> = vec![None; ds.len()];
+    for members in clusters {
+        let max_len = members.iter().map(|&m| ds.trajectories[m].len()).max().unwrap_or(0);
+        // Per-index generalized region centre.
+        let mut centres: Vec<Point> = Vec::with_capacity(max_len);
+        for i in 0..max_len {
+            let mut rect = trajdp_model::Rect::empty();
+            for &m in members {
+                let t = &ds.trajectories[m];
+                if let Some(s) = t.samples.get(i.min(t.len().saturating_sub(1))) {
+                    rect.expand(&s.loc);
+                }
+            }
+            centres.push(if rect.is_empty() { Point::new(0.0, 0.0) } else { rect.center() });
+        }
+        // Generalized timestamps: the cluster-median per index, so the
+        // published time is a shared (region, time-range representative)
+        // value — GLOVE's temporal generalization.
+        let mut times: Vec<i64> = Vec::with_capacity(max_len);
+        for i in 0..max_len {
+            let mut ts: Vec<i64> = members
+                .iter()
+                .filter_map(|&m| {
+                    let t = &ds.trajectories[m];
+                    t.samples.get(i.min(t.len().saturating_sub(1))).map(|s| s.t)
+                })
+                .collect();
+            ts.sort_unstable();
+            times.push(ts.get(ts.len() / 2).copied().unwrap_or(0));
+        }
+        // Keep published timestamps monotone.
+        for i in 1..times.len() {
+            times[i] = times[i].max(times[i - 1]);
+        }
+        for &m in members {
+            let orig = &ds.trajectories[m];
+            let samples = orig
+                .samples
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let idx = i.min(centres.len().saturating_sub(1));
+                    Sample::new(centres[idx], times[idx])
+                })
+                .collect();
+            out[m] = Some(Trajectory::new(orig.id, samples));
+        }
+    }
+    Dataset::new(ds.domain, out.into_iter().map(|t| t.expect("all slots filled")).collect())
+}
+
+/// Synthetic location category of a sample (hash of its grid cell).
+fn category(grid: &GridLevel, p: &Point, num_categories: usize) -> usize {
+    let c = grid.locate(p);
+    let h = (u64::from(c.col).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        ^ (u64::from(c.row).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    (h % num_categories as u64) as usize
+}
+
+/// Per-cluster (or global, when `members` covers everything) category
+/// distribution.
+fn category_distribution(
+    ds: &Dataset,
+    grid: &GridLevel,
+    members: &[usize],
+    num_categories: usize,
+) -> Vec<f64> {
+    let mut h = vec![0.0; num_categories];
+    let mut total = 0.0;
+    for &m in members {
+        for s in &ds.trajectories[m].samples {
+            h[category(grid, &s.loc, num_categories)] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for v in &mut h {
+            *v /= total;
+        }
+    }
+    h
+}
+
+/// Total-variation distance between two categorical distributions.
+fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0
+}
+
+/// KLT: GLOVE clustering, then a repair loop enforcing both
+/// `l`-diversity (each cluster covers at least `l` categories) and
+/// `t`-closeness (each cluster's category distribution is within `t`
+/// total-variation of the global one) — clusters violating either are
+/// merged with a neighbour — followed by the same generalization.
+pub fn klt(ds: &Dataset, cfg: &KltConfig) -> Dataset {
+    assert!(cfg.l >= 1 && cfg.num_categories >= cfg.l, "need at least l categories");
+    assert!((0.0..=1.0).contains(&cfg.t), "t must be a probability distance");
+    let grid = GridLevel::new(ds.domain, cfg.granularity, 0);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let global = category_distribution(ds, &grid, &all, cfg.num_categories);
+    let mut clusters = cluster_by_k(ds, cfg.k);
+    let ok = |members: &[usize]| -> bool {
+        let dist = category_distribution(ds, &grid, members, cfg.num_categories);
+        let covered = dist.iter().filter(|&&v| v > 0.0).count();
+        covered >= cfg.l.min(global.iter().filter(|&&v| v > 0.0).count())
+            && total_variation(&dist, &global) <= cfg.t.max(min_achievable_t(members, ds))
+    };
+    // Repair: merge violating clusters into their neighbour. The `t`
+    // bound is relaxed per-cluster to what is achievable so the loop
+    // terminates even on adversarial data (a single cluster always
+    // matches the global distribution exactly).
+    let mut i = 0;
+    while i < clusters.len() {
+        if clusters.len() > 1 && !ok(&clusters[i]) {
+            let absorbed = clusters.remove(i);
+            let j = if i < clusters.len() { i } else { i - 1 };
+            clusters[j].extend(absorbed);
+            // Re-check the merged cluster from its position.
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    generalize_clusters(ds, &clusters)
+}
+
+/// Tiny clusters cannot be arbitrarily close to the global distribution;
+/// this floor keeps the repair loop from demanding the impossible.
+fn min_achievable_t(members: &[usize], ds: &Dataset) -> f64 {
+    let total: usize = members.iter().map(|&m| ds.trajectories[m].len()).sum();
+    if total == 0 {
+        1.0
+    } else {
+        0.5 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use trajdp_model::Rect;
+
+    fn random_ds(n: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trajs = (0..n)
+            .map(|id| {
+                let cx: f64 = rng.gen_range(0.0..900.0);
+                let cy: f64 = rng.gen_range(0.0..900.0);
+                Trajectory::new(
+                    id as u64,
+                    (0..len)
+                        .map(|i| {
+                            Sample::new(
+                                Point::new(cx + rng.gen_range(0.0..100.0), cy + rng.gen_range(0.0..100.0)),
+                                i as i64 * 60,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Dataset::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), trajs)
+    }
+
+    #[test]
+    fn clusters_have_at_least_k_members() {
+        let d = random_ds(23, 10, 1);
+        for k in [2, 5, 7] {
+            let clusters = cluster_by_k(&d, k);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            assert_eq!(total, d.len(), "every trajectory assigned exactly once");
+            for c in &clusters {
+                assert!(c.len() >= k, "cluster of size {} < k={k}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn w4m_enforces_delta_colocation() {
+        let d = random_ds(20, 12, 2);
+        let cfg = W4mConfig { k: 5, delta: 50.0 };
+        let out = w4m(&d, &cfg);
+        assert_eq!(out.len(), d.len());
+        // Re-derive clusters to check the cylinder property.
+        let clusters = cluster_by_k(&d, cfg.k);
+        for members in clusters {
+            let pivot = members[0]; // any member: all pulled to one pivot ± δ
+            let _ = pivot;
+            // Each published sample lies within δ of some cluster pivot
+            // sample — verified indirectly: successive anonymized members
+            // of a cluster are within 2δ of each other at aligned indices.
+            for w in members.windows(2) {
+                let (a, b) = (&out.trajectories[w[0]], &out.trajectories[w[1]]);
+                let n = a.len().min(b.len());
+                for i in 0..n {
+                    let dist = a.samples[i].loc.dist(&b.samples[i].loc);
+                    assert!(
+                        dist <= 2.0 * cfg.delta + 1e-6,
+                        "aligned samples {dist} m apart exceed the 2δ cylinder"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w4m_preserves_structure() {
+        let d = random_ds(15, 8, 3);
+        let out = w4m(&d, &W4mConfig::default());
+        for (o, a) in d.trajectories.iter().zip(&out.trajectories) {
+            assert_eq!(o.id, a.id);
+            assert_eq!(o.len(), a.len());
+            for (so, sa) in o.samples.iter().zip(&a.samples) {
+                assert_eq!(so.t, sa.t, "W4M must not alter timestamps");
+            }
+        }
+    }
+
+    #[test]
+    fn glove_makes_cluster_members_indistinguishable() {
+        let d = random_ds(20, 10, 4);
+        let cfg = GloveConfig { k: 5 };
+        let out = glove(&d, &cfg);
+        let clusters = cluster_by_k(&d, cfg.k);
+        for members in clusters {
+            // All equal-length members publish identical locations.
+            let first = &out.trajectories[members[0]];
+            for &m in &members[1..] {
+                let t = &out.trajectories[m];
+                let n = t.len().min(first.len());
+                for i in 0..n {
+                    assert_eq!(
+                        t.samples[i].loc, first.samples[i].loc,
+                        "generalized members must coincide"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glove_destroys_more_geometry_than_w4m() {
+        let d = random_ds(25, 10, 5);
+        let disp = |a: &Dataset, b: &Dataset| -> f64 {
+            a.trajectories
+                .iter()
+                .zip(&b.trajectories)
+                .flat_map(|(x, y)| x.samples.iter().zip(&y.samples))
+                .map(|(s, t)| s.loc.dist(&t.loc))
+                .sum::<f64>()
+        };
+        let w = disp(&d, &w4m(&d, &W4mConfig { k: 5, delta: 100.0 }));
+        let g = disp(&d, &glove(&d, &GloveConfig { k: 5 }));
+        assert!(g > w, "GLOVE displacement {g} should exceed W4M {w}");
+    }
+
+    #[test]
+    fn klt_runs_and_preserves_counts() {
+        let d = random_ds(20, 10, 6);
+        let out = klt(&d, &KltConfig::default());
+        assert_eq!(out.len(), d.len());
+        for (o, a) in d.trajectories.iter().zip(&out.trajectories) {
+            assert_eq!(o.id, a.id);
+            assert_eq!(o.len(), a.len());
+        }
+    }
+
+    #[test]
+    fn klt_merges_until_diverse() {
+        // One tight blob: few categories per small cluster → forced merges.
+        let mut rng = StdRng::seed_from_u64(7);
+        let trajs = (0..12)
+            .map(|id| {
+                Trajectory::new(
+                    id as u64,
+                    (0..6)
+                        .map(|i| {
+                            Sample::new(
+                                Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)),
+                                i as i64,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let d = Dataset::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), trajs);
+        // Demanding l with a coarse grid: everything collapses into one
+        // cluster rather than panicking.
+        let out = klt(&d, &KltConfig { k: 3, l: 4, t: 0.2, num_categories: 8, granularity: 8 });
+        assert_eq!(out.len(), d.len());
+    }
+
+    #[test]
+    fn single_cluster_when_n_less_than_2k() {
+        let d = random_ds(7, 5, 8);
+        let clusters = cluster_by_k(&d, 5);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 7);
+    }
+}

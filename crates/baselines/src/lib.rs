@@ -1,0 +1,24 @@
+//! # trajdp-baselines
+//!
+//! Reimplementations of the comparison methods of the paper's Table II
+//! (§V-A). Each is faithful to the *comparison axes the paper evaluates*
+//! (privacy / utility / recoverability); simplifications relative to the
+//! original systems are documented per module.
+//!
+//! * [`signature_closure`] — SC (Jin et al., TKDE'20): discard all
+//!   top-`m` signature points; RSC-α additionally drops points within a
+//!   radius α of each signature point.
+//! * [`kanon`] — the k-anonymity family: W4M (`(k, δ)`-anonymity via
+//!   clustering + spatial editing), GLOVE (spatiotemporal
+//!   generalization), and KLT (GLOVE + `l`-diversity over location
+//!   categories).
+//! * [`generative`] — the generative DP family: DPT (noisy prefix-tree
+//!   synthesis) and AdaTrace (utility-aware grid/Markov synthesis).
+
+pub mod generative;
+pub mod kanon;
+pub mod signature_closure;
+
+pub use generative::{adatrace, dpt, AdaTraceConfig, DptConfig};
+pub use kanon::{glove, klt, w4m, GloveConfig, KltConfig, W4mConfig};
+pub use signature_closure::{rsc, sc};

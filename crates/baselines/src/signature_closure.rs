@@ -1,0 +1,142 @@
+//! Signature closure (SC) and its radius-based variant (RSC-α).
+//!
+//! SC (Jin et al., TKDE'20) deletes every occurrence of each
+//! trajectory's top-`m` signature points — the minimal intervention that
+//! defeats signature-based linking. RSC-α extends the deletion to every
+//! sample within `α` metres of a signature point, trading extra utility
+//! for a larger safety margin. The paper's §V-B3 shows both remain
+//! vulnerable to map-matching recovery, which motivates the
+//! frequency-based DP model.
+
+use std::collections::HashSet;
+use trajdp_core::freq::FrequencyAnalysis;
+use trajdp_model::{Dataset, PointKey, Trajectory};
+
+/// Signature closure: removes all occurrences of each trajectory's
+/// top-`m` signature points.
+pub fn sc(ds: &Dataset, m: usize) -> Dataset {
+    rsc(ds, m, 0.0)
+}
+
+/// Radius-based signature closure: removes every sample within `alpha`
+/// metres of any of the trajectory's top-`m` signature points
+/// (`alpha = 0` reduces to plain SC).
+pub fn rsc(ds: &Dataset, m: usize, alpha: f64) -> Dataset {
+    assert!(alpha >= 0.0, "radius must be non-negative");
+    let analysis = FrequencyAnalysis::compute(ds, m);
+    let trajectories = ds
+        .trajectories
+        .iter()
+        .enumerate()
+        .map(|(slot, traj)| {
+            let sig: HashSet<PointKey> = analysis.signature_points(slot).into_iter().collect();
+            let sig_points: Vec<_> = sig.iter().map(|k| k.to_point()).collect();
+            let samples = traj
+                .samples
+                .iter()
+                .filter(|s| {
+                    if sig.contains(&s.loc.key()) {
+                        return false;
+                    }
+                    if alpha > 0.0 {
+                        !sig_points.iter().any(|p| p.dist(&s.loc) <= alpha)
+                    } else {
+                        true
+                    }
+                })
+                .copied()
+                .collect();
+            Trajectory::new(traj.id, samples)
+        })
+        .collect();
+    Dataset::new(ds.domain, trajectories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdp_model::{Point, Rect, Sample};
+
+    fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            id,
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64))
+                .collect(),
+        )
+    }
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            vec![
+                // (10,10) is object 0's haunt: high PF, unique → signature.
+                traj(0, &[(10.0, 10.0), (500.0, 500.0), (10.0, 10.0), (600.0, 500.0), (10.0, 10.0)]),
+                traj(1, &[(500.0, 500.0), (800.0, 800.0), (600.0, 500.0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sc_removes_signature_occurrences() {
+        let d = ds();
+        let out = sc(&d, 1);
+        let k = Point::new(10.0, 10.0).key();
+        assert_eq!(out.trajectories[0].count_point(k), 0);
+        // Non-signature points survive.
+        assert!(out.trajectories[0].passes_through(Point::new(500.0, 500.0).key()));
+        assert_eq!(out.len(), d.len());
+        assert_eq!(out.trajectories[0].id, 0);
+    }
+
+    #[test]
+    fn sc_keeps_chronological_order() {
+        let out = sc(&ds(), 2);
+        for t in &out.trajectories {
+            assert!(t.samples.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+    }
+
+    #[test]
+    fn rsc_widens_the_deletion() {
+        // Put a bystander sample 50 m from the signature point.
+        let d = Dataset::new(
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            vec![
+                traj(0, &[(10.0, 10.0), (60.0, 10.0), (10.0, 10.0), (500.0, 500.0)]),
+                traj(1, &[(500.0, 500.0), (700.0, 700.0)]),
+            ],
+        );
+        let plain = sc(&d, 1);
+        let wide = rsc(&d, 1, 100.0);
+        let bystander = Point::new(60.0, 10.0).key();
+        assert!(plain.trajectories[0].passes_through(bystander));
+        assert!(!wide.trajectories[0].passes_through(bystander));
+        // Larger α ⇒ never more points than smaller α.
+        assert!(wide.total_points() <= plain.total_points());
+    }
+
+    #[test]
+    fn rsc_zero_alpha_equals_sc() {
+        let d = ds();
+        assert_eq!(sc(&d, 2), rsc(&d, 2, 0.0));
+    }
+
+    #[test]
+    fn monotone_in_alpha() {
+        let d = ds();
+        let mut prev = usize::MAX;
+        for alpha in [0.0, 100.0, 500.0, 5000.0] {
+            let n = rsc(&d, 1, alpha).total_points();
+            assert!(n <= prev, "point count must shrink as α grows");
+            prev = n;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_panics() {
+        rsc(&ds(), 1, -1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The Figure 5 microbenchmark: K-nearest segment search across all
+//! index variants (Linear, UG, HGt, HGb, HG+) at several scales.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajdp_index::{
+    HierGrid, LinearScan, SegmentEntry, SegmentIndex, Strategy, UniformGrid,
+};
+use trajdp_model::{Point, Rect, Segment};
+
+fn random_entries(n: usize, seed: u64) -> Vec<SegmentEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let ax: f64 = rng.gen_range(0.0..30_000.0);
+            let ay: f64 = rng.gen_range(0.0..30_000.0);
+            let span: f64 = if i % 9 == 0 { 5_000.0 } else { 650.0 };
+            let bx = (ax + rng.gen_range(-span..span)).clamp(0.0, 30_000.0);
+            let by = (ay + rng.gen_range(-span..span)).clamp(0.0, 30_000.0);
+            SegmentEntry::new(i as u64, Segment::new(Point::new(ax, ay), Point::new(bx, by)))
+        })
+        .collect()
+}
+
+fn domain() -> Rect {
+    Rect::new(0.0, 0.0, 30_000.0, 30_000.0)
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn-by-index");
+    for &n in &[2_000usize, 20_000] {
+        let entries = random_entries(n, 11);
+        let linear = LinearScan::from_entries(entries.clone());
+        let uniform = UniformGrid::from_entries(domain(), 512, entries.clone());
+        let hier = HierGrid::from_entries(domain(), 512, entries);
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries: Vec<Point> = (0..64)
+            .map(|_| Point::new(rng.gen_range(0.0..30_000.0), rng.gen_range(0.0..30_000.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("Linear", n), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(linear.knn(q, 8));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("UG", n), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(uniform.knn(q, 8));
+                }
+            })
+        });
+        for (name, s) in [
+            ("HGt", Strategy::TopDown),
+            ("HGb", Strategy::BottomUp),
+            ("HG+", Strategy::BottomUpDown),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        black_box(hier.knn_with_stats(q, 8, s, None).0);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index-build");
+    let entries = random_entries(20_000, 13);
+    group.bench_function("hier-512", |b| {
+        b.iter(|| black_box(HierGrid::from_entries(domain(), 512, entries.clone())))
+    });
+    group.bench_function("uniform-512", |b| {
+        b.iter(|| black_box(UniformGrid::from_entries(domain(), 512, entries.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_build);
+criterion_main!(benches);

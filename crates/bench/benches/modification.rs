@@ -1,0 +1,55 @@
+//! Benchmarks of the modification phase in isolation: intra-trajectory
+//! (local) vs inter-trajectory (global) editing under the HG+ index —
+//! the paper's observation that global alteration dominates (~90% of
+//! total time, Figure 5 right).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use trajdp_bench::standard_world;
+use trajdp_core::editor::{DatasetEditor, TrajectoryEditor};
+use trajdp_core::IndexKind;
+use trajdp_model::Point;
+
+fn bench_intra(c: &mut Criterion) {
+    let world = standard_world(20, 200, 31);
+    let traj = world.dataset.trajectories[0].clone();
+    let domain = world.dataset.domain;
+    let target = traj.samples[traj.len() / 2].loc;
+    let off_target = Point::new(target.x + 210.0, target.y + 140.0);
+    c.bench_function("intra-insert-5", |b| {
+        b.iter(|| {
+            let mut ed = TrajectoryEditor::new(traj.clone(), IndexKind::default(), domain);
+            black_box(ed.insert_occurrences(off_target, 5));
+        })
+    });
+    c.bench_function("intra-delete-all", |b| {
+        let key = target.key();
+        b.iter(|| {
+            let mut ed = TrajectoryEditor::new(traj.clone(), IndexKind::default(), domain);
+            black_box(ed.delete_occurrences(key, usize::MAX));
+        })
+    });
+}
+
+fn bench_inter(c: &mut Criterion) {
+    let world = standard_world(60, 100, 32);
+    let trajs = world.dataset.trajectories.clone();
+    let domain = world.dataset.domain;
+    let q = world.node_point(world.hotspots[0]);
+    let off = Point::new(q.x + 150.0, q.y + 150.0);
+    c.bench_function("inter-increase-tf-10", |b| {
+        b.iter(|| {
+            let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain);
+            black_box(ed.increase_tf(off, 10));
+        })
+    });
+    c.bench_function("inter-decrease-tf-10", |b| {
+        let key = q.key();
+        b.iter(|| {
+            let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain);
+            black_box(ed.decrease_tf(key, 10));
+        })
+    });
+}
+
+criterion_group!(benches, bench_intra, bench_inter);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end benchmarks of the three published models (PureG, PureL,
+//! GL) and of the recovery attack they must withstand.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajdp_attacks::HmmMapMatcher;
+use trajdp_bench::standard_world;
+use trajdp_core::{anonymize, FreqDpConfig, Model};
+
+fn bench_models(c: &mut Criterion) {
+    let world = standard_world(60, 100, 41);
+    let cfg = FreqDpConfig { m: 10, ..Default::default() };
+    let mut group = c.benchmark_group("anonymize");
+    group.sample_size(10);
+    for (name, model) in [
+        ("PureG", Model::PureGlobal),
+        ("PureL", Model::PureLocal),
+        ("GL", Model::Combined),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, &m| {
+            b.iter(|| black_box(anonymize(&world.dataset, m, &cfg).expect("valid config")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let world = standard_world(10, 80, 42);
+    let matcher = HmmMapMatcher::new(&world.network);
+    let mut group = c.benchmark_group("recovery-attack");
+    group.sample_size(10);
+    group.bench_function("hmm-recover-trajectory", |b| {
+        let t = &world.dataset.trajectories[0];
+        b.iter(|| black_box(matcher.recover(t)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_recovery);
+criterion_main!(benches);

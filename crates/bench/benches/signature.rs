@@ -1,0 +1,27 @@
+//! Benchmarks of the frequency analysis: TF table construction and
+//! top-m signature extraction over growing datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajdp_bench::standard_world;
+use trajdp_core::freq::FrequencyAnalysis;
+
+fn bench_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature-extraction");
+    for &size in &[100usize, 400] {
+        let world = standard_world(size, 120, 21);
+        group.bench_with_input(BenchmarkId::new("analyze-m10", size), &world, |b, w| {
+            b.iter(|| black_box(FrequencyAnalysis::compute(&w.dataset, 10)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tf_table(c: &mut Criterion) {
+    let world = standard_world(300, 120, 22);
+    c.bench_function("tf-table-300x120", |b| {
+        b.iter(|| black_box(world.dataset.tf_table()))
+    });
+}
+
+criterion_group!(benches, bench_signature, bench_tf_table);
+criterion_main!(benches);

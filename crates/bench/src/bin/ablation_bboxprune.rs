@@ -1,0 +1,46 @@
+//! Ablation: the **trajectory-bbox branch-and-bound** optimization for
+//! global (inter-trajectory) modification — the improvement §V-C of the
+//! paper explicitly leaves as future work ("early pruning unpromising
+//! trajectories based on their bounding box").
+//!
+//! Compares wall time and segment-distance work of the global phase
+//! with the segment-index search vs the bbox branch-and-bound, as the
+//! dataset grows. Outputs are identical by construction (tested in
+//! `trajdp-core`).
+//!
+//! ```text
+//! cargo run -p trajdp-bench --release --bin ablation_bboxprune
+//! ```
+
+use trajdp_bench::{env_param, standard_world};
+use trajdp_core::{anonymize, FreqDpConfig, Model};
+
+fn main() {
+    let len = env_param("TRAJDP_LEN", 100);
+    let seed = env_param("TRAJDP_SEED", 42) as u64;
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} | {:>16} {:>16}",
+        "|D|", "index (ms)", "bbox (ms)", "speedup", "seg-dists index", "seg-dists bbox"
+    );
+    println!("{}", "-".repeat(88));
+    for size in [100usize, 200, 400, 800] {
+        let world = standard_world(size, len, seed);
+        let run = |bbox: bool| {
+            let cfg = FreqDpConfig { m: 10, bbox_pruning: bbox, seed, ..Default::default() };
+            let out = anonymize(&world.dataset, Model::PureGlobal, &cfg).expect("valid config");
+            let work = out.global.as_ref().expect("global ran").search_stats.segments_checked;
+            (out.global_time.as_secs_f64() * 1e3, work)
+        };
+        let (t_index, w_index) = run(false);
+        let (t_bbox, w_bbox) = run(true);
+        println!(
+            "{size:<8} {t_index:>14.1} {t_bbox:>14.1} {:>9.2}x | {w_index:>16} {w_bbox:>16}",
+            t_index / t_bbox.max(1e-9)
+        );
+    }
+    println!("\nNote: both searches produce identical modifications. On the compact");
+    println!("synthetic city, trajectory bounding boxes overlap heavily, so the bound");
+    println!("rarely prunes whole trajectories and the index-based search stays ahead —");
+    println!("an honest negative result for the paper's future-work idea at this scale;");
+    println!("the bound can only pay off when trajectories are spatially localized.");
+}

@@ -1,0 +1,64 @@
+//! Ablation: the **non-zero-mean Laplace** design of the local
+//! mechanism (Theorem 2) versus classical zero-mean noise.
+//!
+//! The shifted distribution `Lap(−f_k, 1/ε)` suppresses signature
+//! occurrences with high probability; zero-mean noise leaves them in
+//! place half the time, weakening protection at identical ε. This
+//! ablation measures the spatial linking accuracy and the mean residual
+//! signature PF under both settings.
+//!
+//! ```text
+//! cargo run -p trajdp-bench --release --bin ablation_mean
+//! ```
+
+use trajdp_attacks::{LinkingAttack, SignatureType};
+use trajdp_bench::{env_param, standard_world};
+use trajdp_core::freq::FrequencyAnalysis;
+use trajdp_core::local::LocalOptions;
+use trajdp_core::{anonymize, FreqDpConfig, Model};
+
+fn main() {
+    let size = env_param("TRAJDP_SIZE", 150);
+    let len = env_param("TRAJDP_LEN", 120);
+    let seed = env_param("TRAJDP_SEED", 42) as u64;
+    let world = standard_world(size, len, seed);
+    let analysis = FrequencyAnalysis::compute(&world.dataset, 10);
+    eprintln!("Mean-shift ablation: |D| = {size}");
+
+    println!(
+        "{:<6} {:<10} | {:>8} {:>18}",
+        "eps", "mean", "LAs", "residual sig PF"
+    );
+    println!("{}", "-".repeat(50));
+    for eps in [0.5, 1.0, 2.0] {
+        for zero_mean in [false, true] {
+            let cfg = FreqDpConfig {
+                m: 10,
+                eps_local: eps,
+                local_opts: LocalOptions { zero_mean, ..Default::default() },
+                seed,
+                ..Default::default()
+            };
+            let out = anonymize(&world.dataset, Model::PureLocal, &cfg).expect("valid config");
+            let la = LinkingAttack::new(SignatureType::Spatial)
+                .linking_accuracy(&world.dataset, &out.dataset);
+            // Residual PF: how many occurrences of the original top
+            // signature points survive, averaged per trajectory.
+            let mut residual = 0.0;
+            for (slot, traj) in out.dataset.trajectories.iter().enumerate() {
+                for p in analysis.signature_points(slot) {
+                    residual += traj.count_point(p) as f64;
+                }
+            }
+            residual /= out.dataset.len() as f64;
+            println!(
+                "{:<6.1} {:<10} | {:>8.3} {:>18.2}",
+                eps,
+                if zero_mean { "zero" } else { "shifted" },
+                la,
+                residual
+            );
+        }
+    }
+    println!("\nExpected shape: shifted rows show lower residual signature PF and lower LAs.");
+}

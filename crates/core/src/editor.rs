@@ -1,0 +1,874 @@
+//! Trajectory and dataset editors: apply the edit operations of §IV-A
+//! with exact utility-loss accounting while keeping a segment index
+//! incrementally up to date.
+//!
+//! * [`TrajectoryEditor`] drives **intra-trajectory modification**
+//!   (Definition 9): inserting/deleting occurrences of a point within a
+//!   single trajectory, choosing the ∆f nearest segments via K-nearest
+//!   segment search (Definition 10).
+//! * [`DatasetEditor`] drives **inter-trajectory modification**
+//!   (Definition 7): raising/lowering a point's TF by inserting it into /
+//!   deleting it from the ∆l trajectories with the least utility loss
+//!   (Definition 8).
+
+use crate::indexkind::{AnyIndex, IndexKind};
+use std::collections::{HashMap, HashSet};
+use trajdp_index::{SearchStats, SegmentEntry};
+use trajdp_model::{Point, PointKey, Rect, Trajectory};
+
+/// Editor for one trajectory, with an index over its segments.
+#[derive(Debug, Clone)]
+pub struct TrajectoryEditor {
+    traj: Trajectory,
+    /// `seg_ids[i]` is the index payload of segment `⟨samples[i], samples[i+1]⟩`.
+    seg_ids: Vec<u64>,
+    index: AnyIndex,
+    next_id: u64,
+    /// Accumulated utility loss of all edits.
+    pub loss: f64,
+    /// Accumulated search work counters.
+    pub stats: SearchStats,
+    /// Number of point insertions performed.
+    pub insertions: usize,
+    /// Number of point deletions performed.
+    pub deletions: usize,
+}
+
+impl TrajectoryEditor {
+    /// Builds an editor (and its index) for `traj` over `domain`.
+    pub fn new(traj: Trajectory, kind: IndexKind, domain: Rect) -> Self {
+        let mut index = AnyIndex::new(kind, domain);
+        let mut seg_ids = Vec::with_capacity(traj.num_segments());
+        for (i, seg) in traj.segments() {
+            let id = i as u64;
+            index.insert(SegmentEntry::new(id, seg));
+            seg_ids.push(id);
+        }
+        let next_id = seg_ids.len() as u64;
+        Self { traj, seg_ids, index, next_id, loss: 0.0, stats: SearchStats::default(), insertions: 0, deletions: 0 }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Read access to the trajectory being edited.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    /// Finishes editing, returning the modified trajectory.
+    pub fn into_trajectory(self) -> Trajectory {
+        self.traj
+    }
+
+    fn accumulate(&mut self, s: SearchStats) {
+        self.stats.cells_visited += s.cells_visited;
+        self.stats.segments_checked += s.segments_checked;
+    }
+
+    /// Inserts `delta` occurrences of `q` at the ∆f nearest segments
+    /// (Definition 10). Returns the utility loss incurred.
+    pub fn insert_occurrences(&mut self, q: Point, delta: usize) -> f64 {
+        if delta == 0 {
+            return 0.0;
+        }
+        let mut incurred = 0.0;
+        if self.traj.len() < 2 {
+            // No segments exist: append (the degenerate fallback).
+            for _ in 0..delta {
+                incurred += self.traj.push_point(q);
+                self.insertions += 1;
+            }
+            self.rebuild_index_suffix(0);
+            self.loss += incurred;
+            return incurred;
+        }
+        let (neighbors, stats) = self.index.knn_with_stats(&q, delta, None);
+        self.accumulate(stats);
+        // Map neighbour ids to current segment positions; insert from the
+        // highest position down so earlier positions stay valid.
+        let mut positions: Vec<usize> = neighbors
+            .iter()
+            .filter_map(|n| self.seg_ids.iter().position(|&id| id == n.id))
+            .collect();
+        positions.sort_unstable_by(|a, b| b.cmp(a));
+        for pos in positions {
+            incurred += self.insert_at_segment(q, pos);
+        }
+        // If the trajectory had fewer segments than `delta`, append the
+        // remainder at the nearest end.
+        let done = neighbors.len();
+        for _ in done..delta {
+            incurred += self.traj.push_point(q);
+            self.insertions += 1;
+            let last = self.traj.len() - 2;
+            let id = self.fresh_id();
+            self.index.insert(SegmentEntry::new(id, self.traj.segment(last)));
+            self.seg_ids.push(id);
+        }
+        self.loss += incurred;
+        incurred
+    }
+
+    /// Inserts `q` into segment `pos`, splitting the index entry.
+    fn insert_at_segment(&mut self, q: Point, pos: usize) -> f64 {
+        let old_id = self.seg_ids[pos];
+        self.index.remove(old_id);
+        let loss = self.traj.insert_into_segment(q, pos);
+        self.insertions += 1;
+        let left = self.fresh_id();
+        let right = self.fresh_id();
+        self.index.insert(SegmentEntry::new(left, self.traj.segment(pos)));
+        self.index.insert(SegmentEntry::new(right, self.traj.segment(pos + 1)));
+        self.seg_ids.splice(pos..=pos, [left, right]);
+        loss
+    }
+
+    /// Deletes `delta` occurrences of `q`, each time removing the
+    /// occurrence with the smallest reconnection loss (the K-nearest
+    /// deletion of Definition 10). Deletes all occurrences when fewer
+    /// than `delta` exist. Returns the utility loss incurred.
+    pub fn delete_occurrences(&mut self, q: PointKey, delta: usize) -> f64 {
+        let mut incurred = 0.0;
+        for _ in 0..delta {
+            let occ = self.traj.occurrences(q);
+            let Some(&best) = occ.iter().min_by(|&&a, &&b| {
+                self.traj.deletion_loss(a).total_cmp(&self.traj.deletion_loss(b))
+            }) else {
+                break;
+            };
+            incurred += self.delete_at(best);
+        }
+        self.loss += incurred;
+        incurred
+    }
+
+    /// Deletes the sample at `idx`, merging the index entries.
+    fn delete_at(&mut self, idx: usize) -> f64 {
+        let len = self.traj.len();
+        debug_assert!(idx < len);
+        // Remove index entries of the segments touching the sample.
+        if idx > 0 {
+            self.index.remove(self.seg_ids[idx - 1]);
+        }
+        if idx + 1 < len {
+            self.index.remove(self.seg_ids[idx]);
+        }
+        let loss = self.traj.delete_at(idx);
+        self.deletions += 1;
+        // Update seg_ids: the two touching segments collapse into one
+        // (interior) or zero (endpoint).
+        if idx > 0 && idx < len - 1 {
+            let merged = self.fresh_id();
+            self.index.insert(SegmentEntry::new(merged, self.traj.segment(idx - 1)));
+            self.seg_ids.splice(idx - 1..=idx, [merged]);
+        } else if idx == 0 {
+            if !self.seg_ids.is_empty() {
+                self.seg_ids.remove(0);
+            }
+        } else if !self.seg_ids.is_empty() {
+            self.seg_ids.pop();
+        }
+        loss
+    }
+
+    /// Re-registers all segments from position `from` (used after bulk
+    /// structural changes).
+    fn rebuild_index_suffix(&mut self, from: usize) {
+        for &id in &self.seg_ids[from.min(self.seg_ids.len())..] {
+            self.index.remove(id);
+        }
+        self.seg_ids.truncate(from.min(self.seg_ids.len()));
+        for i in from..self.traj.num_segments() {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.index.insert(SegmentEntry::new(id, self.traj.segment(i)));
+            self.seg_ids.push(id);
+        }
+    }
+
+    /// Internal invariant check used by tests: every segment of the
+    /// trajectory has exactly one index entry.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.seg_ids.len(), self.traj.num_segments(), "seg_ids length mismatch");
+        assert_eq!(self.index.len(), self.seg_ids.len(), "index size mismatch");
+        let ids: HashSet<u64> = self.seg_ids.iter().copied().collect();
+        assert_eq!(ids.len(), self.seg_ids.len(), "duplicate segment ids");
+    }
+}
+
+/// Editor for a whole dataset, with a single index over every segment.
+#[derive(Debug)]
+pub struct DatasetEditor {
+    trajs: Vec<Trajectory>,
+    seg_ids: Vec<Vec<u64>>,
+    index: AnyIndex,
+    owner: HashMap<u64, usize>,
+    /// Inverted occurrence map: point → trajectory slots containing it.
+    containing: HashMap<PointKey, HashSet<usize>>,
+    /// Cached per-trajectory bounding boxes for branch-and-bound
+    /// candidate pruning (the paper's §V-C future-work optimization).
+    bboxes: Vec<Rect>,
+    /// Whether `increase_tf` uses trajectory-bbox branch-and-bound
+    /// instead of the segment index.
+    pub use_bbox_pruning: bool,
+    next_id: u64,
+    domain: Rect,
+    kind: IndexKind,
+    /// Accumulated utility loss of all edits.
+    pub loss: f64,
+    /// Accumulated search work counters.
+    pub stats: SearchStats,
+    /// Number of point insertions performed.
+    pub insertions: usize,
+    /// Number of point deletions performed.
+    pub deletions: usize,
+}
+
+impl DatasetEditor {
+    /// Builds an editor (and a dataset-wide index) for the trajectories.
+    pub fn new(trajs: Vec<Trajectory>, kind: IndexKind, domain: Rect) -> Self {
+        let mut index = AnyIndex::new(kind, domain);
+        let mut seg_ids = Vec::with_capacity(trajs.len());
+        let mut owner = HashMap::new();
+        let mut containing: HashMap<PointKey, HashSet<usize>> = HashMap::new();
+        let mut next_id = 0u64;
+        for (t, traj) in trajs.iter().enumerate() {
+            let mut ids = Vec::with_capacity(traj.num_segments());
+            for (_, seg) in traj.segments() {
+                index.insert(SegmentEntry::new(next_id, seg));
+                owner.insert(next_id, t);
+                ids.push(next_id);
+                next_id += 1;
+            }
+            seg_ids.push(ids);
+            for s in &traj.samples {
+                containing.entry(s.loc.key()).or_default().insert(t);
+            }
+        }
+        let bboxes = trajs.iter().map(Trajectory::bbox).collect();
+        Self {
+            trajs,
+            seg_ids,
+            index,
+            owner,
+            containing,
+            bboxes,
+            use_bbox_pruning: false,
+            next_id,
+            domain,
+            kind,
+            loss: 0.0,
+            stats: SearchStats::default(),
+            insertions: 0,
+            deletions: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Finishes editing, returning the modified trajectories.
+    pub fn into_trajectories(self) -> Vec<Trajectory> {
+        self.trajs
+    }
+
+    /// Read access to the trajectories being edited.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajs
+    }
+
+    /// Trajectory slots currently containing point `q`.
+    pub fn trajectories_containing(&self, q: PointKey) -> Vec<usize> {
+        self.containing.get(&q).map(|s| {
+            let mut v: Vec<usize> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }).unwrap_or_default()
+    }
+
+    fn accumulate(&mut self, s: SearchStats) {
+        self.stats.cells_visited += s.cells_visited;
+        self.stats.segments_checked += s.segments_checked;
+    }
+
+    /// TF-increasing task (Definition 8): inserts `q` once into each of
+    /// the `delta` nearest trajectories that do not already pass through
+    /// `q`. Returns the number of trajectories actually modified (may be
+    /// fewer when the dataset runs out of eligible trajectories).
+    pub fn increase_tf(&mut self, q: Point, delta: usize) -> usize {
+        if delta == 0 {
+            return 0;
+        }
+        if self.use_bbox_pruning {
+            return self.increase_tf_bbox(q, delta);
+        }
+        let qk = q.key();
+        let eligible = |editor: &Self, t: usize| -> bool {
+            !editor.containing.get(&qk).is_some_and(|s| s.contains(&t))
+        };
+        // Grow-k nearest-segment search, deduplicating by owning
+        // trajectory in ascending distance order.
+        let mut chosen: Vec<usize> = Vec::with_capacity(delta);
+        let mut k = delta.saturating_mul(4).max(8);
+        loop {
+            chosen.clear();
+            let owner = &self.owner;
+            let containing = self.containing.get(&qk);
+            let filter = |id: u64| -> bool {
+                let t = owner[&id];
+                !containing.is_some_and(|s| s.contains(&t))
+            };
+            let (neighbors, stats) = self.index.knn_with_stats(&q, k, Some(&filter));
+            self.accumulate(stats);
+            let exhausted = neighbors.len() < k;
+            for n in &neighbors {
+                let t = self.owner[&n.id];
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                    if chosen.len() == delta {
+                        break;
+                    }
+                }
+            }
+            if chosen.len() == delta || exhausted {
+                break;
+            }
+            k *= 2;
+        }
+        // Fallback: trajectories with no segments can still take an
+        // appended point.
+        if chosen.len() < delta {
+            for t in 0..self.trajs.len() {
+                if chosen.len() == delta {
+                    break;
+                }
+                if self.trajs[t].num_segments() == 0 && eligible(self, t) && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+        }
+        let inserted = chosen.len();
+        for t in chosen {
+            self.insert_point_into(t, q);
+        }
+        inserted
+    }
+
+    /// TF-increasing task via trajectory-level branch-and-bound — the
+    /// optimization §V-C leaves as future work: candidates are visited
+    /// in ascending bounding-box `MINdist` order and the scan stops once
+    /// the next lower bound exceeds the ∆l-th best exact insertion loss.
+    /// Produces exactly the same selection as the index-based search.
+    fn increase_tf_bbox(&mut self, q: Point, delta: usize) -> usize {
+        let qk = q.key();
+        let containing = self.containing.get(&qk);
+        // Eligible trajectories in ascending lower-bound order.
+        let mut candidates: Vec<(f64, usize)> = self
+            .bboxes
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| {
+                !containing.is_some_and(|s| s.contains(&t)) && !self.trajs[t].is_empty()
+            })
+            .map(|(t, b)| (b.min_dist(&q), t))
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Max-heap of the delta smallest exact losses seen so far.
+        let mut best: std::collections::BinaryHeap<(trajdp_index::TotalF64, usize)> =
+            std::collections::BinaryHeap::with_capacity(delta + 1);
+        for (lower, t) in candidates {
+            if best.len() == delta && lower > best.peek().expect("non-empty").0 .0 {
+                break; // every remaining candidate is provably worse
+            }
+            let traj = &self.trajs[t];
+            let exact = if traj.num_segments() == 0 {
+                // Single-sample trajectory: appending costs the distance
+                // from its only sample.
+                traj.samples.last().map_or(f64::INFINITY, |s| s.loc.dist(&q))
+            } else {
+                traj.segments()
+                    .map(|(_, s)| s.dist_to_point(&q))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            self.stats.segments_checked += traj.num_segments().max(1);
+            if best.len() < delta {
+                best.push((trajdp_index::TotalF64(exact), t));
+            } else if exact < best.peek().expect("non-empty").0 .0 {
+                best.pop();
+                best.push((trajdp_index::TotalF64(exact), t));
+            }
+        }
+        let chosen: Vec<usize> = best.into_iter().map(|(_, t)| t).collect();
+        let inserted = chosen.len();
+        for t in chosen {
+            self.insert_point_into(t, q);
+        }
+        inserted
+    }
+
+    /// Inserts `q` into trajectory slot `t` at its best segment.
+    fn insert_point_into(&mut self, t: usize, q: Point) {
+        let traj = &self.trajs[t];
+        if traj.len() < 2 {
+            self.loss += self.trajs[t].push_point(q);
+            self.insertions += 1;
+            if self.trajs[t].len() >= 2 {
+                let pos = self.trajs[t].num_segments() - 1;
+                let id = self.fresh_id();
+                self.index.insert(SegmentEntry::new(id, self.trajs[t].segment(pos)));
+                self.owner.insert(id, t);
+                self.seg_ids[t].push(id);
+            }
+        } else {
+            // Scan the trajectory for the minimum-loss segment (the
+            // index already narrowed the trajectory choice).
+            let pos = (0..traj.num_segments())
+                .min_by(|&a, &b| {
+                    traj.segment(a).dist_to_point(&q).total_cmp(&traj.segment(b).dist_to_point(&q))
+                })
+                .expect("non-empty segment list");
+            let old_id = self.seg_ids[t][pos];
+            self.index.remove(old_id);
+            self.owner.remove(&old_id);
+            self.loss += self.trajs[t].insert_into_segment(q, pos);
+            self.insertions += 1;
+            let left = self.fresh_id();
+            let right = self.fresh_id();
+            self.index.insert(SegmentEntry::new(left, self.trajs[t].segment(pos)));
+            self.index.insert(SegmentEntry::new(right, self.trajs[t].segment(pos + 1)));
+            self.owner.insert(left, t);
+            self.owner.insert(right, t);
+            self.seg_ids[t].splice(pos..=pos, [left, right]);
+        }
+        self.containing.entry(q.key()).or_default().insert(t);
+        self.bboxes[t].expand(&q);
+    }
+
+    /// TF-decreasing task (Definition 8): completely deletes `q` from the
+    /// `delta` trajectories (among those containing it) with the least
+    /// complete-deletion loss. Returns the number of trajectories
+    /// actually modified.
+    pub fn decrease_tf(&mut self, q: PointKey, delta: usize) -> usize {
+        if delta == 0 {
+            return 0;
+        }
+        let mut candidates = self.trajectories_containing(q);
+        // Complete-deletion loss per candidate: Σ_s L[OP_d(q, s)].
+        let mut scored: Vec<(f64, usize)> = candidates
+            .drain(..)
+            .map(|t| {
+                let traj = &self.trajs[t];
+                let total: f64 =
+                    traj.occurrences(q).into_iter().map(|i| traj.deletion_loss(i)).sum();
+                (total, t)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let victims: Vec<usize> = scored.into_iter().take(delta).map(|(_, t)| t).collect();
+        let removed = victims.len();
+        for t in victims {
+            self.delete_point_from(t, q);
+        }
+        removed
+    }
+
+    /// Removes every occurrence of `q` from slot `t`, re-registering the
+    /// trajectory's segments.
+    fn delete_point_from(&mut self, t: usize, q: PointKey) {
+        for &id in &self.seg_ids[t] {
+            self.index.remove(id);
+            self.owner.remove(&id);
+        }
+        self.seg_ids[t].clear();
+        let occurrences = self.trajs[t].occurrences(q).len();
+        self.loss += self.trajs[t].delete_all(q);
+        self.deletions += occurrences;
+        let mut ids = Vec::with_capacity(self.trajs[t].num_segments());
+        for i in 0..self.trajs[t].num_segments() {
+            let id = self.fresh_id();
+            self.index.insert(SegmentEntry::new(id, self.trajs[t].segment(i)));
+            self.owner.insert(id, t);
+            ids.push(id);
+        }
+        self.seg_ids[t] = ids;
+        if let Some(s) = self.containing.get_mut(&q) {
+            s.remove(&t);
+            if s.is_empty() {
+                self.containing.remove(&q);
+            }
+        }
+        // Deletion may shrink the extent; recompute the cached box.
+        self.bboxes[t] = self.trajs[t].bbox();
+    }
+
+    /// Current TF of `q` as tracked by the editor.
+    pub fn tf(&self, q: PointKey) -> usize {
+        self.containing.get(&q).map_or(0, HashSet::len)
+    }
+
+    /// The domain the editor indexes over.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The index kind the editor was built with.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Internal invariant check used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut total = 0;
+        for (t, ids) in self.seg_ids.iter().enumerate() {
+            assert_eq!(ids.len(), self.trajs[t].num_segments(), "slot {t} seg count");
+            for &id in ids {
+                assert_eq!(self.owner[&id], t, "owner mismatch for id {id}");
+            }
+            total += ids.len();
+        }
+        assert_eq!(self.index.len(), total, "index size mismatch");
+        for (k, set) in &self.containing {
+            for &t in set {
+                assert!(self.trajs[t].passes_through(*k), "stale containing entry");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdp_model::{Sample, Segment};
+
+    fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            id,
+            pts.iter().enumerate().map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64 * 10)).collect(),
+        )
+    }
+
+    fn domain() -> Rect {
+        Rect::new(-100.0, -100.0, 1100.0, 1100.0)
+    }
+
+    // ---------- TrajectoryEditor ----------
+
+    #[test]
+    fn insert_picks_nearest_segment() {
+        let t = traj(0, &[(0.0, 0.0), (100.0, 0.0), (100.0, 100.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        let q = Point::new(50.0, 5.0); // 5 m from the first segment
+        let loss = ed.insert_occurrences(q, 1);
+        assert_eq!(loss, 5.0);
+        ed.check_invariants();
+        let out = ed.into_trajectory();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.samples[1].loc, q);
+    }
+
+    #[test]
+    fn multi_insert_uses_distinct_segments() {
+        let t = traj(0, &[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        let q = Point::new(150.0, 10.0);
+        ed.insert_occurrences(q, 2);
+        ed.check_invariants();
+        let out = ed.into_trajectory();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.count_point(q.key()), 2);
+        assert_eq!(ed_count(&out, q), 2);
+    }
+
+    fn ed_count(t: &Trajectory, q: Point) -> usize {
+        t.count_point(q.key())
+    }
+
+    #[test]
+    fn insert_more_than_segments_appends_remainder() {
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0)]); // one segment
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        let q = Point::new(5.0, 1.0);
+        ed.insert_occurrences(q, 3);
+        ed.check_invariants();
+        let out = ed.into_trajectory();
+        assert_eq!(out.count_point(q.key()), 3);
+        assert!(out.samples.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn insert_into_degenerate_trajectory() {
+        let t = traj(0, &[(1.0, 1.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        ed.insert_occurrences(Point::new(2.0, 2.0), 2);
+        ed.check_invariants();
+        assert_eq!(ed.trajectory().len(), 3);
+    }
+
+    #[test]
+    fn delete_prefers_cheapest_occurrence() {
+        // q at index 1 lies ON the line (0 reconnection loss); q at index
+        // 3 is a 50 m detour.
+        let t = traj(
+            0,
+            &[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 50.0), (200.0, 0.0)],
+        );
+        let q1 = Point::new(50.0, 0.0);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        let loss = ed.delete_occurrences(q1.key(), 1);
+        assert_eq!(loss, 0.0);
+        ed.check_invariants();
+        assert_eq!(ed.trajectory().len(), 4);
+    }
+
+    #[test]
+    fn delete_more_than_present_deletes_all() {
+        let q = Point::new(5.0, 5.0);
+        let t = traj(0, &[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0), (5.0, 5.0), (20.0, 0.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        ed.delete_occurrences(q.key(), 10);
+        ed.check_invariants();
+        assert_eq!(ed.trajectory().count_point(q.key()), 0);
+        assert_eq!(ed.deletions, 2);
+    }
+
+    #[test]
+    fn delete_endpoint_occurrence() {
+        let q = Point::new(0.0, 0.0);
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        let loss = ed.delete_occurrences(q.key(), 1);
+        assert_eq!(loss, 0.0); // endpoints reconnect for free
+        ed.check_invariants();
+        assert_eq!(ed.trajectory().len(), 2);
+    }
+
+    #[test]
+    fn editor_losses_accumulate() {
+        let t = traj(0, &[(0.0, 0.0), (100.0, 0.0)]);
+        let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
+        ed.insert_occurrences(Point::new(50.0, 10.0), 1);
+        ed.insert_occurrences(Point::new(25.0, 20.0), 1);
+        assert!(ed.loss >= 10.0);
+        assert_eq!(ed.insertions, 2);
+    }
+
+    // ---------- DatasetEditor ----------
+
+    fn make_dataset_editor() -> DatasetEditor {
+        let trajs = vec![
+            traj(0, &[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]),
+            traj(1, &[(0.0, 500.0), (100.0, 500.0), (200.0, 500.0)]),
+            traj(2, &[(0.0, 1000.0), (100.0, 1000.0), (200.0, 1000.0)]),
+        ];
+        DatasetEditor::new(trajs, IndexKind::default(), domain())
+    }
+
+    #[test]
+    fn increase_tf_picks_nearest_trajectories() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(150.0, 40.0); // closest to trajectory 0, then 1
+        let n = ed.increase_tf(q, 2);
+        assert_eq!(n, 2);
+        ed.check_invariants();
+        assert_eq!(ed.tf(q.key()), 2);
+        let trajs = ed.into_trajectories();
+        assert!(trajs[0].passes_through(q.key()));
+        assert!(trajs[1].passes_through(q.key()));
+        assert!(!trajs[2].passes_through(q.key()));
+    }
+
+    #[test]
+    fn increase_tf_skips_trajectories_already_containing() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(100.0, 0.0); // already in trajectory 0
+        assert_eq!(ed.tf(q.key()), 1);
+        let n = ed.increase_tf(q, 1);
+        assert_eq!(n, 1);
+        ed.check_invariants();
+        assert_eq!(ed.tf(q.key()), 2);
+        // Trajectory 1 (nearest without q) must be the one modified.
+        assert!(ed.trajectories()[1].passes_through(q.key()));
+    }
+
+    #[test]
+    fn increase_tf_saturates_at_dataset_size() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(50.0, 250.0);
+        let n = ed.increase_tf(q, 10);
+        assert_eq!(n, 3, "cannot insert into more trajectories than exist");
+        ed.check_invariants();
+        assert_eq!(ed.tf(q.key()), 3);
+    }
+
+    #[test]
+    fn decrease_tf_removes_all_occurrences_from_victims() {
+        let trajs = vec![
+            traj(0, &[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (50.0, 0.0)]),
+            traj(1, &[(0.0, 500.0), (50.0, 0.0), (100.0, 500.0)]),
+            traj(2, &[(0.0, 1000.0), (200.0, 1000.0)]),
+        ];
+        let mut ed = DatasetEditor::new(trajs, IndexKind::default(), domain());
+        let q = Point::new(50.0, 0.0).key();
+        assert_eq!(ed.tf(q), 2);
+        let n = ed.decrease_tf(q, 1);
+        assert_eq!(n, 1);
+        ed.check_invariants();
+        assert_eq!(ed.tf(q), 1);
+        // The victim should be trajectory 0: its occurrences lie on the
+        // straight line (zero reconnection loss) while trajectory 1's
+        // occurrence is a 500 m detour.
+        assert_eq!(ed.trajectories()[0].count_point(q), 0);
+        assert!(ed.trajectories()[1].passes_through(q));
+    }
+
+    #[test]
+    fn decrease_tf_saturates() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(100.0, 0.0).key();
+        let n = ed.decrease_tf(q, 5);
+        assert_eq!(n, 1);
+        ed.check_invariants();
+        assert_eq!(ed.tf(q), 0);
+        assert_eq!(ed.decrease_tf(q, 1), 0);
+    }
+
+    #[test]
+    fn roundtrip_increase_then_decrease() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(300.0, 300.0);
+        ed.increase_tf(q, 2);
+        assert_eq!(ed.tf(q.key()), 2);
+        ed.decrease_tf(q.key(), 2);
+        assert_eq!(ed.tf(q.key()), 0);
+        ed.check_invariants();
+        for t in ed.trajectories() {
+            assert!(!t.passes_through(q.key()));
+        }
+    }
+
+    #[test]
+    fn dataset_editor_tracks_loss_and_counts() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(150.0, 40.0);
+        ed.increase_tf(q, 1);
+        assert!(ed.loss > 0.0);
+        assert_eq!(ed.insertions, 1);
+        ed.decrease_tf(q.key(), 1);
+        assert_eq!(ed.deletions, 1);
+    }
+
+    #[test]
+    fn works_with_all_index_kinds() {
+        use trajdp_index::Strategy;
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::Uniform(32),
+            IndexKind::Hier(64, Strategy::TopDown),
+            IndexKind::Hier(64, Strategy::BottomUp),
+            IndexKind::Hier(64, Strategy::BottomUpDown),
+        ] {
+            let trajs = vec![
+                traj(0, &[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]),
+                traj(1, &[(0.0, 500.0), (100.0, 500.0)]),
+            ];
+            let mut ed = DatasetEditor::new(trajs, kind, domain());
+            let q = Point::new(150.0, 40.0);
+            assert_eq!(ed.increase_tf(q, 1), 1, "{kind:?}");
+            ed.check_invariants();
+            assert!(ed.trajectories()[0].passes_through(q.key()), "{kind:?} chose wrong trajectory");
+        }
+    }
+
+    fn _segment_helper_compiles(s: Segment) -> f64 {
+        s.len()
+    }
+
+    // ---------- bbox-pruned inter-trajectory modification ----------
+
+    #[test]
+    fn bbox_pruning_selects_same_trajectories() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let trajs: Vec<Trajectory> = (0..25)
+            .map(|id| {
+                let cx: f64 = rng.gen_range(0.0..900.0);
+                let cy: f64 = rng.gen_range(0.0..900.0);
+                let pts: Vec<(f64, f64)> = (0..8)
+                    .map(|_| (cx + rng.gen_range(0.0..120.0), cy + rng.gen_range(0.0..120.0)))
+                    .collect();
+                traj(id, &pts)
+            })
+            .collect();
+        for delta in [1usize, 3, 7] {
+            let q = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let mut plain = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            let mut pruned = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            pruned.use_bbox_pruning = true;
+            assert_eq!(plain.increase_tf(q, delta), pruned.increase_tf(q, delta));
+            pruned.check_invariants();
+            let a: Vec<bool> =
+                plain.trajectories().iter().map(|t| t.passes_through(q.key())).collect();
+            let b: Vec<bool> =
+                pruned.trajectories().iter().map(|t| t.passes_through(q.key())).collect();
+            assert_eq!(a, b, "delta={delta}: pruned selection differs");
+            assert!((plain.loss - pruned.loss).abs() < 1e-9, "loss differs at delta={delta}");
+        }
+    }
+
+    #[test]
+    fn bbox_pruning_checks_fewer_segments() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let trajs: Vec<Trajectory> = (0..60)
+            .map(|id| {
+                let cx: f64 = rng.gen_range(0.0..900.0);
+                let cy: f64 = rng.gen_range(0.0..900.0);
+                let pts: Vec<(f64, f64)> = (0..20)
+                    .map(|_| (cx + rng.gen_range(0.0..60.0), cy + rng.gen_range(0.0..60.0)))
+                    .collect();
+                traj(id, &pts)
+            })
+            .collect();
+        let total_segments: usize = trajs.iter().map(Trajectory::num_segments).sum();
+        let mut pruned = DatasetEditor::new(trajs, IndexKind::default(), domain());
+        pruned.use_bbox_pruning = true;
+        pruned.increase_tf(Point::new(10.0, 10.0), 2);
+        assert!(
+            pruned.stats.segments_checked < total_segments / 2,
+            "pruning should skip most trajectories: checked {} of {}",
+            pruned.stats.segments_checked,
+            total_segments
+        );
+    }
+
+    #[test]
+    fn bbox_stays_consistent_after_edits() {
+        let mut ed = make_dataset_editor();
+        let q = Point::new(5000.0, 5000.0); // outside current boxes (clamped into domain use)
+        let q = Point::new(q.x.min(1000.0), q.y.min(1000.0));
+        ed.use_bbox_pruning = true;
+        ed.increase_tf(q, 2);
+        ed.check_invariants();
+        // After inserting q the cached boxes must cover it.
+        for (t, traj) in ed.trajectories().iter().enumerate() {
+            if traj.passes_through(q.key()) {
+                assert!(ed.bboxes[t].contains(&q));
+            }
+        }
+        ed.decrease_tf(q.key(), 2);
+        for (t, traj) in ed.trajectories().iter().enumerate() {
+            assert_eq!(ed.bboxes[t], traj.bbox(), "bbox stale after deletion in slot {t}");
+        }
+    }
+}

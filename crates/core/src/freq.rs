@@ -1,0 +1,227 @@
+//! Frequency statistics and signature extraction (§III-B1).
+//!
+//! For a point `p` in trajectory `τ` of dataset `D`:
+//!
+//! * **PF** `f_p` — occurrences of `p` in `τ`; representativeness is
+//!   `f_p / |τ|`.
+//! * **TF** `l_p` — trajectories of `D` passing through `p`;
+//!   distinctiveness is `log(|D| / l_p)`.
+//!
+//! Each point is weighted by the product of both; the top-`m` weighted
+//! distinct points of each trajectory form its *signature* `s_m(τ)`, and
+//! the union of all signatures is the candidate set
+//! `P = {p₁, …, p_d}` that both mechanisms perturb.
+
+use std::collections::HashMap;
+use trajdp_model::{Dataset, PointKey};
+
+/// One signature point of a trajectory, with its statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureEntry {
+    /// The location.
+    pub point: PointKey,
+    /// Point frequency `f_p` within the owning trajectory.
+    pub pf: usize,
+    /// Trajectory frequency `l_p` within the dataset.
+    pub tf: usize,
+    /// Combined weight: `(f_p/|τ|) · log(|D|/l_p)`.
+    pub weight: f64,
+}
+
+/// The full frequency analysis of a dataset for a given signature size.
+///
+/// # Examples
+///
+/// ```
+/// use trajdp_core::freq::FrequencyAnalysis;
+/// use trajdp_model::{Dataset, Point, Sample, Trajectory};
+///
+/// // Object 0 haunts (1, 0); (5, 0) is a hotspot everyone visits.
+/// let mk = |id, xs: &[f64]| Trajectory::new(id, xs.iter().enumerate()
+///     .map(|(i, &x)| Sample::new(Point::new(x, 0.0), i as i64)).collect());
+/// let ds = Dataset::from_trajectories(vec![
+///     mk(0, &[1.0, 5.0, 1.0, 1.0]),
+///     mk(1, &[5.0, 3.0]),
+///     mk(2, &[5.0, 7.0]),
+/// ]);
+/// let analysis = FrequencyAnalysis::compute(&ds, 1);
+/// let top = &analysis.signatures[0][0];
+/// assert_eq!(top.point, Point::new(1.0, 0.0).key()); // high PF, TF = 1
+/// assert_eq!((top.pf, top.tf), (3, 1));
+/// assert!(analysis.dimensionality() <= ds.len() * 1); // d ≤ |D|·m
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrequencyAnalysis {
+    /// Signature size `m`.
+    pub m: usize,
+    /// Per-trajectory signatures (index-aligned with the dataset),
+    /// sorted by descending weight; at most `m` entries each.
+    pub signatures: Vec<Vec<SignatureEntry>>,
+    /// The candidate set `P`: every distinct point appearing in at least
+    /// one signature, with its TF value.
+    pub candidate_tf: HashMap<PointKey, usize>,
+    /// Number of trajectories `|D|` at analysis time.
+    pub dataset_size: usize,
+}
+
+impl FrequencyAnalysis {
+    /// Runs the analysis: computes TF once over the dataset, then PF and
+    /// weights per trajectory, extracting each top-`m` signature.
+    pub fn compute(ds: &Dataset, m: usize) -> Self {
+        assert!(m > 0, "signature size must be positive");
+        let tf = ds.tf_table();
+        let n = ds.len().max(1) as f64;
+        let mut signatures = Vec::with_capacity(ds.len());
+        for traj in &ds.trajectories {
+            let mut pf: HashMap<PointKey, usize> = HashMap::new();
+            for s in &traj.samples {
+                *pf.entry(s.loc.key()).or_insert(0) += 1;
+            }
+            let len = traj.len().max(1) as f64;
+            let mut entries: Vec<SignatureEntry> = pf
+                .into_iter()
+                .map(|(point, f)| {
+                    let l = *tf.get(&point).unwrap_or(&1);
+                    let representativeness = f as f64 / len;
+                    let distinctiveness = (n / l as f64).ln();
+                    SignatureEntry {
+                        point,
+                        pf: f,
+                        tf: l,
+                        weight: representativeness * distinctiveness,
+                    }
+                })
+                .collect();
+            entries.sort_by(|a, b| {
+                b.weight.total_cmp(&a.weight).then_with(|| a.point.cmp(&b.point))
+            });
+            entries.truncate(m);
+            signatures.push(entries);
+        }
+        let mut candidate_tf = HashMap::new();
+        for sig in &signatures {
+            for e in sig {
+                candidate_tf.entry(e.point).or_insert(e.tf);
+            }
+        }
+        Self { m, signatures, candidate_tf, dataset_size: ds.len() }
+    }
+
+    /// The candidate set `P` as a deterministically ordered vector
+    /// (sorted by key so downstream iteration order is reproducible).
+    pub fn candidate_points(&self) -> Vec<PointKey> {
+        let mut v: Vec<PointKey> = self.candidate_tf.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Dimensionality `d = |P|`.
+    pub fn dimensionality(&self) -> usize {
+        self.candidate_tf.len()
+    }
+
+    /// The signature of trajectory `i` as a point list.
+    pub fn signature_points(&self, i: usize) -> Vec<PointKey> {
+        self.signatures[i].iter().map(|e| e.point).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdp_model::{Point, Sample, Trajectory};
+
+    fn p(x: f64) -> Point {
+        Point::new(x, 0.0)
+    }
+
+    /// Dataset where (1,0) is object 0's personal haunt (PF 3, TF 1),
+    /// (5,0) is a hotspot everyone visits, and the rest is noise.
+    fn ds() -> Dataset {
+        let mk = |id, xs: &[f64]| {
+            Trajectory::new(
+                id,
+                xs.iter().enumerate().map(|(i, &x)| Sample::new(p(x), i as i64)).collect(),
+            )
+        };
+        Dataset::from_trajectories(vec![
+            mk(0, &[1.0, 5.0, 1.0, 2.0, 1.0]),
+            mk(1, &[5.0, 3.0, 6.0]),
+            mk(2, &[5.0, 7.0, 8.0]),
+        ])
+    }
+
+    #[test]
+    fn weights_prefer_high_pf_low_tf() {
+        let fa = FrequencyAnalysis::compute(&ds(), 2);
+        let sig0 = &fa.signatures[0];
+        // (1,0): PF 3/5, TF 1 → weight (3/5)·ln(3) ≈ 0.659 — the top pick.
+        assert_eq!(sig0[0].point, p(1.0).key());
+        assert_eq!(sig0[0].pf, 3);
+        assert_eq!(sig0[0].tf, 1);
+        assert!((sig0[0].weight - 0.6 * 3f64.ln()).abs() < 1e-12);
+        // The hotspot (5,0) has TF 3 → ln(1) = 0 weight; it must lose to
+        // the unique point (2,0).
+        assert_eq!(sig0[1].point, p(2.0).key());
+    }
+
+    #[test]
+    fn hotspot_weight_is_zero() {
+        let fa = FrequencyAnalysis::compute(&ds(), 3);
+        for sig in &fa.signatures {
+            for e in sig {
+                if e.point == p(5.0).key() {
+                    assert!(e.weight.abs() < 1e-12, "hotspot visited by all must weigh 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_truncate_to_m_and_sort_desc() {
+        let fa = FrequencyAnalysis::compute(&ds(), 1);
+        for sig in &fa.signatures {
+            assert!(sig.len() <= 1);
+        }
+        let fa = FrequencyAnalysis::compute(&ds(), 10);
+        for sig in &fa.signatures {
+            assert!(sig.windows(2).all(|w| w[0].weight >= w[1].weight));
+        }
+    }
+
+    #[test]
+    fn candidate_set_is_union_of_signatures() {
+        let fa = FrequencyAnalysis::compute(&ds(), 2);
+        let pts = fa.candidate_points();
+        assert_eq!(pts.len(), fa.dimensionality());
+        for (i, _) in fa.signatures.iter().enumerate() {
+            for k in fa.signature_points(i) {
+                assert!(pts.contains(&k));
+            }
+        }
+        // d ≤ |D| · m
+        assert!(fa.dimensionality() <= 3 * 2);
+    }
+
+    #[test]
+    fn candidate_order_is_deterministic() {
+        let a = FrequencyAnalysis::compute(&ds(), 2).candidate_points();
+        let b = FrequencyAnalysis::compute(&ds(), 2).candidate_points();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tf_values_match_dataset() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 3);
+        for (k, &tf) in &fa.candidate_tf {
+            assert_eq!(tf, d.trajectory_frequency(*k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signature size must be positive")]
+    fn zero_m_panics() {
+        FrequencyAnalysis::compute(&ds(), 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The local PF randomization mechanism (Algorithm 2, §III-B3).
+//!
+//! For every trajectory, a list of `2m` points is selected: first the
+//! trajectory's top-`m` signature points (which lie in `P` by
+//! construction), then further points of the trajectory — preferring
+//! other members of `P` — until the list holds `2m` entries.
+//!
+//! **Stage 1** perturbs the PF of the first `m` points with
+//! `Lap(−f_k, 1/ε_L)` noise: the negative mean suppresses the signature
+//! occurrences with high probability. **Stage 2** perturbs the next `m`
+//! points with `Lap(−µ̄, 1/ε_L)` where `µ̄` is the mean noise actually
+//! added in stage 1 — when stage 1 shrank the trajectory, `−µ̄` is
+//! positive and stage 2 grows it back, stabilizing cardinality.
+//!
+//! Theorems 2–3 prove the non-zero mean does not weaken the ε_L-DP
+//! guarantee (the guarantee depends only on the scale `1/ε_L`).
+
+use crate::editor::TrajectoryEditor;
+use crate::freq::FrequencyAnalysis;
+use crate::indexkind::IndexKind;
+use rand::Rng;
+use std::collections::HashMap;
+use trajdp_index::SearchStats;
+use trajdp_mech::{round_count, Laplace, MechError};
+use trajdp_model::{Dataset, PointKey, Trajectory};
+
+/// Ablation switches for the local mechanism. Defaults reproduce the
+/// paper's Algorithm 2 exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalOptions {
+    /// Run stage 2 (the cardinality-compensating perturbation of the
+    /// second `m` points). Disabling reproduces the "Stage-1 only"
+    /// ablation discussed in §III-B3.
+    pub stage2: bool,
+    /// Use the classical zero-mean Laplace instead of the paper's
+    /// non-trivial shifted Laplace (ablation of the mean-shift design).
+    pub zero_mean: bool,
+}
+
+impl Default for LocalOptions {
+    fn default() -> Self {
+        Self { stage2: true, zero_mean: false }
+    }
+}
+
+/// Perturbation plan for one trajectory: every selected point with its
+/// original and perturbed PF.
+#[derive(Debug, Clone, Default)]
+pub struct PfPlan {
+    /// `(point, original PF, perturbed PF)` in processing order; the
+    /// first half is stage 1, the second stage 2.
+    pub entries: Vec<(PointKey, usize, u64)>,
+}
+
+/// Outcome of one local-mechanism run over a dataset.
+#[derive(Debug, Clone)]
+pub struct LocalReport {
+    /// Per-trajectory perturbation plans (index-aligned).
+    pub plans: Vec<PfPlan>,
+    /// Total utility loss of all intra-trajectory modifications.
+    pub utility_loss: f64,
+    /// Point insertions performed.
+    pub insertions: usize,
+    /// Point deletions performed.
+    pub deletions: usize,
+    /// Accumulated K-nearest-search work.
+    pub search_stats: SearchStats,
+}
+
+/// Selects the `2m`-point list `PL(τ)` for trajectory slot `i`
+/// (Algorithm 2 input): the top-`m` signature first, then remaining
+/// distinct points preferring members of `P`, randomly ordered.
+pub fn select_point_list<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    analysis: &FrequencyAnalysis,
+    slot: usize,
+    rng: &mut R,
+) -> Vec<PointKey> {
+    let m = analysis.m;
+    let mut list: Vec<PointKey> = analysis.signature_points(slot);
+    list.truncate(m);
+    // Distinct points of the trajectory not already selected.
+    let mut in_p: Vec<PointKey> = Vec::new();
+    let mut rest: Vec<PointKey> = Vec::new();
+    let mut seen: std::collections::HashSet<PointKey> = list.iter().copied().collect();
+    for s in &traj.samples {
+        let k = s.loc.key();
+        if seen.insert(k) {
+            if analysis.candidate_tf.contains_key(&k) {
+                in_p.push(k);
+            } else {
+                rest.push(k);
+            }
+        }
+    }
+    // Prefer other signature points (members of P), then random others.
+    shuffle(&mut in_p, rng);
+    shuffle(&mut rest, rng);
+    for k in in_p.into_iter().chain(rest) {
+        if list.len() >= 2 * m {
+            break;
+        }
+        list.push(k);
+    }
+    list
+}
+
+fn shuffle<T, R: Rng + ?Sized>(v: &mut [T], rng: &mut R) {
+    // Fisher–Yates; avoids pulling in rand's slice extension trait.
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// Draws the perturbed PF values for one trajectory (Algorithm 2,
+/// lines 2–16) without modifying it.
+pub fn perturb_pf<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    point_list: &[PointKey],
+    m: usize,
+    epsilon: f64,
+    opts: LocalOptions,
+    rng: &mut R,
+) -> Result<PfPlan, MechError> {
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(MechError::NonPositiveEpsilon { epsilon });
+    }
+    let scale = 1.0 / epsilon; // sensitivity of the point-counting query is 1
+    let mut pf: HashMap<PointKey, usize> = HashMap::new();
+    for s in &traj.samples {
+        *pf.entry(s.loc.key()).or_insert(0) += 1;
+    }
+    let mut entries = Vec::with_capacity(point_list.len());
+    // Stage 1: top-m points, Lap(−f_k, 1/ε).
+    let stage1 = &point_list[..m.min(point_list.len())];
+    let mut noise_sum = 0.0;
+    for &p in stage1 {
+        let f = *pf.get(&p).unwrap_or(&0);
+        let mean = if opts.zero_mean { 0.0 } else { -(f as f64) };
+        let eta = Laplace::new(mean, scale)?.sample(rng);
+        let f_star = round_count(f as f64 + eta);
+        noise_sum += f_star as f64 - f as f64; // the *actual* applied noise
+        entries.push((p, f, f_star));
+    }
+    let mu_bar = if stage1.is_empty() { 0.0 } else { noise_sum / stage1.len() as f64 };
+    // Stage 2: remaining m points, Lap(−µ̄, 1/ε).
+    if opts.stage2 {
+        for &p in point_list.iter().skip(m).take(m) {
+            let f = *pf.get(&p).unwrap_or(&0);
+            let mean = if opts.zero_mean { 0.0 } else { -mu_bar };
+            let eta = Laplace::new(mean, scale)?.sample(rng);
+            let f_star = round_count(f as f64 + eta);
+            entries.push((p, f, f_star));
+        }
+    }
+    Ok(PfPlan { entries })
+}
+
+/// Runs the full local mechanism over the dataset: per-trajectory PF
+/// perturbation followed by intra-trajectory modification (`LocalEdit`,
+/// Algorithm 2 line 17). Deletions run before insertions so freshly
+/// inserted occurrences are never re-deleted.
+pub fn apply_local<R: Rng + ?Sized>(
+    ds: &Dataset,
+    analysis: &FrequencyAnalysis,
+    epsilon: f64,
+    kind: IndexKind,
+    opts: LocalOptions,
+    rng: &mut R,
+) -> Result<(Dataset, LocalReport), MechError> {
+    let mut plans = Vec::with_capacity(ds.len());
+    let mut out = Vec::with_capacity(ds.len());
+    let mut report = LocalReport {
+        plans: Vec::new(),
+        utility_loss: 0.0,
+        insertions: 0,
+        deletions: 0,
+        search_stats: SearchStats::default(),
+    };
+    for (slot, traj) in ds.trajectories.iter().enumerate() {
+        let list = select_point_list(traj, analysis, slot, rng);
+        let plan = perturb_pf(traj, &list, analysis.m, epsilon, opts, rng)?;
+        let mut editor = TrajectoryEditor::new(traj.clone(), kind, ds.domain);
+        for &(p, f, f_star) in &plan.entries {
+            if (f_star as usize) < f {
+                editor.delete_occurrences(p, f - f_star as usize);
+            }
+        }
+        for &(p, f, f_star) in &plan.entries {
+            if f_star as usize > f {
+                editor.insert_occurrences(p.to_point(), f_star as usize - f);
+            }
+        }
+        report.utility_loss += editor.loss;
+        report.insertions += editor.insertions;
+        report.deletions += editor.deletions;
+        report.search_stats.cells_visited += editor.stats.cells_visited;
+        report.search_stats.segments_checked += editor.stats.segments_checked;
+        out.push(editor.into_trajectory());
+        plans.push(plan);
+    }
+    report.plans = plans;
+    Ok((Dataset::new(ds.domain, out), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajdp_model::{Point, Sample};
+
+    fn traj(id: u64, xs: &[f64]) -> Trajectory {
+        Trajectory::new(
+            id,
+            xs.iter()
+                .enumerate()
+                .map(|(i, &x)| Sample::new(Point::new(x, (i % 3) as f64), i as i64 * 10))
+                .collect(),
+        )
+    }
+
+    fn ds() -> Dataset {
+        Dataset::from_trajectories(vec![
+            traj(0, &[1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 5.0, 1.0, 6.0, 7.0]),
+            traj(1, &[10.0, 11.0, 12.0, 10.0, 13.0, 14.0]),
+            traj(2, &[20.0, 21.0, 22.0, 23.0, 24.0, 25.0]),
+        ])
+    }
+
+    #[test]
+    fn point_list_starts_with_signature_and_has_no_duplicates() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let list = select_point_list(&d.trajectories[0], &fa, 0, &mut rng);
+        let sig = fa.signature_points(0);
+        assert_eq!(&list[..sig.len()], &sig[..]);
+        let set: std::collections::HashSet<_> = list.iter().collect();
+        assert_eq!(set.len(), list.len(), "duplicate entries in PL(τ)");
+        assert!(list.len() <= 2 * fa.m);
+    }
+
+    #[test]
+    fn point_list_saturates_on_short_trajectories() {
+        let d = Dataset::from_trajectories(vec![traj(0, &[1.0, 2.0, 1.0])]);
+        let fa = FrequencyAnalysis::compute(&d, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let list = select_point_list(&d.trajectories[0], &fa, 0, &mut rng);
+        // Only three distinct points exist (the y coordinate varies), far
+        // fewer than 2m = 10 — the list saturates at the distinct count.
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn stage1_suppresses_signature_frequencies() {
+        // With the shifted Laplace, stage-1 noisy PF should be ≈ 0 on
+        // average (noise centred at −f_k).
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = &d.trajectories[0];
+        let list = select_point_list(t, &fa, 0, &mut rng);
+        let mut suppressed = 0usize;
+        let runs = 300;
+        for _ in 0..runs {
+            let plan = perturb_pf(t, &list, 2, 2.0, LocalOptions::default(), &mut rng).unwrap();
+            let (_, f, f_star) = plan.entries[0];
+            assert!(f > 0);
+            if (f_star as usize) < f {
+                suppressed += 1;
+            }
+        }
+        assert!(
+            suppressed as f64 / runs as f64 > 0.6,
+            "stage 1 should usually shrink the top signature PF ({suppressed}/{runs})"
+        );
+    }
+
+    #[test]
+    fn zero_mean_ablation_is_symmetric() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = &d.trajectories[0];
+        let list = select_point_list(t, &fa, 0, &mut rng);
+        let opts = LocalOptions { zero_mean: true, ..Default::default() };
+        let (mut up, mut down) = (0usize, 0usize);
+        for _ in 0..400 {
+            let plan = perturb_pf(t, &list, 2, 1.0, opts, &mut rng).unwrap();
+            let (_, f, f_star) = plan.entries[0];
+            match (f_star as usize).cmp(&f) {
+                std::cmp::Ordering::Greater => up += 1,
+                std::cmp::Ordering::Less => down += 1,
+                _ => {}
+            }
+        }
+        // Zero-mean noise must go both ways in comparable proportion.
+        let ratio = up as f64 / (up + down).max(1) as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "zero-mean should be symmetric, got {ratio}");
+    }
+
+    #[test]
+    fn stage2_disabled_halves_plan() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = &d.trajectories[0];
+        let list = select_point_list(t, &fa, 0, &mut rng);
+        let full =
+            perturb_pf(t, &list, 2, 1.0, LocalOptions::default(), &mut rng).unwrap();
+        let s1 = perturb_pf(
+            t,
+            &list,
+            2,
+            1.0,
+            LocalOptions { stage2: false, ..Default::default() },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(s1.entries.len() < full.entries.len());
+        assert_eq!(s1.entries.len(), 2);
+    }
+
+    #[test]
+    fn apply_local_realizes_perturbed_pf() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (out, report) =
+            apply_local(&d, &fa, 0.5, IndexKind::default(), LocalOptions::default(), &mut rng)
+                .unwrap();
+        assert_eq!(out.len(), d.len());
+        for (slot, plan) in report.plans.iter().enumerate() {
+            for &(p, _, f_star) in &plan.entries {
+                let realized = out.trajectories[slot].count_point(p);
+                assert_eq!(
+                    realized, f_star as usize,
+                    "slot {slot} point {p:?}: wanted PF {f_star}, got {realized}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_local_rejects_bad_epsilon() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(apply_local(&d, &fa, 0.0, IndexKind::default(), LocalOptions::default(), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn stage2_preserves_cardinality_better_than_stage1_only() {
+        // The "Importance of Stage-2" claim: with stage 2 the total point
+        // count stays closer to the original than with stage 1 alone.
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let original: usize = d.total_points();
+        let mut rng = StdRng::seed_from_u64(8);
+        let runs = 30;
+        let (mut dev_full, mut dev_s1) = (0i64, 0i64);
+        for _ in 0..runs {
+            let (full, _) =
+                apply_local(&d, &fa, 1.0, IndexKind::default(), LocalOptions::default(), &mut rng)
+                    .unwrap();
+            let (s1, _) = apply_local(
+                &d,
+                &fa,
+                1.0,
+                IndexKind::default(),
+                LocalOptions { stage2: false, ..Default::default() },
+                &mut rng,
+            )
+            .unwrap();
+            dev_full += (full.total_points() as i64 - original as i64).abs();
+            dev_s1 += (s1.total_points() as i64 - original as i64).abs();
+        }
+        assert!(
+            dev_full <= dev_s1,
+            "stage 2 should stabilize cardinality (dev {dev_full} vs stage-1-only {dev_s1})"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Privacy-budget accounting under sequential composition.
+//!
+//! Theorem 1 (sequential composition): running mechanisms with budgets
+//! ε₁, …, εₙ on the same data yields an (Σᵢ εᵢ)-DP pipeline. The
+//! accountant tracks the total budget and refuses to overspend, so a
+//! pipeline can assert its end-to-end guarantee.
+
+use std::fmt;
+
+/// Error returned when a spend would exceed the remaining budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetError {
+    /// The ε that was requested.
+    pub requested: f64,
+    /// The ε still available.
+    pub remaining: f64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: requested ε = {}, remaining ε = {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Tracks ε spending across sequentially composed mechanisms.
+///
+/// # Examples
+///
+/// ```
+/// use trajdp_mech::BudgetAccountant;
+///
+/// let mut budget = BudgetAccountant::new(1.0);
+/// budget.spend("global TF", 0.5).unwrap();
+/// budget.spend("local PF", 0.5).unwrap();
+/// assert!(budget.is_exhausted());
+/// assert!(budget.spend("anything else", 0.1).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetAccountant {
+    total: f64,
+    spent: f64,
+    ledger: Vec<(String, f64)>,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total budget. Panics if the
+    /// budget is not strictly positive and finite.
+    pub fn new(total: f64) -> Self {
+        assert!(total > 0.0 && total.is_finite(), "total budget must be positive and finite");
+        Self { total, spent: 0.0, ledger: Vec::new() }
+    }
+
+    /// Total budget ε.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget consumed so far.
+    #[inline]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Records a mechanism invocation consuming `epsilon`, labelled for
+    /// auditability. Fails without mutating state when the spend would
+    /// exceed the total (beyond a small float tolerance).
+    pub fn spend(&mut self, label: impl Into<String>, epsilon: f64) -> Result<(), BudgetError> {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "spend must be positive and finite");
+        const TOL: f64 = 1e-9;
+        if self.spent + epsilon > self.total + TOL {
+            return Err(BudgetError { requested: epsilon, remaining: self.remaining() });
+        }
+        self.spent += epsilon;
+        self.ledger.push((label.into(), epsilon));
+        Ok(())
+    }
+
+    /// The audit ledger: every spend with its label, in order.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+
+    /// Whether the whole budget has been consumed (within tolerance).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_accumulates_sequentially() {
+        let mut b = BudgetAccountant::new(1.0);
+        b.spend("global TF", 0.5).unwrap();
+        b.spend("local PF", 0.5).unwrap();
+        assert_eq!(b.spent(), 1.0);
+        assert!(b.is_exhausted());
+        assert_eq!(b.ledger().len(), 2);
+        assert_eq!(b.ledger()[0].0, "global TF");
+    }
+
+    #[test]
+    fn overspend_is_rejected_without_mutation() {
+        let mut b = BudgetAccountant::new(1.0);
+        b.spend("first", 0.8).unwrap();
+        let err = b.spend("second", 0.3).unwrap_err();
+        assert_eq!(err.requested, 0.3);
+        assert!((err.remaining - 0.2).abs() < 1e-12);
+        // State unchanged by the failed spend.
+        assert!((b.spent() - 0.8).abs() < 1e-12);
+        assert_eq!(b.ledger().len(), 1);
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed_with_float_tolerance() {
+        let mut b = BudgetAccountant::new(1.0);
+        for _ in 0..10 {
+            b.spend("slice", 0.1).unwrap();
+        }
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "total budget must be positive")]
+    fn zero_total_panics() {
+        BudgetAccountant::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spend must be positive")]
+    fn negative_spend_panics() {
+        BudgetAccountant::new(1.0).spend("bad", -0.1).unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BudgetError { requested: 0.5, remaining: 0.2 };
+        let s = e.to_string();
+        assert!(s.contains("0.5") && s.contains("0.2"));
+    }
+}

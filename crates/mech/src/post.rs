@@ -1,0 +1,90 @@
+//! Post-processing of noisy frequencies.
+//!
+//! Frequencies are semantically non-negative integers, so both algorithms
+//! round their noisy values: Algorithm 1 rounds the noisy TF into
+//! `[0, |D|]` (line 5) and Algorithm 2 rounds the noisy PF to the nearest
+//! non-negative integer (lines 8–9). Post-processing never weakens a DP
+//! guarantee (Dwork & Roth, Prop. 2.1).
+
+/// Rounds a noisy count to the nearest integer and clamps it to
+/// `[lo, hi]` — the `Round(l*, [0, |D|])` operation of Algorithm 1.
+pub fn round_to_range(value: f64, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "empty clamp range");
+    if value.is_nan() {
+        return lo;
+    }
+    let r = value.round();
+    if r <= lo as f64 {
+        lo
+    } else if r >= hi as f64 {
+        hi
+    } else {
+        r as u64
+    }
+}
+
+/// Rounds a noisy count to the nearest non-negative integer — the
+/// `RoundInt` + `max(·, 0)` post-processing of Algorithm 2.
+pub fn round_count(value: f64) -> u64 {
+    if value.is_nan() {
+        return 0;
+    }
+    value.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_to_range_basics() {
+        assert_eq!(round_to_range(4.4, 0, 10), 4);
+        assert_eq!(round_to_range(4.5, 0, 10), 5);
+        assert_eq!(round_to_range(-3.2, 0, 10), 0);
+        assert_eq!(round_to_range(99.0, 0, 10), 10);
+        assert_eq!(round_to_range(f64::NAN, 2, 10), 2);
+        assert_eq!(round_to_range(f64::INFINITY, 0, 10), 10);
+        assert_eq!(round_to_range(f64::NEG_INFINITY, 0, 10), 0);
+    }
+
+    #[test]
+    fn round_count_basics() {
+        assert_eq!(round_count(2.49), 2);
+        assert_eq!(round_count(2.5), 3);
+        assert_eq!(round_count(-7.0), 0);
+        assert_eq!(round_count(-0.4), 0);
+        assert_eq!(round_count(f64::NAN), 0);
+        assert_eq!(round_count(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clamp range")]
+    fn inverted_range_panics() {
+        round_to_range(1.0, 5, 2);
+    }
+
+    proptest! {
+        /// Output always lies in the clamp range, for any input.
+        #[test]
+        fn prop_round_in_range(v in proptest::num::f64::ANY, lo in 0u64..100, span in 0u64..100) {
+            let hi = lo + span;
+            let r = round_to_range(v, lo, hi);
+            prop_assert!(r >= lo && r <= hi);
+        }
+
+        /// Rounding is monotone on ordinary (finite) inputs.
+        #[test]
+        fn prop_round_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_count(x) <= round_count(y));
+            prop_assert!(round_to_range(x, 0, 1_000_000) <= round_to_range(y, 0, 1_000_000));
+        }
+
+        /// round_count agrees with round_to_range on an unbounded-top range.
+        #[test]
+        fn prop_round_count_consistent(v in -1e6f64..1e6) {
+            prop_assert_eq!(round_count(v), round_to_range(v, 0, u64::MAX));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # trajdp-metrics
+//!
+//! Evaluation metrics of the paper's experimental study (§V-A):
+//!
+//! * [`privacy`] — mutual information (MI) between original and
+//!   anonymized datasets: lower = better protection.
+//! * [`utility`] — point-based information loss (INF), diameter-
+//!   distribution divergence (DE), trip-distribution divergence (TE),
+//!   and the F-measure of frequent pattern mining (FFP): lower INF/DE/TE
+//!   and higher FFP = better utility preservation.
+//! * [`recovery`] — route-based precision/recall/F-score, the
+//!   length-based route-mismatch fraction (RMF), and point-based
+//!   accuracy of a recovery attack's output against the ground truth.
+//!
+//! Linking accuracy (LA) lives in `trajdp-attacks`, since it is the
+//! success rate of the re-identification attack itself.
+
+pub mod privacy;
+pub mod recovery;
+pub mod utility;
+
+pub use privacy::mutual_information;
+pub use recovery::{recovery_metrics, RecoveryMetrics};
+pub use utility::{
+    diameter_divergence, frequent_pattern_f1, hotspot_preservation, information_loss,
+    query_avre, trip_divergence,
+};

@@ -1,0 +1,212 @@
+//! Recovery-attack success metrics (§V-B3).
+//!
+//! A recovery attack (map-matching / path inference) produces, for each
+//! anonymized trajectory, a *recovered route* — a sequence of locations
+//! it believes the original object travelled. These metrics compare the
+//! recovered route against the true original route:
+//!
+//! * route-based **precision / recall / F-score** over the set of
+//!   distinct visited locations;
+//! * the length-based **route mismatch fraction** (RMF, after Newson &
+//!   Krumm): `(d₊ + d₋) / d₀` where `d₊` is erroneously added route
+//!   length, `d₋` missed route length, and `d₀` the true route length —
+//!   can exceed 1, and higher means worse recovery (= better privacy);
+//! * point-based **accuracy**: the fraction of true samples whose
+//!   index-aligned recovered sample lies within a tolerance.
+
+use std::collections::HashSet;
+use trajdp_model::{PointKey, Trajectory};
+
+/// Aggregated recovery metrics over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryMetrics {
+    /// Route-based precision.
+    pub precision: f64,
+    /// Route-based recall.
+    pub recall: f64,
+    /// Route-based F-score.
+    pub f_score: f64,
+    /// Length-based route-mismatch fraction (may exceed 1).
+    pub rmf: f64,
+    /// Point-based accuracy within the tolerance.
+    pub accuracy: f64,
+}
+
+fn route_set(t: &Trajectory) -> HashSet<PointKey> {
+    t.samples.iter().map(|s| s.loc.key()).collect()
+}
+
+/// Route length restricted to hops whose *source* location passes the
+/// predicate — used to apportion length to matched/unmatched parts.
+fn length_where(t: &Trajectory, keep: impl Fn(PointKey) -> bool) -> f64 {
+    t.samples
+        .windows(2)
+        .filter(|w| keep(w[0].loc.key()))
+        .map(|w| w[0].loc.dist(&w[1].loc))
+        .sum()
+}
+
+/// Computes recovery metrics for one `(original, recovered)` pair.
+pub fn recovery_metrics_single(
+    original: &Trajectory,
+    recovered: &Trajectory,
+    point_tolerance: f64,
+) -> RecoveryMetrics {
+    let truth = route_set(original);
+    let guess = route_set(recovered);
+    let inter = truth.intersection(&guess).count() as f64;
+    let precision = if guess.is_empty() { 0.0 } else { inter / guess.len() as f64 };
+    let recall = if truth.is_empty() { 0.0 } else { inter / truth.len() as f64 };
+    let f_score = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+
+    // RMF: d₊ = recovered length through locations not on the true
+    // route; d₋ = true length through locations the recovery missed.
+    let d0 = original.path_len().max(1e-9);
+    let d_plus = length_where(recovered, |k| !truth.contains(&k));
+    let d_minus = length_where(original, |k| !guess.contains(&k));
+    let rmf = (d_plus + d_minus) / d0;
+
+    // Point accuracy: index-aligned tolerance matching.
+    let n = original.len();
+    let accuracy = if n == 0 {
+        0.0
+    } else {
+        let hits = original
+            .samples
+            .iter()
+            .zip(&recovered.samples)
+            .filter(|(o, r)| o.loc.dist(&r.loc) <= point_tolerance)
+            .count();
+        hits as f64 / n as f64
+    };
+
+    RecoveryMetrics { precision, recall, f_score, rmf, accuracy }
+}
+
+/// Averages [`recovery_metrics_single`] over index-aligned pairs.
+pub fn recovery_metrics(
+    originals: &[Trajectory],
+    recovered: &[Trajectory],
+    point_tolerance: f64,
+) -> RecoveryMetrics {
+    assert_eq!(originals.len(), recovered.len(), "pair count mismatch");
+    if originals.is_empty() {
+        return RecoveryMetrics::default();
+    }
+    let mut acc = RecoveryMetrics::default();
+    for (o, r) in originals.iter().zip(recovered) {
+        let m = recovery_metrics_single(o, r, point_tolerance);
+        acc.precision += m.precision;
+        acc.recall += m.recall;
+        acc.f_score += m.f_score;
+        acc.rmf += m.rmf;
+        acc.accuracy += m.accuracy;
+    }
+    let n = originals.len() as f64;
+    RecoveryMetrics {
+        precision: acc.precision / n,
+        recall: acc.recall / n,
+        f_score: acc.f_score / n,
+        rmf: acc.rmf / n,
+        accuracy: acc.accuracy / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdp_model::{Point, Sample};
+
+    fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            id,
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let m = recovery_metrics_single(&t, &t, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f_score, 1.0);
+        assert_eq!(m.rmf, 0.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn disjoint_recovery() {
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0)]);
+        let r = traj(0, &[(100.0, 100.0), (110.0, 100.0)]);
+        let m = recovery_metrics_single(&t, &r, 1.0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_score, 0.0);
+        assert_eq!(m.accuracy, 0.0);
+        // d₊ = 10, d₋ = 10, d₀ = 10 → RMF = 2.
+        assert!((m.rmf - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_recovery() {
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let r = traj(0, &[(0.0, 0.0), (10.0, 0.0), (99.0, 99.0), (30.0, 0.0)]);
+        let m = recovery_metrics_single(&t, &r, 0.5);
+        assert!((m.precision - 0.75).abs() < 1e-9);
+        assert!((m.recall - 0.75).abs() < 1e-9);
+        assert!((m.accuracy - 0.75).abs() < 1e-9);
+        assert!(m.rmf > 0.0);
+    }
+
+    #[test]
+    fn rmf_can_exceed_one_for_longer_recoveries() {
+        // The anonymized data made the recovered route much longer —
+        // exactly the situation §V-B3 notes for the frequency models.
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0)]);
+        let r = traj(
+            0,
+            &[(0.0, 0.0), (50.0, 50.0), (100.0, 0.0), (50.0, -50.0), (10.0, 0.0)],
+        );
+        let m = recovery_metrics_single(&t, &r, 0.5);
+        assert!(m.rmf > 1.0, "RMF should exceed 1, got {}", m.rmf);
+    }
+
+    #[test]
+    fn point_tolerance_matters() {
+        let t = traj(0, &[(0.0, 0.0), (10.0, 0.0)]);
+        let r = traj(0, &[(0.0, 3.0), (10.0, 3.0)]);
+        assert_eq!(recovery_metrics_single(&t, &r, 1.0).accuracy, 0.0);
+        assert_eq!(recovery_metrics_single(&t, &r, 5.0).accuracy, 1.0);
+    }
+
+    #[test]
+    fn aggregation_averages() {
+        let t1 = traj(0, &[(0.0, 0.0), (10.0, 0.0)]);
+        let t2 = traj(1, &[(0.0, 50.0), (10.0, 50.0)]);
+        let r1 = t1.clone(); // perfect
+        let r2 = traj(1, &[(100.0, 0.0), (110.0, 0.0)]); // disjoint
+        let m = recovery_metrics(&[t1, t2], &[r1, r2], 1.0);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert!((m.accuracy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = recovery_metrics(&[], &[], 1.0);
+        assert_eq!(m, RecoveryMetrics::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "pair count mismatch")]
+    fn mismatched_pairs_panic() {
+        recovery_metrics(&[traj(0, &[(0.0, 0.0)])], &[], 1.0);
+    }
+}

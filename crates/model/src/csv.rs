@@ -1,0 +1,180 @@
+//! Plain-text (CSV) interchange for trajectory datasets.
+//!
+//! The format is one sample per line — `traj_id,x,y,t` — with a header
+//! line, matching the flat layouts used by public trajectory corpora
+//! (T-Drive itself ships as per-taxi CSV files). Samples of a
+//! trajectory must be contiguous and chronologically ordered; the
+//! domain is recomputed from the data on load.
+
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use crate::geometry::Point;
+use crate::trajectory::{Sample, TrajId, Trajectory};
+use std::fmt::Write as _;
+
+/// Header line written by [`to_csv`] and required by [`from_csv`].
+pub const CSV_HEADER: &str = "traj_id,x,y,t";
+
+/// Serializes a dataset to CSV text.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::with_capacity(16 + ds.total_points() * 32);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for t in &ds.trajectories {
+        for s in &t.samples {
+            // `{}` on f64 prints the shortest representation that
+            // round-trips, so parsing recovers bit-identical points.
+            writeln!(out, "{},{},{},{}", t.id, s.loc.x, s.loc.y, s.t)
+                .expect("writing to a String cannot fail");
+        }
+    }
+    out
+}
+
+/// Parses a dataset from CSV text produced by [`to_csv`] (or any file in
+/// the same layout). Empty trajectories are not representable in CSV
+/// and therefore do not round-trip.
+pub fn from_csv(text: &str) -> Result<Dataset, ModelError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == CSV_HEADER => {}
+        Some(h) => {
+            return Err(ModelError::Invalid { reason: format!("unexpected header: {h:?}") })
+        }
+        None => return Err(ModelError::Truncated { context: "csv header" }),
+    }
+    let mut trajectories: Vec<Trajectory> = Vec::new();
+    let mut current: Option<(TrajId, Vec<Sample>)> = None;
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parse_err = |what: &str| ModelError::Invalid {
+            reason: format!("line {}: bad {what}: {line:?}", lineno + 2),
+        };
+        let id: TrajId = fields
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("traj_id"))?;
+        let x: f64 =
+            fields.next().and_then(|v| v.trim().parse().ok()).ok_or_else(|| parse_err("x"))?;
+        let y: f64 =
+            fields.next().and_then(|v| v.trim().parse().ok()).ok_or_else(|| parse_err("y"))?;
+        let t: i64 =
+            fields.next().and_then(|v| v.trim().parse().ok()).ok_or_else(|| parse_err("t"))?;
+        if fields.next().is_some() {
+            return Err(parse_err("field count"));
+        }
+        let sample = Sample::new(Point::new(x, y), t);
+        match &mut current {
+            Some((cur_id, samples)) if *cur_id == id => {
+                if samples.last().is_some_and(|prev| prev.t > t) {
+                    return Err(ModelError::Invalid {
+                        reason: format!("trajectory {id} has unordered timestamps"),
+                    });
+                }
+                samples.push(sample);
+            }
+            _ => {
+                if let Some((done_id, samples)) = current.take() {
+                    if trajectories.iter().any(|tr| tr.id == id) {
+                        return Err(ModelError::Invalid {
+                            reason: format!("trajectory {id} appears in two separate blocks"),
+                        });
+                    }
+                    trajectories.push(Trajectory::new(done_id, samples));
+                }
+                current = Some((id, vec![sample]));
+            }
+        }
+    }
+    if let Some((id, samples)) = current {
+        trajectories.push(Trajectory::new(id, samples));
+    }
+    Ok(Dataset::from_trajectories(trajectories))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    fn sample_dataset() -> Dataset {
+        Dataset::new(
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![
+                Trajectory::new(
+                    3,
+                    vec![
+                        Sample::new(Point::new(1.5, 2.5), 10),
+                        Sample::new(Point::new(3.25, 4.75), 70),
+                    ],
+                ),
+                Trajectory::new(12, vec![Sample::new(Point::new(-0.5, 99.0), -5)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let ds = sample_dataset();
+        let parsed = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(parsed.trajectories, ds.trajectories);
+    }
+
+    #[test]
+    fn roundtrip_preserves_float_precision() {
+        let ds = Dataset::from_trajectories(vec![Trajectory::new(
+            0,
+            vec![Sample::new(Point::new(1.0 / 3.0, std::f64::consts::PI), 0)],
+        )]);
+        let parsed = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(
+            parsed.trajectories[0].samples[0].loc.key(),
+            ds.trajectories[0].samples[0].loc.key(),
+            "shortest-roundtrip float printing must preserve bits"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_or_wrong_header() {
+        assert!(matches!(from_csv(""), Err(ModelError::Truncated { .. })));
+        assert!(matches!(from_csv("a,b,c\n"), Err(ModelError::Invalid { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "traj_id,x,y,t\n1,2.0,3.0\n",          // missing field
+            "traj_id,x,y,t\n1,2.0,3.0,4,5\n",      // extra field
+            "traj_id,x,y,t\nxx,2.0,3.0,4\n",       // bad id
+            "traj_id,x,y,t\n1,aa,3.0,4\n",         // bad x
+            "traj_id,x,y,t\n1,2.0,3.0,zz\n",       // bad t
+        ] {
+            assert!(matches!(from_csv(bad), Err(ModelError::Invalid { .. })), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unordered_timestamps() {
+        let text = "traj_id,x,y,t\n1,0.0,0.0,100\n1,1.0,1.0,50\n";
+        assert!(matches!(from_csv(text), Err(ModelError::Invalid { .. })));
+    }
+
+    #[test]
+    fn rejects_split_trajectory_blocks() {
+        let text = "traj_id,x,y,t\n1,0.0,0.0,0\n2,1.0,1.0,0\n1,2.0,2.0,5\n";
+        let err = from_csv(text).unwrap_err();
+        assert!(matches!(err, ModelError::Invalid { .. }));
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_whitespace() {
+        let text = "traj_id,x,y,t\n\n 1 , 0.0 , 0.0 , 0 \n\n1,1.0,1.0,5\n";
+        let ds = from_csv(text).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.trajectories[0].len(), 2);
+    }
+}

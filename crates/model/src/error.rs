@@ -1,0 +1,56 @@
+//! Error type for the data-model layer.
+
+use std::fmt;
+
+/// Errors raised by (de)serialization and dataset validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A binary buffer ended before a complete record was decoded.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A magic number or version byte did not match.
+    BadHeader {
+        /// Expected header value.
+        expected: u32,
+        /// Observed header value.
+        found: u32,
+    },
+    /// A record failed a semantic check (e.g. unordered timestamps).
+    Invalid {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Truncated { context } => {
+                write!(f, "buffer truncated while decoding {context}")
+            }
+            ModelError::BadHeader { expected, found } => {
+                write!(f, "bad header: expected {expected:#x}, found {found:#x}")
+            }
+            ModelError::Invalid { reason } => write!(f, "invalid record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::Truncated { context: "sample" };
+        assert!(e.to_string().contains("sample"));
+        let e = ModelError::BadHeader { expected: 0xABCD, found: 1 };
+        assert!(e.to_string().contains("0xabcd"));
+        let e = ModelError::Invalid { reason: "unsorted".into() };
+        assert!(e.to_string().contains("unsorted"));
+    }
+}

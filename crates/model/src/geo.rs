@@ -1,0 +1,125 @@
+//! Geographic helpers for importing real GPS data.
+//!
+//! The library works in planar metres; real corpora (T-Drive included)
+//! ship WGS-84 latitude/longitude. [`haversine_m`] measures great-circle
+//! distances, and [`LocalProjection`] maps lat/lon into the local planar
+//! frame the rest of the workspace expects (an equirectangular projection
+//! around a reference point — accurate to well under 0.1% at city scale).
+
+use crate::geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle distance between two WGS-84 coordinates, in metres.
+pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let d_phi = (lat2 - lat1).to_radians();
+    let d_lambda = (lon2 - lon1).to_radians();
+    let a = (d_phi / 2.0).sin().powi(2)
+        + phi1.cos() * phi2.cos() * (d_lambda / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+}
+
+/// An equirectangular projection centred on a reference coordinate,
+/// mapping lat/lon to planar metres (x = east, y = north).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    /// Reference latitude, degrees.
+    pub ref_lat: f64,
+    /// Reference longitude, degrees.
+    pub ref_lon: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centred at `(ref_lat, ref_lon)`. Panics on
+    /// out-of-range coordinates.
+    pub fn new(ref_lat: f64, ref_lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&ref_lat), "latitude out of range");
+        assert!((-180.0..=180.0).contains(&ref_lon), "longitude out of range");
+        Self { ref_lat, ref_lon }
+    }
+
+    /// Projects a WGS-84 coordinate into the local planar frame.
+    pub fn project(&self, lat: f64, lon: f64) -> Point {
+        let x = (lon - self.ref_lon).to_radians() * self.ref_lat.to_radians().cos()
+            * EARTH_RADIUS_M;
+        let y = (lat - self.ref_lat).to_radians() * EARTH_RADIUS_M;
+        Point::new(x, y)
+    }
+
+    /// Inverse of [`LocalProjection::project`]: planar metres back to
+    /// `(lat, lon)` degrees.
+    pub fn unproject(&self, p: &Point) -> (f64, f64) {
+        let lat = self.ref_lat + (p.y / EARTH_RADIUS_M).to_degrees();
+        let lon = self.ref_lon
+            + (p.x / (EARTH_RADIUS_M * self.ref_lat.to_radians().cos())).to_degrees();
+        (lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Beijing city centre — the T-Drive region.
+    const BJ_LAT: f64 = 39.9042;
+    const BJ_LON: f64 = 116.4074;
+
+    #[test]
+    fn haversine_known_distances() {
+        // One degree of latitude ≈ 111.2 km everywhere.
+        let d = haversine_m(0.0, 0.0, 1.0, 0.0);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+        // Same point → 0.
+        assert_eq!(haversine_m(BJ_LAT, BJ_LON, BJ_LAT, BJ_LON), 0.0);
+        // Symmetry.
+        let a = haversine_m(BJ_LAT, BJ_LON, 40.0, 117.0);
+        let b = haversine_m(40.0, 117.0, BJ_LAT, BJ_LON);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let d = haversine_m(0.0, 0.0, 0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0, "got {d}, expected {half}");
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = LocalProjection::new(BJ_LAT, BJ_LON);
+        for (lat, lon) in [(39.95, 116.45), (39.80, 116.30), (40.05, 116.60)] {
+            let p = proj.project(lat, lon);
+            let (lat2, lon2) = proj.unproject(&p);
+            assert!((lat - lat2).abs() < 1e-9, "lat roundtrip");
+            assert!((lon - lon2).abs() < 1e-9, "lon roundtrip");
+        }
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine_at_city_scale() {
+        let proj = LocalProjection::new(BJ_LAT, BJ_LON);
+        // ~14 km across Beijing.
+        let a = proj.project(39.95, 116.35);
+        let b = proj.project(39.85, 116.47);
+        let planar = a.dist(&b);
+        let sphere = haversine_m(39.95, 116.35, 39.85, 116.47);
+        let rel_err = (planar - sphere).abs() / sphere;
+        assert!(rel_err < 1e-3, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn reference_maps_to_origin() {
+        let proj = LocalProjection::new(BJ_LAT, BJ_LON);
+        let p = proj.project(BJ_LAT, BJ_LON);
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude_panics() {
+        LocalProjection::new(91.0, 0.0);
+    }
+}

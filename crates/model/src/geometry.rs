@@ -1,0 +1,376 @@
+//! Planar geometry primitives.
+//!
+//! Distances follow the paper's definitions: the utility loss of inserting
+//! a point `q` into a segment `s` is the point–segment distance
+//! `dist(q, s) = min_{p̄ ∈ s} dist(q, p̄)` (Equation 3), and the pruning
+//! bound of the hierarchical index uses the point–rectangle distance
+//! `MINdist(q, g)` (Definition 12).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a planar coordinate system, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from planar coordinates in metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when comparing).
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Hashable identity of this point.
+    ///
+    /// Frequency counting (PF/TF) requires exact location identity. The
+    /// synthetic generator snaps samples to road-network nodes, so repeated
+    /// visits yield bit-identical coordinates and therefore equal keys.
+    #[inline]
+    pub fn key(&self) -> PointKey {
+        PointKey {
+            x: self.x.to_bits(),
+            y: self.y.to_bits(),
+        }
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+/// Bit-exact hashable identity of a [`Point`].
+///
+/// Two keys are equal iff the underlying coordinates are bit-identical.
+/// This is the identity used throughout the workspace for point-frequency
+/// (PF) and trajectory-frequency (TF) counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PointKey {
+    x: u64,
+    y: u64,
+}
+
+impl PointKey {
+    /// Reconstructs the point this key was derived from.
+    #[inline]
+    pub fn to_point(self) -> Point {
+        Point::new(f64::from_bits(self.x), f64::from_bits(self.y))
+    }
+}
+
+impl From<Point> for PointKey {
+    fn from(p: Point) -> Self {
+        p.key()
+    }
+}
+
+/// A directed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start endpoint.
+    pub a: Point,
+    /// End endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its two endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length in metres.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(&self.b)
+    }
+
+    /// Whether the segment is degenerate (both endpoints coincide).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Point–segment distance: the minimum distance from `q` to any point
+    /// on this segment (Equation 3 of the paper).
+    pub fn dist_to_point(&self, q: &Point) -> f64 {
+        self.closest_point(q).dist(q)
+    }
+
+    /// The point on this segment closest to `q`.
+    pub fn closest_point(&self, q: &Point) -> Point {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len_sq = dx * dx + dy * dy;
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((q.x - self.a.x) * dx + (q.y - self.a.y) * dy) / len_sq;
+        let t = t.clamp(0.0, 1.0);
+        self.a.lerp(&self.b, t)
+    }
+
+    /// The interpolation parameter `t ∈ [0, 1]` of the closest point,
+    /// useful for assigning a timestamp to an inserted point.
+    pub fn closest_t(&self, q: &Point) -> f64 {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len_sq = dx * dx + dy * dy;
+        if len_sq == 0.0 {
+            return 0.0;
+        }
+        (((q.x - self.a.x) * dx + (q.y - self.a.y) * dy) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Axis-aligned bounding box of this segment.
+    pub fn bbox(&self) -> Rect {
+        Rect::new(
+            self.a.x.min(self.b.x),
+            self.a.y.min(self.b.y),
+            self.a.x.max(self.b.x),
+            self.a.y.max(self.b.y),
+        )
+    }
+}
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum easting.
+    pub min_x: f64,
+    /// Minimum northing.
+    pub min_y: f64,
+    /// Maximum easting.
+    pub max_x: f64,
+    /// Maximum northing.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its extremes. Panics in debug builds if the
+    /// extremes are inverted.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted Rect extremes");
+        Self { min_x, min_y, max_x, max_y }
+    }
+
+    /// The empty rectangle, an identity for [`Rect::union`].
+    pub fn empty() -> Self {
+        Self {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Whether no point has been accumulated into this rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Whether `p` lies inside (or on the border of) this rectangle.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Whether `other` is entirely inside this rectangle.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle to cover `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// `MINdist(q, g)` (Definition 12): zero when `q` is inside the
+    /// rectangle, otherwise the distance to the closest edge.
+    pub fn min_dist(&self, q: &Point) -> f64 {
+        let dx = if q.x < self.min_x {
+            self.min_x - q.x
+        } else if q.x > self.max_x {
+            q.x - self.max_x
+        } else {
+            0.0
+        };
+        let dy = if q.y < self.min_y {
+            self.min_y - q.y
+        } else if q.y > self.max_y {
+            q.y - self.max_y
+        } else {
+            0.0
+        };
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Centre of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn point_distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-7.25, 9.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn point_key_roundtrip_and_identity() {
+        let p = Point::new(1234.5678, -9.0001);
+        let k = p.key();
+        assert_eq!(k.to_point(), p);
+        assert_eq!(k, Point::new(1234.5678, -9.0001).key());
+        assert_ne!(k, Point::new(1234.5679, -9.0001).key());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn segment_distance_perpendicular_projection() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        // Projects onto the interior.
+        assert_eq!(s.dist_to_point(&Point::new(5.0, 3.0)), 3.0);
+        // Beyond the end: distance to endpoint b.
+        assert_eq!(s.dist_to_point(&Point::new(13.0, 4.0)), 5.0);
+        // Before the start: distance to endpoint a.
+        assert_eq!(s.dist_to_point(&Point::new(-3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn segment_distance_degenerate() {
+        let p = Point::new(2.0, 2.0);
+        let s = Segment::new(p, p);
+        assert!(s.is_empty());
+        assert_eq!(s.dist_to_point(&Point::new(2.0, 5.0)), 3.0);
+        assert_eq!(s.closest_t(&Point::new(9.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn segment_point_on_segment_has_zero_distance() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert!(s.dist_to_point(&Point::new(2.0, 2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn closest_t_matches_closest_point() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let q = Point::new(7.0, 5.0);
+        let t = s.closest_t(&q);
+        assert_eq!(s.a.lerp(&s.b, t), s.closest_point(&q));
+        assert!((t - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_contains_and_min_dist() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(&Point::new(5.0, 5.0)));
+        assert!(r.contains(&Point::new(0.0, 10.0))); // border counts
+        assert!(!r.contains(&Point::new(-0.1, 5.0)));
+        assert_eq!(r.min_dist(&Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(r.min_dist(&Point::new(13.0, 14.0)), 5.0); // corner
+        assert_eq!(r.min_dist(&Point::new(5.0, -2.0)), 2.0); // edge
+    }
+
+    #[test]
+    fn rect_union_and_expand() {
+        let mut r = Rect::empty();
+        assert!(r.is_empty());
+        r.expand(&Point::new(1.0, 2.0));
+        r.expand(&Point::new(-1.0, 5.0));
+        assert_eq!(r, Rect::new(-1.0, 2.0, 1.0, 5.0));
+        let u = r.union(&Rect::new(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(u, Rect::new(-1.0, 0.0, 3.0, 5.0));
+        assert!(u.contains_rect(&r));
+        assert!(!r.contains_rect(&u));
+    }
+
+    #[test]
+    fn rect_center_and_dims() {
+        let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+        assert_eq!(r.center(), Point::new(5.0, 2.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 4.0);
+    }
+
+    #[test]
+    fn segment_bbox_covers_endpoints() {
+        let s = Segment::new(Point::new(5.0, -1.0), Point::new(2.0, 7.0));
+        let b = s.bbox();
+        assert!(b.contains(&s.a));
+        assert!(b.contains(&s.b));
+        assert_eq!(b, Rect::new(2.0, -1.0, 5.0, 7.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Uniform grid coordinates over a rectangular domain.
+//!
+//! A [`GridLevel`] partitions the dataset domain into `granularity ×
+//! granularity` equal cells. The hierarchical index of the paper stacks
+//! several levels (1×1 up to 512×512 by default); this module provides the
+//! per-level coordinate math those levels share.
+
+use crate::geometry::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cell within a single grid level: `(level, col, row)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Index of the grid level in its hierarchy (0 = coarsest).
+    pub level: u8,
+    /// Column, `0 ≤ col < granularity`.
+    pub col: u32,
+    /// Row, `0 ≤ row < granularity`.
+    pub row: u32,
+}
+
+impl CellId {
+    /// Creates a cell id.
+    pub const fn new(level: u8, col: u32, row: u32) -> Self {
+        Self { level, col, row }
+    }
+}
+
+/// A uniform grid of `granularity × granularity` cells over a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridLevel {
+    /// The covered spatial domain.
+    pub domain: Rect,
+    /// Number of cells along each axis.
+    pub granularity: u32,
+    /// Which level of a hierarchy this grid is (0 = coarsest); stored so
+    /// [`CellId`]s produced by this grid are globally unambiguous.
+    pub level: u8,
+}
+
+impl GridLevel {
+    /// Creates a grid level. `granularity` must be positive and the domain
+    /// non-degenerate.
+    pub fn new(domain: Rect, granularity: u32, level: u8) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        assert!(domain.width() > 0.0 && domain.height() > 0.0, "degenerate grid domain");
+        Self { domain, granularity, level }
+    }
+
+    /// Cell width in metres.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.domain.width() / f64::from(self.granularity)
+    }
+
+    /// Cell height in metres.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.domain.height() / f64::from(self.granularity)
+    }
+
+    /// The cell containing `p`. Points outside the domain clamp to the
+    /// nearest border cell, so every point maps to a valid cell.
+    pub fn locate(&self, p: &Point) -> CellId {
+        let g = f64::from(self.granularity);
+        let fx = ((p.x - self.domain.min_x) / self.domain.width() * g).floor();
+        let fy = ((p.y - self.domain.min_y) / self.domain.height() * g).floor();
+        let col = (fx.max(0.0) as u32).min(self.granularity - 1);
+        let row = (fy.max(0.0) as u32).min(self.granularity - 1);
+        CellId::new(self.level, col, row)
+    }
+
+    /// Geographic coverage of a cell.
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        debug_assert_eq!(cell.level, self.level);
+        let w = self.cell_width();
+        let h = self.cell_height();
+        let min_x = self.domain.min_x + w * f64::from(cell.col);
+        let min_y = self.domain.min_y + h * f64::from(cell.row);
+        Rect::new(min_x, min_y, min_x + w, min_y + h)
+    }
+
+    /// Whether both `a` and `b` land in the same cell of this level.
+    pub fn same_cell(&self, a: &Point, b: &Point) -> bool {
+        self.locate(a) == self.locate(b)
+    }
+
+    /// Total number of cells (`granularity²`).
+    pub fn num_cells(&self) -> u64 {
+        u64::from(self.granularity) * u64::from(self.granularity)
+    }
+
+    /// Iterate over all cell ids of this level, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let g = self.granularity;
+        let level = self.level;
+        (0..g).flat_map(move |row| (0..g).map(move |col| CellId::new(level, col, row)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(g: u32) -> GridLevel {
+        GridLevel::new(Rect::new(0.0, 0.0, 100.0, 100.0), g, 3)
+    }
+
+    #[test]
+    fn locate_basic() {
+        let g = grid(4); // 25 m cells
+        assert_eq!(g.locate(&Point::new(0.0, 0.0)), CellId::new(3, 0, 0));
+        assert_eq!(g.locate(&Point::new(26.0, 0.0)), CellId::new(3, 1, 0));
+        assert_eq!(g.locate(&Point::new(99.9, 99.9)), CellId::new(3, 3, 3));
+    }
+
+    #[test]
+    fn locate_clamps_outside_and_border() {
+        let g = grid(4);
+        // Exactly on the max border clamps into the last cell.
+        assert_eq!(g.locate(&Point::new(100.0, 100.0)), CellId::new(3, 3, 3));
+        assert_eq!(g.locate(&Point::new(-5.0, 50.0)), CellId::new(3, 0, 2));
+        assert_eq!(g.locate(&Point::new(500.0, -1.0)), CellId::new(3, 3, 0));
+    }
+
+    #[test]
+    fn cell_rect_contains_its_points() {
+        let g = grid(8);
+        for p in [Point::new(13.0, 87.0), Point::new(0.1, 0.1), Point::new(62.5, 37.4)] {
+            let c = g.locate(&p);
+            assert!(g.cell_rect(c).contains(&p), "cell rect must contain the located point {p:?}");
+        }
+    }
+
+    #[test]
+    fn cell_rects_tile_domain() {
+        let g = grid(4);
+        let total_area: f64 =
+            g.cells().map(|c| g.cell_rect(c)).map(|r| r.width() * r.height()).sum();
+        assert!((total_area - 100.0 * 100.0).abs() < 1e-6);
+        assert_eq!(g.cells().count() as u64, g.num_cells());
+    }
+
+    #[test]
+    fn same_cell() {
+        let g = grid(2);
+        assert!(g.same_cell(&Point::new(1.0, 1.0), &Point::new(49.0, 49.0)));
+        assert!(!g.same_cell(&Point::new(1.0, 1.0), &Point::new(51.0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        GridLevel::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0, 0);
+    }
+}

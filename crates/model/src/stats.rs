@@ -1,0 +1,184 @@
+//! Summary statistics over datasets.
+//!
+//! Used to verify that the synthetic generator reproduces the T-Drive
+//! profile the paper reports (average trajectory length ≈ 1,813 points,
+//! inter-point spacing ≈ 600 m, sampling period ≈ 3.1 min) and by the
+//! experiment harness to report dataset shapes.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate shape statistics of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub num_trajectories: usize,
+    /// Total number of samples.
+    pub total_points: usize,
+    /// Mean samples per trajectory.
+    pub avg_traj_len: f64,
+    /// Mean Euclidean distance between consecutive samples, metres.
+    pub avg_point_spacing: f64,
+    /// Mean time between consecutive samples, seconds.
+    pub avg_sampling_period: f64,
+    /// Number of distinct sample locations.
+    pub distinct_locations: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics in a single pass over the dataset.
+    pub fn compute(ds: &Dataset) -> Self {
+        let num_trajectories = ds.len();
+        let total_points = ds.total_points();
+        let mut spacing_sum = 0.0;
+        let mut spacing_n = 0usize;
+        let mut period_sum = 0.0;
+        for t in &ds.trajectories {
+            for w in t.samples.windows(2) {
+                spacing_sum += w[0].loc.dist(&w[1].loc);
+                period_sum += (w[1].t - w[0].t) as f64;
+                spacing_n += 1;
+            }
+        }
+        let distinct_locations = ds.distinct_points().len();
+        Self {
+            num_trajectories,
+            total_points,
+            avg_traj_len: if num_trajectories == 0 {
+                0.0
+            } else {
+                total_points as f64 / num_trajectories as f64
+            },
+            avg_point_spacing: if spacing_n == 0 { 0.0 } else { spacing_sum / spacing_n as f64 },
+            avg_sampling_period: if spacing_n == 0 { 0.0 } else { period_sum / spacing_n as f64 },
+            distinct_locations,
+        }
+    }
+}
+
+/// Builds a normalized histogram of `values` over `bins` equal-width bins
+/// spanning `[lo, hi]`; out-of-range values clamp to the border bins.
+/// Returns an all-zero histogram when `values` is empty.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "bins must be positive");
+    assert!(hi > lo, "histogram range must be non-degenerate");
+    let mut h = vec![0.0; bins];
+    if values.is_empty() {
+        return h;
+    }
+    let w = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = (((v - lo) / w).floor().max(0.0) as usize).min(bins - 1);
+        h[idx] += 1.0;
+    }
+    let n = values.len() as f64;
+    for x in &mut h {
+        *x /= n;
+    }
+    h
+}
+
+/// Jensen–Shannon divergence between two distributions of equal length,
+/// in nats; the divergence measure behind the paper's DE and TE metrics.
+/// Both inputs are renormalized defensively; all-zero inputs are treated
+/// as uniform.
+pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    assert!(!p.is_empty(), "distributions must be non-empty");
+    let norm = |v: &[f64]| -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        if s <= 0.0 {
+            vec![1.0 / v.len() as f64; v.len()]
+        } else {
+            v.iter().map(|x| x / s).collect()
+        }
+    };
+    let p = norm(p);
+    let q = norm(q);
+    let kl = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .filter(|(x, _)| **x > 0.0)
+            .map(|(x, y)| x * (x / y).ln())
+            .sum::<f64>()
+    };
+    let m: Vec<f64> = p.iter().zip(&q).map(|(a, b)| (a + b) / 2.0).collect();
+    0.5 * kl(&p, &m) + 0.5 * kl(&q, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::trajectory::{Sample, Trajectory};
+
+    fn ds() -> Dataset {
+        Dataset::from_trajectories(vec![
+            Trajectory::new(
+                0,
+                vec![
+                    Sample::new(Point::new(0.0, 0.0), 0),
+                    Sample::new(Point::new(3.0, 4.0), 60),
+                    Sample::new(Point::new(3.0, 8.0), 120),
+                ],
+            ),
+            Trajectory::new(1, vec![Sample::new(Point::new(0.0, 0.0), 0)]),
+        ])
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = DatasetStats::compute(&ds());
+        assert_eq!(s.num_trajectories, 2);
+        assert_eq!(s.total_points, 4);
+        assert_eq!(s.avg_traj_len, 2.0);
+        assert_eq!(s.avg_point_spacing, (5.0 + 4.0) / 2.0);
+        assert_eq!(s.avg_sampling_period, 60.0);
+        assert_eq!(s.distinct_locations, 3);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = DatasetStats::compute(&Dataset::from_trajectories(vec![]));
+        assert_eq!(s.avg_traj_len, 0.0);
+        assert_eq!(s.avg_point_spacing, 0.0);
+    }
+
+    #[test]
+    fn histogram_normalizes_and_clamps() {
+        let h = histogram(&[0.5, 1.5, 1.6, 99.0, -3.0], 0.0, 2.0, 2);
+        assert_eq!(h.len(), 2);
+        // 0.5 and -3.0 → bin 0; 1.5, 1.6, 99.0 → bin 1.
+        assert!((h[0] - 0.4).abs() < 1e-12);
+        assert!((h[1] - 0.6).abs() < 1e-12);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = histogram(&[], 0.0, 1.0, 4);
+        assert!(h.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn js_divergence_properties() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        // Identity of indiscernibles.
+        assert!(jensen_shannon(&p, &p) < 1e-12);
+        // Symmetry.
+        assert!((jensen_shannon(&p, &q) - jensen_shannon(&q, &p)).abs() < 1e-12);
+        // Bounded by ln(2).
+        let disjoint_a = [1.0, 0.0];
+        let disjoint_b = [0.0, 1.0];
+        let d = jensen_shannon(&disjoint_a, &disjoint_b);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_handles_zero_vectors_as_uniform() {
+        let z = [0.0, 0.0];
+        let u = [0.5, 0.5];
+        assert!(jensen_shannon(&z, &u) < 1e-12);
+    }
+}

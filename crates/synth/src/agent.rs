@@ -1,0 +1,174 @@
+//! Taxi-agent behavioural model.
+//!
+//! Each agent owns a small set of *personal anchors* (its home/depot and
+//! favourite pickup corners — visited often by this agent, rarely by
+//! others) and shares a pool of *hotspots* (airport, stations, malls —
+//! visited by everyone). Trips alternate between anchors, hotspots and
+//! random destinations according to configurable mixture weights. This
+//! reproduces the high-PF/low-TF signature structure (Figure 1 of the
+//! paper) that the frequency-based mechanisms act on.
+
+use crate::road::{NodeId, RoadNetwork};
+use rand::Rng;
+
+/// Mixture weights for destination choice. Normalized internally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripMix {
+    /// Weight of choosing one of the agent's personal anchors.
+    pub anchor: f64,
+    /// Weight of choosing a shared hotspot.
+    pub hotspot: f64,
+    /// Weight of choosing a uniformly random node.
+    pub random: f64,
+}
+
+impl Default for TripMix {
+    fn default() -> Self {
+        // Anchors dominate so that signature points emerge, as in real
+        // taxi data where drivers return to home/base repeatedly.
+        Self { anchor: 0.45, hotspot: 0.25, random: 0.30 }
+    }
+}
+
+/// A simulated taxi with its behavioural state.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    /// The agent's personal anchor nodes (first one is "home").
+    pub anchors: Vec<NodeId>,
+    /// Shared hotspot pool (borrowed per trip; stored for convenience).
+    pub hotspots: Vec<NodeId>,
+    /// Destination mixture.
+    pub mix: TripMix,
+    /// Node the agent currently occupies.
+    pub position: NodeId,
+}
+
+impl Agent {
+    /// Creates an agent with `num_anchors` personal anchors sampled
+    /// uniformly from the network (so anchors are rarely shared between
+    /// agents) and the given shared hotspot pool. The agent starts at
+    /// its home anchor.
+    pub fn spawn<R: Rng + ?Sized>(
+        net: &RoadNetwork,
+        num_anchors: usize,
+        hotspots: &[NodeId],
+        mix: TripMix,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_anchors >= 1, "an agent needs at least a home anchor");
+        let mut anchors = Vec::with_capacity(num_anchors);
+        while anchors.len() < num_anchors {
+            let n = net.random_node(rng);
+            if !anchors.contains(&n) && !hotspots.contains(&n) {
+                anchors.push(n);
+            }
+        }
+        let position = anchors[0];
+        Self { anchors, hotspots: hotspots.to_vec(), mix, position }
+    }
+
+    /// Chooses the next trip destination (never the current position).
+    pub fn next_destination<R: Rng + ?Sized>(&self, net: &RoadNetwork, rng: &mut R) -> NodeId {
+        let total = self.mix.anchor + self.mix.hotspot + self.mix.random;
+        assert!(total > 0.0, "trip mix must have positive mass");
+        loop {
+            let roll = rng.gen::<f64>() * total;
+            let dest = if roll < self.mix.anchor && !self.anchors.is_empty() {
+                self.anchors[rng.gen_range(0..self.anchors.len())]
+            } else if roll < self.mix.anchor + self.mix.hotspot && !self.hotspots.is_empty() {
+                self.hotspots[rng.gen_range(0..self.hotspots.len())]
+            } else {
+                net.random_node(rng)
+            };
+            if dest != self.position {
+                return dest;
+            }
+        }
+    }
+
+    /// Drives to `dest` along the network shortest path, returning the
+    /// node sequence travelled (excluding the starting node, including
+    /// `dest`). Updates the agent's position. Returns an empty vector if
+    /// `dest` is unreachable.
+    pub fn drive_to(&mut self, net: &RoadNetwork, dest: NodeId) -> Vec<NodeId> {
+        let Some(path) = net.shortest_path(self.position, dest) else {
+            return Vec::new();
+        };
+        self.position = dest;
+        path.into_iter().skip(1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadNetworkConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        let cfg = RoadNetworkConfig { nx: 8, ny: 8, ..Default::default() };
+        RoadNetwork::grid(&cfg, &mut StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn spawn_avoids_hotspots_and_duplicates() {
+        let n = net();
+        let hotspots = vec![0, 1, 2, 3];
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Agent::spawn(&n, 4, &hotspots, TripMix::default(), &mut rng);
+        assert_eq!(a.anchors.len(), 4);
+        for w in &a.anchors {
+            assert!(!hotspots.contains(w), "anchor must not be a hotspot");
+        }
+        let mut sorted = a.anchors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "anchors must be distinct");
+        assert_eq!(a.position, a.anchors[0]);
+    }
+
+    #[test]
+    fn destination_never_current_position() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Agent::spawn(&n, 2, &[10, 20], TripMix::default(), &mut rng);
+        for _ in 0..100 {
+            assert_ne!(a.next_destination(&n, &mut rng), a.position);
+        }
+    }
+
+    #[test]
+    fn anchor_only_mix_always_picks_anchors() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mix = TripMix { anchor: 1.0, hotspot: 0.0, random: 0.0 };
+        let a = Agent::spawn(&n, 3, &[], mix, &mut rng);
+        for _ in 0..50 {
+            let d = a.next_destination(&n, &mut rng);
+            assert!(a.anchors.contains(&d));
+        }
+    }
+
+    #[test]
+    fn drive_moves_agent_along_adjacent_nodes() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut a = Agent::spawn(&n, 1, &[], TripMix::default(), &mut rng);
+        let start = a.position;
+        let dest = (start + 17) % n.num_nodes();
+        let path = a.drive_to(&n, dest);
+        assert_eq!(a.position, dest);
+        assert_eq!(*path.last().unwrap(), dest);
+        // First hop adjacent to start.
+        assert!(n.neighbors(start).contains(&path[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a home anchor")]
+    fn zero_anchors_panics() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(9);
+        Agent::spawn(&n, 0, &[], TripMix::default(), &mut rng);
+    }
+}

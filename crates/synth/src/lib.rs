@@ -1,0 +1,26 @@
+//! # trajdp-synth
+//!
+//! Synthetic substitute for the T-Drive taxi dataset used in the paper's
+//! evaluation (§V-A). The real dataset (10,357 Beijing taxis, 15M GPS
+//! points) is not redistributable, so this crate generates datasets with
+//! the same *structural* properties the paper's mechanisms and attacks
+//! depend on:
+//!
+//! * road-network-constrained movement (samples snap to network nodes,
+//!   so map-matching recovery is meaningful and repeated visits yield
+//!   exact location recurrences);
+//! * per-agent **personal anchors** — locations an agent visits often
+//!   while few others do (high PF, low TF → signature points);
+//! * shared **hotspots** — popular locations visited by many agents
+//!   (high TF → non-identifying);
+//! * the T-Drive sampling profile: ~600 m between consecutive samples,
+//!   ~3.1 min sampling period, configurable points per trajectory.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod agent;
+pub mod generator;
+pub mod road;
+
+pub use generator::{generate, GeneratorConfig};
+pub use road::{NodeId, RoadNetwork, RoadNetworkConfig};

@@ -1,0 +1,337 @@
+//! A synthetic road network: a jittered grid of intersections with
+//! Manhattan-style connectivity, some edges removed for irregularity.
+//!
+//! The network is the substrate for both trajectory generation and the
+//! HMM map-matching recovery attack — the attack re-infers paths on this
+//! graph, exactly as the paper's recovery experiment re-infers paths on
+//! the Beijing road network.
+
+use rand::Rng;
+use trajdp_model::{Point, Rect};
+
+/// Index of a road-network node (intersection).
+pub type NodeId = usize;
+
+/// Configuration of the synthetic road network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadNetworkConfig {
+    /// Number of intersections along the x axis.
+    pub nx: usize,
+    /// Number of intersections along the y axis.
+    pub ny: usize,
+    /// Mean spacing between adjacent intersections, metres (T-Drive's
+    /// mean inter-point spacing is ≈ 600 m).
+    pub spacing: f64,
+    /// Random positional jitter applied to each intersection, as a
+    /// fraction of `spacing` (0 = perfect grid).
+    pub jitter: f64,
+    /// Probability that a grid edge is removed, creating irregular
+    /// block shapes. The generator keeps the network connected by
+    /// never removing edges whose removal would disconnect a node
+    /// entirely.
+    pub drop_edge_prob: f64,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        Self { nx: 48, ny: 48, spacing: 600.0, jitter: 0.25, drop_edge_prob: 0.1 }
+    }
+}
+
+/// An undirected road graph embedded in the plane.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    adjacency: Vec<Vec<NodeId>>,
+    domain: Rect,
+}
+
+impl RoadNetwork {
+    /// Builds a jittered-grid network. Deterministic given the RNG state.
+    pub fn grid<R: Rng + ?Sized>(cfg: &RoadNetworkConfig, rng: &mut R) -> Self {
+        assert!(cfg.nx >= 2 && cfg.ny >= 2, "network needs at least a 2×2 grid");
+        assert!(cfg.spacing > 0.0, "spacing must be positive");
+        let n = cfg.nx * cfg.ny;
+        let mut nodes = Vec::with_capacity(n);
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                let jx = rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing;
+                let jy = rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing;
+                nodes.push(Point::new(
+                    ix as f64 * cfg.spacing + jx,
+                    iy as f64 * cfg.spacing + jy,
+                ));
+            }
+        }
+        let idx = |ix: usize, iy: usize| iy * cfg.nx + ix;
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::with_capacity(4); n];
+        let add_edge = |adj: &mut Vec<Vec<NodeId>>, a: usize, b: usize| {
+            adj[a].push(b);
+            adj[b].push(a);
+        };
+        let mut dropped: Vec<(usize, usize)> = Vec::new();
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                let a = idx(ix, iy);
+                if ix + 1 < cfg.nx {
+                    let b = idx(ix + 1, iy);
+                    // Keep boundary rows/columns intact so the frame
+                    // stays connected even after random edge drops.
+                    let on_frame = iy == 0 || iy == cfg.ny - 1;
+                    if on_frame || rng.gen::<f64>() >= cfg.drop_edge_prob {
+                        add_edge(&mut adjacency, a, b);
+                    } else {
+                        dropped.push((a, b));
+                    }
+                }
+                if iy + 1 < cfg.ny {
+                    let b = idx(ix, iy + 1);
+                    let on_frame = ix == 0 || ix == cfg.nx - 1;
+                    if on_frame || rng.gen::<f64>() >= cfg.drop_edge_prob {
+                        add_edge(&mut adjacency, a, b);
+                    } else {
+                        dropped.push((a, b));
+                    }
+                }
+            }
+        }
+        // Random drops can strand interior nodes (or small islands).
+        // Restore dropped edges that bridge the visited frontier until
+        // the whole graph is connected — the full grid is connected, so
+        // this always terminates.
+        loop {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &adjacency[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            if seen.iter().all(|&s| s) {
+                break;
+            }
+            let bridge = dropped
+                .iter()
+                .position(|&(a, b)| seen[a] != seen[b])
+                .expect("grid is connected, a bridging dropped edge must exist");
+            let (a, b) = dropped.swap_remove(bridge);
+            add_edge(&mut adjacency, a, b);
+        }
+        let mut domain = Rect::empty();
+        for p in &nodes {
+            domain.expand(p);
+        }
+        // Pad slightly so border nodes are strictly inside.
+        let pad = cfg.spacing;
+        let domain = Rect::new(
+            domain.min_x - pad,
+            domain.min_y - pad,
+            domain.max_x + pad,
+            domain.max_y + pad,
+        );
+        Self { nodes, adjacency, domain }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Location of node `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Point {
+        self.nodes[id]
+    }
+
+    /// All node locations.
+    pub fn nodes(&self) -> &[Point] {
+        &self.nodes
+    }
+
+    /// Neighbours of node `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id]
+    }
+
+    /// Spatial domain covering the network with a margin.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The node closest to `p` (linear scan; the network is small).
+    pub fn nearest_node(&self, p: &Point) -> NodeId {
+        self.nodes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.dist_sq(p).total_cmp(&b.dist_sq(p)))
+            .map(|(i, _)| i)
+            .expect("network has nodes")
+    }
+
+    /// All nodes within `radius` metres of `p`, with distances.
+    pub fn nodes_within(&self, p: &Point, radius: f64) -> Vec<(NodeId, f64)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let d = n.dist(p);
+                (d <= radius).then_some((i, d))
+            })
+            .collect()
+    }
+
+    /// Uniformly random node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        rng.gen_range(0..self.nodes.len())
+    }
+
+    /// Dijkstra shortest path from `from` to `to` by Euclidean edge
+    /// length. Returns the node sequence including both endpoints, or
+    /// `None` if unreachable.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push(Reverse((0, from)));
+        while let Some(Reverse((d_bits, u))) = heap.pop() {
+            let d = f64::from_bits(d_bits);
+            if d > dist[u] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for &v in &self.adjacency[u] {
+                let nd = d + self.nodes[u].dist(&self.nodes[v]);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    // Non-negative distances keep bit order = numeric order.
+                    heap.push(Reverse((nd.to_bits(), v)));
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Network length of a node path, metres.
+    pub fn path_length(&self, path: &[NodeId]) -> f64 {
+        path.windows(2).map(|w| self.nodes[w[0]].dist(&self.nodes[w[1]])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> RoadNetwork {
+        let cfg = RoadNetworkConfig { nx: 10, ny: 10, ..Default::default() };
+        RoadNetwork::grid(&cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_domain() {
+        let n = net(1);
+        assert_eq!(n.num_nodes(), 100);
+        for p in n.nodes() {
+            assert!(n.domain().contains(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = net(5);
+        let b = net(5);
+        assert_eq!(a.nodes(), b.nodes());
+        for i in 0..a.num_nodes() {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn connected_from_corner() {
+        // BFS from node 0 must reach every node (frame edges are kept).
+        let n = net(3);
+        let mut seen = vec![false; n.num_nodes()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in n.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "network must be connected");
+    }
+
+    #[test]
+    fn shortest_path_is_optimal_on_unjittered_grid() {
+        let cfg = RoadNetworkConfig {
+            nx: 5,
+            ny: 5,
+            spacing: 100.0,
+            jitter: 0.0,
+            drop_edge_prob: 0.0,
+        };
+        let n = RoadNetwork::grid(&cfg, &mut StdRng::seed_from_u64(0));
+        // From (0,0) to (4,4): Manhattan distance 8 hops of 100 m.
+        let path = n.shortest_path(0, 24).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&24));
+        assert!((n.path_length(&path) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_consistency() {
+        let n = net(7);
+        assert_eq!(n.shortest_path(3, 3), Some(vec![3]));
+        let p = n.shortest_path(0, 99).unwrap();
+        // Consecutive nodes must be adjacent.
+        for w in p.windows(2) {
+            assert!(n.neighbors(w[0]).contains(&w[1]), "non-adjacent hop {w:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_node_and_nodes_within() {
+        let n = net(2);
+        let target = n.node(42);
+        assert_eq!(n.nearest_node(&target), 42);
+        let hits = n.nodes_within(&target, 1.0);
+        assert!(hits.iter().any(|&(id, d)| id == 42 && d == 0.0));
+        let far = n.nodes_within(&target, 1e9);
+        assert_eq!(far.len(), n.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2×2")]
+    fn tiny_grid_panics() {
+        let cfg = RoadNetworkConfig { nx: 1, ny: 5, ..Default::default() };
+        RoadNetwork::grid(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Attack & defend: measure how well the frequency-based DP models
+//! resist re-identification and recovery, against the SC baseline.
+//!
+//! Reproduces the paper's core story (§V-B): removing signature points
+//! (SC) defeats linking but the data can be map-matched back; frequency
+//! randomization (GL) resists both.
+//!
+//! ```text
+//! cargo run --release --example attack_and_defend
+//! ```
+
+use traj_freq_dp::attacks::{HmmMapMatcher, LinkingAttack, SignatureType};
+use traj_freq_dp::baselines::sc;
+use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
+use traj_freq_dp::metrics::{recovery_metrics, RecoveryMetrics};
+use traj_freq_dp::model::Dataset;
+use traj_freq_dp::synth::{generate, GeneratorConfig};
+
+fn main() {
+    let world = generate(&GeneratorConfig::tdrive_profile(80, 120, 42));
+    let original = &world.dataset;
+
+    let attack = LinkingAttack::new(SignatureType::Spatial);
+    let matcher = HmmMapMatcher::new(&world.network);
+    let assess = |name: &str, anon: &Dataset| {
+        let la = attack.linking_accuracy(original, anon);
+        let recovered: Vec<_> =
+            anon.trajectories.iter().map(|t| matcher.recover(t)).collect();
+        let rec: RecoveryMetrics =
+            recovery_metrics(&original.trajectories, &recovered, 50.0);
+        println!(
+            "{name:<10} spatial-LA = {la:.3}   recovery F-score = {:.3}   RMF = {:.3}",
+            rec.f_score, rec.rmf
+        );
+    };
+
+    println!("attack results (lower LA & F-score, higher RMF = better privacy):\n");
+    assess("identity", original);
+    assess("SC", &sc(original, 10));
+    let cfg = FreqDpConfig::default();
+    for (name, model) in [
+        ("PureG", Model::PureGlobal),
+        ("PureL", Model::PureLocal),
+        ("GL", Model::Combined),
+    ] {
+        let out = anonymize(original, model, &cfg).expect("valid configuration");
+        assess(name, &out.dataset);
+    }
+    println!("\nExpected shape (paper Table II): identity links perfectly and recovers");
+    println!("perfectly; SC blocks linking but recovers well; GL blocks both.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a synthetic taxi dataset, publish it with
+//! ε-differential privacy, and inspect what changed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use traj_freq_dp::core::freq::FrequencyAnalysis;
+use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
+use traj_freq_dp::model::stats::DatasetStats;
+use traj_freq_dp::synth::{generate, GeneratorConfig};
+
+fn main() {
+    // 1. A small synthetic world in the T-Drive profile: taxis on a road
+    //    network, with personal anchors (signatures) and shared hotspots.
+    let world = generate(&GeneratorConfig::tdrive_profile(100, 150, 42));
+    let stats = DatasetStats::compute(&world.dataset);
+    println!("original dataset : {stats:#?}");
+
+    // 2. What the mechanisms will protect: the top-m signature points of
+    //    each trajectory (high point frequency, low trajectory frequency).
+    let analysis = FrequencyAnalysis::compute(&world.dataset, 10);
+    println!(
+        "candidate set P  : {} distinct signature points (d ≤ |D|·m = {})",
+        analysis.dimensionality(),
+        world.dataset.len() * 10
+    );
+    let sig = &analysis.signatures[0][0];
+    println!(
+        "example signature: PF = {}, TF = {}, weight = {:.3}",
+        sig.pf, sig.tf, sig.weight
+    );
+
+    // 3. Publish with ε = 1.0 (ε_G = ε_L = 0.5), the paper's default.
+    let cfg = FreqDpConfig::default();
+    let out = anonymize(&world.dataset, Model::Combined, &cfg).expect("valid configuration");
+    println!("\nε spent          : {}", out.epsilon_spent);
+    println!("edits performed  : {}", out.total_edits());
+    println!("utility loss     : {:.1} m (sum of edit-operation losses)", out.utility_loss());
+    println!(
+        "phase times      : global {:?}, local {:?}",
+        out.global_time, out.local_time
+    );
+
+    let anon_stats = DatasetStats::compute(&out.dataset);
+    println!("\nanonymized       : {anon_stats:#?}");
+    println!(
+        "\ncardinality drift: {:+.2}% (stage 2 keeps this small)",
+        (anon_stats.total_points as f64 - stats.total_points as f64) / stats.total_points as f64
+            * 100.0
+    );
+}

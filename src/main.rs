@@ -1,0 +1,207 @@
+//! `trajdp` — command-line front end for the frequency-based DP
+//! trajectory publisher.
+//!
+//! ```text
+//! trajdp gen --size 200 --len 150 --seed 7 --out private.csv
+//! trajdp anonymize --model gl --epsilon 1.0 --m 10 --input private.csv --out release.csv
+//! trajdp evaluate --original private.csv --anonymized release.csv
+//! trajdp stats --input release.csv
+//! ```
+//!
+//! Files are the CSV interchange format of `trajdp_model::csv`
+//! (`traj_id,x,y,t`). The binary exists so the library can be exercised
+//! on real exported data without writing Rust.
+
+use std::process::ExitCode;
+use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
+use traj_freq_dp::metrics::{
+    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information,
+    trip_divergence,
+};
+use traj_freq_dp::model::csv::{from_csv, to_csv};
+use traj_freq_dp::model::stats::DatasetStats;
+use traj_freq_dp::model::Dataset;
+use traj_freq_dp::synth::{generate, GeneratorConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  trajdp gen       --size N --len L [--seed S] --out FILE.csv
+  trajdp anonymize --model pureg|purel|gl [--epsilon E] [--m M] [--seed S]
+                   --input FILE.csv --out FILE.csv
+  trajdp evaluate  --original FILE.csv --anonymized FILE.csv
+  trajdp stats     --input FILE.csv";
+
+/// Pulls the value following `--name` out of the argument list.
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .map(|w| w[1].as_str())
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match opt(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{name}: {v:?}")),
+    }
+}
+
+fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    opt(args, name).ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save(path: &str, ds: &Dataset) -> Result<(), String> {
+    std::fs::write(path, to_csv(ds)).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).ok_or("no command given")?;
+    let rest = &args[1..];
+    match cmd {
+        "gen" => {
+            let size = opt_parse(rest, "size", 200usize)?;
+            let len = opt_parse(rest, "len", 150usize)?;
+            let seed = opt_parse(rest, "seed", 42u64)?;
+            let out = required(rest, "out")?;
+            let world = generate(&GeneratorConfig::tdrive_profile(size, len, seed));
+            save(out, &world.dataset)?;
+            let stats = DatasetStats::compute(&world.dataset);
+            eprintln!(
+                "wrote {out}: {} trajectories, {} points, {} distinct locations",
+                stats.num_trajectories, stats.total_points, stats.distinct_locations
+            );
+            Ok(())
+        }
+        "anonymize" => {
+            let model = match required(rest, "model")? {
+                "pureg" => Model::PureGlobal,
+                "purel" => Model::PureLocal,
+                "gl" => Model::Combined,
+                other => return Err(format!("unknown model {other:?} (pureg|purel|gl)")),
+            };
+            let epsilon = opt_parse(rest, "epsilon", 1.0f64)?;
+            if epsilon <= 0.0 || !epsilon.is_finite() {
+                return Err("--epsilon must be positive".into());
+            }
+            let m = opt_parse(rest, "m", 10usize)?;
+            let seed = opt_parse(rest, "seed", 42u64)?;
+            let input = required(rest, "input")?;
+            let out = required(rest, "out")?;
+            let ds = load(input)?;
+            let cfg = FreqDpConfig {
+                m,
+                eps_global: epsilon / 2.0,
+                eps_local: epsilon / 2.0,
+                seed,
+                ..Default::default()
+            };
+            let result = anonymize(&ds, model, &cfg).map_err(|e| e.to_string())?;
+            save(out, &result.dataset)?;
+            eprintln!(
+                "wrote {out}: ε spent = {}, edits = {}, utility loss = {:.1} m",
+                result.epsilon_spent,
+                result.total_edits(),
+                result.utility_loss()
+            );
+            Ok(())
+        }
+        "evaluate" => {
+            let original = load(required(rest, "original")?)?;
+            let anonymized = load(required(rest, "anonymized")?)?;
+            if original.len() != anonymized.len() {
+                return Err("datasets must contain the same number of trajectories".into());
+            }
+            println!("MI  = {:.4}", mutual_information(&original, &anonymized, 64));
+            println!("INF = {:.4}", information_loss(&original, &anonymized));
+            println!("DE  = {:.4}", diameter_divergence(&original, &anonymized, 24));
+            println!("TE  = {:.4}", trip_divergence(&original, &anonymized, 16));
+            println!("FFP = {:.4}", frequent_pattern_f1(&original, &anonymized, 64, 2, 200));
+            Ok(())
+        }
+        "stats" => {
+            let ds = load(required(rest, "input")?)?;
+            let s = DatasetStats::compute(&ds);
+            println!("{s:#?}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_parsing() {
+        let args = a(&["--size", "10", "--out", "x.csv"]);
+        assert_eq!(opt(&args, "size"), Some("10"));
+        assert_eq!(opt(&args, "missing"), None);
+        assert_eq!(opt_parse(&args, "size", 5usize).unwrap(), 10);
+        assert_eq!(opt_parse(&args, "other", 5usize).unwrap(), 5);
+        assert!(opt_parse::<usize>(&a(&["--size", "xx"]), "size", 1).is_err());
+        assert!(required(&args, "out").is_ok());
+        assert!(required(&args, "nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&a(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_anonymize_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("trajdp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let private = dir.join("private.csv");
+        let release = dir.join("release.csv");
+        let p = private.to_str().unwrap();
+        let r = release.to_str().unwrap();
+        run(&a(&["gen", "--size", "12", "--len", "40", "--seed", "3", "--out", p])).unwrap();
+        run(&a(&[
+            "anonymize", "--model", "gl", "--epsilon", "1.0", "--m", "4", "--input", p,
+            "--out", r,
+        ]))
+        .unwrap();
+        run(&a(&["evaluate", "--original", p, "--anonymized", r])).unwrap();
+        run(&a(&["stats", "--input", r])).unwrap();
+        let released = load(r).unwrap();
+        assert_eq!(released.len(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn anonymize_rejects_bad_model_and_epsilon() {
+        let err = run(&a(&["anonymize", "--model", "zzz", "--input", "x", "--out", "y"]))
+            .unwrap_err();
+        assert!(err.contains("unknown model"));
+        let err = run(&a(&[
+            "anonymize", "--model", "gl", "--epsilon", "-1", "--input", "x", "--out", "y",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("positive"));
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration tests: the full publish pipeline across every
+//! workspace crate, exercising the claims the paper makes about the
+//! composed system.
+
+use traj_freq_dp::attacks::{HmmMapMatcher, LinkingAttack, SignatureType};
+use traj_freq_dp::baselines::{sc, w4m, W4mConfig};
+use traj_freq_dp::core::freq::FrequencyAnalysis;
+use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
+use traj_freq_dp::metrics::{information_loss, mutual_information, recovery_metrics};
+use traj_freq_dp::model::codec::{decode_dataset, encode_dataset};
+use traj_freq_dp::synth::{generate, GeneratorConfig};
+
+fn world(n: usize, len: usize, seed: u64) -> traj_freq_dp::synth::generator::SyntheticWorld {
+    generate(&GeneratorConfig::tdrive_profile(n, len, seed))
+}
+
+#[test]
+fn gl_realizes_both_perturbed_distributions() {
+    let w = world(30, 80, 1);
+    let cfg = FreqDpConfig { m: 5, seed: 9, ..Default::default() };
+    let out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    // Global mechanism ran first: its TF targets were satisfied at that
+    // point. The local mechanism then changed PF *within* trajectories;
+    // local plans must be exactly realized in the final dataset.
+    let local = out.local.as_ref().expect("combined model ran local phase");
+    for (slot, plan) in local.plans.iter().enumerate() {
+        for &(p, _, f_star) in &plan.entries {
+            assert_eq!(
+                out.dataset.trajectories[slot].count_point(p),
+                f_star as usize,
+                "local PF plan not realized at slot {slot}"
+            );
+        }
+    }
+    assert!((out.epsilon_spent - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn pure_global_realizes_tf_exactly() {
+    let w = world(25, 60, 2);
+    let cfg = FreqDpConfig { m: 5, seed: 3, ..Default::default() };
+    let out = anonymize(&w.dataset, Model::PureGlobal, &cfg).expect("valid config");
+    let report = out.global.as_ref().expect("global phase ran");
+    for (p, &(_, target)) in &report.tf_changes {
+        assert_eq!(
+            out.dataset.trajectory_frequency(*p) as u64,
+            target,
+            "TF target not realized for {p:?}"
+        );
+    }
+}
+
+#[test]
+fn anonymization_reduces_linking_accuracy() {
+    let w = world(60, 150, 3);
+    let attack = LinkingAttack::new(SignatureType::Spatial);
+    let baseline = attack.linking_accuracy(&w.dataset, &w.dataset);
+    assert!(baseline > 0.95, "original data must be linkable, got {baseline}");
+    let cfg = FreqDpConfig { m: 10, seed: 4, ..Default::default() };
+    let out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    let la = attack.linking_accuracy(&w.dataset, &out.dataset);
+    assert!(
+        la < baseline * 0.7,
+        "GL should cut spatial linking substantially: {la} vs {baseline}"
+    );
+}
+
+#[test]
+fn anonymized_release_survives_serialization() {
+    let w = world(20, 60, 5);
+    let cfg = FreqDpConfig { m: 5, seed: 5, ..Default::default() };
+    let out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    let decoded = decode_dataset(encode_dataset(&out.dataset)).expect("roundtrip");
+    assert_eq!(decoded, out.dataset);
+}
+
+#[test]
+fn frequency_models_resist_recovery_better_than_sc() {
+    // The paper's core §V-B3 claim: SC leaves the route recoverable by
+    // map-matching; frequency randomization does not.
+    let w = world(100, 150, 6);
+    let matcher = HmmMapMatcher::new(&w.network);
+    let cfg = FreqDpConfig { m: 10, seed: 7, ..Default::default() };
+
+    let sc_out = sc(&w.dataset, 10);
+    let sc_rec: Vec<_> = sc_out.trajectories.iter().map(|t| matcher.recover(t)).collect();
+    let sc_m = recovery_metrics(&w.dataset.trajectories, &sc_rec, 50.0);
+
+    let gl_out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    let gl_rec: Vec<_> =
+        gl_out.dataset.trajectories.iter().map(|t| matcher.recover(t)).collect();
+    let gl_m = recovery_metrics(&w.dataset.trajectories, &gl_rec, 50.0);
+
+    assert!(
+        gl_m.accuracy < sc_m.accuracy,
+        "GL point-recovery accuracy {} should be below SC {}",
+        gl_m.accuracy,
+        sc_m.accuracy
+    );
+    assert!(
+        gl_m.rmf > sc_m.rmf,
+        "GL route mismatch {} should exceed SC {}",
+        gl_m.rmf,
+        sc_m.rmf
+    );
+}
+
+#[test]
+fn signature_analysis_dimensionality_bound() {
+    let w = world(20, 60, 8);
+    for m in [1, 3, 8] {
+        let fa = FrequencyAnalysis::compute(&w.dataset, m);
+        assert!(fa.dimensionality() <= w.dataset.len() * m, "d ≤ |D|·m violated for m={m}");
+        for sig in &fa.signatures {
+            assert!(sig.len() <= m);
+        }
+    }
+}
+
+#[test]
+fn w4m_baseline_integrates_with_metrics() {
+    let w = world(20, 60, 9);
+    let out = w4m(&w.dataset, &W4mConfig { k: 4, delta: 400.0 });
+    let mi = mutual_information(&w.dataset, &out, 32);
+    let inf = information_loss(&w.dataset, &out);
+    assert!((0.0..=1.0).contains(&mi));
+    assert!((0.0..=1.0).contains(&inf));
+    // W4M moves points without deleting them, so nothing is "retained"
+    // only if it moved; both extremes are possible, but the dataset
+    // keeps its shape.
+    assert_eq!(out.len(), w.dataset.len());
+    assert_eq!(out.total_points(), w.dataset.total_points());
+}
+
+#[test]
+fn budget_is_model_dependent() {
+    let w = world(10, 40, 10);
+    let cfg = FreqDpConfig { m: 3, eps_global: 0.3, eps_local: 0.7, seed: 1, ..Default::default() };
+    let g = anonymize(&w.dataset, Model::PureGlobal, &cfg).expect("valid config");
+    let l = anonymize(&w.dataset, Model::PureLocal, &cfg).expect("valid config");
+    let c = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    assert!((g.epsilon_spent - 0.3).abs() < 1e-12);
+    assert!((l.epsilon_spent - 0.7).abs() < 1e-12);
+    assert!((c.epsilon_spent - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn exchangeable_composition_orders_both_work() {
+    let w = world(15, 50, 11);
+    let cfg = FreqDpConfig { m: 4, seed: 2, ..Default::default() };
+    let a = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
+    let b = anonymize(&w.dataset, Model::CombinedLocalFirst, &cfg).expect("valid config");
+    assert_eq!(a.epsilon_spent, b.epsilon_spent);
+    assert_eq!(a.dataset.len(), b.dataset.len());
+    // Different order ⇒ different RNG path ⇒ (almost surely) different
+    // output, but both valid releases.
+    assert!(a.global.is_some() && a.local.is_some());
+    assert!(b.global.is_some() && b.local.is_some());
+}
