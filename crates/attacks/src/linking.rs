@@ -213,7 +213,9 @@ impl LinkingAttack {
         let hits = probes
             .iter()
             .enumerate()
-            .filter(|(truth, probe)| self.rank(&trained, probe).iter().take(top).any(|g| g == truth))
+            .filter(|(truth, probe)| {
+                self.rank(&trained, probe).iter().take(top).any(|g| g == truth)
+            })
             .count();
         hits as f64 / original.len() as f64
     }

@@ -65,7 +65,12 @@ impl<'a> HmmMapMatcher<'a> {
 
     /// Bounded multi-target Dijkstra: network distances from `from` to
     /// every node in `targets`, abandoning routes longer than `bound`.
-    fn route_distances(&self, from: NodeId, targets: &[NodeId], bound: f64) -> HashMap<NodeId, f64> {
+    fn route_distances(
+        &self,
+        from: NodeId,
+        targets: &[NodeId],
+        bound: f64,
+    ) -> HashMap<NodeId, f64> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let mut out = HashMap::with_capacity(targets.len());
@@ -304,7 +309,10 @@ mod tests {
             recall += truth.intersection(&guess).count() as f64 / truth.len().max(1) as f64;
         }
         recall /= w.dataset.len() as f64;
-        assert!(recall > 0.8, "80 m GPS noise should still recover most of the route, got {recall}");
+        assert!(
+            recall > 0.8,
+            "80 m GPS noise should still recover most of the route, got {recall}"
+        );
     }
 
     #[test]
@@ -346,10 +354,7 @@ mod tests {
         let matcher = HmmMapMatcher::new(&w.network);
         let mut recall = 0.0;
         for t in &w.dataset.trajectories {
-            let sparse = Trajectory::new(
-                t.id,
-                t.samples.iter().step_by(2).copied().collect(),
-            );
+            let sparse = Trajectory::new(t.id, t.samples.iter().step_by(2).copied().collect());
             let rec = matcher.recover(&sparse);
             let truth: std::collections::HashSet<_> =
                 t.samples.iter().map(|s| s.loc.key()).collect();
@@ -358,10 +363,7 @@ mod tests {
             recall += truth.intersection(&guess).count() as f64 / truth.len().max(1) as f64;
         }
         recall /= w.dataset.len() as f64;
-        assert!(
-            recall > 0.7,
-            "path inference should reconstruct most skipped nodes, got {recall}"
-        );
+        assert!(recall > 0.7, "path inference should reconstruct most skipped nodes, got {recall}");
     }
 
     #[test]

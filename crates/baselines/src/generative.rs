@@ -69,8 +69,7 @@ impl PrefixTree {
     ) -> Self {
         // Each trajectory contributes to every tree level once per
         // n-gram; budget is split evenly across levels, as in DPT.
-        let mech = LaplaceMechanism::new(epsilon / depth as f64, 1.0)
-            .expect("validated by caller");
+        let mech = LaplaceMechanism::new(epsilon / depth as f64, 1.0).expect("validated by caller");
         let mut counts: HashMap<Vec<Cell>, HashMap<Cell, f64>> = HashMap::new();
         for t in &ds.trajectories {
             let mut cells: Vec<Cell> = Vec::with_capacity(t.len());
@@ -83,11 +82,8 @@ impl PrefixTree {
             for level in 1..=depth {
                 for w in cells.windows(level) {
                     let (prefix, next) = w.split_at(level - 1);
-                    *counts
-                        .entry(prefix.to_vec())
-                        .or_default()
-                        .entry(next[0])
-                        .or_insert(0.0) += 1.0;
+                    *counts.entry(prefix.to_vec()).or_default().entry(next[0]).or_insert(0.0) +=
+                        1.0;
                 }
             }
         }
@@ -466,10 +462,7 @@ mod tests {
         let out = adatrace(&d, &AdaTraceConfig { epsilon: 20.0, ..Default::default() }, &mut rng);
         let avg: f64 =
             out.trajectories.iter().map(|t| t.len() as f64).sum::<f64>() / out.len() as f64;
-        assert!(
-            (avg - 20.0).abs() < 8.0,
-            "synthetic length {avg} should be near the original 20"
-        );
+        assert!((avg - 20.0).abs() < 8.0, "synthetic length {avg} should be near the original 20");
     }
 
     #[test]

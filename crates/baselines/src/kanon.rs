@@ -86,8 +86,7 @@ fn aligned_distance(a: &Trajectory, b: &Trajectory) -> f64 {
     if n == 0 {
         return f64::INFINITY;
     }
-    let sum: f64 =
-        (0..n).map(|i| a.samples[i].loc.dist(&b.samples[i].loc)).sum();
+    let sum: f64 = (0..n).map(|i| a.samples[i].loc.dist(&b.samples[i].loc)).sum();
     sum / n as f64 + (a.len() as f64 - b.len() as f64).abs()
 }
 
@@ -351,7 +350,10 @@ mod tests {
                     (0..len)
                         .map(|i| {
                             Sample::new(
-                                Point::new(cx + rng.gen_range(0.0..100.0), cy + rng.gen_range(0.0..100.0)),
+                                Point::new(
+                                    cx + rng.gen_range(0.0..100.0),
+                                    cy + rng.gen_range(0.0..100.0),
+                                ),
                                 i as i64 * 60,
                             )
                         })

@@ -72,7 +72,10 @@ mod tests {
             Rect::new(0.0, 0.0, 1000.0, 1000.0),
             vec![
                 // (10,10) is object 0's haunt: high PF, unique → signature.
-                traj(0, &[(10.0, 10.0), (500.0, 500.0), (10.0, 10.0), (600.0, 500.0), (10.0, 10.0)]),
+                traj(
+                    0,
+                    &[(10.0, 10.0), (500.0, 500.0), (10.0, 10.0), (600.0, 500.0), (10.0, 10.0)],
+                ),
                 traj(1, &[(500.0, 500.0), (800.0, 800.0), (600.0, 500.0)]),
             ],
         )

@@ -4,9 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trajdp_index::{
-    HierGrid, LinearScan, SegmentEntry, SegmentIndex, Strategy, UniformGrid,
-};
+use trajdp_index::{HierGrid, LinearScan, SegmentEntry, SegmentIndex, Strategy, UniformGrid};
 use trajdp_model::{Point, Rect, Segment};
 
 fn random_entries(n: usize, seed: u64) -> Vec<SegmentEntry> {

@@ -44,8 +44,7 @@ fn bench_perturbation(c: &mut Criterion) {
         let list = select_point_list(traj, &analysis, 0, &mut rng);
         b.iter(|| {
             black_box(
-                perturb_pf(traj, &list, 10, 0.5, LocalOptions::default(), &mut rng)
-                    .expect("valid"),
+                perturb_pf(traj, &list, 10, 0.5, LocalOptions::default(), &mut rng).expect("valid"),
             )
         })
     });

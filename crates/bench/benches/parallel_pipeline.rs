@@ -1,0 +1,59 @@
+//! Serial pipeline vs. the sharded executor at 1/2/4/8 workers on the
+//! T-Drive synth profile. Because the executor is bit-identical to the
+//! serial path, any spread between the bars is pure scheduling cost /
+//! parallel speedup — the work is the same.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajdp_bench::standard_world;
+use trajdp_core::{anonymize, FreqDpConfig, Model};
+use trajdp_server::anonymize_parallel;
+
+fn bench_serial_vs_sharded(c: &mut Criterion) {
+    let world = standard_world(80, 120, 47);
+    let cfg = FreqDpConfig { m: 10, ..Default::default() };
+    let mut group = c.benchmark_group("parallel_pipeline");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(anonymize(&world.dataset, Model::Combined, &cfg).expect("valid")))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sharded", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    anonymize_parallel(&world.dataset, Model::Combined, &cfg, w).expect("valid"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_split(c: &mut Criterion) {
+    // The local phase is embarrassingly parallel; the global phase only
+    // shards its perturbation. Benchmarked separately so regressions
+    // are attributable.
+    let world = standard_world(80, 120, 47);
+    let cfg = FreqDpConfig { m: 10, ..Default::default() };
+    let mut group = c.benchmark_group("parallel_phases");
+    group.sample_size(10);
+    for workers in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("local-only", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    anonymize_parallel(&world.dataset, Model::PureLocal, &cfg, w).expect("valid"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("global-only", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    anonymize_parallel(&world.dataset, Model::PureGlobal, &cfg, w).expect("valid"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_vs_sharded, bench_phase_split);
+criterion_main!(benches);

@@ -11,11 +11,9 @@ fn bench_models(c: &mut Criterion) {
     let cfg = FreqDpConfig { m: 10, ..Default::default() };
     let mut group = c.benchmark_group("anonymize");
     group.sample_size(10);
-    for (name, model) in [
-        ("PureG", Model::PureGlobal),
-        ("PureL", Model::PureLocal),
-        ("GL", Model::Combined),
-    ] {
+    for (name, model) in
+        [("PureG", Model::PureGlobal), ("PureL", Model::PureLocal), ("GL", Model::Combined)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, &m| {
             b.iter(|| black_box(anonymize(&world.dataset, m, &cfg).expect("valid config")))
         });

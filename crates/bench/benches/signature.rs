@@ -18,9 +18,7 @@ fn bench_signature(c: &mut Criterion) {
 
 fn bench_tf_table(c: &mut Criterion) {
     let world = standard_world(300, 120, 22);
-    c.bench_function("tf-table-300x120", |b| {
-        b.iter(|| black_box(world.dataset.tf_table()))
-    });
+    c.bench_function("tf-table-300x120", |b| b.iter(|| black_box(world.dataset.tf_table())));
 }
 
 criterion_group!(benches, bench_signature, bench_tf_table);

@@ -25,10 +25,7 @@ fn main() {
     let analysis = FrequencyAnalysis::compute(&world.dataset, 10);
     eprintln!("Mean-shift ablation: |D| = {size}");
 
-    println!(
-        "{:<6} {:<10} | {:>8} {:>18}",
-        "eps", "mean", "LAs", "residual sig PF"
-    );
+    println!("{:<6} {:<10} | {:>8} {:>18}", "eps", "mean", "LAs", "residual sig PF");
     println!("{}", "-".repeat(50));
     for eps in [0.5, 1.0, 2.0] {
         for zero_mean in [false, true] {

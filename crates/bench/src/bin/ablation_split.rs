@@ -21,10 +21,7 @@ fn main() {
     let world = standard_world(size, len, seed);
     eprintln!("Budget-split ablation: |D| = {size}, total ε = {total}");
 
-    println!(
-        "{:<14} | {:>8} {:>8} {:>8}",
-        "eps_G : eps_L", "LAs", "INF", "FFP"
-    );
+    println!("{:<14} | {:>8} {:>8} {:>8}", "eps_G : eps_L", "LAs", "INF", "FFP");
     println!("{}", "-".repeat(46));
     for g_share in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let cfg = FreqDpConfig {

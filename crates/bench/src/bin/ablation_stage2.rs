@@ -23,10 +23,7 @@ fn main() {
     let original_points = world.dataset.total_points() as f64;
     eprintln!("Stage-2 ablation: |D| = {size}, original points = {original_points}");
 
-    println!(
-        "{:<6} {:<9} | {:>12} {:>10} {:>8}",
-        "eps", "stage2", "points", "drift(%)", "INF"
-    );
+    println!("{:<6} {:<9} | {:>12} {:>10} {:>8}", "eps", "stage2", "points", "drift(%)", "INF");
     println!("{}", "-".repeat(52));
     for eps in [0.5, 1.0, 2.0] {
         for stage2 in [true, false] {

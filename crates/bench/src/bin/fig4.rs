@@ -17,11 +17,8 @@ fn main() {
     let len = env_param("TRAJDP_LEN", 120);
     let seed = env_param("TRAJDP_SEED", 42) as u64;
     let epsilons = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0];
-    let models = [
-        ("PureG", Model::PureGlobal),
-        ("PureL", Model::PureLocal),
-        ("GL", Model::Combined),
-    ];
+    let models =
+        [("PureG", Model::PureGlobal), ("PureL", Model::PureLocal), ("GL", Model::Combined)];
     eprintln!("Figure 4 reproduction: |D| = {size}, ε ∈ {epsilons:?}");
     let world = standard_world(size, len, seed);
 
@@ -51,7 +48,15 @@ fn main() {
             let rec = row.recovery.expect("recovery enabled");
             println!(
                 "{:<7} {:>5.1} | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>7.3} {:>6.3} {:>6.3}",
-                name, eps, row.la_s, row.inf, row.de, row.te, row.ffp, rec.f_score, rec.rmf,
+                name,
+                eps,
+                row.la_s,
+                row.inf,
+                row.de,
+                row.te,
+                row.ffp,
+                rec.f_score,
+                rec.rmf,
                 rec.accuracy
             );
         }

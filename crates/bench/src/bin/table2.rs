@@ -63,10 +63,13 @@ fn main() {
 
     // Generative DP family.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD9);
-    let (out, t) = timed(|| dpt(ds, &DptConfig { epsilon: 1.0, synthetic_len: len, ..Default::default() }, &mut rng));
+    let (out, t) = timed(|| {
+        dpt(ds, &DptConfig { epsilon: 1.0, synthetic_len: len, ..Default::default() }, &mut rng)
+    });
     eval("DPT", out, t, true);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAD);
-    let (out, t) = timed(|| adatrace(ds, &AdaTraceConfig { epsilon: 1.0, ..Default::default() }, &mut rng));
+    let (out, t) =
+        timed(|| adatrace(ds, &AdaTraceConfig { epsilon: 1.0, ..Default::default() }, &mut rng));
     eval("AdaTrace", out, t, true);
 
     // Frequency-based randomized DP models (this paper).

@@ -145,16 +145,15 @@ pub fn recover_parallel(
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let chunk = trajs.len().div_ceil(threads).max(1);
     let mut out: Vec<Option<trajdp_model::Trajectory>> = vec![None; trajs.len()];
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (slice_in, slice_out) in trajs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (t, slot) in slice_in.iter().zip(slice_out.iter_mut()) {
                     *slot = Some(matcher.recover(t));
                 }
             });
         }
-    })
-    .expect("recovery threads must not panic");
+    });
     out.into_iter().map(|t| t.expect("all slots filled")).collect()
 }
 

@@ -45,7 +45,16 @@ impl TrajectoryEditor {
             seg_ids.push(id);
         }
         let next_id = seg_ids.len() as u64;
-        Self { traj, seg_ids, index, next_id, loss: 0.0, stats: SearchStats::default(), insertions: 0, deletions: 0 }
+        Self {
+            traj,
+            seg_ids,
+            index,
+            next_id,
+            loss: 0.0,
+            stats: SearchStats::default(),
+            insertions: 0,
+            deletions: 0,
+        }
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -287,11 +296,14 @@ impl DatasetEditor {
 
     /// Trajectory slots currently containing point `q`.
     pub fn trajectories_containing(&self, q: PointKey) -> Vec<usize> {
-        self.containing.get(&q).map(|s| {
-            let mut v: Vec<usize> = s.iter().copied().collect();
-            v.sort_unstable();
-            v
-        }).unwrap_or_default()
+        self.containing
+            .get(&q)
+            .map(|s| {
+                let mut v: Vec<usize> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
     }
 
     fn accumulate(&mut self, s: SearchStats) {
@@ -394,9 +406,7 @@ impl DatasetEditor {
                 // from its only sample.
                 traj.samples.last().map_or(f64::INFINITY, |s| s.loc.dist(&q))
             } else {
-                traj.segments()
-                    .map(|(_, s)| s.dist_to_point(&q))
-                    .fold(f64::INFINITY, f64::min)
+                traj.segments().map(|(_, s)| s.dist_to_point(&q)).fold(f64::INFINITY, f64::min)
             };
             self.stats.segments_checked += traj.num_segments().max(1);
             if best.len() < delta {
@@ -552,7 +562,10 @@ mod tests {
     fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
         Trajectory::new(
             id,
-            pts.iter().enumerate().map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64 * 10)).collect(),
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64 * 10))
+                .collect(),
         )
     }
 
@@ -617,10 +630,7 @@ mod tests {
     fn delete_prefers_cheapest_occurrence() {
         // q at index 1 lies ON the line (0 reconnection loss); q at index
         // 3 is a 50 m detour.
-        let t = traj(
-            0,
-            &[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 50.0), (200.0, 0.0)],
-        );
+        let t = traj(0, &[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 50.0), (200.0, 0.0)]);
         let q1 = Point::new(50.0, 0.0);
         let mut ed = TrajectoryEditor::new(t, IndexKind::default(), domain());
         let loss = ed.delete_occurrences(q1.key(), 1);
@@ -784,7 +794,10 @@ mod tests {
             let q = Point::new(150.0, 40.0);
             assert_eq!(ed.increase_tf(q, 1), 1, "{kind:?}");
             ed.check_invariants();
-            assert!(ed.trajectories()[0].passes_through(q.key()), "{kind:?} chose wrong trajectory");
+            assert!(
+                ed.trajectories()[0].passes_through(q.key()),
+                "{kind:?} chose wrong trajectory"
+            );
         }
     }
 

@@ -92,9 +92,8 @@ impl FrequencyAnalysis {
                     }
                 })
                 .collect();
-            entries.sort_by(|a, b| {
-                b.weight.total_cmp(&a.weight).then_with(|| a.point.cmp(&b.point))
-            });
+            entries
+                .sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.point.cmp(&b.point)));
             entries.truncate(m);
             signatures.push(entries);
         }

@@ -10,6 +10,7 @@
 use crate::editor::DatasetEditor;
 use crate::freq::FrequencyAnalysis;
 use crate::indexkind::IndexKind;
+use crate::stream::{stream_rng, PHASE_GLOBAL};
 use rand::Rng;
 use std::collections::HashMap;
 use trajdp_index::SearchStats;
@@ -49,21 +50,56 @@ pub fn perturb_tf<R: Rng + ?Sized>(
     Ok(out)
 }
 
-/// Runs the full global mechanism: TF perturbation followed by
-/// inter-trajectory modification (`GlobalEdit`, Algorithm 1 line 7).
+/// Perturbs the TF of one contiguous shard of the sorted candidate set
+/// using **per-point RNG streams** derived from the root seed.
 ///
-/// The returned dataset realizes the perturbed TF distribution for every
-/// candidate point, up to saturation (a TF cannot exceed `|D|` or drop
-/// below the available occurrences).
-pub fn apply_global<R: Rng + ?Sized>(
-    ds: &Dataset,
+/// `candidates` must be a slice of [`FrequencyAnalysis::candidate_points`]
+/// starting at position `first_index` of the full sorted order; each
+/// point `j` draws from stream `(root_seed, PHASE_GLOBAL, j)`, so the
+/// result is independent of how the candidate set is cut into shards.
+pub fn perturb_tf_shard(
+    analysis: &FrequencyAnalysis,
+    candidates: &[PointKey],
+    first_index: usize,
+    epsilon: f64,
+    root_seed: u64,
+) -> Result<Vec<(PointKey, u64)>, MechError> {
+    let mech = LaplaceMechanism::new(epsilon, 1.0)?;
+    let n = analysis.dataset_size as u64;
+    let mut out = Vec::with_capacity(candidates.len());
+    for (offset, &p) in candidates.iter().enumerate() {
+        let mut rng = stream_rng(root_seed, PHASE_GLOBAL, (first_index + offset) as u64);
+        let l = analysis.candidate_tf[&p] as f64;
+        let noisy = mech.randomize(l, &mut rng);
+        out.push((p, round_to_range(noisy, 0, n)));
+    }
+    Ok(out)
+}
+
+/// Draws the full perturbed TF distribution with per-point streams —
+/// the single-shard case of [`perturb_tf_shard`].
+pub fn perturb_tf_streamed(
     analysis: &FrequencyAnalysis,
     epsilon: f64,
+    root_seed: u64,
+) -> Result<HashMap<PointKey, u64>, MechError> {
+    let candidates = analysis.candidate_points();
+    Ok(perturb_tf_shard(analysis, &candidates, 0, epsilon, root_seed)?.into_iter().collect())
+}
+
+/// Inter-trajectory modification (`GlobalEdit`, Algorithm 1 line 7):
+/// deterministically edits the dataset until it realizes `perturbed`.
+///
+/// This phase draws no randomness — given the perturbed targets it is a
+/// pure function of the dataset, so it runs the same whether the targets
+/// came from the serial or the sharded perturbation path.
+pub fn realize_tf(
+    ds: &Dataset,
+    analysis: &FrequencyAnalysis,
+    perturbed: &HashMap<PointKey, u64>,
     kind: IndexKind,
     bbox_pruning: bool,
-    rng: &mut R,
-) -> Result<(Dataset, GlobalReport), MechError> {
-    let perturbed = perturb_tf(analysis, epsilon, rng)?;
+) -> (Dataset, GlobalReport) {
     let mut editor = DatasetEditor::new(ds.trajectories.clone(), kind, ds.domain);
     editor.use_bbox_pruning = bbox_pruning;
     let mut tf_changes = HashMap::with_capacity(perturbed.len());
@@ -90,7 +126,40 @@ pub fn apply_global<R: Rng + ?Sized>(
         search_stats: editor.stats,
     };
     let out = Dataset::new(ds.domain, editor.into_trajectories());
-    Ok((out, report))
+    (out, report)
+}
+
+/// Runs the full global mechanism: TF perturbation followed by
+/// inter-trajectory modification (`GlobalEdit`, Algorithm 1 line 7).
+///
+/// The returned dataset realizes the perturbed TF distribution for every
+/// candidate point, up to saturation (a TF cannot exceed `|D|` or drop
+/// below the available occurrences).
+pub fn apply_global<R: Rng + ?Sized>(
+    ds: &Dataset,
+    analysis: &FrequencyAnalysis,
+    epsilon: f64,
+    kind: IndexKind,
+    bbox_pruning: bool,
+    rng: &mut R,
+) -> Result<(Dataset, GlobalReport), MechError> {
+    let perturbed = perturb_tf(analysis, epsilon, rng)?;
+    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning))
+}
+
+/// [`apply_global`] with per-point RNG streams instead of a shared
+/// generator — the entry point the pipeline and the parallel executor
+/// share, guaranteeing identical output for a fixed root seed.
+pub fn apply_global_streamed(
+    ds: &Dataset,
+    analysis: &FrequencyAnalysis,
+    epsilon: f64,
+    kind: IndexKind,
+    bbox_pruning: bool,
+    root_seed: u64,
+) -> Result<(Dataset, GlobalReport), MechError> {
+    let perturbed = perturb_tf_streamed(analysis, epsilon, root_seed)?;
+    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning))
 }
 
 #[cfg(test)]
@@ -157,14 +226,12 @@ mod tests {
         let d = ds();
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(11);
-        let (out, report) = apply_global(&d, &fa, 0.5, IndexKind::default(), false, &mut rng).unwrap();
+        let (out, report) =
+            apply_global(&d, &fa, 0.5, IndexKind::default(), false, &mut rng).unwrap();
         assert_eq!(out.len(), d.len());
         for (p, &(_, target)) in &report.tf_changes {
             let realized = out.trajectory_frequency(*p) as u64;
-            assert_eq!(
-                realized, target,
-                "point {p:?} should have TF {target}, got {realized}"
-            );
+            assert_eq!(realized, target, "point {p:?} should have TF {target}, got {realized}");
         }
     }
 
@@ -173,7 +240,8 @@ mod tests {
         let d = ds();
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(17);
-        let (out, report) = apply_global(&d, &fa, 1000.0, IndexKind::default(), false, &mut rng).unwrap();
+        let (out, report) =
+            apply_global(&d, &fa, 1000.0, IndexKind::default(), false, &mut rng).unwrap();
         assert_eq!(report.insertions, 0);
         assert_eq!(report.deletions, 0);
         assert_eq!(report.utility_loss, 0.0);
@@ -181,11 +249,39 @@ mod tests {
     }
 
     #[test]
+    fn sharded_perturbation_is_cut_invariant() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let candidates = fa.candidate_points();
+        let whole = perturb_tf_streamed(&fa, 0.5, 99).unwrap();
+        // Any shard boundary must reproduce the single-shard result.
+        for cut in 0..=candidates.len() {
+            let (a, b) = candidates.split_at(cut);
+            let mut merged: HashMap<PointKey, u64> =
+                perturb_tf_shard(&fa, a, 0, 0.5, 99).unwrap().into_iter().collect();
+            merged.extend(perturb_tf_shard(&fa, b, cut, 0.5, 99).unwrap());
+            assert_eq!(merged, whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn streamed_apply_is_deterministic_and_seed_sensitive() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let (a, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 5).unwrap();
+        let (b, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 5).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 6).unwrap();
+        assert_ne!(a, c, "different root seeds must perturb differently");
+    }
+
+    #[test]
     fn report_counts_are_consistent() {
         let d = ds();
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(23);
-        let (_, report) = apply_global(&d, &fa, 0.2, IndexKind::default(), false, &mut rng).unwrap();
+        let (_, report) =
+            apply_global(&d, &fa, 0.2, IndexKind::default(), false, &mut rng).unwrap();
         // Any modification must be accounted: if points moved, loss ≥ 0
         // and the counters reflect edits.
         if report.insertions == 0 && report.deletions == 0 {

@@ -44,7 +44,9 @@ pub mod global;
 pub mod indexkind;
 pub mod local;
 pub mod pipeline;
+pub mod stream;
 
 pub use freq::{FrequencyAnalysis, SignatureEntry};
 pub use indexkind::IndexKind;
-pub use pipeline::{anonymize, AnonymizedOutput, FreqDpConfig, Model};
+pub use pipeline::{anonymize, run_model, AnonymizedOutput, FreqDpConfig, Model};
+pub use stream::{stream_rng, stream_seed, PHASE_GLOBAL, PHASE_LOCAL};

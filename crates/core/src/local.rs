@@ -18,11 +18,12 @@
 use crate::editor::TrajectoryEditor;
 use crate::freq::FrequencyAnalysis;
 use crate::indexkind::IndexKind;
+use crate::stream::{stream_rng, PHASE_LOCAL};
 use rand::Rng;
 use std::collections::HashMap;
 use trajdp_index::SearchStats;
 use trajdp_mech::{round_count, Laplace, MechError};
-use trajdp_model::{Dataset, PointKey, Trajectory};
+use trajdp_model::{Dataset, PointKey, Rect, Trajectory};
 
 /// Ablation switches for the local mechanism. Defaults reproduce the
 /// paper's Algorithm 2 exactly.
@@ -156,10 +157,108 @@ pub fn perturb_pf<R: Rng + ?Sized>(
     Ok(PfPlan { entries })
 }
 
-/// Runs the full local mechanism over the dataset: per-trajectory PF
-/// perturbation followed by intra-trajectory modification (`LocalEdit`,
-/// Algorithm 2 line 17). Deletions run before insertions so freshly
-/// inserted occurrences are never re-deleted.
+/// The local mechanism's outcome on a single trajectory: the smallest
+/// unit of work a sharded executor schedules.
+#[derive(Debug, Clone)]
+pub struct LocalUnit {
+    /// The modified trajectory.
+    pub trajectory: Trajectory,
+    /// The perturbation plan that was realized.
+    pub plan: PfPlan,
+    /// Utility loss of this trajectory's modifications.
+    pub utility_loss: f64,
+    /// Point insertions performed.
+    pub insertions: usize,
+    /// Point deletions performed.
+    pub deletions: usize,
+    /// K-nearest-search work of this trajectory's edits.
+    pub search_stats: SearchStats,
+}
+
+/// Runs the local mechanism on one trajectory (point-list selection, PF
+/// perturbation, intra-trajectory modification). Deletions run before
+/// insertions so freshly inserted occurrences are never re-deleted.
+// The unit signature mirrors Algorithm 2's inputs one-to-one; bundling
+// them into a struct would only add indirection at every shard call.
+#[allow(clippy::too_many_arguments)]
+pub fn local_unit<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    analysis: &FrequencyAnalysis,
+    slot: usize,
+    epsilon: f64,
+    kind: IndexKind,
+    opts: LocalOptions,
+    domain: Rect,
+    rng: &mut R,
+) -> Result<LocalUnit, MechError> {
+    let list = select_point_list(traj, analysis, slot, rng);
+    let plan = perturb_pf(traj, &list, analysis.m, epsilon, opts, rng)?;
+    let mut editor = TrajectoryEditor::new(traj.clone(), kind, domain);
+    for &(p, f, f_star) in &plan.entries {
+        if (f_star as usize) < f {
+            editor.delete_occurrences(p, f - f_star as usize);
+        }
+    }
+    for &(p, f, f_star) in &plan.entries {
+        if f_star as usize > f {
+            editor.insert_occurrences(p.to_point(), f_star as usize - f);
+        }
+    }
+    Ok(LocalUnit {
+        utility_loss: editor.loss,
+        insertions: editor.insertions,
+        deletions: editor.deletions,
+        search_stats: editor.stats,
+        trajectory: editor.into_trajectory(),
+        plan,
+    })
+}
+
+/// [`local_unit`] drawing from the trajectory's **own RNG stream**
+/// `(root_seed, PHASE_LOCAL, slot)` — the entry point both the serial
+/// pipeline and the sharded executor use, making the result independent
+/// of processing order and shard boundaries.
+#[allow(clippy::too_many_arguments)]
+pub fn local_unit_streamed(
+    traj: &Trajectory,
+    analysis: &FrequencyAnalysis,
+    slot: usize,
+    epsilon: f64,
+    kind: IndexKind,
+    opts: LocalOptions,
+    domain: Rect,
+    root_seed: u64,
+) -> Result<LocalUnit, MechError> {
+    let mut rng = stream_rng(root_seed, PHASE_LOCAL, slot as u64);
+    local_unit(traj, analysis, slot, epsilon, kind, opts, domain, &mut rng)
+}
+
+/// Merges per-trajectory units (in slot order) into a dataset and an
+/// aggregate report. Accumulation order is fixed — slot 0 first — so
+/// float sums are identical however the units were produced.
+pub fn merge_local_units(domain: Rect, units: Vec<LocalUnit>) -> (Dataset, LocalReport) {
+    let mut report = LocalReport {
+        plans: Vec::with_capacity(units.len()),
+        utility_loss: 0.0,
+        insertions: 0,
+        deletions: 0,
+        search_stats: SearchStats::default(),
+    };
+    let mut out = Vec::with_capacity(units.len());
+    for u in units {
+        report.utility_loss += u.utility_loss;
+        report.insertions += u.insertions;
+        report.deletions += u.deletions;
+        report.search_stats.cells_visited += u.search_stats.cells_visited;
+        report.search_stats.segments_checked += u.search_stats.segments_checked;
+        report.plans.push(u.plan);
+        out.push(u.trajectory);
+    }
+    (Dataset::new(domain, out), report)
+}
+
+/// Runs the full local mechanism over the dataset with a single shared
+/// generator (the paper's presentation of Algorithm 2).
 pub fn apply_local<R: Rng + ?Sized>(
     ds: &Dataset,
     analysis: &FrequencyAnalysis,
@@ -168,39 +267,30 @@ pub fn apply_local<R: Rng + ?Sized>(
     opts: LocalOptions,
     rng: &mut R,
 ) -> Result<(Dataset, LocalReport), MechError> {
-    let mut plans = Vec::with_capacity(ds.len());
-    let mut out = Vec::with_capacity(ds.len());
-    let mut report = LocalReport {
-        plans: Vec::new(),
-        utility_loss: 0.0,
-        insertions: 0,
-        deletions: 0,
-        search_stats: SearchStats::default(),
-    };
+    let mut units = Vec::with_capacity(ds.len());
     for (slot, traj) in ds.trajectories.iter().enumerate() {
-        let list = select_point_list(traj, analysis, slot, rng);
-        let plan = perturb_pf(traj, &list, analysis.m, epsilon, opts, rng)?;
-        let mut editor = TrajectoryEditor::new(traj.clone(), kind, ds.domain);
-        for &(p, f, f_star) in &plan.entries {
-            if (f_star as usize) < f {
-                editor.delete_occurrences(p, f - f_star as usize);
-            }
-        }
-        for &(p, f, f_star) in &plan.entries {
-            if f_star as usize > f {
-                editor.insert_occurrences(p.to_point(), f_star as usize - f);
-            }
-        }
-        report.utility_loss += editor.loss;
-        report.insertions += editor.insertions;
-        report.deletions += editor.deletions;
-        report.search_stats.cells_visited += editor.stats.cells_visited;
-        report.search_stats.segments_checked += editor.stats.segments_checked;
-        out.push(editor.into_trajectory());
-        plans.push(plan);
+        units.push(local_unit(traj, analysis, slot, epsilon, kind, opts, ds.domain, rng)?);
     }
-    report.plans = plans;
-    Ok((Dataset::new(ds.domain, out), report))
+    Ok(merge_local_units(ds.domain, units))
+}
+
+/// [`apply_local`] with per-trajectory RNG streams — order-independent,
+/// so a sharded executor reproduces it exactly.
+pub fn apply_local_streamed(
+    ds: &Dataset,
+    analysis: &FrequencyAnalysis,
+    epsilon: f64,
+    kind: IndexKind,
+    opts: LocalOptions,
+    root_seed: u64,
+) -> Result<(Dataset, LocalReport), MechError> {
+    let mut units = Vec::with_capacity(ds.len());
+    for (slot, traj) in ds.trajectories.iter().enumerate() {
+        units.push(local_unit_streamed(
+            traj, analysis, slot, epsilon, kind, opts, ds.domain, root_seed,
+        )?);
+    }
+    Ok(merge_local_units(ds.domain, units))
 }
 
 #[cfg(test)]
@@ -307,8 +397,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = &d.trajectories[0];
         let list = select_point_list(t, &fa, 0, &mut rng);
-        let full =
-            perturb_pf(t, &list, 2, 1.0, LocalOptions::default(), &mut rng).unwrap();
+        let full = perturb_pf(t, &list, 2, 1.0, LocalOptions::default(), &mut rng).unwrap();
         let s1 = perturb_pf(
             t,
             &list,
@@ -340,6 +429,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streamed_local_is_order_and_shard_invariant() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let (whole, report) =
+            apply_local_streamed(&d, &fa, 0.5, IndexKind::default(), LocalOptions::default(), 77)
+                .unwrap();
+        // Recompute each trajectory in reverse order — per-slot streams
+        // make the result identical.
+        let mut units: Vec<LocalUnit> = (0..d.len())
+            .rev()
+            .map(|slot| {
+                local_unit_streamed(
+                    &d.trajectories[slot],
+                    &fa,
+                    slot,
+                    0.5,
+                    IndexKind::default(),
+                    LocalOptions::default(),
+                    d.domain,
+                    77,
+                )
+                .unwrap()
+            })
+            .collect();
+        units.reverse();
+        let (merged, merged_report) = merge_local_units(d.domain, units);
+        assert_eq!(merged, whole);
+        assert_eq!(merged_report.utility_loss, report.utility_loss);
+        assert_eq!(merged_report.insertions, report.insertions);
+        assert_eq!(merged_report.deletions, report.deletions);
+    }
+
+    #[test]
+    fn streamed_local_is_seed_sensitive() {
+        let d = ds();
+        let fa = FrequencyAnalysis::compute(&d, 2);
+        let kind = IndexKind::default();
+        let (a, _) = apply_local_streamed(&d, &fa, 0.5, kind, LocalOptions::default(), 1).unwrap();
+        let (b, _) = apply_local_streamed(&d, &fa, 0.5, kind, LocalOptions::default(), 2).unwrap();
+        assert_ne!(a, b, "different root seeds should perturb differently");
     }
 
     #[test]

@@ -8,11 +8,9 @@
 //! [`Model::CombinedLocalFirst`] the reverse.
 
 use crate::freq::FrequencyAnalysis;
-use crate::global::{apply_global, GlobalReport};
+use crate::global::{apply_global_streamed, GlobalReport};
 use crate::indexkind::IndexKind;
-use crate::local::{apply_local, LocalOptions, LocalReport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::local::{apply_local_streamed, LocalOptions, LocalReport};
 use std::time::Duration;
 use trajdp_mech::{BudgetAccountant, MechError};
 use trajdp_model::Dataset;
@@ -96,18 +94,27 @@ impl AnonymizedOutput {
     }
 }
 
-/// Runs a model end to end on a dataset.
+/// Runs a model end to end through caller-supplied phase
+/// implementations: the budget accounting, model dispatch, timing, and
+/// output assembly shared by every execution backend.
 ///
-/// The signature analysis runs once on the *original* dataset, as in the
-/// paper — both mechanisms perturb the same candidate set `P`, and the
-/// budget accountant enforces ε = ε_G + ε_L for the combined models.
-pub fn anonymize(
+/// The serial pipeline ([`anonymize`]) and `trajdp_server`'s sharded
+/// executor both reduce to this driver with different `global` / `local`
+/// closures, so budget semantics and report assembly can never diverge
+/// between them. Each closure maps an input dataset (with the analysis
+/// of the *original* dataset) to a modified dataset plus report.
+pub fn run_model<G, L>(
     ds: &Dataset,
     model: Model,
     cfg: &FreqDpConfig,
-) -> Result<AnonymizedOutput, MechError> {
-    let analysis = FrequencyAnalysis::compute(ds, cfg.m);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    analysis: &FrequencyAnalysis,
+    mut global_phase: G,
+    mut local_phase: L,
+) -> Result<AnonymizedOutput, MechError>
+where
+    G: FnMut(&Dataset, &FrequencyAnalysis) -> Result<(Dataset, GlobalReport), MechError>,
+    L: FnMut(&Dataset, &FrequencyAnalysis) -> Result<(Dataset, LocalReport), MechError>,
+{
     let total_budget = match model {
         Model::PureGlobal => cfg.eps_global,
         Model::PureLocal => cfg.eps_local,
@@ -115,48 +122,42 @@ pub fn anonymize(
     };
     let mut accountant = BudgetAccountant::new(total_budget);
 
-    let run_global = |input: &Dataset,
-                          rng: &mut StdRng,
+    let mut run_global = |input: &Dataset,
                           accountant: &mut BudgetAccountant|
      -> Result<(Dataset, GlobalReport, Duration), MechError> {
         accountant
             .spend("global TF mechanism", cfg.eps_global)
             .expect("budget sized for the model");
         let start = std::time::Instant::now();
-        let (out, report) =
-            apply_global(input, &analysis, cfg.eps_global, cfg.index, cfg.bbox_pruning, rng)?;
+        let (out, report) = global_phase(input, analysis)?;
         Ok((out, report, start.elapsed()))
     };
-    let run_local = |input: &Dataset,
-                         rng: &mut StdRng,
+    let mut run_local = |input: &Dataset,
                          accountant: &mut BudgetAccountant|
      -> Result<(Dataset, LocalReport, Duration), MechError> {
-        accountant
-            .spend("local PF mechanism", cfg.eps_local)
-            .expect("budget sized for the model");
+        accountant.spend("local PF mechanism", cfg.eps_local).expect("budget sized for the model");
         let start = std::time::Instant::now();
-        let (out, report) =
-            apply_local(input, &analysis, cfg.eps_local, cfg.index, cfg.local_opts, rng)?;
+        let (out, report) = local_phase(input, analysis)?;
         Ok((out, report, start.elapsed()))
     };
 
     let (dataset, global, local, global_time, local_time) = match model {
         Model::PureGlobal => {
-            let (out, g, t) = run_global(ds, &mut rng, &mut accountant)?;
+            let (out, g, t) = run_global(ds, &mut accountant)?;
             (out, Some(g), None, t, Duration::ZERO)
         }
         Model::PureLocal => {
-            let (out, l, t) = run_local(ds, &mut rng, &mut accountant)?;
+            let (out, l, t) = run_local(ds, &mut accountant)?;
             (out, None, Some(l), Duration::ZERO, t)
         }
         Model::Combined => {
-            let (mid, g, tg) = run_global(ds, &mut rng, &mut accountant)?;
-            let (out, l, tl) = run_local(&mid, &mut rng, &mut accountant)?;
+            let (mid, g, tg) = run_global(ds, &mut accountant)?;
+            let (out, l, tl) = run_local(&mid, &mut accountant)?;
             (out, Some(g), Some(l), tg, tl)
         }
         Model::CombinedLocalFirst => {
-            let (mid, l, tl) = run_local(ds, &mut rng, &mut accountant)?;
-            let (out, g, tg) = run_global(&mid, &mut rng, &mut accountant)?;
+            let (mid, l, tl) = run_local(ds, &mut accountant)?;
+            let (out, g, tg) = run_global(&mid, &mut accountant)?;
             (out, Some(g), Some(l), tg, tl)
         }
     };
@@ -169,6 +170,52 @@ pub fn anonymize(
         global_time,
         local_time,
     })
+}
+
+/// Runs a model end to end on a dataset.
+///
+/// The signature analysis runs once on the *original* dataset, as in the
+/// paper — both mechanisms perturb the same candidate set `P`, and the
+/// budget accountant enforces ε = ε_G + ε_L for the combined models.
+///
+/// Randomness comes from **per-unit streams** derived from `cfg.seed`
+/// (see [`crate::stream`]): one stream per candidate point in the global
+/// phase, one per trajectory in the local phase. This makes the output a
+/// pure function of `(dataset, model, cfg)` independent of execution
+/// order, so `trajdp_server`'s sharded executor reproduces it exactly at
+/// any worker count.
+pub fn anonymize(
+    ds: &Dataset,
+    model: Model,
+    cfg: &FreqDpConfig,
+) -> Result<AnonymizedOutput, MechError> {
+    let analysis = FrequencyAnalysis::compute(ds, cfg.m);
+    run_model(
+        ds,
+        model,
+        cfg,
+        &analysis,
+        |input, analysis| {
+            apply_global_streamed(
+                input,
+                analysis,
+                cfg.eps_global,
+                cfg.index,
+                cfg.bbox_pruning,
+                cfg.seed,
+            )
+        },
+        |input, analysis| {
+            apply_local_streamed(
+                input,
+                analysis,
+                cfg.eps_local,
+                cfg.index,
+                cfg.local_opts,
+                cfg.seed,
+            )
+        },
+    )
 }
 
 #[cfg(test)]

@@ -87,9 +87,7 @@ impl HierGrid {
     pub fn new(domain: Rect, finest: u32) -> Self {
         assert!(finest.is_power_of_two(), "finest granularity must be a power of two");
         let num_levels = finest.trailing_zeros() as usize + 1;
-        let levels = (0..num_levels)
-            .map(|l| GridLevel::new(domain, 1 << l, l as u8))
-            .collect();
+        let levels = (0..num_levels).map(|l| GridLevel::new(domain, 1 << l, l as u8)).collect();
         Self { levels, nodes: HashMap::new(), locations: HashMap::new(), len: 0 }
     }
 
@@ -415,15 +413,17 @@ mod tests {
     #[test]
     fn best_fit_matches_definition() {
         let g = HierGrid::new(domain(), 8); // levels 1,2,4,8 → cells 128px at finest
-        // Both endpoints in the same finest cell (cells are 128 wide).
+                                            // Both endpoints in the same finest cell (cells are 128 wide).
         let e = SegmentEntry::new(0, Segment::new(Point::new(10.0, 10.0), Point::new(100.0, 90.0)));
         let c = g.best_fit(&e);
         assert_eq!(c.level as usize, g.num_levels() - 1);
         // Endpoints split at the very top → root.
-        let e2 = SegmentEntry::new(1, Segment::new(Point::new(10.0, 10.0), Point::new(1000.0, 1000.0)));
+        let e2 =
+            SegmentEntry::new(1, Segment::new(Point::new(10.0, 10.0), Point::new(1000.0, 1000.0)));
         assert_eq!(g.best_fit(&e2), CellId::new(0, 0, 0));
         // Split at finest but joint at level 2 (256px cells):
-        let e3 = SegmentEntry::new(2, Segment::new(Point::new(10.0, 10.0), Point::new(200.0, 200.0)));
+        let e3 =
+            SegmentEntry::new(2, Segment::new(Point::new(10.0, 10.0), Point::new(200.0, 200.0)));
         let c3 = g.best_fit(&e3);
         assert!(c3.level >= 1 && (c3.level as usize) < g.num_levels() - 1);
         let rect = g.cell_rect(c3);
@@ -561,29 +561,29 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
 
-        fn arb_segment() -> impl proptest::strategy::Strategy<Value = Segment> {
-            proptest::strategy::Strategy::prop_map(
-                (0.0..1024.0, 0.0..1024.0, 0.0..1024.0, 0.0..1024.0),
-                |(ax, ay, bx, by)| Segment::new(Point::new(ax, ay), Point::new(bx, by)),
+        fn arb_segment(rng: &mut StdRng) -> Segment {
+            Segment::new(
+                Point::new(rng.gen_range(0.0..1024.0), rng.gen_range(0.0..1024.0)),
+                Point::new(rng.gen_range(0.0..1024.0), rng.gen_range(0.0..1024.0)),
             )
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Interleaved inserts and removes leave the index exactly
+        /// consistent with a mirrored linear scan, for every strategy.
+        #[test]
+        fn dynamic_updates_stay_exact() {
+            let mut rng = StdRng::seed_from_u64(0x41E8);
+            for case in 0..32 {
+                let initial: Vec<Segment> =
+                    (0..rng.gen_range(1..60)).map(|_| arb_segment(&mut rng)).collect();
+                let extra: Vec<Segment> =
+                    (0..rng.gen_range(0..20)).map(|_| arb_segment(&mut rng)).collect();
+                let remove_mask: Vec<bool> = (0..60).map(|_| rng.gen::<bool>()).collect();
+                let q = Point::new(rng.gen_range(0.0..1024.0), rng.gen_range(0.0..1024.0));
 
-            /// Interleaved inserts and removes leave the index exactly
-            /// consistent with a mirrored linear scan, for every
-            /// strategy.
-            #[test]
-            fn dynamic_updates_stay_exact(
-                initial in proptest::collection::vec(arb_segment(), 1..60),
-                extra in proptest::collection::vec(arb_segment(), 0..20),
-                remove_mask in proptest::collection::vec(any::<bool>(), 60),
-                qx in 0.0..1024.0f64,
-                qy in 0.0..1024.0f64,
-            ) {
                 let mut hier = HierGrid::new(domain(), 128);
                 let mut lin = LinearScan::new();
                 let mut next_id = 0u64;
@@ -596,7 +596,7 @@ mod tests {
                 // Remove a masked subset.
                 for (id, &rm) in remove_mask.iter().enumerate() {
                     if rm && (id as u64) < next_id {
-                        prop_assert_eq!(hier.remove(id as u64), lin.remove(id as u64));
+                        assert_eq!(hier.remove(id as u64), lin.remove(id as u64));
                     }
                 }
                 // Insert more.
@@ -606,38 +606,39 @@ mod tests {
                     hier.insert(e);
                     lin.insert(e);
                 }
-                prop_assert_eq!(SegmentIndex::len(&hier), lin.len());
-                let q = Point::new(qx, qy);
+                assert_eq!(SegmentIndex::len(&hier), lin.len(), "case {case}");
                 let expected: Vec<f64> = lin.knn(&q, 5).iter().map(|n| n.dist).collect();
                 for s in STRATEGIES {
-                    let got: Vec<f64> = hier
-                        .knn_with_stats(&q, 5, s, None)
-                        .0
-                        .iter()
-                        .map(|n| n.dist)
-                        .collect();
-                    prop_assert_eq!(got.len(), expected.len(), "{:?}", s);
+                    let got: Vec<f64> =
+                        hier.knn_with_stats(&q, 5, s, None).0.iter().map(|n| n.dist).collect();
+                    assert_eq!(got.len(), expected.len(), "case {case} {s:?}");
                     for (a, b) in got.iter().zip(&expected) {
-                        prop_assert!((a - b).abs() < 1e-9, "{:?}: {} vs {}", s, a, b);
+                        assert!((a - b).abs() < 1e-9, "case {case} {s:?}: {a} vs {b}");
                     }
                 }
             }
+        }
 
-            /// Best-fit assignment always satisfies Definition 11: the
-            /// cell contains both endpoints, and no child cell does.
-            #[test]
-            fn best_fit_is_deepest_containing_cell(s in arb_segment()) {
+        /// Best-fit assignment always satisfies Definition 11: the cell
+        /// contains both endpoints, and no child cell does.
+        #[test]
+        fn best_fit_is_deepest_containing_cell() {
+            let mut rng = StdRng::seed_from_u64(0x41E9);
+            for case in 0..64 {
+                let s = arb_segment(&mut rng);
                 let g = HierGrid::new(domain(), 64);
                 let e = SegmentEntry::new(0, s);
                 let cell = g.best_fit(&e);
                 let rect = g.cell_rect(cell);
-                prop_assert!(rect.contains(&s.a) && rect.contains(&s.b));
+                assert!(rect.contains(&s.a) && rect.contains(&s.b), "case {case}");
                 // At the next finer level the endpoints split (unless
                 // already at the finest level).
                 if (cell.level as usize) < g.num_levels() - 1 {
                     let finer = &g.levels[cell.level as usize + 1];
-                    prop_assert!(!finer.same_cell(&s.a, &s.b),
-                        "a finer cell also contains both endpoints");
+                    assert!(
+                        !finer.same_cell(&s.a, &s.b),
+                        "case {case}: a finer cell also contains both endpoints"
+                    );
                 }
             }
         }

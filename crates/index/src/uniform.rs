@@ -66,7 +66,6 @@ impl UniformGrid {
         // Parametric distance to the next vertical / horizontal cell
         // boundary, in units of the segment parameter t ∈ [0, 1].
         let next_boundary = |c: i64, step: i64, origin: f64, size: f64| -> f64 {
-            
             origin + (c + i64::from(step > 0)) as f64 * size
         };
         let mut t_max_x = if dx == 0.0 {
@@ -178,9 +177,8 @@ impl UniformGrid {
                 let Some(entries) = self.cells.get(&key) else {
                     continue;
                 };
-                let rect = self
-                    .grid
-                    .cell_rect(trajdp_model::CellId::new(self.grid.level, key.0, key.1));
+                let rect =
+                    self.grid.cell_rect(trajdp_model::CellId::new(self.grid.level, key.0, key.1));
                 if top.is_full() && rect.min_dist(q) > top.threshold() {
                     continue;
                 }

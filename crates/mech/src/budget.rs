@@ -148,6 +148,46 @@ mod tests {
     }
 
     #[test]
+    fn huge_spends_never_overflow_to_infinity() {
+        // Near-f64::MAX budgets: a second huge spend must be rejected
+        // cleanly (spent + eps overflows to +inf, which compares greater
+        // than any finite total) and must not corrupt the accountant.
+        let mut b = BudgetAccountant::new(1e308);
+        b.spend("first half", 9e307).unwrap();
+        let err = b.spend("overflowing", 9e307).unwrap_err();
+        assert_eq!(err.requested, 9e307);
+        assert!(b.spent().is_finite(), "spent must stay finite after rejection");
+        assert_eq!(b.spent(), 9e307);
+        assert!(b.remaining().is_finite());
+        assert_eq!(b.ledger().len(), 1);
+    }
+
+    #[test]
+    fn spend_after_exhaustion_keeps_failing() {
+        let mut b = BudgetAccountant::new(0.5);
+        b.spend("all of it", 0.5).unwrap();
+        assert!(b.is_exhausted());
+        for _ in 0..3 {
+            assert!(b.spend("more", 1e-6).is_err(), "exhausted budget must stay closed");
+        }
+        assert_eq!(b.spent(), 0.5);
+    }
+
+    #[test]
+    fn many_tiny_spends_respect_total_within_tolerance() {
+        // 10_000 spends of 1e-4 sum to exactly the budget up to float
+        // error; the accountant's tolerance admits them all, and the
+        // very next spend fails.
+        let mut b = BudgetAccountant::new(1.0);
+        for i in 0..10_000 {
+            b.spend(format!("slice {i}"), 1e-4).unwrap();
+        }
+        assert!(b.is_exhausted());
+        assert!(b.spend("one too many", 1e-4).is_err());
+        assert!((b.spent() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn error_display() {
         let e = BudgetError { requested: 0.5, remaining: 0.2 };
         let s = e.to_string();

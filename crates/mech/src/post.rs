@@ -35,7 +35,8 @@ pub fn round_count(value: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn round_to_range_basics() {
@@ -64,27 +65,44 @@ mod tests {
         round_to_range(1.0, 5, 2);
     }
 
-    proptest! {
-        /// Output always lies in the clamp range, for any input.
-        #[test]
-        fn prop_round_in_range(v in proptest::num::f64::ANY, lo in 0u64..100, span in 0u64..100) {
-            let hi = lo + span;
+    /// Output always lies in the clamp range, for any input (including
+    /// non-finite values mixed into the sweep).
+    #[test]
+    fn prop_round_in_range() {
+        let mut rng = StdRng::seed_from_u64(0x90511);
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0];
+        for case in 0..512 {
+            let v = if case < specials.len() { specials[case] } else { rng.gen_range(-1e12..1e12) };
+            let lo = rng.gen_range(0u64..100);
+            let hi = lo + rng.gen_range(0u64..100);
             let r = round_to_range(v, lo, hi);
-            prop_assert!(r >= lo && r <= hi);
+            assert!(r >= lo && r <= hi, "case {case}: {v} -> {r} outside [{lo}, {hi}]");
         }
+    }
 
-        /// Rounding is monotone on ordinary (finite) inputs.
-        #[test]
-        fn prop_round_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+    /// Rounding is monotone on ordinary (finite) inputs.
+    #[test]
+    fn prop_round_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x90512);
+        for case in 0..512 {
+            let a = rng.gen_range(-1e6f64..1e6);
+            let b = rng.gen_range(-1e6f64..1e6);
             let (x, y) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(round_count(x) <= round_count(y));
-            prop_assert!(round_to_range(x, 0, 1_000_000) <= round_to_range(y, 0, 1_000_000));
+            assert!(round_count(x) <= round_count(y), "case {case}: {x} vs {y}");
+            assert!(
+                round_to_range(x, 0, 1_000_000) <= round_to_range(y, 0, 1_000_000),
+                "case {case}: {x} vs {y}"
+            );
         }
+    }
 
-        /// round_count agrees with round_to_range on an unbounded-top range.
-        #[test]
-        fn prop_round_count_consistent(v in -1e6f64..1e6) {
-            prop_assert_eq!(round_count(v), round_to_range(v, 0, u64::MAX));
+    /// round_count agrees with round_to_range on an unbounded-top range.
+    #[test]
+    fn prop_round_count_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x90513);
+        for case in 0..512 {
+            let v = rng.gen_range(-1e6f64..1e6);
+            assert_eq!(round_count(v), round_to_range(v, 0, u64::MAX), "case {case}: {v}");
         }
     }
 }

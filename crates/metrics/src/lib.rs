@@ -22,6 +22,6 @@ pub mod utility;
 pub use privacy::mutual_information;
 pub use recovery::{recovery_metrics, RecoveryMetrics};
 pub use utility::{
-    diameter_divergence, frequent_pattern_f1, hotspot_preservation, information_loss,
-    query_avre, trip_divergence,
+    diameter_divergence, frequent_pattern_f1, hotspot_preservation, information_loss, query_avre,
+    trip_divergence,
 };

@@ -19,11 +19,7 @@ use trajdp_model::{Dataset, GridLevel};
 /// dataset preserves object order); samples are paired by index up to
 /// the shorter length. Returns 0 when no pairs exist.
 pub fn mutual_information(original: &Dataset, anonymized: &Dataset, granularity: u32) -> f64 {
-    assert_eq!(
-        original.len(),
-        anonymized.len(),
-        "datasets must contain the same objects"
-    );
+    assert_eq!(original.len(), anonymized.len(), "datasets must contain the same objects");
     let grid = GridLevel::new(original.domain, granularity, 0);
     let mut joint: HashMap<(u64, u64), f64> = HashMap::new();
     let mut total = 0.0f64;
@@ -132,10 +128,7 @@ mod tests {
 
     #[test]
     fn constant_location_gives_zero() {
-        let t = Trajectory::new(
-            0,
-            (0..10).map(|i| Sample::new(Point::new(5.0, 5.0), i)).collect(),
-        );
+        let t = Trajectory::new(0, (0..10).map(|i| Sample::new(Point::new(5.0, 5.0), i)).collect());
         let d = Dataset::new(Rect::new(0.0, 0.0, 10.0, 10.0), vec![t]);
         assert_eq!(mutual_information(&d, &d, 8), 0.0);
     }

@@ -39,11 +39,7 @@ fn route_set(t: &Trajectory) -> HashSet<PointKey> {
 /// Route length restricted to hops whose *source* location passes the
 /// predicate — used to apportion length to matched/unmatched parts.
 fn length_where(t: &Trajectory, keep: impl Fn(PointKey) -> bool) -> f64 {
-    t.samples
-        .windows(2)
-        .filter(|w| keep(w[0].loc.key()))
-        .map(|w| w[0].loc.dist(&w[1].loc))
-        .sum()
+    t.samples.windows(2).filter(|w| keep(w[0].loc.key())).map(|w| w[0].loc.dist(&w[1].loc)).sum()
 }
 
 /// Computes recovery metrics for one `(original, recovered)` pair.
@@ -171,10 +167,7 @@ mod tests {
         // The anonymized data made the recovered route much longer —
         // exactly the situation §V-B3 notes for the frequency models.
         let t = traj(0, &[(0.0, 0.0), (10.0, 0.0)]);
-        let r = traj(
-            0,
-            &[(0.0, 0.0), (50.0, 50.0), (100.0, 0.0), (50.0, -50.0), (10.0, 0.0)],
-        );
+        let r = traj(0, &[(0.0, 0.0), (50.0, 50.0), (100.0, 0.0), (50.0, -50.0), (10.0, 0.0)]);
         let m = recovery_metrics_single(&t, &r, 0.5);
         assert!(m.rmf > 1.0, "RMF should exceed 1, got {}", m.rmf);
     }

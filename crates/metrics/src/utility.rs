@@ -41,11 +41,7 @@ pub fn diameter_divergence(original: &Dataset, anonymized: &Dataset, bins: usize
     };
     let d_o = dia(original);
     let d_a = dia(anonymized);
-    let hi = d_o
-        .iter()
-        .chain(&d_a)
-        .fold(0.0f64, |m, &v| m.max(v))
-        .max(1e-9);
+    let hi = d_o.iter().chain(&d_a).fold(0.0f64, |m, &v| m.max(v)).max(1e-9);
     let h_o = histogram(&d_o, 0.0, hi, bins);
     let h_a = histogram(&d_a, 0.0, hi, bins);
     jensen_shannon(&h_o, &h_a) / std::f64::consts::LN_2 // normalize to [0,1]
@@ -189,7 +185,12 @@ pub fn query_avre(original: &Dataset, anonymized: &Dataset, granularity: u32) ->
 /// Hotspot preservation: the Jaccard overlap between the `top_n` most
 /// visited cells of the original and the anonymized dataset. 1 = all
 /// hotspots preserved; higher is better.
-pub fn hotspot_preservation(original: &Dataset, anonymized: &Dataset, granularity: u32, top_n: usize) -> f64 {
+pub fn hotspot_preservation(
+    original: &Dataset,
+    anonymized: &Dataset,
+    granularity: u32,
+    top_n: usize,
+) -> f64 {
     assert!(top_n >= 1, "top_n must be positive");
     let grid = GridLevel::new(original.domain, granularity, 0);
     let top_cells = |ds: &Dataset| -> HashSet<(u32, u32)> {
@@ -256,14 +257,10 @@ mod tests {
     #[test]
     fn inf_is_multiset_aware() {
         // Original has the point twice; anonymized only once → one lost.
-        let d = Dataset::new(
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            vec![traj(0, &[(1.0, 1.0), (1.0, 1.0)])],
-        );
-        let anon = Dataset::new(
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            vec![traj(0, &[(1.0, 1.0), (2.0, 2.0)])],
-        );
+        let d =
+            Dataset::new(Rect::new(0.0, 0.0, 10.0, 10.0), vec![traj(0, &[(1.0, 1.0), (1.0, 1.0)])]);
+        let anon =
+            Dataset::new(Rect::new(0.0, 0.0, 10.0, 10.0), vec![traj(0, &[(1.0, 1.0), (2.0, 2.0)])]);
         assert!((information_loss(&d, &anon) - 0.5).abs() < 1e-12);
     }
 

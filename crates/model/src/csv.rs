@@ -38,9 +38,7 @@ pub fn from_csv(text: &str) -> Result<Dataset, ModelError> {
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h.trim() == CSV_HEADER => {}
-        Some(h) => {
-            return Err(ModelError::Invalid { reason: format!("unexpected header: {h:?}") })
-        }
+        Some(h) => return Err(ModelError::Invalid { reason: format!("unexpected header: {h:?}") }),
         None => return Err(ModelError::Truncated { context: "csv header" }),
     }
     let mut trajectories: Vec<Trajectory> = Vec::new();
@@ -147,11 +145,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "traj_id,x,y,t\n1,2.0,3.0\n",          // missing field
-            "traj_id,x,y,t\n1,2.0,3.0,4,5\n",      // extra field
-            "traj_id,x,y,t\nxx,2.0,3.0,4\n",       // bad id
-            "traj_id,x,y,t\n1,aa,3.0,4\n",         // bad x
-            "traj_id,x,y,t\n1,2.0,3.0,zz\n",       // bad t
+            "traj_id,x,y,t\n1,2.0,3.0\n",     // missing field
+            "traj_id,x,y,t\n1,2.0,3.0,4,5\n", // extra field
+            "traj_id,x,y,t\nxx,2.0,3.0,4\n",  // bad id
+            "traj_id,x,y,t\n1,aa,3.0,4\n",    // bad x
+            "traj_id,x,y,t\n1,2.0,3.0,zz\n",  // bad t
         ] {
             assert!(matches!(from_csv(bad), Err(ModelError::Invalid { .. })), "accepted {bad:?}");
         }

@@ -7,11 +7,10 @@
 
 use crate::geometry::{Point, PointKey, Rect};
 use crate::trajectory::{TrajId, Trajectory};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A collection of trajectories over a common spatial domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// The spatial domain every sample lies in; drives grid construction.
     pub domain: Rect,
@@ -114,8 +113,11 @@ mod tests {
     use crate::trajectory::Sample;
 
     fn traj(id: TrajId, points: &[(f64, f64)]) -> Trajectory {
-        let samples =
-            points.iter().enumerate().map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64)).collect();
+        let samples = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64))
+            .collect();
         Trajectory::new(id, samples)
     }
 

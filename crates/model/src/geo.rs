@@ -7,7 +7,6 @@
 //! around a reference point — accurate to well under 0.1% at city scale).
 
 use crate::geometry::Point;
-use serde::{Deserialize, Serialize};
 
 /// Mean Earth radius in metres (IUGG).
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
@@ -17,14 +16,13 @@ pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
     let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
     let d_phi = (lat2 - lat1).to_radians();
     let d_lambda = (lon2 - lon1).to_radians();
-    let a = (d_phi / 2.0).sin().powi(2)
-        + phi1.cos() * phi2.cos() * (d_lambda / 2.0).sin().powi(2);
+    let a = (d_phi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (d_lambda / 2.0).sin().powi(2);
     2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
 }
 
 /// An equirectangular projection centred on a reference coordinate,
 /// mapping lat/lon to planar metres (x = east, y = north).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalProjection {
     /// Reference latitude, degrees.
     pub ref_lat: f64,
@@ -43,8 +41,8 @@ impl LocalProjection {
 
     /// Projects a WGS-84 coordinate into the local planar frame.
     pub fn project(&self, lat: f64, lon: f64) -> Point {
-        let x = (lon - self.ref_lon).to_radians() * self.ref_lat.to_radians().cos()
-            * EARTH_RADIUS_M;
+        let x =
+            (lon - self.ref_lon).to_radians() * self.ref_lat.to_radians().cos() * EARTH_RADIUS_M;
         let y = (lat - self.ref_lat).to_radians() * EARTH_RADIUS_M;
         Point::new(x, y)
     }
@@ -53,8 +51,8 @@ impl LocalProjection {
     /// `(lat, lon)` degrees.
     pub fn unproject(&self, p: &Point) -> (f64, f64) {
         let lat = self.ref_lat + (p.y / EARTH_RADIUS_M).to_degrees();
-        let lon = self.ref_lon
-            + (p.x / (EARTH_RADIUS_M * self.ref_lat.to_radians().cos())).to_degrees();
+        let lon =
+            self.ref_lon + (p.x / (EARTH_RADIUS_M * self.ref_lat.to_radians().cos())).to_degrees();
         (lat, lon)
     }
 }

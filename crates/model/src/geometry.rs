@@ -6,10 +6,8 @@
 //! bound of the hierarchical index uses the point–rectangle distance
 //! `MINdist(q, g)` (Definition 12).
 
-use serde::{Deserialize, Serialize};
-
 /// A point in a planar coordinate system, in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Easting in metres.
     pub x: f64,
@@ -47,10 +45,7 @@ impl Point {
     /// visits yield bit-identical coordinates and therefore equal keys.
     #[inline]
     pub fn key(&self) -> PointKey {
-        PointKey {
-            x: self.x.to_bits(),
-            y: self.y.to_bits(),
-        }
+        PointKey { x: self.x.to_bits(), y: self.y.to_bits() }
     }
 
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
@@ -65,7 +60,7 @@ impl Point {
 /// Two keys are equal iff the underlying coordinates are bit-identical.
 /// This is the identity used throughout the workspace for point-frequency
 /// (PF) and trajectory-frequency (TF) counting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PointKey {
     x: u64,
     y: u64,
@@ -86,7 +81,7 @@ impl From<Point> for PointKey {
 }
 
 /// A directed line segment between two points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start endpoint.
     pub a: Point,
@@ -156,7 +151,7 @@ impl Segment {
 }
 
 /// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Minimum easting.
     pub min_x: f64,

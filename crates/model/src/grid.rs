@@ -6,10 +6,9 @@
 //! per-level coordinate math those levels share.
 
 use crate::geometry::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a cell within a single grid level: `(level, col, row)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellId {
     /// Index of the grid level in its hierarchy (0 = coarsest).
     pub level: u8,
@@ -27,7 +26,7 @@ impl CellId {
 }
 
 /// A uniform grid of `granularity × granularity` cells over a domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridLevel {
     /// The covered spatial domain.
     pub domain: Rect,

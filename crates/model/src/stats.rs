@@ -6,10 +6,9 @@
 //! experiment harness to report dataset shapes.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate shape statistics of a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Number of trajectories.
     pub num_trajectories: usize,
@@ -96,11 +95,7 @@ pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
     let p = norm(p);
     let q = norm(q);
     let kl = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter()
-            .zip(b)
-            .filter(|(x, _)| **x > 0.0)
-            .map(|(x, y)| x * (x / y).ln())
-            .sum::<f64>()
+        a.iter().zip(b).filter(|(x, _)| **x > 0.0).map(|(x, y)| x * (x / y).ln()).sum::<f64>()
     };
     let m: Vec<f64> = p.iter().zip(&q).map(|(a, b)| (a + b) / 2.0).collect();
     0.5 * kl(&p, &m) + 0.5 * kl(&q, &m)

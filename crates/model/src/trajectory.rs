@@ -7,13 +7,12 @@
 //! utility-loss accounting (Definitions 5 and 6).
 
 use crate::geometry::{Point, PointKey, Rect, Segment};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a trajectory (and of the moving object that produced it).
 pub type TrajId = u64;
 
 /// A timestamped GPS sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Snapped spatial location.
     pub loc: Point,
@@ -30,7 +29,7 @@ impl Sample {
 }
 
 /// A single object's full movement history.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     /// Identifier of the owning object.
     pub id: TrajId,
@@ -225,8 +224,11 @@ mod tests {
     use super::*;
 
     fn traj(points: &[(f64, f64)]) -> Trajectory {
-        let samples =
-            points.iter().enumerate().map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64 * 60)).collect();
+        let samples = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Sample::new(Point::new(x, y), i as i64 * 60))
+            .collect();
         Trajectory::new(7, samples)
     }
 

@@ -1,0 +1,42 @@
+//! A small blocking JSON-lines client, used by the integration tests
+//! and the `trajdp submit` CLI verb.
+
+use crate::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. One request/response pair per call; the
+//  underlying connection is reused across calls.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one raw request line and reads one response object.
+    pub fn request_line(&mut self, line: &str) -> Result<Json, String> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(|e| format!("receive failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        json::parse(response.trim_end()).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Sends a request object.
+    pub fn request(&mut self, req: &Json) -> Result<Json, String> {
+        self.request_line(&req.to_string())
+    }
+}

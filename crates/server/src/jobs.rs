@@ -1,0 +1,261 @@
+//! Job queue for asynchronous anonymization requests.
+//!
+//! An `anonymize` request with `"async": true` is assigned a job id
+//! (`job-1`, `job-2`, …), queued, and executed by a pool of worker
+//! threads owned by the server. Clients poll with `status`; a finished
+//! job answers with the full anonymize response inline.
+
+use crate::json::Json;
+use crate::protocol::{run_anonymize, AnonymizeSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of one queued job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; holds the response object.
+    Done(Json),
+}
+
+impl JobState {
+    /// Protocol name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+        }
+    }
+}
+
+/// How many finished jobs (with their full result payloads) the table
+/// retains. Results can be megabytes of CSV each; without a cap a
+/// long-lived server grows without bound. Oldest finished jobs are
+/// evicted first; polling an evicted id reports it as unknown.
+pub const MAX_FINISHED_RETAINED: usize = 256;
+
+#[derive(Default)]
+struct QueueInner {
+    pending: VecDeque<(String, AnonymizeSpec)>,
+    states: HashMap<String, JobState>,
+    /// Finished job ids in completion order, for bounded eviction.
+    finished_order: VecDeque<String>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// Shared job queue + state table. Cloneable handle (`Arc` inside).
+#[derive(Clone, Default)]
+pub struct JobQueue {
+    inner: Arc<(Mutex<QueueInner>, Condvar)>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a job, returning its id.
+    pub fn submit(&self, spec: AnonymizeSpec) -> String {
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().expect("queue poisoned");
+        q.next_id += 1;
+        let id = format!("job-{}", q.next_id);
+        q.pending.push_back((id.clone(), spec));
+        q.states.insert(id.clone(), JobState::Queued);
+        cvar.notify_one();
+        id
+    }
+
+    /// Current state of a job, if it exists.
+    pub fn state(&self, id: &str) -> Option<JobState> {
+        let (lock, _) = &*self.inner;
+        lock.lock().expect("queue poisoned").states.get(id).cloned()
+    }
+
+    /// Number of jobs not yet finished.
+    pub fn outstanding(&self) -> usize {
+        let (lock, _) = &*self.inner;
+        let q = lock.lock().expect("queue poisoned");
+        q.states.values().filter(|s| !matches!(s, JobState::Done(_))).count()
+    }
+
+    /// Blocks until a job is available, returning `None` on shutdown.
+    fn take(&self) -> Option<(String, AnonymizeSpec)> {
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = q.pending.pop_front() {
+                q.states.insert(job.0.clone(), JobState::Running);
+                return Some(job);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = cvar.wait(q).expect("queue poisoned");
+        }
+    }
+
+    fn finish(&self, id: &str, result: Json) {
+        let (lock, _) = &*self.inner;
+        let mut q = lock.lock().expect("queue poisoned");
+        q.states.insert(id.to_string(), JobState::Done(result));
+        q.finished_order.push_back(id.to_string());
+        while q.finished_order.len() > MAX_FINISHED_RETAINED {
+            if let Some(evicted) = q.finished_order.pop_front() {
+                q.states.remove(&evicted);
+            }
+        }
+    }
+
+    /// Wakes all workers and makes further `take` calls return `None`.
+    /// Already-queued jobs are still drained before workers exit.
+    pub fn shutdown(&self) {
+        let (lock, cvar) = &*self.inner;
+        lock.lock().expect("queue poisoned").shutdown = true;
+        cvar.notify_all();
+    }
+
+    /// Worker loop: execute jobs until shutdown. A panicking job is
+    /// recorded as a failed result instead of killing the worker thread
+    /// and stranding the job in `Running` forever.
+    pub fn work(&self) {
+        while let Some((id, spec)) = self.take() {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_anonymize(&spec)))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "job panicked".to_string());
+                        crate::protocol::error_response(&format!("job panicked: {msg}"))
+                    });
+            self.finish(&id, result);
+        }
+    }
+
+    /// The `status` response for a job id.
+    pub fn status_response(&self, id: &str) -> Json {
+        match self.state(id) {
+            None => crate::protocol::error_response(&format!("unknown job {id:?}")),
+            Some(JobState::Done(result)) => {
+                let mut obj = match result {
+                    Json::Obj(m) => m,
+                    other => {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("result".to_string(), other);
+                        m
+                    }
+                };
+                obj.insert("job".to_string(), Json::from(id.to_string()));
+                obj.insert("state".to_string(), Json::from("done"));
+                Json::Obj(obj)
+            }
+            Some(state) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("job", Json::from(id.to_string())),
+                ("state", Json::from(state.name())),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdp_core::Model;
+    use trajdp_model::csv::to_csv;
+    use trajdp_synth::{generate, GeneratorConfig};
+
+    fn spec() -> AnonymizeSpec {
+        let world = generate(&GeneratorConfig::tdrive_profile(4, 20, 3));
+        AnonymizeSpec {
+            model: Model::PureLocal,
+            epsilon: 1.0,
+            eps_split: 0.5,
+            m: 2,
+            seed: 5,
+            workers: 1,
+            csv: to_csv(&world.dataset),
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let q = JobQueue::new();
+        let a = q.submit(spec());
+        let b = q.submit(spec());
+        assert_ne!(a, b);
+        assert_eq!(q.state(&a), Some(JobState::Queued));
+        assert_eq!(q.outstanding(), 2);
+    }
+
+    #[test]
+    fn worker_drains_queue_and_finishes_jobs() {
+        let q = JobQueue::new();
+        let id = q.submit(spec());
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.work())
+        };
+        // Poll until done.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match q.state(&id) {
+                Some(JobState::Done(result)) => {
+                    assert_eq!(result.get("ok"), Some(&Json::Bool(true)), "{result}");
+                    break;
+                }
+                _ if std::time::Instant::now() > deadline => panic!("job never finished"),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let status = q.status_response(&id);
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(status.get("job").and_then(Json::as_str), Some(id.as_str()));
+        assert!(status.get("csv").is_some(), "done status inlines the result");
+        q.shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_releases_idle_workers() {
+        let q = JobQueue::new();
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.work())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_oldest_first_beyond_cap() {
+        let q = JobQueue::new();
+        for i in 0..=MAX_FINISHED_RETAINED {
+            q.finish(&format!("job-{i}"), Json::obj([("ok", Json::Bool(true))]));
+        }
+        // job-0 (oldest) evicted, newest retained.
+        assert_eq!(q.state("job-0"), None, "oldest finished job must be evicted");
+        assert!(matches!(
+            q.state(&format!("job-{MAX_FINISHED_RETAINED}")),
+            Some(JobState::Done(_))
+        ));
+        let r = q.status_response("job-0");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "evicted id reports unknown");
+    }
+
+    #[test]
+    fn unknown_job_is_an_error() {
+        let q = JobQueue::new();
+        let r = q.status_response("job-404");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    }
+}

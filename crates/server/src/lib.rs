@@ -1,0 +1,34 @@
+//! # trajdp-server
+//!
+//! The serving subsystem: a sharded parallel anonymization executor and
+//! a JSON-lines TCP service exposing the pipeline as a long-lived
+//! process.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`executor`] | `anonymize_parallel` — shard-parallel global/local mechanisms, bit-identical to the serial pipeline at any worker count |
+//! | [`json`] | serde-free JSON value, parser, single-line writer |
+//! | [`protocol`] | request parsing + the handlers behind each verb |
+//! | [`jobs`] | job queue with ids and per-job status for async requests |
+//! | [`service`] | `TcpListener` accept loop, bounded connection pool, graceful shutdown |
+//! | [`client`] | blocking JSON-lines client for tests and `trajdp submit` |
+//!
+//! ## Determinism
+//!
+//! The executor reproduces `trajdp_core::anonymize` exactly because the
+//! core pipeline derives an independent RNG stream per smallest work
+//! unit (per candidate point globally, per trajectory locally) from the
+//! root seed — see `trajdp_core::stream`. Sharding changes only which
+//! thread evaluates a unit, never what the unit draws.
+
+pub mod client;
+pub mod executor;
+pub mod jobs;
+pub mod json;
+pub mod protocol;
+pub mod service;
+
+pub use client::Client;
+pub use executor::anonymize_parallel;
+pub use json::Json;
+pub use service::{Server, ServerConfig};

@@ -1,0 +1,460 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One request object per line, one response object per line. Every
+//! request carries a `"cmd"` member; datasets travel inline as CSV text
+//! (the `trajdp_model::csv` interchange format) inside JSON strings.
+//!
+//! | cmd         | members                                                           |
+//! |-------------|-------------------------------------------------------------------|
+//! | `health`    | —                                                                 |
+//! | `gen`       | `size`, `len`, `seed?`                                            |
+//! | `anonymize` | `model`, `csv`, `epsilon?`, `eps_split?`, `m?`, `seed?`, `workers?`, `async?` |
+//! | `evaluate`  | `original`, `anonymized` (CSV strings)                            |
+//! | `stats`     | `csv`                                                             |
+//! | `status`    | `job`                                                             |
+//!
+//! Responses always carry `"ok"` (`true`/`false`); failures add
+//! `"error"`. An `anonymize` request with `"async": true` enqueues a job
+//! and answers `{"ok":true,"job":"<id>","state":"queued"}` immediately;
+//! `status` polls it and returns the finished result inline once done.
+
+use crate::json::Json;
+use trajdp_core::{FreqDpConfig, Model};
+use trajdp_metrics::{
+    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information, trip_divergence,
+};
+use trajdp_model::csv::{from_csv, to_csv};
+use trajdp_model::stats::DatasetStats;
+use trajdp_synth::{generate, GeneratorConfig};
+
+/// A fully validated anonymize request, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymizeSpec {
+    /// Which published model to run.
+    pub model: Model,
+    /// Total privacy budget ε — the end-to-end guarantee of the run,
+    /// whatever the model.
+    pub epsilon: f64,
+    /// Fraction of ε given to the global mechanism in combined models;
+    /// pure models spend the whole ε on their single mechanism (see
+    /// [`budget_split`]). Must lie strictly inside (0, 1).
+    pub eps_split: f64,
+    /// Signature size `m`.
+    pub m: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// The private dataset as CSV text.
+    pub csv: String,
+}
+
+impl AnonymizeSpec {
+    /// The derived core pipeline configuration.
+    pub fn config(&self) -> FreqDpConfig {
+        let (eps_global, eps_local) = budget_split(self.model, self.epsilon, self.eps_split);
+        FreqDpConfig { m: self.m, eps_global, eps_local, seed: self.seed, ..Default::default() }
+    }
+}
+
+/// Divides a **total** budget ε between the two mechanisms for a model.
+///
+/// Pure models give their single mechanism the whole ε — `epsilon` is
+/// the end-to-end guarantee the caller asked for, not a pool to halve
+/// when only one mechanism runs. Combined models split it by
+/// `eps_split` (global share). The unused side of a pure model keeps
+/// its nominal share; the pipeline never spends it.
+pub fn budget_split(model: Model, epsilon: f64, eps_split: f64) -> (f64, f64) {
+    match model {
+        Model::PureGlobal => (epsilon, epsilon * (1.0 - eps_split)),
+        Model::PureLocal => (epsilon * eps_split, epsilon),
+        Model::Combined | Model::CombinedLocalFirst => {
+            (epsilon * eps_split, epsilon * (1.0 - eps_split))
+        }
+    }
+}
+
+/// Caps on synthetic-generation and executor parameters: one request
+/// must not be able to allocate unbounded memory or spawn unbounded
+/// threads in a shared server process.
+pub const MAX_GEN_POINTS: u64 = 20_000_000;
+/// Upper bound on the signature size `m`.
+pub const MAX_M: u64 = 100_000;
+/// Upper bound on executor worker threads per request.
+pub const MAX_WORKERS: u64 = 1_024;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Health,
+    /// Generate a synthetic dataset.
+    Gen {
+        /// Number of trajectories.
+        size: usize,
+        /// Points per trajectory.
+        len: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Anonymize a dataset; `asynchronous` requests become queued jobs.
+    Anonymize {
+        /// The validated parameters.
+        spec: AnonymizeSpec,
+        /// Whether to enqueue as a job instead of answering inline.
+        asynchronous: bool,
+    },
+    /// Compare an anonymized dataset against its original.
+    Evaluate {
+        /// Original dataset CSV.
+        original: String,
+        /// Anonymized dataset CSV.
+        anonymized: String,
+    },
+    /// Shape statistics of a dataset.
+    Stats {
+        /// Dataset CSV.
+        csv: String,
+    },
+    /// Poll a queued job.
+    Status {
+        /// The job id returned by an async `anonymize`.
+        job: String,
+    },
+}
+
+/// Parses a model name as accepted by the CLI.
+pub fn parse_model(name: &str) -> Result<Model, String> {
+    match name {
+        "pureg" => Ok(Model::PureGlobal),
+        "purel" => Ok(Model::PureLocal),
+        "gl" => Ok(Model::Combined),
+        "lg" => Ok(Model::CombinedLocalFirst),
+        other => Err(format!("unknown model {other:?} (pureg|purel|gl|lg)")),
+    }
+}
+
+/// Validates an ε-split fraction: must lie strictly inside (0, 1).
+pub fn validate_eps_split(split: f64) -> Result<f64, String> {
+    if split.is_finite() && split > 0.0 && split < 1.0 {
+        Ok(split)
+    } else {
+        Err(format!("--eps-split must lie in (0, 1), got {split}"))
+    }
+}
+
+fn get_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => {
+            j.as_u64().ok_or_else(|| format!("{key} must be a non-negative integer below 2^53"))
+        }
+    }
+}
+
+fn get_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_f64().ok_or_else(|| format!("{key} must be a number")),
+    }
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string member {key:?}"))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+    let cmd = get_str(&v, "cmd")?;
+    match cmd {
+        "health" => Ok(Request::Health),
+        "gen" => {
+            let size = get_u64(&v, "size", 200)?;
+            let len = get_u64(&v, "len", 150)?;
+            if size == 0 || len == 0 {
+                return Err("size and len must be at least 1".into());
+            }
+            if size.saturating_mul(len) > MAX_GEN_POINTS {
+                return Err(format!("size * len must not exceed {MAX_GEN_POINTS} points"));
+            }
+            Ok(Request::Gen {
+                size: size as usize,
+                len: len as usize,
+                seed: get_u64(&v, "seed", 42)?,
+            })
+        }
+        "anonymize" => {
+            let model = parse_model(get_str(&v, "model")?)?;
+            let epsilon = get_f64(&v, "epsilon", 1.0)?;
+            if epsilon <= 0.0 || !epsilon.is_finite() {
+                return Err("epsilon must be positive".into());
+            }
+            let eps_split = validate_eps_split(get_f64(&v, "eps_split", 0.5)?)?;
+            let m = get_u64(&v, "m", 10)?;
+            if m == 0 || m > MAX_M {
+                return Err(format!("m must lie in [1, {MAX_M}]"));
+            }
+            let workers = get_u64(&v, "workers", 1)?;
+            if workers > MAX_WORKERS {
+                return Err(format!("workers must not exceed {MAX_WORKERS}"));
+            }
+            let spec = AnonymizeSpec {
+                model,
+                epsilon,
+                eps_split,
+                m: m as usize,
+                seed: get_u64(&v, "seed", 42)?,
+                workers: (workers as usize).max(1),
+                csv: get_str(&v, "csv")?.to_string(),
+            };
+            let asynchronous = v.get("async").and_then(Json::as_bool).unwrap_or(false);
+            Ok(Request::Anonymize { spec, asynchronous })
+        }
+        "evaluate" => Ok(Request::Evaluate {
+            original: get_str(&v, "original")?.to_string(),
+            anonymized: get_str(&v, "anonymized")?.to_string(),
+        }),
+        "stats" => Ok(Request::Stats { csv: get_str(&v, "csv")?.to_string() }),
+        "status" => Ok(Request::Status { job: get_str(&v, "job")?.to_string() }),
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+/// An error response.
+pub fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::from(message))])
+}
+
+/// Executes a `gen` request.
+pub fn run_gen(size: usize, len: usize, seed: u64) -> Json {
+    let world = generate(&GeneratorConfig::tdrive_profile(size, len, seed));
+    let stats = DatasetStats::compute(&world.dataset);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("csv", Json::from(to_csv(&world.dataset))),
+        ("trajectories", Json::from(stats.num_trajectories)),
+        ("points", Json::from(stats.total_points)),
+        ("distinct_locations", Json::from(stats.distinct_locations)),
+    ])
+}
+
+/// Executes an `anonymize` request through the sharded executor.
+pub fn run_anonymize(spec: &AnonymizeSpec) -> Json {
+    let ds = match from_csv(&spec.csv) {
+        Ok(ds) => ds,
+        Err(e) => return error_response(&format!("cannot parse csv: {e}")),
+    };
+    let cfg = spec.config();
+    match crate::executor::anonymize_parallel(&ds, spec.model, &cfg, spec.workers) {
+        Ok(result) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("csv", Json::from(to_csv(&result.dataset))),
+            ("epsilon_spent", Json::from(result.epsilon_spent)),
+            ("edits", Json::from(result.total_edits())),
+            ("utility_loss", Json::from(result.utility_loss())),
+            ("workers", Json::from(spec.workers)),
+        ]),
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+/// Executes an `evaluate` request.
+pub fn run_evaluate(original: &str, anonymized: &str) -> Json {
+    let orig = match from_csv(original) {
+        Ok(ds) => ds,
+        Err(e) => return error_response(&format!("cannot parse original: {e}")),
+    };
+    let anon = match from_csv(anonymized) {
+        Ok(ds) => ds,
+        Err(e) => return error_response(&format!("cannot parse anonymized: {e}")),
+    };
+    if orig.len() != anon.len() {
+        return error_response("datasets must contain the same number of trajectories");
+    }
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("mi", Json::from(mutual_information(&orig, &anon, 64))),
+        ("inf", Json::from(information_loss(&orig, &anon))),
+        ("de", Json::from(diameter_divergence(&orig, &anon, 24))),
+        ("te", Json::from(trip_divergence(&orig, &anon, 16))),
+        ("ffp", Json::from(frequent_pattern_f1(&orig, &anon, 64, 2, 200))),
+    ])
+}
+
+/// Executes a `stats` request.
+pub fn run_stats(csv: &str) -> Json {
+    let ds = match from_csv(csv) {
+        Ok(ds) => ds,
+        Err(e) => return error_response(&format!("cannot parse csv: {e}")),
+    };
+    let s = DatasetStats::compute(&ds);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("trajectories", Json::from(s.num_trajectories)),
+        ("points", Json::from(s.total_points)),
+        ("distinct_locations", Json::from(s.distinct_locations)),
+        ("avg_traj_len", Json::from(s.avg_traj_len)),
+        ("avg_point_spacing", Json::from(s.avg_point_spacing)),
+        ("avg_sampling_period", Json::from(s.avg_sampling_period)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(
+            parse_request(r#"{"cmd":"gen","size":10,"len":20,"seed":3}"#).unwrap(),
+            Request::Gen { size: 10, len: 20, seed: 3 }
+        );
+        let r = parse_request(
+            r#"{"cmd":"anonymize","model":"gl","epsilon":2.0,"eps_split":0.25,"m":4,"seed":9,"workers":8,"csv":"traj_id,x,y,t\n"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Anonymize { spec, asynchronous } => {
+                assert_eq!(spec.model, Model::Combined);
+                assert_eq!(spec.epsilon, 2.0);
+                assert_eq!(spec.eps_split, 0.25);
+                assert_eq!(spec.m, 4);
+                assert_eq!(spec.workers, 8);
+                assert!(!asynchronous);
+                let cfg = spec.config();
+                assert!((cfg.eps_global - 0.5).abs() < 1e-12);
+                assert!((cfg.eps_local - 1.5).abs() < 1e-12);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"status","job":"job-1"}"#).unwrap(),
+            Request::Status { .. }
+        ));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let r = parse_request(r#"{"cmd":"anonymize","model":"pureg","csv":""}"#).unwrap();
+        match r {
+            Request::Anonymize { spec, asynchronous } => {
+                assert_eq!(spec.epsilon, 1.0);
+                assert_eq!(spec.eps_split, 0.5);
+                assert_eq!(spec.m, 10);
+                assert_eq!(spec.seed, 42);
+                assert_eq!(spec.workers, 1);
+                assert!(!asynchronous);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"nocmd":1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"bogus"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"zzz","csv":""}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","epsilon":-1,"csv":""}"#).is_err());
+        assert!(
+            parse_request(r#"{"cmd":"anonymize","model":"gl","eps_split":0,"csv":""}"#).is_err()
+        );
+        assert!(
+            parse_request(r#"{"cmd":"anonymize","model":"gl","eps_split":1,"csv":""}"#).is_err()
+        );
+        assert!(parse_request(r#"{"cmd":"status"}"#).is_err());
+    }
+
+    #[test]
+    fn pure_models_spend_the_full_requested_epsilon() {
+        assert_eq!(budget_split(Model::PureGlobal, 1.0, 0.5).0, 1.0);
+        assert_eq!(budget_split(Model::PureLocal, 1.0, 0.5).1, 1.0);
+        assert_eq!(budget_split(Model::Combined, 2.0, 0.25), (0.5, 1.5));
+        // End to end: a pureg run reports ε spent = the requested total.
+        let world = generate(&GeneratorConfig::tdrive_profile(4, 15, 2));
+        let spec = AnonymizeSpec {
+            model: Model::PureGlobal,
+            epsilon: 1.0,
+            eps_split: 0.5,
+            m: 2,
+            seed: 1,
+            workers: 1,
+            csv: to_csv(&world.dataset),
+        };
+        let out = run_anonymize(&spec);
+        assert_eq!(out.get("epsilon_spent").and_then(Json::as_f64), Some(1.0), "{out}");
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_at_parse_time() {
+        // gen that would allocate billions of points.
+        assert!(parse_request(r#"{"cmd":"gen","size":9007199254740991,"len":150}"#)
+            .unwrap_err()
+            .contains("points"));
+        assert!(parse_request(r#"{"cmd":"gen","size":0,"len":10}"#).is_err());
+        // anonymize with absurd m / workers.
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","m":1000000,"csv":""}"#)
+            .unwrap_err()
+            .contains("m must"));
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","m":0,"csv":""}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","workers":100000,"csv":""}"#)
+            .unwrap_err()
+            .contains("workers"));
+        // Seeds above 2^53 would silently lose precision in f64 transit.
+        assert!(parse_request(r#"{"cmd":"gen","size":5,"len":10,"seed":9007199254740993}"#)
+            .unwrap_err()
+            .contains("2^53"));
+    }
+
+    #[test]
+    fn eps_split_validation_bounds() {
+        assert!(validate_eps_split(0.5).is_ok());
+        assert!(validate_eps_split(1e-9).is_ok());
+        assert!(validate_eps_split(0.0).is_err());
+        assert!(validate_eps_split(1.0).is_err());
+        assert!(validate_eps_split(-0.1).is_err());
+        assert!(validate_eps_split(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gen_anonymize_stats_roundtrip_inline() {
+        let gen = run_gen(6, 30, 5);
+        assert_eq!(gen.get("ok"), Some(&Json::Bool(true)));
+        let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+        let spec = AnonymizeSpec {
+            model: Model::Combined,
+            epsilon: 1.0,
+            eps_split: 0.5,
+            m: 4,
+            seed: 7,
+            workers: 2,
+            csv: csv.clone(),
+        };
+        let anon = run_anonymize(&spec);
+        assert_eq!(anon.get("ok"), Some(&Json::Bool(true)), "{anon}");
+        let released = anon.get("csv").and_then(Json::as_str).unwrap();
+        let eval = run_evaluate(&csv, released);
+        assert_eq!(eval.get("ok"), Some(&Json::Bool(true)), "{eval}");
+        assert!(eval.get("mi").and_then(Json::as_f64).is_some());
+        let stats = run_stats(released);
+        assert_eq!(stats.get("trajectories").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn run_anonymize_reports_csv_errors() {
+        let spec = AnonymizeSpec {
+            model: Model::PureLocal,
+            epsilon: 1.0,
+            eps_split: 0.5,
+            m: 2,
+            seed: 1,
+            workers: 1,
+            csv: "complete garbage\nwith, too, many, commas, here".into(),
+        };
+        let out = run_anonymize(&spec);
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
+        assert!(out.get("error").is_some());
+    }
+}

@@ -1,0 +1,437 @@
+//! The TCP service: accept loop, bounded connection pool, dispatch,
+//! graceful shutdown.
+//!
+//! Each accepted connection is handled by its own thread speaking the
+//! JSON-lines protocol until the peer closes. A counting semaphore
+//! bounds concurrent connections: when `max_connections` handlers are
+//! live the accept loop blocks before accepting more, so overload
+//! back-pressures into the TCP backlog instead of unbounded threads.
+//!
+//! Shutdown is cooperative and cannot deadlock on live connections:
+//! [`Server::shutdown`] sets a flag, pokes the listener with a loopback
+//! connection to unblock `accept`, half-closes every registered
+//! connection socket to unblock handler reads, drains the job queue
+//! workers, and joins every thread before returning. The semaphore wait
+//! in the accept loop re-checks the flag periodically so a cap-saturated
+//! server still shuts down.
+
+use crate::jobs::JobQueue;
+use crate::json::Json;
+use crate::protocol::{self, Request};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads draining the async job queue.
+    pub workers: usize,
+    /// Maximum concurrently served connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 32 }
+    }
+}
+
+/// A counting semaphore (std has none until `Semaphore` stabilizes).
+struct Semaphore {
+    permits: Mutex<usize>,
+    cvar: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Self { permits: Mutex::new(permits), cvar: Condvar::new() }
+    }
+
+    /// Takes a permit, or returns `false` if `stop` is raised while
+    /// waiting (re-checked every 100 ms so shutdown is never blocked by
+    /// a saturated pool).
+    fn acquire_unless_stopped(&self, stop: &AtomicBool) -> bool {
+        let mut p = self.permits.lock().expect("semaphore poisoned");
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *p > 0 {
+                *p -= 1;
+                return true;
+            }
+            let (guard, _timeout) =
+                self.cvar.wait_timeout(p, Duration::from_millis(100)).expect("semaphore poisoned");
+            p = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.cvar.notify_one();
+    }
+}
+
+/// Registry of live connection sockets so shutdown can unblock their
+/// reader threads with `TcpStream::shutdown`.
+#[derive(Clone, Default)]
+struct Connections {
+    inner: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl Connections {
+    fn register(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.inner.lock().expect("registry poisoned").insert(id, clone);
+        }
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().expect("registry poisoned").remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for stream in self.inner.lock().expect("registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running anonymization service.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    jobs: JobQueue,
+    connections: Connections,
+    accept_thread: Option<JoinHandle<()>>,
+    job_threads: Vec<JoinHandle<()>>,
+}
+
+/// Dispatches one parsed request to its handler.
+fn dispatch(req: Request, jobs: &JobQueue) -> Json {
+    match req {
+        Request::Health => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("status", Json::from("healthy")),
+            ("outstanding_jobs", Json::from(jobs.outstanding())),
+        ]),
+        Request::Gen { size, len, seed } => protocol::run_gen(size, len, seed),
+        Request::Anonymize { spec, asynchronous } => {
+            if asynchronous {
+                let id = jobs.submit(spec);
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::from(id)),
+                    ("state", Json::from("queued")),
+                ])
+            } else {
+                protocol::run_anonymize(&spec)
+            }
+        }
+        Request::Evaluate { original, anonymized } => {
+            protocol::run_evaluate(&original, &anonymized)
+        }
+        Request::Stats { csv } => protocol::run_stats(&csv),
+        Request::Status { job } => jobs.status_response(&job),
+    }
+}
+
+/// Hard cap on one request line. Datasets travel inline as CSV inside
+/// the JSON, so lines are large but bounded; past this the connection
+/// is served an error and closed instead of buffering without limit.
+pub const MAX_REQUEST_BYTES: usize = 256 * 1024 * 1024;
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Returns
+/// `Ok(None)` on clean EOF and `Err` on I/O failure or an oversized
+/// line (which poisons the framing — the caller must drop the
+/// connection).
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF; any partial unterminated line is discarded.
+            return Ok(None);
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            let line = String::from_utf8(buf).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8")
+            })?;
+            return Ok(Some(line));
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        reader.consume(n);
+        if buf.len() > max {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request line exceeds the size limit",
+            ));
+        }
+    }
+}
+
+/// Serves one connection: a loop of request line → response line.
+/// Exits when the peer closes, on I/O error (including the socket being
+/// shut down by [`Server::shutdown`]), on an oversized request, or when
+/// `stop` is raised.
+fn handle_connection(stream: TcpStream, jobs: &JobQueue, stop: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let line = match read_line_bounded(&mut reader, MAX_REQUEST_BYTES) {
+            Ok(Some(l)) => l,
+            Ok(None) => break, // peer closed
+            Err(e) => {
+                // Tell the peer why before dropping the connection; the
+                // framing is unrecoverable after an oversized line.
+                let response = protocol::error_response(&e.to_string());
+                let _ = writer.write_all(format!("{response}\n").as_bytes());
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Ok(req) => dispatch(req, jobs),
+            Err(e) => protocol::error_response(&e),
+        };
+        if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Releases the connection's permit and registry entry even if the
+/// handler panics (a leaked permit would permanently shrink the pool).
+struct ConnectionGuard {
+    pool: Arc<Semaphore>,
+    connections: Connections,
+    conn_id: u64,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.connections.deregister(self.conn_id);
+        self.pool.release();
+    }
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let jobs = JobQueue::new();
+        let connections = Connections::default();
+
+        let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+            .map(|_| {
+                let q = jobs.clone();
+                std::thread::spawn(move || q.work())
+            })
+            .collect();
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let jobs = jobs.clone();
+            let connections = connections.clone();
+            let pool = Arc::new(Semaphore::new(cfg.max_connections.max(1)));
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_conn_id = 0u64;
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if !pool.acquire_unless_stopped(&stop) {
+                        break;
+                    }
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    connections.register(conn_id, &stream);
+                    // Re-check stop *after* registering: shutdown_all()
+                    // may have run between the accept and the register,
+                    // in which case this socket was never half-closed
+                    // and its handler would block forever. The registry
+                    // mutex orders register against shutdown_all, so
+                    // one of the two paths always closes the socket.
+                    if stop.load(Ordering::SeqCst) {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        connections.deregister(conn_id);
+                        pool.release();
+                        break;
+                    }
+                    let jobs = jobs.clone();
+                    let stop = Arc::clone(&stop);
+                    let guard = ConnectionGuard {
+                        pool: Arc::clone(&pool),
+                        connections: connections.clone(),
+                        conn_id,
+                    };
+                    handlers.push(std::thread::spawn(move || {
+                        // Guard releases the permit even on panic.
+                        let _guard = guard;
+                        handle_connection(stream, &jobs, &stop);
+                    }));
+                    // Reap finished handlers so the vec stays small.
+                    handlers.retain(|h| !h.is_finished());
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            jobs,
+            connections,
+            accept_thread: Some(accept_thread),
+            job_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks live connections, drains queued jobs,
+    /// joins all threads. Returns even if clients are still connected.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection, and the
+        // handler threads by half-closing their sockets.
+        let _ = TcpStream::connect(self.addr);
+        self.connections.shutdown_all();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.jobs.shutdown();
+        for h in self.job_threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn health_roundtrip_and_shutdown() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.request_line(r#"{"cmd":"health"}"#).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("healthy"));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_connection_survives() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.request_line("this is not json").unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        // Same connection still works afterwards.
+        let r = client.request_line(r#"{"cmd":"health"}"#).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_blocks_but_backlog_serves_eventually() {
+        let server =
+            Server::start(ServerConfig { max_connections: 1, ..ServerConfig::default() }).unwrap();
+        // With cap 1, a second client must still be served once the
+        // first disconnects.
+        let mut a = Client::connect(server.local_addr()).unwrap();
+        assert!(a.request_line(r#"{"cmd":"health"}"#).is_ok());
+        drop(a);
+        let mut b = Client::connect(server.local_addr()).unwrap();
+        assert!(b.request_line(r#"{"cmd":"health"}"#).is_ok());
+        drop(b);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_with_idle_client_still_connected() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.request_line(r#"{"cmd":"health"}"#).is_ok());
+        // Client stays connected and idle; shutdown must not hang.
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            server.shutdown();
+            flag.store(true, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shutdown hung with an idle connection open"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        t.join().unwrap();
+        // The client's next request fails cleanly instead of hanging.
+        assert!(client.request_line(r#"{"cmd":"health"}"#).is_err());
+    }
+
+    #[test]
+    fn shutdown_returns_when_pool_is_saturated() {
+        let server =
+            Server::start(ServerConfig { max_connections: 1, ..ServerConfig::default() }).unwrap();
+        let addr = server.local_addr();
+        // Saturate the pool with one idle connection and queue a second
+        // (blocked in the semaphore wait inside the accept loop).
+        let _held = Client::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            server.shutdown();
+            flag.store(true, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shutdown hung with a saturated connection pool"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        t.join().unwrap();
+    }
+}

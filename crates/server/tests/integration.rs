@@ -1,0 +1,158 @@
+//! End-to-end integration tests: a real `Server` on a real TCP socket,
+//! driven by concurrent JSON-lines clients.
+
+use trajdp_server::json::Json;
+use trajdp_server::{Client, Server, ServerConfig};
+
+fn start() -> Server {
+    Server::start(ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 8 })
+        .expect("bind on loopback")
+}
+
+/// One client walks the full verb set over a single connection.
+#[test]
+fn full_verb_walk_over_one_connection() {
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let health = client.request_line(r#"{"cmd":"health"}"#).unwrap();
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+
+    let gen = client.request_line(r#"{"cmd":"gen","size":8,"len":30,"seed":3}"#).unwrap();
+    assert_eq!(gen.get("ok"), Some(&Json::Bool(true)), "{gen}");
+    assert_eq!(gen.get("trajectories").and_then(Json::as_u64), Some(8));
+    let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+    let req = Json::obj([
+        ("cmd", Json::from("anonymize")),
+        ("model", Json::from("gl")),
+        ("epsilon", Json::from(1.0)),
+        ("m", Json::from(4u64)),
+        ("seed", Json::from(9u64)),
+        ("workers", Json::from(4u64)),
+        ("csv", Json::from(csv.clone())),
+    ]);
+    let anon = client.request(&req).unwrap();
+    assert_eq!(anon.get("ok"), Some(&Json::Bool(true)), "{anon}");
+    let released = anon.get("csv").and_then(Json::as_str).unwrap().to_string();
+    assert!((anon.get("epsilon_spent").and_then(Json::as_f64).unwrap() - 1.0).abs() < 1e-9);
+
+    let eval = client
+        .request(&Json::obj([
+            ("cmd", Json::from("evaluate")),
+            ("original", Json::from(csv.clone())),
+            ("anonymized", Json::from(released.clone())),
+        ]))
+        .unwrap();
+    assert_eq!(eval.get("ok"), Some(&Json::Bool(true)), "{eval}");
+    for metric in ["mi", "inf", "de", "te", "ffp"] {
+        assert!(eval.get(metric).and_then(Json::as_f64).is_some(), "missing {metric}");
+    }
+
+    let stats = client
+        .request(&Json::obj([("cmd", Json::from("stats")), ("csv", Json::from(released))]))
+        .unwrap();
+    assert_eq!(stats.get("trajectories").and_then(Json::as_u64), Some(8));
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Several clients hammer the server concurrently; every response must
+/// be well-formed, and identical requests must get identical answers
+/// (the executor is deterministic per seed even under concurrency).
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let server = start();
+    let addr = server.local_addr();
+
+    // All clients anonymize the same dataset with the same seed but
+    // different worker counts — the released CSVs must all agree.
+    let mut seed_client = Client::connect(addr).unwrap();
+    let gen = seed_client.request_line(r#"{"cmd":"gen","size":10,"len":40,"seed":21}"#).unwrap();
+    let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+    drop(seed_client);
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let csv = csv.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let req = Json::obj([
+                    ("cmd", Json::from("anonymize")),
+                    ("model", Json::from("gl")),
+                    ("m", Json::from(4u64)),
+                    ("seed", Json::from(77u64)),
+                    ("workers", Json::from(1u64 + i as u64 * 2)), // 1, 3, 5, 7
+                    ("csv", Json::from(csv)),
+                ]);
+                let resp = client.request(&req).expect("response");
+                assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+                resp.get("csv").and_then(Json::as_str).unwrap().to_string()
+            })
+        })
+        .collect();
+    let outputs: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for out in &outputs[1..] {
+        assert_eq!(
+            out, &outputs[0],
+            "same seed must give identical releases at every worker count"
+        );
+    }
+    server.shutdown();
+}
+
+/// The async job path: submit, poll status until done, and check the
+/// job's result matches the synchronous answer for the same request.
+#[test]
+fn async_jobs_complete_and_match_sync() {
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let gen = client.request_line(r#"{"cmd":"gen","size":6,"len":25,"seed":4}"#).unwrap();
+    let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+    let mut base = std::collections::BTreeMap::new();
+    base.insert("cmd".to_string(), Json::from("anonymize"));
+    base.insert("model".to_string(), Json::from("purel"));
+    base.insert("m".to_string(), Json::from(3u64));
+    base.insert("seed".to_string(), Json::from(13u64));
+    base.insert("workers".to_string(), Json::from(2u64));
+    base.insert("csv".to_string(), Json::from(csv));
+
+    let sync = client.request(&Json::Obj(base.clone())).unwrap();
+    assert_eq!(sync.get("ok"), Some(&Json::Bool(true)));
+
+    let mut async_req = base;
+    async_req.insert("async".to_string(), Json::Bool(true));
+    let submitted = client.request(&Json::Obj(async_req)).unwrap();
+    assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)), "{submitted}");
+    assert_eq!(submitted.get("state").and_then(Json::as_str), Some("queued"));
+    let job = submitted.get("job").and_then(Json::as_str).unwrap().to_string();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let done = loop {
+        let status = client
+            .request(&Json::obj([("cmd", Json::from("status")), ("job", Json::from(job.clone()))]))
+            .unwrap();
+        match status.get("state").and_then(Json::as_str) {
+            Some("done") => break status,
+            Some("queued" | "running") => {
+                assert!(std::time::Instant::now() < deadline, "job stuck");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            other => panic!("unexpected state {other:?} in {status}"),
+        }
+    };
+    assert_eq!(
+        done.get("csv").and_then(Json::as_str),
+        sync.get("csv").and_then(Json::as_str),
+        "async job result must equal the synchronous release"
+    );
+
+    // Unknown jobs report an error, not a hang.
+    let missing = client.request_line(r#"{"cmd":"status","job":"job-99999"}"#).unwrap();
+    assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+
+    drop(client);
+    server.shutdown();
+}

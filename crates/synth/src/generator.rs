@@ -74,7 +74,11 @@ impl GeneratorConfig {
     /// carry substantial PF mass), hotspot-biased trips, and a GPS
     /// sampling stride of 2 (every other road node goes unobserved,
     /// making map-matching recovery non-trivial).
-    pub fn tdrive_profile(num_trajectories: usize, points_per_trajectory: usize, seed: u64) -> Self {
+    pub fn tdrive_profile(
+        num_trajectories: usize,
+        points_per_trajectory: usize,
+        seed: u64,
+    ) -> Self {
         Self {
             num_trajectories,
             points_per_trajectory,
@@ -123,8 +127,7 @@ pub fn generate(cfg: &GeneratorConfig) -> SyntheticWorld {
     let mut trajectories = Vec::with_capacity(cfg.num_trajectories);
     let mut anchors = Vec::with_capacity(cfg.num_trajectories);
     for id in 0..cfg.num_trajectories {
-        let mut agent =
-            Agent::spawn(&network, cfg.anchors_per_agent, &hotspots, cfg.mix, &mut rng);
+        let mut agent = Agent::spawn(&network, cfg.anchors_per_agent, &hotspots, cfg.mix, &mut rng);
         anchors.push(agent.anchors.clone());
         let mut samples: Vec<Sample> = Vec::with_capacity(cfg.points_per_trajectory);
         // Per-agent shift-start time: drivers begin their day at
@@ -281,10 +284,7 @@ mod tests {
             let traj = &w.dataset.trajectories[i];
             // Home anchor revisited by its owner.
             let home_key = w.network.node(anchors[0]).key();
-            assert!(
-                traj.count_point(home_key) >= 1,
-                "agent must visit its home at least once"
-            );
+            assert!(traj.count_point(home_key) >= 1, "agent must visit its home at least once");
             for &a in anchors {
                 let k = w.network.node(a).key();
                 anchor_tf += *tf.get(&k).unwrap_or(&0) as f64;

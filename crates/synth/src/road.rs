@@ -57,10 +57,7 @@ impl RoadNetwork {
             for ix in 0..cfg.nx {
                 let jx = rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing;
                 let jy = rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing;
-                nodes.push(Point::new(
-                    ix as f64 * cfg.spacing + jx,
-                    iy as f64 * cfg.spacing + jy,
-                ));
+                nodes.push(Point::new(ix as f64 * cfg.spacing + jx, iy as f64 * cfg.spacing + jy));
             }
         }
         let idx = |ix: usize, iy: usize| iy * cfg.nx + ix;
@@ -291,13 +288,8 @@ mod tests {
 
     #[test]
     fn shortest_path_is_optimal_on_unjittered_grid() {
-        let cfg = RoadNetworkConfig {
-            nx: 5,
-            ny: 5,
-            spacing: 100.0,
-            jitter: 0.0,
-            drop_edge_prob: 0.0,
-        };
+        let cfg =
+            RoadNetworkConfig { nx: 5, ny: 5, spacing: 100.0, jitter: 0.0, drop_edge_prob: 0.0 };
         let n = RoadNetwork::grid(&cfg, &mut StdRng::seed_from_u64(0));
         // From (0,0) to (4,4): Manhattan distance 8 hops of 100 m.
         let path = n.shortest_path(0, 24).unwrap();

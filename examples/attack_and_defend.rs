@@ -24,10 +24,8 @@ fn main() {
     let matcher = HmmMapMatcher::new(&world.network);
     let assess = |name: &str, anon: &Dataset| {
         let la = attack.linking_accuracy(original, anon);
-        let recovered: Vec<_> =
-            anon.trajectories.iter().map(|t| matcher.recover(t)).collect();
-        let rec: RecoveryMetrics =
-            recovery_metrics(&original.trajectories, &recovered, 50.0);
+        let recovered: Vec<_> = anon.trajectories.iter().map(|t| matcher.recover(t)).collect();
+        let rec: RecoveryMetrics = recovery_metrics(&original.trajectories, &recovered, 50.0);
         println!(
             "{name:<10} spatial-LA = {la:.3}   recovery F-score = {:.3}   RMF = {:.3}",
             rec.f_score, rec.rmf
@@ -38,11 +36,9 @@ fn main() {
     assess("identity", original);
     assess("SC", &sc(original, 10));
     let cfg = FreqDpConfig::default();
-    for (name, model) in [
-        ("PureG", Model::PureGlobal),
-        ("PureL", Model::PureLocal),
-        ("GL", Model::Combined),
-    ] {
+    for (name, model) in
+        [("PureG", Model::PureGlobal), ("PureL", Model::PureLocal), ("GL", Model::Combined)]
+    {
         let out = anonymize(original, model, &cfg).expect("valid configuration");
         assess(name, &out.dataset);
     }

@@ -66,10 +66,7 @@ fn main() {
     // All variants are exact — verify they agree on the nearest result.
     let q = queries[0];
     let d0 = linear.knn(&q, 1)[0].dist;
-    for (name, d) in [
-        ("UG", uniform.knn(&q, 1)[0].dist),
-        ("HG+", hier.knn(&q, 1)[0].dist),
-    ] {
+    for (name, d) in [("UG", uniform.knn(&q, 1)[0].dist), ("HG+", hier.knn(&q, 1)[0].dist)] {
         assert!((d - d0).abs() < 1e-9, "{name} disagrees with linear scan");
     }
     println!("\nall index variants returned identical nearest neighbours ✓");

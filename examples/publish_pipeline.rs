@@ -8,8 +8,7 @@
 
 use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
 use traj_freq_dp::metrics::{
-    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information,
-    trip_divergence,
+    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information, trip_divergence,
 };
 use traj_freq_dp::model::codec::{decode_dataset, encode_dataset};
 use traj_freq_dp::synth::{generate, GeneratorConfig};
@@ -33,14 +32,24 @@ fn main() {
 
     // 5. ...and checks the utility they are getting.
     println!("\nutility of the release (vs the private original):");
-    println!("  MI  = {:.3}  (information shared with the original; lower = more private)",
-        mutual_information(&world.dataset, &reloaded, 64));
-    println!("  INF = {:.3}  (fraction of original points lost)",
-        information_loss(&world.dataset, &reloaded));
-    println!("  DE  = {:.3}  (diameter-distribution divergence)",
-        diameter_divergence(&world.dataset, &reloaded, 24));
-    println!("  TE  = {:.3}  (trip-distribution divergence)",
-        trip_divergence(&world.dataset, &reloaded, 16));
-    println!("  FFP = {:.3}  (frequent-pattern F-measure; higher = more useful)",
-        frequent_pattern_f1(&world.dataset, &reloaded, 64, 2, 200));
+    println!(
+        "  MI  = {:.3}  (information shared with the original; lower = more private)",
+        mutual_information(&world.dataset, &reloaded, 64)
+    );
+    println!(
+        "  INF = {:.3}  (fraction of original points lost)",
+        information_loss(&world.dataset, &reloaded)
+    );
+    println!(
+        "  DE  = {:.3}  (diameter-distribution divergence)",
+        diameter_divergence(&world.dataset, &reloaded, 24)
+    );
+    println!(
+        "  TE  = {:.3}  (trip-distribution divergence)",
+        trip_divergence(&world.dataset, &reloaded, 16)
+    );
+    println!(
+        "  FFP = {:.3}  (frequent-pattern F-measure; higher = more useful)",
+        frequent_pattern_f1(&world.dataset, &reloaded, 64, 2, 200)
+    );
 }

@@ -26,10 +26,7 @@ fn main() {
         world.dataset.len() * 10
     );
     let sig = &analysis.signatures[0][0];
-    println!(
-        "example signature: PF = {}, TF = {}, weight = {:.3}",
-        sig.pf, sig.tf, sig.weight
-    );
+    println!("example signature: PF = {}, TF = {}, weight = {:.3}", sig.pf, sig.tf, sig.weight);
 
     // 3. Publish with ε = 1.0 (ε_G = ε_L = 0.5), the paper's default.
     let cfg = FreqDpConfig::default();
@@ -37,10 +34,7 @@ fn main() {
     println!("\nε spent          : {}", out.epsilon_spent);
     println!("edits performed  : {}", out.total_edits());
     println!("utility loss     : {:.1} m (sum of edit-operation losses)", out.utility_loss());
-    println!(
-        "phase times      : global {:?}, local {:?}",
-        out.global_time, out.local_time
-    );
+    println!("phase times      : global {:?}, local {:?}", out.global_time, out.local_time);
 
     let anon_stats = DatasetStats::compute(&out.dataset);
     println!("\nanonymized       : {anon_stats:#?}");

@@ -20,6 +20,7 @@
 //! | [`baselines`] | `trajdp-baselines` | SC, RSC, W4M, GLOVE, KLT, DPT, AdaTrace |
 //! | [`attacks`] | `trajdp-attacks` | linking attack, HMM map-matching recovery |
 //! | [`metrics`] | `trajdp-metrics` | MI, INF, DE, TE, FFP, recovery metrics |
+//! | [`server`] | `trajdp-server` | sharded parallel executor, JSON-lines service |
 //!
 //! ## Quickstart
 //!
@@ -48,4 +49,5 @@ pub use trajdp_index as index;
 pub use trajdp_mech as mech;
 pub use trajdp_metrics as metrics;
 pub use trajdp_model as model;
+pub use trajdp_server as server;
 pub use trajdp_synth as synth;

@@ -4,23 +4,28 @@
 //! ```text
 //! trajdp gen --size 200 --len 150 --seed 7 --out private.csv
 //! trajdp anonymize --model gl --epsilon 1.0 --m 10 --input private.csv --out release.csv
+//! trajdp anonymize --model gl --parallel 8 --input private.csv --out release.csv
 //! trajdp evaluate --original private.csv --anonymized release.csv
 //! trajdp stats --input release.csv
+//! trajdp serve --addr 127.0.0.1:7878 --workers 4
+//! trajdp submit --addr 127.0.0.1:7878 --file request.json
 //! ```
 //!
 //! Files are the CSV interchange format of `trajdp_model::csv`
 //! (`traj_id,x,y,t`). The binary exists so the library can be exercised
-//! on real exported data without writing Rust.
+//! on real exported data without writing Rust; `serve` turns it into a
+//! long-lived JSON-lines service (`trajdp_server`).
 
 use std::process::ExitCode;
-use traj_freq_dp::core::{anonymize, FreqDpConfig, Model};
+use traj_freq_dp::core::{anonymize, FreqDpConfig};
 use traj_freq_dp::metrics::{
-    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information,
-    trip_divergence,
+    diameter_divergence, frequent_pattern_f1, information_loss, mutual_information, trip_divergence,
 };
 use traj_freq_dp::model::csv::{from_csv, to_csv};
 use traj_freq_dp::model::stats::DatasetStats;
 use traj_freq_dp::model::Dataset;
+use traj_freq_dp::server::protocol::{budget_split, parse_model, validate_eps_split};
+use traj_freq_dp::server::{anonymize_parallel, Client, Server, ServerConfig};
 use traj_freq_dp::synth::{generate, GeneratorConfig};
 
 fn main() -> ExitCode {
@@ -39,16 +44,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   trajdp gen       --size N --len L [--seed S] --out FILE.csv
-  trajdp anonymize --model pureg|purel|gl [--epsilon E] [--m M] [--seed S]
+  trajdp anonymize --model pureg|purel|gl|lg [--epsilon E] [--eps-split F]
+                   [--m M] [--seed S] [--parallel N]
                    --input FILE.csv --out FILE.csv
   trajdp evaluate  --original FILE.csv --anonymized FILE.csv
-  trajdp stats     --input FILE.csv";
+  trajdp stats     --input FILE.csv
+  trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
+  trajdp submit    --addr HOST:PORT [--file REQUEST.json]";
 
 /// Pulls the value following `--name` out of the argument list.
 fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.windows(2)
-        .find(|w| w[0] == format!("--{name}"))
-        .map(|w| w[1].as_str())
+    args.windows(2).find(|w| w[0] == format!("--{name}")).map(|w| w[1].as_str())
 }
 
 fn opt_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
@@ -63,8 +69,7 @@ fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
@@ -91,29 +96,30 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "anonymize" => {
-            let model = match required(rest, "model")? {
-                "pureg" => Model::PureGlobal,
-                "purel" => Model::PureLocal,
-                "gl" => Model::Combined,
-                other => return Err(format!("unknown model {other:?} (pureg|purel|gl)")),
-            };
+            let model = parse_model(required(rest, "model")?)?;
             let epsilon = opt_parse(rest, "epsilon", 1.0f64)?;
             if epsilon <= 0.0 || !epsilon.is_finite() {
                 return Err("--epsilon must be positive".into());
             }
+            let eps_split = validate_eps_split(opt_parse(rest, "eps-split", 0.5f64)?)?;
             let m = opt_parse(rest, "m", 10usize)?;
             let seed = opt_parse(rest, "seed", 42u64)?;
+            let parallel = opt_parse(rest, "parallel", 1usize)?;
+            if parallel == 0 {
+                return Err("--parallel must be at least 1".into());
+            }
             let input = required(rest, "input")?;
             let out = required(rest, "out")?;
             let ds = load(input)?;
-            let cfg = FreqDpConfig {
-                m,
-                eps_global: epsilon / 2.0,
-                eps_local: epsilon / 2.0,
-                seed,
-                ..Default::default()
+            // Pure models spend the full ε on their single mechanism;
+            // combined models split it by --eps-split (global share).
+            let (eps_global, eps_local) = budget_split(model, epsilon, eps_split);
+            let cfg = FreqDpConfig { m, eps_global, eps_local, seed, ..Default::default() };
+            let result = if parallel > 1 {
+                anonymize_parallel(&ds, model, &cfg, parallel).map_err(|e| e.to_string())?
+            } else {
+                anonymize(&ds, model, &cfg).map_err(|e| e.to_string())?
             };
-            let result = anonymize(&ds, model, &cfg).map_err(|e| e.to_string())?;
             save(out, &result.dataset)?;
             eprintln!(
                 "wrote {out}: ε spent = {}, edits = {}, utility loss = {:.1} m",
@@ -140,6 +146,44 @@ fn run(args: &[String]) -> Result<(), String> {
             let ds = load(required(rest, "input")?)?;
             let s = DatasetStats::compute(&ds);
             println!("{s:#?}");
+            Ok(())
+        }
+        "serve" => {
+            let addr = opt(rest, "addr").unwrap_or("127.0.0.1:7878").to_string();
+            let workers = opt_parse(rest, "workers", 2usize)?;
+            let max_connections = opt_parse(rest, "max-conn", 32usize)?;
+            let server = Server::start(ServerConfig { addr, workers, max_connections })
+                .map_err(|e| format!("cannot bind: {e}"))?;
+            eprintln!(
+                "trajdp-server listening on {} ({} job workers); \
+                 send JSON-lines requests, e.g. {{\"cmd\":\"health\"}}",
+                server.local_addr(),
+                workers
+            );
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        "submit" => {
+            let addr = required(rest, "addr")?;
+            let request = match opt(rest, "file") {
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
+                None => {
+                    let mut buf = String::new();
+                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                        .map_err(|e| format!("cannot read stdin: {e}"))?;
+                    buf
+                }
+            };
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            for line in request.lines().filter(|l| !l.trim().is_empty()) {
+                let response = client.request_line(line)?;
+                println!("{response}");
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
@@ -182,8 +226,17 @@ mod tests {
         let r = release.to_str().unwrap();
         run(&a(&["gen", "--size", "12", "--len", "40", "--seed", "3", "--out", p])).unwrap();
         run(&a(&[
-            "anonymize", "--model", "gl", "--epsilon", "1.0", "--m", "4", "--input", p,
-            "--out", r,
+            "anonymize",
+            "--model",
+            "gl",
+            "--epsilon",
+            "1.0",
+            "--m",
+            "4",
+            "--input",
+            p,
+            "--out",
+            r,
         ]))
         .unwrap();
         run(&a(&["evaluate", "--original", p, "--anonymized", r])).unwrap();
@@ -194,12 +247,101 @@ mod tests {
     }
 
     #[test]
-    fn anonymize_rejects_bad_model_and_epsilon() {
-        let err = run(&a(&["anonymize", "--model", "zzz", "--input", "x", "--out", "y"]))
+    fn anonymize_rejects_bad_eps_split() {
+        for bad in ["0", "1", "-0.2", "1.5", "nan"] {
+            let err = run(&a(&[
+                "anonymize",
+                "--model",
+                "gl",
+                "--eps-split",
+                bad,
+                "--input",
+                "x",
+                "--out",
+                "y",
+            ]))
             .unwrap_err();
+            assert!(err.contains("eps-split") || err.contains("invalid"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parallel_flag_matches_serial_output() {
+        let dir = std::env::temp_dir().join("trajdp-cli-parallel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let private = dir.join("private.csv");
+        let serial = dir.join("serial.csv");
+        let parallel = dir.join("parallel.csv");
+        let p = private.to_str().unwrap();
+        run(&a(&["gen", "--size", "10", "--len", "30", "--seed", "5", "--out", p])).unwrap();
+        run(&a(&[
+            "anonymize",
+            "--model",
+            "gl",
+            "--seed",
+            "11",
+            "--m",
+            "4",
+            "--input",
+            p,
+            "--out",
+            serial.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&a(&[
+            "anonymize",
+            "--model",
+            "gl",
+            "--seed",
+            "11",
+            "--m",
+            "4",
+            "--parallel",
+            "8",
+            "--input",
+            p,
+            "--out",
+            parallel.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a_csv = std::fs::read_to_string(&serial).unwrap();
+        let b_csv = std::fs::read_to_string(&parallel).unwrap();
+        assert_eq!(a_csv, b_csv, "--parallel 8 must be byte-identical to serial");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_zero_rejected() {
+        let err = run(&a(&[
+            "anonymize",
+            "--model",
+            "gl",
+            "--parallel",
+            "0",
+            "--input",
+            "x",
+            "--out",
+            "y",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("parallel"));
+    }
+
+    #[test]
+    fn anonymize_rejects_bad_model_and_epsilon() {
+        let err =
+            run(&a(&["anonymize", "--model", "zzz", "--input", "x", "--out", "y"])).unwrap_err();
         assert!(err.contains("unknown model"));
         let err = run(&a(&[
-            "anonymize", "--model", "gl", "--epsilon", "-1", "--input", "x", "--out", "y",
+            "anonymize",
+            "--model",
+            "gl",
+            "--epsilon",
+            "-1",
+            "--input",
+            "x",
+            "--out",
+            "y",
         ]))
         .unwrap_err();
         assert!(err.contains("positive"));

@@ -59,10 +59,7 @@ fn anonymization_reduces_linking_accuracy() {
     let cfg = FreqDpConfig { m: 10, seed: 4, ..Default::default() };
     let out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
     let la = attack.linking_accuracy(&w.dataset, &out.dataset);
-    assert!(
-        la < baseline * 0.7,
-        "GL should cut spatial linking substantially: {la} vs {baseline}"
-    );
+    assert!(la < baseline * 0.7, "GL should cut spatial linking substantially: {la} vs {baseline}");
 }
 
 #[test]
@@ -87,8 +84,7 @@ fn frequency_models_resist_recovery_better_than_sc() {
     let sc_m = recovery_metrics(&w.dataset.trajectories, &sc_rec, 50.0);
 
     let gl_out = anonymize(&w.dataset, Model::Combined, &cfg).expect("valid config");
-    let gl_rec: Vec<_> =
-        gl_out.dataset.trajectories.iter().map(|t| matcher.recover(t)).collect();
+    let gl_rec: Vec<_> = gl_out.dataset.trajectories.iter().map(|t| matcher.recover(t)).collect();
     let gl_m = recovery_metrics(&w.dataset.trajectories, &gl_rec, 50.0);
 
     assert!(
@@ -97,12 +93,7 @@ fn frequency_models_resist_recovery_better_than_sc() {
         gl_m.accuracy,
         sc_m.accuracy
     );
-    assert!(
-        gl_m.rmf > sc_m.rmf,
-        "GL route mismatch {} should exceed SC {}",
-        gl_m.rmf,
-        sc_m.rmf
-    );
+    assert!(gl_m.rmf > sc_m.rmf, "GL route mismatch {} should exceed SC {}", gl_m.rmf, sc_m.rmf);
 }
 
 #[test]
