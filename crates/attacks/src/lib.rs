@@ -3,13 +3,13 @@
 //! The two adversaries of the paper's evaluation (§V):
 //!
 //! * [`linking`] — the re-identification (linkage) attack in the style
-//!   of Jin et al., ICDE'19 [3]: per-object signatures are learnt from
+//!   of Jin et al., ICDE'19 \[3\]: per-object signatures are learnt from
 //!   the original dataset and matched against the anonymized release.
 //!   Four signature families are provided — spatial, temporal,
 //!   spatiotemporal, and sequential — giving the LAs/LAt/LAst/LAsq
 //!   columns of Table II.
 //! * [`matching`] — the recovery attack: HMM map-matching after Newson
-//!   & Krumm [34] (Gaussian emissions, route-vs-crow-fly transition
+//!   & Krumm \[34\] (Gaussian emissions, route-vs-crow-fly transition
 //!   likelihood, Viterbi decoding) over the road network, reconstructing
 //!   plausible original routes from anonymized trajectories.
 

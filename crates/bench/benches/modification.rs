@@ -1,13 +1,14 @@
 //! Benchmarks of the modification phase in isolation: intra-trajectory
 //! (local) vs inter-trajectory (global) editing under the HG+ index —
 //! the paper's observation that global alteration dominates (~90% of
-//! total time, Figure 5 right).
+//! total time, Figure 5 right) — plus the chunked parallel scans of the
+//! inter-trajectory selection at several worker counts.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajdp_bench::standard_world;
 use trajdp_core::editor::{DatasetEditor, TrajectoryEditor};
 use trajdp_core::IndexKind;
-use trajdp_model::Point;
+use trajdp_model::{Point, Trajectory};
 
 fn bench_intra(c: &mut Criterion) {
     let world = standard_world(20, 200, 31);
@@ -51,5 +52,47 @@ fn bench_inter(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_intra, bench_inter);
+fn bench_inter_workers(c: &mut Criterion) {
+    // The large config: enough long trajectories that the exact-loss
+    // candidate scans dominate. A linear index keeps the per-iteration
+    // editor build cheap (neither parallelized scan consults the
+    // segment index), so the worker-count spread reflects the scans.
+    let world = standard_world(320, 150, 34);
+    let trajs = world.dataset.trajectories.clone();
+    let domain = world.dataset.domain;
+    let q = world.node_point(world.hotspots[0]);
+    let off = Point::new(q.x + 260.0, q.y + 170.0);
+    // Plant a common point so the decrease scan has a wide candidate set.
+    let with_shared: Vec<Trajectory> = trajs
+        .iter()
+        .cloned()
+        .map(|mut t| {
+            t.push_point(q);
+            t
+        })
+        .collect();
+    let mut group = c.benchmark_group("inter-modification-workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("increase-bbox-12", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::Linear, domain);
+                ed.use_bbox_pruning = true;
+                ed.workers = w;
+                black_box(ed.increase_tf(off, 12));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decrease-tf-24", workers), &workers, |b, &w| {
+            let key = q.key();
+            b.iter(|| {
+                let mut ed = DatasetEditor::new(with_shared.clone(), IndexKind::Linear, domain);
+                ed.workers = w;
+                black_box(ed.decrease_tf(key, 24));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intra, bench_inter, bench_inter_workers);
 criterion_main!(benches);

@@ -5,7 +5,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajdp_bench::standard_world;
-use trajdp_core::{anonymize, FreqDpConfig, Model};
+use trajdp_core::freq::FrequencyAnalysis;
+use trajdp_core::global::{perturb_tf_streamed, realize_tf};
+use trajdp_core::{anonymize, FreqDpConfig, IndexKind, Model};
 use trajdp_server::anonymize_parallel;
 
 fn bench_serial_vs_sharded(c: &mut Criterion) {
@@ -55,5 +57,32 @@ fn bench_phase_split(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serial_vs_sharded, bench_phase_split);
+fn bench_global_modification(c: &mut Criterion) {
+    // The dominant cost of the pipeline: `GlobalEdit` in isolation
+    // (perturbation precomputed), at several worker counts. The output
+    // is byte-identical across the bars; the spread is pure parallel
+    // speedup of the modification phase.
+    let world = standard_world(160, 130, 53);
+    let fa = FrequencyAnalysis::compute(&world.dataset, 10);
+    let perturbed = perturb_tf_streamed(&fa, 0.4, 99).expect("valid epsilon");
+    let mut group = c.benchmark_group("global_modification");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("realize-tf", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(realize_tf(
+                    &world.dataset,
+                    &fa,
+                    &perturbed,
+                    IndexKind::default(),
+                    true,
+                    w,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_vs_sharded, bench_phase_split, bench_global_modification);
 criterion_main!(benches);

@@ -12,8 +12,9 @@
 //!   (Definition 8).
 
 use crate::indexkind::{AnyIndex, IndexKind};
-use std::collections::{HashMap, HashSet};
-use trajdp_index::{SearchStats, SegmentEntry};
+use crate::pool;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use trajdp_index::{SearchStats, SegmentEntry, TotalF64};
 use trajdp_model::{Point, PointKey, Rect, Trajectory};
 
 /// Editor for one trajectory, with an index over its segments.
@@ -210,6 +211,21 @@ impl TrajectoryEditor {
     }
 }
 
+/// Offers `entry` to a max-heap keeping the `delta` smallest
+/// `(loss, slot)` pairs — the fixed tie rule of the inter-trajectory
+/// selection: on equal loss the smallest slot wins, so merging chunk
+/// heaps is order-independent.
+fn push_bounded(best: &mut BinaryHeap<(TotalF64, usize)>, delta: usize, entry: (TotalF64, usize)) {
+    if best.len() < delta {
+        best.push(entry);
+    } else if let Some(top) = best.peek() {
+        if entry < *top {
+            best.pop();
+            best.push(entry);
+        }
+    }
+}
+
 /// Editor for a whole dataset, with a single index over every segment.
 #[derive(Debug)]
 pub struct DatasetEditor {
@@ -225,6 +241,11 @@ pub struct DatasetEditor {
     /// Whether `increase_tf` uses trajectory-bbox branch-and-bound
     /// instead of the segment index.
     pub use_bbox_pruning: bool,
+    /// Worker threads for the exact-loss candidate scans of
+    /// [`Self::increase_tf`] (bbox path) and [`Self::decrease_tf`].
+    /// The scans are pure, so the selection — and therefore the edited
+    /// dataset — is identical at every value; `1` scans serially.
+    pub workers: usize,
     next_id: u64,
     domain: Rect,
     kind: IndexKind,
@@ -268,6 +289,7 @@ impl DatasetEditor {
             containing,
             bboxes,
             use_bbox_pruning: false,
+            workers: 1,
             next_id,
             domain,
             kind,
@@ -326,12 +348,13 @@ impl DatasetEditor {
         let eligible = |editor: &Self, t: usize| -> bool {
             !editor.containing.get(&qk).is_some_and(|s| s.contains(&t))
         };
-        // Grow-k nearest-segment search, deduplicating by owning
-        // trajectory in ascending distance order.
-        let mut chosen: Vec<usize> = Vec::with_capacity(delta);
+        // Grow-k nearest-segment search: score each owning trajectory by
+        // its nearest reported segment, then pick the ∆l best in
+        // ascending `(distance, slot)` order — on equal distance the
+        // smallest slot wins, the same tie rule as the bbox path.
+        let mut chosen: Vec<usize>;
         let mut k = delta.saturating_mul(4).max(8);
         loop {
-            chosen.clear();
             let owner = &self.owner;
             let containing = self.containing.get(&qk);
             let filter = |id: u64| -> bool {
@@ -341,16 +364,29 @@ impl DatasetEditor {
             let (neighbors, stats) = self.index.knn_with_stats(&q, k, Some(&filter));
             self.accumulate(stats);
             let exhausted = neighbors.len() < k;
+            // Unreported segments all lie at or beyond the search
+            // frontier (the k-th reported distance).
+            let frontier = neighbors.last().map_or(f64::INFINITY, |n| n.dist);
+            // Neighbors arrive sorted by distance, so a trajectory's
+            // first hit is its nearest reported segment.
+            let mut scored: Vec<(f64, usize)> = Vec::new();
             for n in &neighbors {
                 let t = self.owner[&n.id];
-                if !chosen.contains(&t) {
-                    chosen.push(t);
-                    if chosen.len() == delta {
-                        break;
-                    }
+                if !scored.iter().any(|&(_, s)| s == t) {
+                    scored.push((n.dist, t));
                 }
             }
-            if chosen.len() == delta || exhausted {
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            scored.truncate(delta);
+            // The selection is final only once the ∆l-th distance lies
+            // strictly inside the frontier: at the frontier itself, a
+            // hidden equal-distance trajectory with a smaller slot could
+            // still displace the ∆l-th pick (the k cutoff truncates ties
+            // in index-visit order, not slot order), so keep growing.
+            let settled =
+                scored.len() == delta && scored.last().is_some_and(|&(d, _)| d < frontier);
+            chosen = scored.into_iter().map(|(_, t)| t).collect();
+            if settled || exhausted {
                 break;
             }
             k *= 2;
@@ -378,7 +414,18 @@ impl DatasetEditor {
     /// optimization §V-C leaves as future work: candidates are visited
     /// in ascending bounding-box `MINdist` order and the scan stops once
     /// the next lower bound exceeds the ∆l-th best exact insertion loss.
-    /// Produces exactly the same selection as the index-based search.
+    /// Produces exactly the same selection as the index-based search:
+    /// the ∆l smallest `(insertion loss, slot)` pairs, so equal-loss
+    /// ties always go to the smallest slot.
+    ///
+    /// With `workers > 1` the candidate list is cut into contiguous
+    /// chunks scanned concurrently; each chunk keeps its own ∆l-bounded
+    /// heap (branch-and-bound prunes within the chunk, seeded with a
+    /// global upper bound from the ∆l most promising candidates so far
+    /// chunks keep the serial path's pruning power) and the per-chunk
+    /// heaps merge under the same `(loss, slot)` order, so the selection
+    /// is independent of the worker count. Only the work *counters*
+    /// (`stats.segments_checked`) vary with the worker count.
     fn increase_tf_bbox(&mut self, q: Point, delta: usize) -> usize {
         let qk = q.key();
         let containing = self.containing.get(&qk);
@@ -393,14 +440,71 @@ impl DatasetEditor {
             .map(|(t, b)| (b.min_dist(&q), t))
             .collect();
         candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        // Max-heap of the delta smallest exact losses seen so far.
-        let mut best: std::collections::BinaryHeap<(trajdp_index::TotalF64, usize)> =
-            std::collections::BinaryHeap::with_capacity(delta + 1);
-        for (lower, t) in candidates {
-            if best.len() == delta && lower > best.peek().expect("non-empty").0 .0 {
-                break; // every remaining candidate is provably worse
+        let workers = self.workers.max(1);
+        let (chosen, checked) = if workers > 1 && candidates.len() > 1 {
+            let trajs = &self.trajs;
+            // Seed a global pruning bound from the ∆l candidates with the
+            // smallest lower bounds: the final ∆l-th loss can only be
+            // smaller, so every chunk may skip candidates whose lower
+            // bound exceeds it — restoring the early termination the
+            // serial scan gets from its evolving heap.
+            let seed = delta.min(candidates.len());
+            let (seeded, seed_checked) =
+                Self::scan_insertion_chunk(trajs, q, delta, &candidates[..seed], f64::INFINITY);
+            let bound = if seeded.len() == delta {
+                seeded.last().expect("non-empty").0
+            } else {
+                f64::INFINITY
+            };
+            let shards = pool::map_chunks(workers, &candidates, |_, chunk| {
+                Self::scan_insertion_chunk(trajs, q, delta, chunk, bound)
+            });
+            let mut merged: Vec<(f64, usize)> = Vec::with_capacity(delta * shards.len());
+            let mut checked = seed_checked;
+            for (part, c) in shards {
+                merged.extend(part);
+                checked += c;
             }
-            let traj = &self.trajs[t];
+            merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            merged.truncate(delta);
+            (merged, checked)
+        } else {
+            Self::scan_insertion_chunk(&self.trajs, q, delta, &candidates, f64::INFINITY)
+        };
+        self.stats.segments_checked += checked;
+        let inserted = chosen.len();
+        for (_, t) in chosen {
+            self.insert_point_into(t, q);
+        }
+        inserted
+    }
+
+    /// Branch-and-bound exact-loss scan over one chunk of `(lower bound,
+    /// slot)` candidates sorted ascending by `(lower, slot)`. Returns the
+    /// chunk's ∆l smallest `(exact loss, slot)` pairs in ascending order
+    /// plus the number of segments whose distance was computed. `bound`
+    /// is an optional global upper bound on the final ∆l-th loss; the
+    /// scan stops at the first candidate provably worse than either it
+    /// or the chunk-local ∆l-th best.
+    fn scan_insertion_chunk(
+        trajs: &[Trajectory],
+        q: Point,
+        delta: usize,
+        chunk: &[(f64, usize)],
+        bound: f64,
+    ) -> (Vec<(f64, usize)>, usize) {
+        let mut best: BinaryHeap<(TotalF64, usize)> = BinaryHeap::with_capacity(delta + 1);
+        let mut checked = 0;
+        for &(lower, t) in chunk {
+            // A strictly larger lower bound cannot beat the ∆l-th best
+            // loss, not even on a tie (exact >= lower > best). Lower
+            // bounds ascend within the chunk, so stop outright.
+            if lower > bound
+                || (best.len() == delta && lower > best.peek().expect("non-empty").0 .0)
+            {
+                break;
+            }
+            let traj = &trajs[t];
             let exact = if traj.num_segments() == 0 {
                 // Single-sample trajectory: appending costs the distance
                 // from its only sample.
@@ -408,20 +512,10 @@ impl DatasetEditor {
             } else {
                 traj.segments().map(|(_, s)| s.dist_to_point(&q)).fold(f64::INFINITY, f64::min)
             };
-            self.stats.segments_checked += traj.num_segments().max(1);
-            if best.len() < delta {
-                best.push((trajdp_index::TotalF64(exact), t));
-            } else if exact < best.peek().expect("non-empty").0 .0 {
-                best.pop();
-                best.push((trajdp_index::TotalF64(exact), t));
-            }
+            checked += traj.num_segments().max(1);
+            push_bounded(&mut best, delta, (TotalF64(exact), t));
         }
-        let chosen: Vec<usize> = best.into_iter().map(|(_, t)| t).collect();
-        let inserted = chosen.len();
-        for t in chosen {
-            self.insert_point_into(t, q);
-        }
-        inserted
+        (best.into_sorted_vec().into_iter().map(|(l, t)| (l.0, t)).collect(), checked)
     }
 
     /// Inserts `q` into trajectory slot `t` at its best segment.
@@ -470,24 +564,47 @@ impl DatasetEditor {
         if delta == 0 {
             return 0;
         }
-        let mut candidates = self.trajectories_containing(q);
+        let victims = self.decrease_victims(q, delta, self.workers);
+        self.apply_decrease(q, &victims);
+        victims.len()
+    }
+
+    /// The ∆l victims a [`Self::decrease_tf`] of `q` would delete from:
+    /// the trajectories containing `q` with the smallest `(complete-
+    /// deletion loss, slot)` pairs, in ascending order — equal-loss ties
+    /// go to the smallest slot. A pure scan over up to `workers`
+    /// threads; the selection is identical at every worker count.
+    pub fn decrease_victims(&self, q: PointKey, delta: usize, workers: usize) -> Vec<usize> {
+        if delta == 0 {
+            return Vec::new();
+        }
+        let candidates = self.trajectories_containing(q);
         // Complete-deletion loss per candidate: Σ_s L[OP_d(q, s)].
-        let mut scored: Vec<(f64, usize)> = candidates
-            .drain(..)
-            .map(|t| {
+        let score_chunk = |_lo: usize, chunk: &[usize]| -> Vec<(TotalF64, usize)> {
+            let mut best: BinaryHeap<(TotalF64, usize)> = BinaryHeap::with_capacity(delta + 1);
+            for &t in chunk {
                 let traj = &self.trajs[t];
                 let total: f64 =
                     traj.occurrences(q).into_iter().map(|i| traj.deletion_loss(i)).sum();
-                (total, t)
-            })
-            .collect();
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let victims: Vec<usize> = scored.into_iter().take(delta).map(|(_, t)| t).collect();
-        let removed = victims.len();
-        for t in victims {
+                push_bounded(&mut best, delta, (TotalF64(total), t));
+            }
+            best.into_sorted_vec()
+        };
+        let mut scored: Vec<(TotalF64, usize)> = if workers > 1 && candidates.len() > 1 {
+            pool::map_chunks(workers, &candidates, score_chunk).into_iter().flatten().collect()
+        } else {
+            score_chunk(0, &candidates)
+        };
+        scored.sort_unstable();
+        scored.into_iter().take(delta).map(|(_, t)| t).collect()
+    }
+
+    /// Applies a decrease previously scanned by [`Self::decrease_victims`]:
+    /// deletes every occurrence of `q` from each victim, in order.
+    pub fn apply_decrease(&mut self, q: PointKey, victims: &[usize]) {
+        for &t in victims {
             self.delete_point_from(t, q);
         }
-        removed
     }
 
     /// Removes every occurrence of `q` from slot `t`, re-registering the
@@ -863,6 +980,179 @@ mod tests {
             pruned.stats.segments_checked,
             total_segments
         );
+    }
+
+    // ---------- tie-breaking and parallel scans ----------
+
+    /// 18 single-segment trajectories in two distance bands, arranged so
+    /// the *closer* band occupies the *higher* slots: slots 0–8 lie 20 m
+    /// from the query, slots 9–17 lie 5 m away. Every within-band
+    /// comparison is an equal-loss tie.
+    fn tie_heavy_trajs() -> Vec<Trajectory> {
+        (0..18)
+            .map(|slot| {
+                let y = if slot < 9 { 20.0 } else { 5.0 };
+                traj(slot, &[(0.0, y), (100.0, y)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bbox_vs_index_parity_on_tie_heavy_dataset() {
+        let trajs = tie_heavy_trajs();
+        let q = Point::new(50.0, 0.0);
+        for delta in [1usize, 3, 9, 12, 17] {
+            let mut plain = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            let mut pruned = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            pruned.use_bbox_pruning = true;
+            assert_eq!(plain.increase_tf(q, delta), pruned.increase_tf(q, delta));
+            let a: Vec<bool> =
+                plain.trajectories().iter().map(|t| t.passes_through(q.key())).collect();
+            let b: Vec<bool> =
+                pruned.trajectories().iter().map(|t| t.passes_through(q.key())).collect();
+            assert_eq!(a, b, "delta={delta}: selections diverge on ties");
+            assert!((plain.loss - pruned.loss).abs() < 1e-9, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn equal_loss_ties_go_to_smallest_slot_on_both_paths() {
+        // With delta = 3 the nearer band (slots 9–17) ties nine ways;
+        // the fixed rule must pick its three smallest slots.
+        let q = Point::new(50.0, 0.0);
+        for bbox in [false, true] {
+            let mut ed = DatasetEditor::new(tie_heavy_trajs(), IndexKind::default(), domain());
+            ed.use_bbox_pruning = bbox;
+            assert_eq!(ed.increase_tf(q, 3), 3);
+            let chosen: Vec<usize> =
+                (0..18).filter(|&t| ed.trajectories()[t].passes_through(q.key())).collect();
+            assert_eq!(chosen, vec![9, 10, 11], "bbox={bbox}");
+        }
+    }
+
+    #[test]
+    fn knn_tie_straddle_at_k_cutoff_still_picks_smallest_slots() {
+        // 30 identical trajectories: every eligible segment ties, and
+        // the initial k = 8 cutoff hides most of them behind the search
+        // frontier. The kNN path must keep growing k instead of letting
+        // index-visit order decide the tie, staying in lockstep with
+        // the bbox path.
+        let trajs: Vec<Trajectory> =
+            (0..30).map(|id| traj(id, &[(0.0, 10.0), (100.0, 10.0)])).collect();
+        let q = Point::new(50.0, 0.0);
+        for bbox in [false, true] {
+            let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            ed.use_bbox_pruning = bbox;
+            assert_eq!(ed.increase_tf(q, 2), 2);
+            let chosen: Vec<usize> =
+                (0..30).filter(|&t| ed.trajectories()[t].passes_through(q.key())).collect();
+            assert_eq!(chosen, vec![0, 1], "bbox={bbox}");
+        }
+    }
+
+    #[test]
+    fn decrease_tf_breaks_ties_by_smallest_slot() {
+        // q sits on the straight line of every trajectory, so all four
+        // complete-deletion losses are exactly zero.
+        let pts: &[(f64, f64)] = &[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)];
+        let trajs: Vec<Trajectory> = (0..4).map(|id| traj(id, pts)).collect();
+        let q = Point::new(50.0, 0.0).key();
+        let mut ed = DatasetEditor::new(trajs, IndexKind::default(), domain());
+        assert_eq!(ed.decrease_tf(q, 2), 2);
+        ed.check_invariants();
+        assert_eq!(ed.trajectories()[0].count_point(q), 0);
+        assert_eq!(ed.trajectories()[1].count_point(q), 0);
+        assert!(ed.trajectories()[2].passes_through(q));
+        assert!(ed.trajectories()[3].passes_through(q));
+    }
+
+    /// Seeded cluster dataset shared by the worker-invariance tests.
+    fn clustered_trajs(n: usize, seed: u64) -> Vec<Trajectory> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| {
+                let cx: f64 = rng.gen_range(0.0..900.0);
+                let cy: f64 = rng.gen_range(0.0..900.0);
+                let pts: Vec<(f64, f64)> = (0..10)
+                    .map(|_| (cx + rng.gen_range(0.0..100.0), cy + rng.gen_range(0.0..100.0)))
+                    .collect();
+                traj(id as u64, &pts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bbox_increase_is_worker_count_invariant() {
+        let trajs = clustered_trajs(40, 101);
+        let q = Point::new(450.0, 450.0);
+        for delta in [1usize, 4, 11] {
+            let mut serial = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            serial.use_bbox_pruning = true;
+            serial.increase_tf(q, delta);
+            for workers in [2usize, 3, 8] {
+                let mut par = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+                par.use_bbox_pruning = true;
+                par.workers = workers;
+                par.increase_tf(q, delta);
+                par.check_invariants();
+                assert_eq!(
+                    par.trajectories(),
+                    serial.trajectories(),
+                    "delta={delta} workers={workers}"
+                );
+                assert_eq!(par.loss, serial.loss, "delta={delta} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn decrease_is_worker_count_invariant() {
+        // Plant a shared point in every trajectory so the decrease scan
+        // has a wide candidate set.
+        let q = Point::new(500.0, 500.0);
+        let trajs: Vec<Trajectory> = clustered_trajs(30, 77)
+            .into_iter()
+            .map(|mut t| {
+                t.push_point(q);
+                t
+            })
+            .collect();
+        for delta in [1usize, 7, 30] {
+            let mut serial = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            serial.decrease_tf(q.key(), delta);
+            for workers in [2usize, 3, 8] {
+                let mut par = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+                par.workers = workers;
+                par.decrease_tf(q.key(), delta);
+                par.check_invariants();
+                assert_eq!(
+                    par.trajectories(),
+                    serial.trajectories(),
+                    "delta={delta} workers={workers}"
+                );
+                assert_eq!(par.loss, serial.loss, "delta={delta} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn decrease_victims_is_a_pure_scan() {
+        let q = Point::new(500.0, 500.0);
+        let trajs: Vec<Trajectory> = clustered_trajs(10, 5)
+            .into_iter()
+            .map(|mut t| {
+                t.push_point(q);
+                t
+            })
+            .collect();
+        let ed = DatasetEditor::new(trajs, IndexKind::default(), domain());
+        let before: Vec<Trajectory> = ed.trajectories().to_vec();
+        let victims = ed.decrease_victims(q.key(), 3, 4);
+        assert_eq!(victims.len(), 3);
+        assert_eq!(ed.trajectories(), &before[..], "scan must not modify the dataset");
+        assert_eq!(victims, ed.decrease_victims(q.key(), 3, 1), "worker count changed the scan");
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct GlobalReport {
     pub insertions: usize,
     /// Point deletions performed.
     pub deletions: usize,
-    /// Accumulated K-nearest-search work.
+    /// Accumulated K-nearest-search work. Unlike every other field,
+    /// this one is *not* worker-count invariant: chunked parallel scans
+    /// prune differently than the serial heap, so the counters reflect
+    /// the work actually done, not a canonical amount.
     pub search_stats: SearchStats,
 }
 
@@ -87,22 +90,48 @@ pub fn perturb_tf_streamed(
     Ok(perturb_tf_shard(analysis, &candidates, 0, epsilon, root_seed)?.into_iter().collect())
 }
 
+/// One planned inter-trajectory edit of [`realize_tf`].
+enum EditStep {
+    /// Raise the TF of the point by the given amount.
+    Increase(PointKey, usize),
+    /// Lower the TF of the point by the given amount.
+    Decrease(PointKey, usize),
+}
+
 /// Inter-trajectory modification (`GlobalEdit`, Algorithm 1 line 7):
 /// deterministically edits the dataset until it realizes `perturbed`.
 ///
 /// This phase draws no randomness — given the perturbed targets it is a
 /// pure function of the dataset, so it runs the same whether the targets
-/// came from the serial or the sharded perturbation path.
+/// came from the serial or the sharded perturbation path, and it
+/// parallelizes deterministically over `workers` threads: the exact-loss
+/// candidate scans inside each edit are chunked (see
+/// [`DatasetEditor`]), and consecutive TF decreases whose containing
+/// trajectory sets are pairwise disjoint — whose edits provably cannot
+/// interact — are scanned concurrently against a shared snapshot before
+/// their deletions apply in candidate order. Any overlap falls back to
+/// serial processing, so the output dataset, edit counts, and utility
+/// loss are **byte-identical** to `workers == 1` at every worker count.
+/// The one exception is [`GlobalReport::search_stats`]: the work
+/// counters measure how much pruning each scan achieved, which
+/// legitimately differs between the serial heap and the chunked scans.
 pub fn realize_tf(
     ds: &Dataset,
     analysis: &FrequencyAnalysis,
     perturbed: &HashMap<PointKey, u64>,
     kind: IndexKind,
     bbox_pruning: bool,
+    workers: usize,
 ) -> (Dataset, GlobalReport) {
+    let workers = workers.max(1);
     let mut editor = DatasetEditor::new(ds.trajectories.clone(), kind, ds.domain);
     editor.use_bbox_pruning = bbox_pruning;
+    editor.workers = workers;
     let mut tf_changes = HashMap::with_capacity(perturbed.len());
+    // Plan every edit up front. An edit touches only occurrences of its
+    // own point, so it never changes another candidate's TF and the
+    // deltas are fixed before any edit applies.
+    let mut steps: Vec<EditStep> = Vec::new();
     for p in analysis.candidate_points() {
         let original = analysis.candidate_tf[&p];
         let target = perturbed[&p];
@@ -110,12 +139,65 @@ pub fn realize_tf(
         let current = editor.tf(p) as u64;
         match target.cmp(&current) {
             std::cmp::Ordering::Greater => {
-                editor.increase_tf(p.to_point(), (target - current) as usize);
+                steps.push(EditStep::Increase(p, (target - current) as usize));
             }
             std::cmp::Ordering::Less => {
-                editor.decrease_tf(p, (current - target) as usize);
+                steps.push(EditStep::Decrease(p, (current - target) as usize));
             }
             std::cmp::Ordering::Equal => {}
+        }
+    }
+    let mut i = 0;
+    while i < steps.len() {
+        match steps[i] {
+            EditStep::Increase(p, delta) => {
+                // An insertion search may read any trajectory, so
+                // increases never batch with neighbouring edits.
+                editor.increase_tf(p.to_point(), delta);
+                i += 1;
+            }
+            EditStep::Decrease(..) => {
+                // Batch the maximal run of decreases with pairwise
+                // disjoint containing sets: each one scans (and deletes
+                // from) only trajectories containing its point, so
+                // disjointness proves the scans see the same state as
+                // under serial execution. A conflicting decrease closes
+                // the batch and starts the next — the serial fallback.
+                let mut batch: Vec<(PointKey, usize)> = Vec::new();
+                let mut touched: std::collections::HashSet<usize> =
+                    std::collections::HashSet::new();
+                while let Some(&EditStep::Decrease(p, delta)) = steps.get(i) {
+                    let containing = editor.trajectories_containing(p);
+                    if !batch.is_empty() && containing.iter().any(|t| touched.contains(t)) {
+                        break;
+                    }
+                    touched.extend(containing);
+                    batch.push((p, delta));
+                    i += 1;
+                }
+                if workers == 1 || batch.len() == 1 {
+                    for (p, delta) in batch {
+                        editor.decrease_tf(p, delta);
+                    }
+                } else {
+                    // Scan all batch members concurrently against the
+                    // shared snapshot, then apply in candidate order.
+                    let snapshot = &editor;
+                    let victims: Vec<Vec<usize>> =
+                        crate::pool::map_chunks(workers, &batch, |_, chunk| {
+                            chunk
+                                .iter()
+                                .map(|&(p, delta)| snapshot.decrease_victims(p, delta, 1))
+                                .collect::<Vec<_>>()
+                        })
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                    for ((p, _), v) in batch.iter().zip(&victims) {
+                        editor.apply_decrease(*p, v);
+                    }
+                }
+            }
         }
     }
     let report = GlobalReport {
@@ -141,10 +223,11 @@ pub fn apply_global<R: Rng + ?Sized>(
     epsilon: f64,
     kind: IndexKind,
     bbox_pruning: bool,
+    workers: usize,
     rng: &mut R,
 ) -> Result<(Dataset, GlobalReport), MechError> {
     let perturbed = perturb_tf(analysis, epsilon, rng)?;
-    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning))
+    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning, workers))
 }
 
 /// [`apply_global`] with per-point RNG streams instead of a shared
@@ -156,10 +239,11 @@ pub fn apply_global_streamed(
     epsilon: f64,
     kind: IndexKind,
     bbox_pruning: bool,
+    workers: usize,
     root_seed: u64,
 ) -> Result<(Dataset, GlobalReport), MechError> {
     let perturbed = perturb_tf_streamed(analysis, epsilon, root_seed)?;
-    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning))
+    Ok(realize_tf(ds, analysis, &perturbed, kind, bbox_pruning, workers))
 }
 
 #[cfg(test)]
@@ -227,7 +311,7 @@ mod tests {
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(11);
         let (out, report) =
-            apply_global(&d, &fa, 0.5, IndexKind::default(), false, &mut rng).unwrap();
+            apply_global(&d, &fa, 0.5, IndexKind::default(), false, 1, &mut rng).unwrap();
         assert_eq!(out.len(), d.len());
         for (p, &(_, target)) in &report.tf_changes {
             let realized = out.trajectory_frequency(*p) as u64;
@@ -241,7 +325,7 @@ mod tests {
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(17);
         let (out, report) =
-            apply_global(&d, &fa, 1000.0, IndexKind::default(), false, &mut rng).unwrap();
+            apply_global(&d, &fa, 1000.0, IndexKind::default(), false, 1, &mut rng).unwrap();
         assert_eq!(report.insertions, 0);
         assert_eq!(report.deletions, 0);
         assert_eq!(report.utility_loss, 0.0);
@@ -268,11 +352,37 @@ mod tests {
     fn streamed_apply_is_deterministic_and_seed_sensitive() {
         let d = ds();
         let fa = FrequencyAnalysis::compute(&d, 2);
-        let (a, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 5).unwrap();
-        let (b, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 5).unwrap();
+        let (a, _) =
+            apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 1, 5).unwrap();
+        let (b, _) =
+            apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 1, 5).unwrap();
         assert_eq!(a, b);
-        let (c, _) = apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 6).unwrap();
+        let (c, _) =
+            apply_global_streamed(&d, &fa, 0.5, IndexKind::default(), false, 1, 6).unwrap();
         assert_ne!(a, c, "different root seeds must perturb differently");
+    }
+
+    #[test]
+    fn realize_tf_is_worker_count_invariant() {
+        use trajdp_synth::{generate, GeneratorConfig};
+        // A realistic world gives a candidate set with a healthy mix of
+        // increases, decreases, and no-ops once perturbed.
+        let world = generate(&GeneratorConfig::tdrive_profile(25, 50, 13));
+        let d = &world.dataset;
+        let fa = FrequencyAnalysis::compute(d, 4);
+        let perturbed = perturb_tf_streamed(&fa, 0.4, 21).unwrap();
+        for bbox in [false, true] {
+            let (base, base_report) = realize_tf(d, &fa, &perturbed, IndexKind::default(), bbox, 1);
+            for workers in [2usize, 3, 8] {
+                let (out, report) =
+                    realize_tf(d, &fa, &perturbed, IndexKind::default(), bbox, workers);
+                assert_eq!(out, base, "bbox={bbox} workers={workers} dataset diverged");
+                assert_eq!(report.insertions, base_report.insertions);
+                assert_eq!(report.deletions, base_report.deletions);
+                assert_eq!(report.utility_loss, base_report.utility_loss);
+                assert_eq!(report.tf_changes, base_report.tf_changes);
+            }
+        }
     }
 
     #[test]
@@ -281,7 +391,7 @@ mod tests {
         let fa = FrequencyAnalysis::compute(&d, 2);
         let mut rng = StdRng::seed_from_u64(23);
         let (_, report) =
-            apply_global(&d, &fa, 0.2, IndexKind::default(), false, &mut rng).unwrap();
+            apply_global(&d, &fa, 0.2, IndexKind::default(), false, 1, &mut rng).unwrap();
         // Any modification must be accounted: if points moved, loss ≥ 0
         // and the counters reflect edits.
         if report.insertions == 0 && report.deletions == 0 {

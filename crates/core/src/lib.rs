@@ -22,6 +22,9 @@
 //!   keeping a spatial index incrementally up to date.
 //! * [`pipeline`] — the published models: `PureG`, `PureL`, and the
 //!   composed `GL` with ε = ε_G + ε_L (Theorem 1).
+//! * [`pool`] — the scoped-thread chunked worker pool behind the
+//!   deterministic parallelism of the modification phase (and the
+//!   server's sharded executor).
 //!
 //! ```
 //! use trajdp_core::pipeline::{anonymize, Model};
@@ -44,6 +47,7 @@ pub mod global;
 pub mod indexkind;
 pub mod local;
 pub mod pipeline;
+pub mod pool;
 pub mod stream;
 
 pub use freq::{FrequencyAnalysis, SignatureEntry};

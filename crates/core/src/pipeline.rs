@@ -45,6 +45,10 @@ pub struct FreqDpConfig {
     /// phase instead of the segment index (the §V-C future-work
     /// optimization; same output, different search).
     pub bbox_pruning: bool,
+    /// Worker threads for the global modification phase (`GlobalEdit`).
+    /// The phase draws no randomness, so the output is byte-identical at
+    /// every value; `1` runs fully serial.
+    pub workers: usize,
     /// RNG seed for reproducible runs.
     pub seed: u64,
 }
@@ -58,6 +62,7 @@ impl Default for FreqDpConfig {
             index: IndexKind::default(),
             local_opts: LocalOptions::default(),
             bbox_pruning: false,
+            workers: 1,
             seed: 0xFD01,
         }
     }
@@ -202,6 +207,7 @@ pub fn anonymize(
                 cfg.eps_global,
                 cfg.index,
                 cfg.bbox_pruning,
+                cfg.workers,
                 cfg.seed,
             )
         },

@@ -10,41 +10,30 @@
 //! * **global phase** — the sorted candidate set is cut into one
 //!   contiguous shard per worker; each worker perturbs its frequency
 //!   partition with `perturb_tf_shard`, shards merge into the full
-//!   perturbed TF map, and the deterministic (randomness-free)
-//!   inter-trajectory modification runs once on the merged map.
+//!   perturbed TF map, and the randomness-free inter-trajectory
+//!   modification runs on the merged map with its own deterministic
+//!   chunked parallelism (`realize_tf` with the same worker count).
 //! * **local phase** — trajectory slots are cut into contiguous shards;
 //!   each worker runs `local_unit_streamed` per slot, and the units
 //!   merge in slot order (fixed float-summation order, so even the
 //!   report's aggregates match the serial run exactly).
 //!
+//! Both phases shard through `trajdp_core::pool::map_chunks`, the same
+//! scoped-thread chunk pool the modification phase uses internally.
 //! Budget accounting is identical to the serial pipeline: the ledger
 //! records one spend per mechanism, not per shard.
 
 use trajdp_core::freq::FrequencyAnalysis;
 use trajdp_core::global::{perturb_tf_shard, realize_tf, GlobalReport};
 use trajdp_core::local::{local_unit_streamed, merge_local_units, LocalReport, LocalUnit};
+use trajdp_core::pool::map_chunks;
 use trajdp_core::{run_model, AnonymizedOutput, FreqDpConfig, Model};
 use trajdp_mech::MechError;
 use trajdp_model::Dataset;
 
-/// Splits `len` items into at most `workers` contiguous chunks of
-/// near-equal size, returned as `(start, end)` ranges.
-fn shard_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
-    let workers = workers.max(1).min(len.max(1));
-    let base = len / workers;
-    let extra = len % workers;
-    let mut out = Vec::with_capacity(workers);
-    let mut start = 0;
-    for w in 0..workers {
-        let size = base + usize::from(w < extra);
-        out.push((start, start + size));
-        start += size;
-    }
-    out
-}
-
 /// Runs the global mechanism with the TF perturbation sharded over
-/// `workers` threads, then the deterministic modification phase.
+/// `workers` threads, then the modification phase parallelized over the
+/// same worker count.
 fn parallel_global(
     input: &Dataset,
     analysis: &FrequencyAnalysis,
@@ -52,23 +41,14 @@ fn parallel_global(
     workers: usize,
 ) -> Result<(Dataset, GlobalReport), MechError> {
     let candidates = analysis.candidate_points();
-    let shards = shard_ranges(candidates.len(), workers);
-    let mut partials: Vec<Result<Vec<_>, MechError>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&(lo, hi)| {
-                let chunk = &candidates[lo..hi];
-                s.spawn(move || perturb_tf_shard(analysis, chunk, lo, cfg.eps_global, cfg.seed))
-            })
-            .collect();
-        partials = handles.into_iter().map(|h| h.join().expect("shard panicked")).collect();
+    let partials = map_chunks(workers, &candidates, |lo, chunk| {
+        perturb_tf_shard(analysis, chunk, lo, cfg.eps_global, cfg.seed)
     });
     let mut perturbed = std::collections::HashMap::with_capacity(candidates.len());
     for partial in partials {
         perturbed.extend(partial?);
     }
-    Ok(realize_tf(input, analysis, &perturbed, cfg.index, cfg.bbox_pruning))
+    Ok(realize_tf(input, analysis, &perturbed, cfg.index, cfg.bbox_pruning, workers))
 }
 
 /// Runs the local mechanism sharded over `workers` threads, merging
@@ -79,34 +59,25 @@ fn parallel_local(
     cfg: &FreqDpConfig,
     workers: usize,
 ) -> Result<(Dataset, LocalReport), MechError> {
-    let shards = shard_ranges(input.len(), workers);
-    let mut partials: Vec<Result<Vec<LocalUnit>, MechError>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&(lo, hi)| {
-                s.spawn(move || {
-                    input.trajectories[lo..hi]
-                        .iter()
-                        .enumerate()
-                        .map(|(offset, traj)| {
-                            local_unit_streamed(
-                                traj,
-                                analysis,
-                                lo + offset,
-                                cfg.eps_local,
-                                cfg.index,
-                                cfg.local_opts,
-                                input.domain,
-                                cfg.seed,
-                            )
-                        })
-                        .collect()
+    let partials: Vec<Result<Vec<LocalUnit>, MechError>> =
+        map_chunks(workers, &input.trajectories, |lo, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, traj)| {
+                    local_unit_streamed(
+                        traj,
+                        analysis,
+                        lo + offset,
+                        cfg.eps_local,
+                        cfg.index,
+                        cfg.local_opts,
+                        input.domain,
+                        cfg.seed,
+                    )
                 })
-            })
-            .collect();
-        partials = handles.into_iter().map(|h| h.join().expect("shard panicked")).collect();
-    });
+                .collect()
+        });
     let mut units = Vec::with_capacity(input.len());
     for partial in partials {
         units.extend(partial?);
@@ -160,19 +131,23 @@ mod tests {
     }
 
     #[test]
-    fn shard_ranges_cover_exactly() {
-        for len in [0usize, 1, 2, 5, 7, 100] {
-            for workers in [1usize, 2, 3, 8, 200] {
-                let shards = shard_ranges(len, workers);
-                assert!(shards.len() <= workers.max(1));
-                let mut expected = 0;
-                for &(lo, hi) in &shards {
-                    assert_eq!(lo, expected, "len {len} workers {workers}");
-                    assert!(hi >= lo);
-                    expected = hi;
-                }
-                assert_eq!(expected, len, "len {len} workers {workers}");
-            }
+    fn executor_matches_pipeline_with_parallel_modification() {
+        // The serial pipeline with `cfg.workers > 1` parallelizes only
+        // its modification phase; the executor additionally shards the
+        // perturbation. All three paths must agree byte for byte.
+        let d = ds();
+        let serial = trajdp_core::anonymize(
+            &d,
+            Model::Combined,
+            &FreqDpConfig { m: 3, workers: 1, ..Default::default() },
+        )
+        .unwrap();
+        for workers in [2usize, 8] {
+            let cfg = FreqDpConfig { m: 3, workers, ..Default::default() };
+            let pipeline = trajdp_core::anonymize(&d, Model::Combined, &cfg).unwrap();
+            let executor = anonymize_parallel(&d, Model::Combined, &cfg, workers).unwrap();
+            assert_eq!(pipeline.dataset, serial.dataset, "pipeline at {workers} workers");
+            assert_eq!(executor.dataset, serial.dataset, "executor at {workers} workers");
         }
     }
 

@@ -53,7 +53,14 @@ impl AnonymizeSpec {
     /// The derived core pipeline configuration.
     pub fn config(&self) -> FreqDpConfig {
         let (eps_global, eps_local) = budget_split(self.model, self.epsilon, self.eps_split);
-        FreqDpConfig { m: self.m, eps_global, eps_local, seed: self.seed, ..Default::default() }
+        FreqDpConfig {
+            m: self.m,
+            eps_global,
+            eps_local,
+            seed: self.seed,
+            workers: self.workers,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,6 +150,20 @@ pub fn validate_eps_split(split: f64) -> Result<f64, String> {
     }
 }
 
+/// Validates a worker-thread count at the CLI/protocol boundary: must
+/// lie in `[1, MAX_WORKERS]`. A zero count used to be clamped silently
+/// deep inside the chunking helper; rejecting it here keeps the
+/// contract visible, mirroring [`validate_eps_split`].
+pub fn validate_workers(workers: u64) -> Result<usize, String> {
+    if workers == 0 {
+        Err("workers must be at least 1".into())
+    } else if workers > MAX_WORKERS {
+        Err(format!("workers must not exceed {MAX_WORKERS}"))
+    } else {
+        Ok(workers as usize)
+    }
+}
+
 fn get_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
     match v.get(key) {
         None => Ok(default),
@@ -195,17 +216,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if m == 0 || m > MAX_M {
                 return Err(format!("m must lie in [1, {MAX_M}]"));
             }
-            let workers = get_u64(&v, "workers", 1)?;
-            if workers > MAX_WORKERS {
-                return Err(format!("workers must not exceed {MAX_WORKERS}"));
-            }
+            let workers = validate_workers(get_u64(&v, "workers", 1)?)?;
             let spec = AnonymizeSpec {
                 model,
                 epsilon,
                 eps_split,
                 m: m as usize,
                 seed: get_u64(&v, "seed", 42)?,
-                workers: (workers as usize).max(1),
+                workers,
                 csv: get_str(&v, "csv")?.to_string(),
             };
             let asynchronous = v.get("async").and_then(Json::as_bool).unwrap_or(false);
@@ -416,6 +434,18 @@ mod tests {
         assert!(validate_eps_split(1.0).is_err());
         assert!(validate_eps_split(-0.1).is_err());
         assert!(validate_eps_split(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn workers_validation_bounds() {
+        assert_eq!(validate_workers(1), Ok(1));
+        assert_eq!(validate_workers(MAX_WORKERS), Ok(MAX_WORKERS as usize));
+        assert!(validate_workers(0).unwrap_err().contains("at least 1"));
+        assert!(validate_workers(MAX_WORKERS + 1).unwrap_err().contains("exceed"));
+        // Zero workers in a request must error, not clamp silently.
+        assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","workers":0,"csv":""}"#)
+            .unwrap_err()
+            .contains("workers"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! on real exported data without writing Rust; `serve` turns it into a
 //! long-lived JSON-lines service (`trajdp_server`).
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use traj_freq_dp::core::{anonymize, FreqDpConfig};
 use traj_freq_dp::metrics::{
@@ -24,7 +25,9 @@ use traj_freq_dp::metrics::{
 use traj_freq_dp::model::csv::{from_csv, to_csv};
 use traj_freq_dp::model::stats::DatasetStats;
 use traj_freq_dp::model::Dataset;
-use traj_freq_dp::server::protocol::{budget_split, parse_model, validate_eps_split};
+use traj_freq_dp::server::protocol::{
+    budget_split, parse_model, validate_eps_split, validate_workers,
+};
 use traj_freq_dp::server::{anonymize_parallel, Client, Server, ServerConfig};
 use traj_freq_dp::synth::{generate, GeneratorConfig};
 
@@ -52,20 +55,60 @@ usage:
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
   trajdp submit    --addr HOST:PORT [--file REQUEST.json]";
 
-/// Pulls the value following `--name` out of the argument list.
-fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.windows(2).find(|w| w[0] == format!("--{name}")).map(|w| w[1].as_str())
+/// Parsed `--flag value` pairs of one subcommand.
+type Flags<'a> = HashMap<&'a str, &'a str>;
+
+fn flag_list(accepted: &[&str]) -> String {
+    accepted.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ")
 }
 
-fn opt_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
-    match opt(args, name) {
+/// Parses `--flag value` pairs against the subcommand's accepted set.
+/// Unknown or misspelled options, bare positional arguments, duplicate
+/// flags, and a trailing flag with no value are all hard errors — a
+/// `--epsilonn 2.0` must fail loudly, never run with the default.
+fn parse_flags<'a>(cmd: &str, args: &'a [String], accepted: &[&str]) -> Result<Flags<'a>, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let name = arg.strip_prefix("--").ok_or_else(|| {
+            format!(
+                "unexpected argument {arg:?} to {cmd} (accepted flags: {})",
+                flag_list(accepted)
+            )
+        })?;
+        if !accepted.contains(&name) {
+            return Err(format!(
+                "unknown option --{name} for {cmd} (accepted flags: {})",
+                flag_list(accepted)
+            ));
+        }
+        let value = it.next().ok_or_else(|| format!("missing value for --{name} (of {cmd})"))?;
+        if value.starts_with("--") {
+            // `--out --len` means --out's value was forgotten, not that
+            // a file named "--len" was intended.
+            return Err(format!("missing value for --{name} (found flag {value:?} instead)"));
+        }
+        if flags.insert(name, value.as_str()).is_some() {
+            return Err(format!("duplicate option --{name}"));
+        }
+    }
+    Ok(flags)
+}
+
+/// The value of `--name`, if given.
+fn opt<'a>(flags: &Flags<'a>, name: &str) -> Option<&'a str> {
+    flags.get(name).copied()
+}
+
+fn opt_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match opt(flags, name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("invalid --{name}: {v:?}")),
     }
 }
 
-fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
-    opt(args, name).ok_or_else(|| format!("missing required --{name}"))
+fn required<'a>(flags: &Flags<'a>, name: &str) -> Result<&'a str, String> {
+    opt(flags, name).ok_or_else(|| format!("missing required --{name}"))
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
@@ -82,10 +125,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match cmd {
         "gen" => {
-            let size = opt_parse(rest, "size", 200usize)?;
-            let len = opt_parse(rest, "len", 150usize)?;
-            let seed = opt_parse(rest, "seed", 42u64)?;
-            let out = required(rest, "out")?;
+            let flags = parse_flags(cmd, rest, &["size", "len", "seed", "out"])?;
+            let size = opt_parse(&flags, "size", 200usize)?;
+            let len = opt_parse(&flags, "len", 150usize)?;
+            let seed = opt_parse(&flags, "seed", 42u64)?;
+            let out = required(&flags, "out")?;
             let world = generate(&GeneratorConfig::tdrive_profile(size, len, seed));
             save(out, &world.dataset)?;
             let stats = DatasetStats::compute(&world.dataset);
@@ -96,25 +140,35 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "anonymize" => {
-            let model = parse_model(required(rest, "model")?)?;
-            let epsilon = opt_parse(rest, "epsilon", 1.0f64)?;
+            let flags = parse_flags(
+                cmd,
+                rest,
+                &["model", "epsilon", "eps-split", "m", "seed", "parallel", "input", "out"],
+            )?;
+            let model = parse_model(required(&flags, "model")?)?;
+            let epsilon = opt_parse(&flags, "epsilon", 1.0f64)?;
             if epsilon <= 0.0 || !epsilon.is_finite() {
                 return Err("--epsilon must be positive".into());
             }
-            let eps_split = validate_eps_split(opt_parse(rest, "eps-split", 0.5f64)?)?;
-            let m = opt_parse(rest, "m", 10usize)?;
-            let seed = opt_parse(rest, "seed", 42u64)?;
-            let parallel = opt_parse(rest, "parallel", 1usize)?;
-            if parallel == 0 {
-                return Err("--parallel must be at least 1".into());
-            }
-            let input = required(rest, "input")?;
-            let out = required(rest, "out")?;
+            let eps_split = validate_eps_split(opt_parse(&flags, "eps-split", 0.5f64)?)?;
+            let m = opt_parse(&flags, "m", 10usize)?;
+            let seed = opt_parse(&flags, "seed", 42u64)?;
+            let parallel = validate_workers(opt_parse(&flags, "parallel", 1u64)?)
+                .map_err(|e| format!("--parallel: {e}"))?;
+            let input = required(&flags, "input")?;
+            let out = required(&flags, "out")?;
             let ds = load(input)?;
             // Pure models spend the full ε on their single mechanism;
             // combined models split it by --eps-split (global share).
             let (eps_global, eps_local) = budget_split(model, epsilon, eps_split);
-            let cfg = FreqDpConfig { m, eps_global, eps_local, seed, ..Default::default() };
+            let cfg = FreqDpConfig {
+                m,
+                eps_global,
+                eps_local,
+                seed,
+                workers: parallel,
+                ..Default::default()
+            };
             let result = if parallel > 1 {
                 anonymize_parallel(&ds, model, &cfg, parallel).map_err(|e| e.to_string())?
             } else {
@@ -130,8 +184,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "evaluate" => {
-            let original = load(required(rest, "original")?)?;
-            let anonymized = load(required(rest, "anonymized")?)?;
+            let flags = parse_flags(cmd, rest, &["original", "anonymized"])?;
+            let original = load(required(&flags, "original")?)?;
+            let anonymized = load(required(&flags, "anonymized")?)?;
             if original.len() != anonymized.len() {
                 return Err("datasets must contain the same number of trajectories".into());
             }
@@ -143,15 +198,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let ds = load(required(rest, "input")?)?;
+            let flags = parse_flags(cmd, rest, &["input"])?;
+            let ds = load(required(&flags, "input")?)?;
             let s = DatasetStats::compute(&ds);
             println!("{s:#?}");
             Ok(())
         }
         "serve" => {
-            let addr = opt(rest, "addr").unwrap_or("127.0.0.1:7878").to_string();
-            let workers = opt_parse(rest, "workers", 2usize)?;
-            let max_connections = opt_parse(rest, "max-conn", 32usize)?;
+            let flags = parse_flags(cmd, rest, &["addr", "workers", "max-conn"])?;
+            let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
+            let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
+                .map_err(|e| format!("--workers: {e}"))?;
+            let max_connections = opt_parse(&flags, "max-conn", 32usize)?;
             let server = Server::start(ServerConfig { addr, workers, max_connections })
                 .map_err(|e| format!("cannot bind: {e}"))?;
             eprintln!(
@@ -166,8 +224,9 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "submit" => {
-            let addr = required(rest, "addr")?;
-            let request = match opt(rest, "file") {
+            let flags = parse_flags(cmd, rest, &["addr", "file"])?;
+            let addr = required(&flags, "addr")?;
+            let request = match opt(&flags, "file") {
                 Some(path) => {
                     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
                 }
@@ -201,13 +260,53 @@ mod tests {
     #[test]
     fn opt_parsing() {
         let args = a(&["--size", "10", "--out", "x.csv"]);
-        assert_eq!(opt(&args, "size"), Some("10"));
-        assert_eq!(opt(&args, "missing"), None);
-        assert_eq!(opt_parse(&args, "size", 5usize).unwrap(), 10);
-        assert_eq!(opt_parse(&args, "other", 5usize).unwrap(), 5);
-        assert!(opt_parse::<usize>(&a(&["--size", "xx"]), "size", 1).is_err());
-        assert!(required(&args, "out").is_ok());
-        assert!(required(&args, "nope").is_err());
+        let flags = parse_flags("gen", &args, &["size", "len", "seed", "out"]).unwrap();
+        assert_eq!(opt(&flags, "size"), Some("10"));
+        assert_eq!(opt(&flags, "len"), None);
+        assert_eq!(opt_parse(&flags, "size", 5usize).unwrap(), 10);
+        assert_eq!(opt_parse(&flags, "len", 5usize).unwrap(), 5);
+        assert!(required(&flags, "out").is_ok());
+        assert!(required(&flags, "seed").is_err());
+        let args = a(&["--size", "xx"]);
+        let bad = parse_flags("gen", &args, &["size"]).unwrap();
+        assert!(opt_parse::<usize>(&bad, "size", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_and_dangling_flags_are_rejected() {
+        // A misspelled flag must not silently run with the default.
+        let err = parse_flags("anonymize", &a(&["--epsilonn", "2.0"]), &["epsilon"]).unwrap_err();
+        assert!(err.contains("--epsilonn") && err.contains("--epsilon"), "{err}");
+        // A trailing flag with no value must not be ignored.
+        let err =
+            parse_flags("gen", &a(&["--size", "5", "--seed"]), &["size", "seed"]).unwrap_err();
+        assert!(err.contains("missing value for --seed"), "{err}");
+        // A flag token in value position means the value was forgotten;
+        // it must not be swallowed as the value.
+        let err = parse_flags("gen", &a(&["--out", "--len", "5"]), &["out", "len"]).unwrap_err();
+        assert!(err.contains("missing value for --out"), "{err}");
+        // Bare positional arguments and duplicates are errors too.
+        assert!(parse_flags("stats", &a(&["input.csv"]), &["input"])
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(parse_flags("gen", &a(&["--size", "1", "--size", "2"]), &["size"])
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn misspelled_flag_errors_name_accepted_flags() {
+        let err = run(&a(&["anonymize", "--model", "gl", "--epsilonn", "2.0"])).unwrap_err();
+        assert!(err.contains("unknown option --epsilonn"), "{err}");
+        assert!(err.contains("--epsilon") && err.contains("--eps-split"), "{err}");
+        let err = run(&a(&["gen", "--out", "x.csv", "--sizee", "5"])).unwrap_err();
+        assert!(err.contains("--sizee"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        let err = run(&a(&["serve", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("workers") && err.contains("at least 1"), "{err}");
     }
 
     #[test]

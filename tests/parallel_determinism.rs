@@ -25,6 +25,46 @@ fn parallel_csv_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn parallel_modification_is_byte_identical_for_combined_models() {
+    // The global modification phase (`GlobalEdit`) is parallelized via
+    // `cfg.workers`; both full combined pipelines must release the exact
+    // same bytes at every worker count, through both the serial pipeline
+    // and the sharded executor.
+    let world = generate(&GeneratorConfig::tdrive_profile(35, 70, 29));
+    for model in [Model::Combined, Model::CombinedLocalFirst] {
+        let base_cfg = FreqDpConfig { m: 6, seed: 0xBEEF, ..Default::default() };
+        let serial_csv = to_csv(&anonymize(&world.dataset, model, &base_cfg).unwrap().dataset);
+        for workers in [1usize, 2, 3, 8] {
+            let cfg = FreqDpConfig { workers, ..base_cfg };
+            let pipeline_csv = to_csv(&anonymize(&world.dataset, model, &cfg).unwrap().dataset);
+            assert_eq!(
+                pipeline_csv, serial_csv,
+                "{model:?}: pipeline with cfg.workers={workers} diverged"
+            );
+            let executor_csv =
+                to_csv(&anonymize_parallel(&world.dataset, model, &cfg, workers).unwrap().dataset);
+            assert_eq!(
+                executor_csv, serial_csv,
+                "{model:?}: executor with {workers} workers diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_modification_with_bbox_pruning_is_byte_identical() {
+    let world = generate(&GeneratorConfig::tdrive_profile(25, 50, 31));
+    let base_cfg = FreqDpConfig { m: 5, seed: 0xACE, bbox_pruning: true, ..Default::default() };
+    let serial_csv =
+        to_csv(&anonymize(&world.dataset, Model::Combined, &base_cfg).unwrap().dataset);
+    for workers in [2usize, 3, 8] {
+        let cfg = FreqDpConfig { workers, ..base_cfg };
+        let csv = to_csv(&anonymize(&world.dataset, Model::Combined, &cfg).unwrap().dataset);
+        assert_eq!(csv, serial_csv, "bbox-pruned modification diverged at {workers} workers");
+    }
+}
+
+#[test]
 fn different_seeds_still_differ_in_parallel() {
     let world = generate(&GeneratorConfig::tdrive_profile(15, 40, 23));
     let a = anonymize_parallel(
