@@ -39,4 +39,77 @@ impl Client {
     pub fn request(&mut self, req: &Json) -> Result<Json, String> {
         self.request_line(&req.to_string())
     }
+
+    /// Streams a dataset to the server in pieces of at most
+    /// `chunk_bytes` via `upload` / `chunk` / `commit`, returning the
+    /// committed `ds-<id>` handle. The commit acknowledgement must
+    /// account for every byte sent, or the transfer errors.
+    pub fn upload_dataset(&mut self, csv: &str, chunk_bytes: usize) -> Result<String, String> {
+        let chunk_bytes = chunk_bytes.max(1);
+        let opened = self.request(&Json::obj([("cmd", Json::from("upload"))]))?;
+        let handle = expect_ok(&opened)?
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or("upload response carries no dataset handle")?
+            .to_string();
+        let mut offset = 0;
+        while offset < csv.len() {
+            let mut end = crate::store::floor_char_boundary(csv, offset + chunk_bytes);
+            if end <= offset {
+                // Budget smaller than one scalar: send it whole anyway.
+                end = offset + csv[offset..].chars().next().map_or(1, char::len_utf8);
+            }
+            let sent = self.request(&Json::obj([
+                ("cmd", Json::from("chunk")),
+                ("dataset", Json::from(handle.clone())),
+                ("data", Json::from(&csv[offset..end])),
+            ]))?;
+            expect_ok(&sent)?;
+            offset = end;
+        }
+        let committed = self.request(&Json::obj([
+            ("cmd", Json::from("commit")),
+            ("dataset", Json::from(handle.clone())),
+        ]))?;
+        let bytes = expect_ok(&committed)?.get("bytes").and_then(Json::as_u64);
+        if bytes != Some(csv.len() as u64) {
+            return Err(format!("commit acknowledged {bytes:?} bytes for {} sent", csv.len()));
+        }
+        Ok(handle)
+    }
+
+    /// Reassembles a committed dataset by walking `download` pieces to
+    /// eof.
+    pub fn download_dataset(&mut self, handle: &str) -> Result<String, String> {
+        let mut out = String::new();
+        loop {
+            let piece = self.request(&Json::obj([
+                ("cmd", Json::from("download")),
+                ("dataset", Json::from(handle)),
+                ("offset", Json::from(out.len())),
+            ]))?;
+            let piece = expect_ok(&piece)?;
+            let data =
+                piece.get("data").and_then(Json::as_str).ok_or("download piece carries no data")?;
+            out.push_str(data);
+            match piece.get("eof").and_then(Json::as_bool) {
+                Some(true) => return Ok(out),
+                Some(false) if !data.is_empty() => {}
+                _ => return Err("download made no progress".to_string()),
+            }
+        }
+    }
+}
+
+/// Fails with the server's error message unless the response says ok.
+fn expect_ok(response: &Json) -> Result<&Json, String> {
+    if response.get("ok") == Some(&Json::Bool(true)) {
+        Ok(response)
+    } else {
+        Err(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed without an error message")
+            .to_string())
+    }
 }

@@ -1,13 +1,37 @@
-//! Job queue for asynchronous anonymization requests.
+//! Job queue for asynchronous anonymization requests, with an optional
+//! durable journal.
 //!
 //! An `anonymize` request with `"async": true` is assigned a job id
 //! (`job-1`, `job-2`, …), queued, and executed by a pool of worker
 //! threads owned by the server. Clients poll with `status`; a finished
 //! job answers with the full anonymize response inline.
+//!
+//! ## Durability
+//!
+//! With a journal path (the server's `--state-dir`), every lifecycle
+//! transition is appended as one JSON line *before* it is acknowledged:
+//!
+//! ```text
+//! {"event":"submit","job":"job-3","spec":{...full resolved spec...}}
+//! {"event":"finish","job":"job-3","result":{...response object...}}
+//! ```
+//!
+//! On restart the journal is replayed: finished jobs answer `status`
+//! with their recorded result, and jobs that were `queued` or `running`
+//! at the crash are re-enqueued from their journaled spec. Because the
+//! spec is resolved (inline CSV) at submit time and the executor is
+//! deterministic per seed, a replayed run produces byte-identical
+//! output to the original. Replay is strict — a malformed line fails
+//! startup loudly rather than silently dropping jobs — except for a
+//! torn final line, which is exactly what a crash mid-append leaves
+//! behind and means that submit was never acknowledged.
 
 use crate::json::Json;
-use crate::protocol::{run_anonymize, AnonymizeSpec};
+use crate::protocol::{run_anonymize, spec_from_json, spec_to_json, AnonymizeSpec};
+use crate::store::DatasetStore;
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Lifecycle of one queued job.
@@ -46,30 +70,141 @@ struct QueueInner {
     finished_order: VecDeque<String>,
     next_id: u64,
     shutdown: bool,
+    /// Append handle of the journal; writes happen under the queue lock
+    /// so the file order matches the state-transition order.
+    journal: Option<std::fs::File>,
+}
+
+impl QueueInner {
+    /// Appends one event line and syncs it to disk — the "appended
+    /// before it is acknowledged" contract must hold across power
+    /// loss, not just process death, so this fsyncs rather than merely
+    /// flushing. A failed append rolls the file back to its pre-append
+    /// length: a torn fragment left in place would fuse with the next
+    /// successful append into one corrupt mid-file line, which replay
+    /// (rightly) refuses — bricking every future restart on this state
+    /// dir.
+    fn journal_append(&mut self, event: &Json) -> std::io::Result<()> {
+        if let Some(file) = &mut self.journal {
+            let before = file.metadata()?.len();
+            let write =
+                file.write_all(format!("{event}\n").as_bytes()).and_then(|()| file.sync_data());
+            if let Err(e) = write {
+                let _ = file.set_len(before);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a completion, evicting the oldest finished jobs past the
+    /// retention cap.
+    fn record_done(&mut self, id: &str, result: Json) {
+        self.states.insert(id.to_string(), JobState::Done(result));
+        self.finished_order.push_back(id.to_string());
+        while self.finished_order.len() > MAX_FINISHED_RETAINED {
+            if let Some(evicted) = self.finished_order.pop_front() {
+                self.states.remove(&evicted);
+            }
+        }
+    }
 }
 
 /// Shared job queue + state table. Cloneable handle (`Arc` inside).
 #[derive(Clone, Default)]
 pub struct JobQueue {
     inner: Arc<(Mutex<QueueInner>, Condvar)>,
+    store: DatasetStore,
 }
 
 impl JobQueue {
-    /// An empty queue.
+    /// An empty, memory-only queue with its own private dataset store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Enqueues a job, returning its id.
-    pub fn submit(&self, spec: AnonymizeSpec) -> String {
+    /// An empty, memory-only queue sharing `store` (so `"store": true`
+    /// job results land where `download` can find them).
+    pub fn with_store(store: DatasetStore) -> Self {
+        Self { inner: Arc::default(), store }
+    }
+
+    /// A queue journaled at `path`: replays the existing journal (if
+    /// any), re-enqueueing unfinished jobs and restoring finished
+    /// results, then appends all further events to the same file.
+    pub fn with_journal(store: DatasetStore, path: &Path) -> Result<Self, String> {
+        let mut inner = QueueInner::default();
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+        };
+        // Repair a crash-torn tail *in the file*, not just in memory:
+        // the journal reopens in append mode, so a fragment left behind
+        // would fuse with the next event into one corrupt mid-file line
+        // — unreadable on every restart after that.
+        if !text.is_empty() && !text.ends_with('\n') {
+            let tail_start = text.rfind('\n').map_or(0, |i| i + 1);
+            if crate::json::parse(&text[tail_start..]).is_ok() {
+                // A complete event that lost only its terminator: the
+                // crash hit between the bytes and the newline. Keep it
+                // (replay treats it normally) and restore the newline.
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| f.write_all(b"\n"))
+                    .map_err(|e| format!("cannot repair journal {}: {e}", path.display()))?;
+                text.push('\n');
+            } else {
+                // A torn fragment; its submit was never acknowledged.
+                // Drop it from replay and truncate it out of the file.
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(tail_start as u64))
+                    .map_err(|e| format!("cannot repair journal {}: {e}", path.display()))?;
+                text.truncate(tail_start);
+            }
+        }
+        replay(&text, &mut inner).map_err(|e| format!("journal {}: {e}", path.display()))?;
+        inner.journal = Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?,
+        );
+        Ok(Self { inner: Arc::new((Mutex::new(inner), Condvar::new())), store })
+    }
+
+    /// Enqueues a job, returning its id. Fails once shutdown has begun
+    /// (no worker would ever run it — the job would report `"queued"`
+    /// forever) or if the journal cannot record it (an unjournaled
+    /// accept would be silently lost by a restart).
+    pub fn submit(&self, spec: AnonymizeSpec) -> Result<String, String> {
         let (lock, cvar) = &*self.inner;
         let mut q = lock.lock().expect("queue poisoned");
+        if q.shutdown {
+            return Err("server is shutting down; submit rejected".to_string());
+        }
+        let id = format!("job-{}", q.next_id + 1);
+        // Build the event (which deep-copies the CSV into a JSON line)
+        // only when a journal exists — an unjournaled server must not
+        // double peak memory per submit under the queue lock for a
+        // guaranteed no-op write.
+        if q.journal.is_some() {
+            let event = Json::obj([
+                ("event", Json::from("submit")),
+                ("job", Json::from(id.clone())),
+                ("spec", spec_to_json(&spec)),
+            ]);
+            q.journal_append(&event).map_err(|e| format!("cannot journal submit: {e}"))?;
+        }
         q.next_id += 1;
-        let id = format!("job-{}", q.next_id);
         q.pending.push_back((id.clone(), spec));
         q.states.insert(id.clone(), JobState::Queued);
         cvar.notify_one();
-        id
+        Ok(id)
     }
 
     /// Current state of a job, if it exists.
@@ -104,17 +239,26 @@ impl JobQueue {
     fn finish(&self, id: &str, result: Json) {
         let (lock, _) = &*self.inner;
         let mut q = lock.lock().expect("queue poisoned");
-        q.states.insert(id.to_string(), JobState::Done(result));
-        q.finished_order.push_back(id.to_string());
-        while q.finished_order.len() > MAX_FINISHED_RETAINED {
-            if let Some(evicted) = q.finished_order.pop_front() {
-                q.states.remove(&evicted);
-            }
+        if q.journal.is_some() {
+            let event = Json::obj([
+                ("event", Json::from("finish")),
+                ("job", Json::from(id.to_string())),
+                ("result", result.clone()),
+            ]);
+            // A failed finish append is not fatal: the in-memory table
+            // still answers `status`, and a restart re-runs the job
+            // from its journaled submit to the same bytes. Caveat for
+            // `store:true` jobs: the re-run mints a fresh handle, so
+            // the one this result names becomes an orphan slot (see
+            // the ROADMAP residue on store lifecycle).
+            let _ = q.journal_append(&event);
         }
+        q.record_done(id, result);
     }
 
     /// Wakes all workers and makes further `take` calls return `None`.
-    /// Already-queued jobs are still drained before workers exit.
+    /// Already-queued jobs are still drained before workers exit; new
+    /// submits are rejected from this point on.
     pub fn shutdown(&self) {
         let (lock, cvar) = &*self.inner;
         lock.lock().expect("queue poisoned").shutdown = true;
@@ -136,6 +280,11 @@ impl JobQueue {
                             .unwrap_or_else(|| "job panicked".to_string());
                         crate::protocol::error_response(&format!("job panicked: {msg}"))
                     });
+            let result = if spec.store_result {
+                crate::protocol::store_response_csv(result, &self.store)
+            } else {
+                result
+            };
             self.finish(&id, result);
         }
     }
@@ -166,6 +315,67 @@ impl JobQueue {
     }
 }
 
+/// Numeric suffix of a `job-<n>` id.
+fn job_number(id: &str) -> Result<u64, String> {
+    id.strip_prefix("job-")
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| format!("malformed job id {id:?}"))
+}
+
+/// Rebuilds queue state from journal text. Strict except for a torn
+/// final line (the signature of a crash mid-append), which is ignored:
+/// its submit was never acknowledged to any client.
+fn replay(text: &str, inner: &mut QueueInner) -> Result<(), String> {
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    // Submit order and specs of jobs not yet seen to finish.
+    let mut unfinished: Vec<String> = Vec::new();
+    let mut specs: HashMap<String, AnonymizeSpec> = HashMap::new();
+    for (idx, (lineno, line)) in lines.iter().enumerate() {
+        let last = idx + 1 == lines.len();
+        let v = match crate::json::parse(line) {
+            Ok(v) => v,
+            Err(_) if last && !text.ends_with('\n') => break, // torn final append
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        };
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let event =
+            v.get("event").and_then(Json::as_str).ok_or_else(|| fail("missing event".into()))?;
+        let id = v
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing job id".into()))?
+            .to_string();
+        inner.next_id = inner.next_id.max(job_number(&id).map_err(fail)?);
+        match event {
+            "submit" => {
+                let spec_json = v.get("spec").ok_or_else(|| fail("submit without spec".into()))?;
+                let spec = spec_from_json(spec_json).map_err(fail)?;
+                if specs.insert(id.clone(), spec).is_some() || inner.states.contains_key(&id) {
+                    return Err(fail(format!("duplicate submit for {id:?}")));
+                }
+                unfinished.push(id);
+            }
+            "finish" => {
+                let result = v.get("result").ok_or_else(|| fail("finish without result".into()))?;
+                if specs.remove(&id).is_none() {
+                    return Err(fail(format!("finish for unsubmitted job {id:?}")));
+                }
+                unfinished.retain(|u| u != &id);
+                inner.record_done(&id, result.clone());
+            }
+            other => return Err(fail(format!("unknown event {other:?}"))),
+        }
+    }
+    // Jobs caught mid-flight re-queue in their original submit order.
+    for id in unfinished {
+        let spec = specs.remove(&id).expect("unfinished implies spec recorded");
+        inner.states.insert(id.clone(), JobState::Queued);
+        inner.pending.push_back((id, spec));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,15 +392,27 @@ mod tests {
             m: 2,
             seed: 5,
             workers: 1,
-            csv: to_csv(&world.dataset),
+            store_result: false,
+            csv: std::sync::Arc::new(to_csv(&world.dataset)),
+        }
+    }
+
+    fn wait_done(q: &JobQueue, id: &str) -> Json {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match q.state(id) {
+                Some(JobState::Done(result)) => return result,
+                _ if std::time::Instant::now() > deadline => panic!("job never finished"),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
         }
     }
 
     #[test]
     fn ids_are_sequential_and_unique() {
         let q = JobQueue::new();
-        let a = q.submit(spec());
-        let b = q.submit(spec());
+        let a = q.submit(spec()).unwrap();
+        let b = q.submit(spec()).unwrap();
         assert_ne!(a, b);
         assert_eq!(q.state(&a), Some(JobState::Queued));
         assert_eq!(q.outstanding(), 2);
@@ -199,23 +421,13 @@ mod tests {
     #[test]
     fn worker_drains_queue_and_finishes_jobs() {
         let q = JobQueue::new();
-        let id = q.submit(spec());
+        let id = q.submit(spec()).unwrap();
         let worker = {
             let q = q.clone();
             std::thread::spawn(move || q.work())
         };
-        // Poll until done.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        loop {
-            match q.state(&id) {
-                Some(JobState::Done(result)) => {
-                    assert_eq!(result.get("ok"), Some(&Json::Bool(true)), "{result}");
-                    break;
-                }
-                _ if std::time::Instant::now() > deadline => panic!("job never finished"),
-                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
-            }
-        }
+        let result = wait_done(&q, &id);
+        assert_eq!(result.get("ok"), Some(&Json::Bool(true)), "{result}");
         let status = q.status_response(&id);
         assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
         assert_eq!(status.get("job").and_then(Json::as_str), Some(id.as_str()));
@@ -234,6 +446,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.shutdown();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        // Regression: a post-shutdown submit used to enqueue a job no
+        // worker would ever run, reporting "queued" forever.
+        let q = JobQueue::new();
+        let accepted = q.submit(spec()).unwrap();
+        q.shutdown();
+        let err = q.submit(spec()).unwrap_err();
+        assert!(err.contains("shutting down"), "{err}");
+        // The pre-shutdown job is still drained by a late worker.
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.work())
+        };
+        worker.join().unwrap();
+        assert!(matches!(q.state(&accepted), Some(JobState::Done(_))));
+        // And the rejected submit left no trace.
+        assert_eq!(q.outstanding(), 0);
     }
 
     #[test]
@@ -257,5 +489,137 @@ mod tests {
         let q = JobQueue::new();
         let r = q.status_response("job-404");
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn journal_replay_restores_finished_and_requeues_unfinished() {
+        let dir = std::env::temp_dir().join("trajdp-journal-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+
+        // Session 1: one job runs to completion, a second is accepted
+        // but never picked up (the process "dies" mid-queue).
+        let q1 = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        let done_id = q1.submit(spec()).unwrap();
+        let worker = {
+            let q = q1.clone();
+            std::thread::spawn(move || q.work())
+        };
+        let first_result = wait_done(&q1, &done_id);
+        let queued_id = q1.submit(spec()).unwrap();
+        q1.shutdown(); // stop the worker; queued_id may or may not start
+        worker.join().unwrap();
+        let queued_result = q1.state(&queued_id);
+        drop(q1);
+
+        // Session 2: replay. The finished job answers status with its
+        // recorded result; the mid-queue job re-runs deterministically.
+        let q2 = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q2.state(&done_id), Some(JobState::Done(first_result.clone())));
+        match q2.state(&queued_id).unwrap() {
+            JobState::Done(replayed) => {
+                // The graceful shutdown drained it in session 1; the
+                // journaled result must have been restored verbatim.
+                assert_eq!(Some(JobState::Done(replayed)), queued_result);
+            }
+            JobState::Queued => {
+                let worker = {
+                    let q = q2.clone();
+                    std::thread::spawn(move || q.work())
+                };
+                let replayed = wait_done(&q2, &queued_id);
+                assert_eq!(replayed.get("ok"), Some(&Json::Bool(true)), "{replayed}");
+                q2.shutdown();
+                worker.join().unwrap();
+            }
+            other => panic!("unexpected replayed state {other:?}"),
+        }
+        // Ids keep counting up; no collision with replayed jobs.
+        let fresh = q2.submit(spec()).unwrap();
+        assert!(job_number(&fresh).unwrap() > job_number(&queued_id).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_replay_reruns_job_byte_identically() {
+        let dir = std::env::temp_dir().join("trajdp-journal-determinism-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let the_spec = spec();
+        let reference = run_anonymize(&the_spec);
+
+        // Submit, then "crash" before any worker runs.
+        let q1 = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        let id = q1.submit(the_spec).unwrap();
+        drop(q1);
+
+        let q2 = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q2.state(&id), Some(JobState::Queued));
+        let worker = {
+            let q = q2.clone();
+            std::thread::spawn(move || q.work())
+        };
+        let replayed = wait_done(&q2, &id);
+        assert_eq!(
+            replayed.get("csv"),
+            reference.get("csv"),
+            "replayed run must be byte-identical to the original"
+        );
+        q2.shutdown();
+        worker.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_replay_is_strict_but_tolerates_a_torn_final_line() {
+        let dir = std::env::temp_dir().join("trajdp-journal-strict-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let q = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        q.submit(spec()).unwrap();
+        drop(q);
+
+        // A torn final append (no trailing newline) is ignored — and
+        // truncated out of the file, so later appends start clean.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{good}{{\"event\":\"sub")).unwrap();
+        let q = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q.outstanding(), 1);
+        // Regression: a submit after the torn-tail restart used to be
+        // appended onto the fragment, fusing into one corrupt mid-file
+        // line that bricked every later restart of this state dir.
+        q.submit(spec()).unwrap();
+        drop(q);
+        let q = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q.outstanding(), 2, "restart after torn-tail repair must keep working");
+        drop(q);
+
+        // A complete final event that lost only its newline is kept
+        // and the terminator restored.
+        std::fs::write(&path, good.trim_end_matches('\n')).unwrap();
+        let q = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q.outstanding(), 1);
+        q.submit(spec()).unwrap();
+        drop(q);
+        let q = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
+        assert_eq!(q.outstanding(), 2, "newline repair must keep the journal appendable");
+        drop(q);
+
+        // Corruption anywhere else fails startup loudly.
+        std::fs::write(&path, format!("not json\n{good}")).unwrap();
+        let err = JobQueue::with_journal(DatasetStore::new(), &path).map(|_| ()).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        // So does a semantically invalid event.
+        std::fs::write(
+            &path,
+            format!("{good}{{\"event\":\"finish\",\"job\":\"job-9\",\"result\":{{}}}}\n"),
+        )
+        .unwrap();
+        let err = JobQueue::with_journal(DatasetStore::new(), &path).map(|_| ()).unwrap_err();
+        assert!(err.contains("unsubmitted"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,24 +1,38 @@
 //! The JSON-lines request/response protocol.
 //!
 //! One request object per line, one response object per line. Every
-//! request carries a `"cmd"` member; datasets travel inline as CSV text
-//! (the `trajdp_model::csv` interchange format) inside JSON strings.
+//! request carries a `"cmd"` member; datasets travel either inline as
+//! CSV text (the `trajdp_model::csv` interchange format) inside JSON
+//! strings, or by reference to a server-side handle (`ds-<id>`) built
+//! up with the chunked-transfer commands.
 //!
 //! | cmd         | members                                                           |
 //! |-------------|-------------------------------------------------------------------|
 //! | `health`    | —                                                                 |
-//! | `gen`       | `size`, `len`, `seed?`                                            |
-//! | `anonymize` | `model`, `csv`, `epsilon?`, `eps_split?`, `m?`, `seed?`, `workers?`, `async?` |
-//! | `evaluate`  | `original`, `anonymized` (CSV strings)                            |
-//! | `stats`     | `csv`                                                             |
+//! | `gen`       | `size?`, `len?`, `seed?`, `store?`                                |
+//! | `anonymize` | `model`, `csv` \| `dataset`, `epsilon?`, `eps_split?`, `m?`, `seed?`, `workers?`, `async?`, `store?` |
+//! | `evaluate`  | `original` \| `original_dataset`, `anonymized` \| `anonymized_dataset` |
+//! | `stats`     | `csv` \| `dataset`                                                |
 //! | `status`    | `job`                                                             |
+//! | `upload`    | — (answers with a fresh pending `dataset` handle)                 |
+//! | `chunk`     | `dataset`, `data` (appends one piece)                             |
+//! | `commit`    | `dataset` (seals the handle for use)                              |
+//! | `download`  | `dataset`, `offset?`, `max_bytes?` (one bounded piece back)       |
+//!
+//! Unknown members are rejected by name — a misspelled `"epsilom"`
+//! must fail loudly, never run with the default (the same contract the
+//! CLI enforces on flags).
 //!
 //! Responses always carry `"ok"` (`true`/`false`); failures add
 //! `"error"`. An `anonymize` request with `"async": true` enqueues a job
 //! and answers `{"ok":true,"job":"<id>","state":"queued"}` immediately;
 //! `status` polls it and returns the finished result inline once done.
+//! `"store": true` on `gen`/`anonymize` keeps the produced CSV
+//! server-side and answers with its `dataset` handle (for `download`)
+//! instead of the inline text.
 
 use crate::json::Json;
+use crate::store::{DatasetStore, DEFAULT_DOWNLOAD_CHUNK_BYTES};
 use trajdp_core::{FreqDpConfig, Model};
 use trajdp_metrics::{
     diameter_divergence, frequent_pattern_f1, information_loss, mutual_information, trip_divergence,
@@ -26,6 +40,31 @@ use trajdp_metrics::{
 use trajdp_model::csv::{from_csv, to_csv};
 use trajdp_model::stats::DatasetStats;
 use trajdp_synth::{generate, GeneratorConfig};
+
+/// Dataset input of a request: inline CSV text or a committed
+/// server-side handle from the chunked-upload commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataRef {
+    /// CSV text shipped inside the request line.
+    Inline(String),
+    /// A `ds-<id>` handle minted by `upload` and sealed by `commit`.
+    Handle(String),
+}
+
+impl DataRef {
+    /// The full CSV text, fetching handles from the store without
+    /// deep-copying them (committed handles are immutable, so sharing
+    /// the `Arc` is safe — a multi-GB handle must not double peak
+    /// memory on resolution). Resolution happens once, at dispatch
+    /// time, so a job owns its data: restarting the store after submit
+    /// cannot change what a queued job computes.
+    pub fn resolve_shared(self, store: &DatasetStore) -> Result<std::sync::Arc<String>, String> {
+        match self {
+            DataRef::Inline(csv) => Ok(std::sync::Arc::new(csv)),
+            DataRef::Handle(id) => store.resolve(&id),
+        }
+    }
+}
 
 /// A fully validated anonymize request, ready to execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +84,54 @@ pub struct AnonymizeSpec {
     pub seed: u64,
     /// Executor worker threads.
     pub workers: usize,
-    /// The private dataset as CSV text.
-    pub csv: String,
+    /// Keep the released CSV server-side (answer with a `dataset`
+    /// handle for chunked download) instead of inlining it.
+    pub store_result: bool,
+    /// The private dataset as CSV text — shared, not owned, so a
+    /// handle-based spec aliases the store's copy instead of
+    /// duplicating it.
+    pub csv: std::sync::Arc<String>,
+}
+
+/// A parsed anonymize request whose dataset may still be a handle;
+/// [`AnonymizeParams::resolve`] turns it into an executable
+/// [`AnonymizeSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymizeParams {
+    /// Which published model to run.
+    pub model: Model,
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Global-share fraction of ε for combined models.
+    pub eps_split: f64,
+    /// Signature size `m`.
+    pub m: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Keep the released CSV server-side.
+    pub store_result: bool,
+    /// The private dataset, inline or by handle.
+    pub data: DataRef,
+}
+
+impl AnonymizeParams {
+    /// Resolves the dataset reference against the store. A handle-based
+    /// run is byte-identical to the inline run because both paths feed
+    /// the exact same CSV text to the executor.
+    pub fn resolve(self, store: &DatasetStore) -> Result<AnonymizeSpec, String> {
+        Ok(AnonymizeSpec {
+            model: self.model,
+            epsilon: self.epsilon,
+            eps_split: self.eps_split,
+            m: self.m,
+            seed: self.seed,
+            workers: self.workers,
+            store_result: self.store_result,
+            csv: self.data.resolve_shared(store)?,
+        })
+    }
 }
 
 impl AnonymizeSpec {
@@ -103,30 +188,56 @@ pub enum Request {
         len: usize,
         /// Generator seed.
         seed: u64,
+        /// Keep the generated CSV server-side as a dataset handle.
+        store_result: bool,
     },
     /// Anonymize a dataset; `asynchronous` requests become queued jobs.
     Anonymize {
-        /// The validated parameters.
-        spec: AnonymizeSpec,
+        /// The validated parameters (dataset possibly still a handle).
+        params: AnonymizeParams,
         /// Whether to enqueue as a job instead of answering inline.
         asynchronous: bool,
     },
     /// Compare an anonymized dataset against its original.
     Evaluate {
-        /// Original dataset CSV.
-        original: String,
-        /// Anonymized dataset CSV.
-        anonymized: String,
+        /// Original dataset.
+        original: DataRef,
+        /// Anonymized dataset.
+        anonymized: DataRef,
     },
     /// Shape statistics of a dataset.
     Stats {
-        /// Dataset CSV.
-        csv: String,
+        /// The dataset.
+        data: DataRef,
     },
     /// Poll a queued job.
     Status {
         /// The job id returned by an async `anonymize`.
         job: String,
+    },
+    /// Open a pending dataset handle for chunked upload.
+    Upload,
+    /// Append one piece to a pending dataset handle.
+    Chunk {
+        /// The pending handle.
+        dataset: String,
+        /// The piece to append.
+        data: String,
+    },
+    /// Seal a pending dataset handle.
+    Commit {
+        /// The pending handle.
+        dataset: String,
+    },
+    /// Read one bounded piece of a committed dataset.
+    Download {
+        /// The committed handle.
+        dataset: String,
+        /// Byte offset to read from (a boundary handed out by a
+        /// previous piece).
+        offset: usize,
+        /// Upper bound on the piece size.
+        max_bytes: usize,
     },
 }
 
@@ -180,8 +291,54 @@ fn get_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
     }
 }
 
+fn get_bool(v: &Json, key: &str, default: bool) -> Result<bool, String> {
+    // A non-bool value (`"async": 1`, `"async": "true"`) must be an
+    // error: falling back to the default would silently run a
+    // potentially huge job with the wrong mode.
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_bool().ok_or_else(|| format!("{key} must be a boolean (true or false)")),
+    }
+}
+
 fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
     v.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string member {key:?}"))
+}
+
+/// Rejects members outside the command's accepted set by name — a
+/// misspelled `"epsilom"` or `"worker"` must never be silently ignored
+/// and run with the default (the bug class the CLI's strict flag parser
+/// already kills for flags).
+fn check_members(v: &Json, cmd: &str, accepted: &[&str]) -> Result<(), String> {
+    if let Json::Obj(map) = v {
+        for key in map.keys() {
+            if key != "cmd" && !accepted.contains(&key.as_str()) {
+                let list = if accepted.is_empty() {
+                    "none besides \"cmd\"".to_string()
+                } else {
+                    accepted.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>().join(", ")
+                };
+                return Err(format!("unknown member {key:?} for cmd {cmd:?} (accepted: {list})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset given either inline (`inline_key`) or by handle
+/// (`handle_key`); exactly one of the two must be present.
+fn get_data_ref(v: &Json, inline_key: &str, handle_key: &str) -> Result<DataRef, String> {
+    let want_str = |j: &Json, key: &str| {
+        j.as_str().map(str::to_string).ok_or_else(|| format!("{key} must be a string"))
+    };
+    match (v.get(inline_key), v.get(handle_key)) {
+        (Some(_), Some(_)) => {
+            Err(format!("members {inline_key:?} and {handle_key:?} are mutually exclusive"))
+        }
+        (Some(j), None) => Ok(DataRef::Inline(want_str(j, inline_key)?)),
+        (None, Some(j)) => Ok(DataRef::Handle(want_str(j, handle_key)?)),
+        (None, None) => Err(format!("missing member {inline_key:?} or {handle_key:?}")),
+    }
 }
 
 /// Parses one request line.
@@ -189,8 +346,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = crate::json::parse(line).map_err(|e| e.to_string())?;
     let cmd = get_str(&v, "cmd")?;
     match cmd {
-        "health" => Ok(Request::Health),
+        "health" => {
+            check_members(&v, cmd, &[])?;
+            Ok(Request::Health)
+        }
         "gen" => {
+            check_members(&v, cmd, &["size", "len", "seed", "store"])?;
             let size = get_u64(&v, "size", 200)?;
             let len = get_u64(&v, "len", 150)?;
             if size == 0 || len == 0 {
@@ -203,9 +364,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 size: size as usize,
                 len: len as usize,
                 seed: get_u64(&v, "seed", 42)?,
+                store_result: get_bool(&v, "store", false)?,
             })
         }
         "anonymize" => {
+            check_members(
+                &v,
+                cmd,
+                &[
+                    "model",
+                    "csv",
+                    "dataset",
+                    "epsilon",
+                    "eps_split",
+                    "m",
+                    "seed",
+                    "workers",
+                    "async",
+                    "store",
+                ],
+            )?;
             let model = parse_model(get_str(&v, "model")?)?;
             let epsilon = get_f64(&v, "epsilon", 1.0)?;
             if epsilon <= 0.0 || !epsilon.is_finite() {
@@ -217,24 +395,65 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 return Err(format!("m must lie in [1, {MAX_M}]"));
             }
             let workers = validate_workers(get_u64(&v, "workers", 1)?)?;
-            let spec = AnonymizeSpec {
+            let params = AnonymizeParams {
                 model,
                 epsilon,
                 eps_split,
                 m: m as usize,
                 seed: get_u64(&v, "seed", 42)?,
                 workers,
-                csv: get_str(&v, "csv")?.to_string(),
+                store_result: get_bool(&v, "store", false)?,
+                data: get_data_ref(&v, "csv", "dataset")?,
             };
-            let asynchronous = v.get("async").and_then(Json::as_bool).unwrap_or(false);
-            Ok(Request::Anonymize { spec, asynchronous })
+            let asynchronous = get_bool(&v, "async", false)?;
+            Ok(Request::Anonymize { params, asynchronous })
         }
-        "evaluate" => Ok(Request::Evaluate {
-            original: get_str(&v, "original")?.to_string(),
-            anonymized: get_str(&v, "anonymized")?.to_string(),
-        }),
-        "stats" => Ok(Request::Stats { csv: get_str(&v, "csv")?.to_string() }),
-        "status" => Ok(Request::Status { job: get_str(&v, "job")?.to_string() }),
+        "evaluate" => {
+            check_members(
+                &v,
+                cmd,
+                &["original", "anonymized", "original_dataset", "anonymized_dataset"],
+            )?;
+            Ok(Request::Evaluate {
+                original: get_data_ref(&v, "original", "original_dataset")?,
+                anonymized: get_data_ref(&v, "anonymized", "anonymized_dataset")?,
+            })
+        }
+        "stats" => {
+            check_members(&v, cmd, &["csv", "dataset"])?;
+            Ok(Request::Stats { data: get_data_ref(&v, "csv", "dataset")? })
+        }
+        "status" => {
+            check_members(&v, cmd, &["job"])?;
+            Ok(Request::Status { job: get_str(&v, "job")?.to_string() })
+        }
+        "upload" => {
+            check_members(&v, cmd, &[])?;
+            Ok(Request::Upload)
+        }
+        "chunk" => {
+            check_members(&v, cmd, &["dataset", "data"])?;
+            Ok(Request::Chunk {
+                dataset: get_str(&v, "dataset")?.to_string(),
+                data: get_str(&v, "data")?.to_string(),
+            })
+        }
+        "commit" => {
+            check_members(&v, cmd, &["dataset"])?;
+            Ok(Request::Commit { dataset: get_str(&v, "dataset")?.to_string() })
+        }
+        "download" => {
+            check_members(&v, cmd, &["dataset", "offset", "max_bytes"])?;
+            let max_bytes = get_u64(&v, "max_bytes", DEFAULT_DOWNLOAD_CHUNK_BYTES as u64)?;
+            if max_bytes == 0 {
+                return Err("max_bytes must be at least 1".into());
+            }
+            Ok(Request::Download {
+                dataset: get_str(&v, "dataset")?.to_string(),
+                offset: get_u64(&v, "offset", 0)? as usize,
+                max_bytes: max_bytes as usize,
+            })
+        }
         other => Err(format!("unknown cmd {other:?}")),
     }
 }
@@ -242,6 +461,135 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// An error response.
 pub fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::from(message))])
+}
+
+/// Protocol/CLI name of a model — inverse of [`parse_model`].
+pub fn model_name(model: Model) -> &'static str {
+    match model {
+        Model::PureGlobal => "pureg",
+        Model::PureLocal => "purel",
+        Model::Combined => "gl",
+        Model::CombinedLocalFirst => "lg",
+    }
+}
+
+/// Serializes a spec for the job journal — inverse of
+/// [`spec_from_json`].
+pub fn spec_to_json(spec: &AnonymizeSpec) -> Json {
+    Json::obj([
+        ("model", Json::from(model_name(spec.model))),
+        ("epsilon", Json::from(spec.epsilon)),
+        ("eps_split", Json::from(spec.eps_split)),
+        ("m", Json::from(spec.m)),
+        ("seed", Json::from(spec.seed)),
+        ("workers", Json::from(spec.workers)),
+        ("store", Json::from(spec.store_result)),
+        ("csv", Json::from(spec.csv.as_str())),
+    ])
+}
+
+/// Deserializes a journaled spec, re-validating every field: a replayed
+/// job must satisfy the same contracts a live request does, so a
+/// corrupted or hand-edited journal fails loudly instead of executing
+/// out-of-contract work.
+pub fn spec_from_json(v: &Json) -> Result<AnonymizeSpec, String> {
+    let require =
+        |key: &str| v.get(key).ok_or_else(|| format!("journaled spec is missing member {key:?}"));
+    let model = parse_model(get_str(v, "model")?)?;
+    let epsilon = require("epsilon")?.as_f64().ok_or("epsilon must be a number")?;
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err("epsilon must be positive".into());
+    }
+    let eps_split =
+        validate_eps_split(require("eps_split")?.as_f64().ok_or("eps_split must be a number")?)?;
+    let m = require("m")?.as_u64().ok_or("m must be a non-negative integer")?;
+    if m == 0 || m > MAX_M {
+        return Err(format!("m must lie in [1, {MAX_M}]"));
+    }
+    let workers =
+        validate_workers(require("workers")?.as_u64().ok_or("workers must be an integer")?)?;
+    Ok(AnonymizeSpec {
+        model,
+        epsilon,
+        eps_split,
+        m: m as usize,
+        seed: require("seed")?.as_u64().ok_or("seed must be a non-negative integer")?,
+        workers,
+        store_result: require("store")?.as_bool().ok_or("store must be a boolean")?,
+        csv: std::sync::Arc::new(get_str(v, "csv")?.to_string()),
+    })
+}
+
+/// Moves the `"csv"` payload of a successful response into the dataset
+/// store, answering with a `"dataset"` handle and its byte size instead
+/// of the inline text. Error responses pass through untouched; a full
+/// store turns the response into an error (the computed result would
+/// otherwise be silently dropped).
+pub fn store_response_csv(response: Json, store: &DatasetStore) -> Json {
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        return response;
+    }
+    let Json::Obj(mut obj) = response else { return response };
+    let Some(Json::Str(csv)) = obj.remove("csv") else {
+        return Json::Obj(obj);
+    };
+    match store.insert(csv) {
+        Ok((id, bytes)) => {
+            obj.insert("dataset".to_string(), Json::from(id));
+            obj.insert("bytes".to_string(), Json::from(bytes));
+            Json::Obj(obj)
+        }
+        Err(e) => error_response(&format!("cannot store result: {e}")),
+    }
+}
+
+/// Executes an `upload` request: opens a pending dataset handle.
+pub fn run_upload(store: &DatasetStore) -> Json {
+    match store.begin() {
+        Ok(id) => Json::obj([("ok", Json::Bool(true)), ("dataset", Json::from(id))]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Executes a `chunk` request: appends one piece to a pending handle.
+pub fn run_chunk(store: &DatasetStore, dataset: &str, data: &str) -> Json {
+    match store.append(dataset, data) {
+        Ok(bytes) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("dataset", Json::from(dataset)),
+            ("bytes", Json::from(bytes)),
+        ]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Executes a `commit` request: seals a pending handle.
+pub fn run_commit(store: &DatasetStore, dataset: &str) -> Json {
+    match store.commit(dataset) {
+        Ok(bytes) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("dataset", Json::from(dataset)),
+            ("bytes", Json::from(bytes)),
+        ]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Executes a `download` request: one bounded piece of a committed
+/// dataset.
+pub fn run_download(store: &DatasetStore, dataset: &str, offset: usize, max_bytes: usize) -> Json {
+    match store.read_chunk(dataset, offset, max_bytes) {
+        Ok((piece, total, eof)) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("dataset", Json::from(dataset)),
+            ("offset", Json::from(offset)),
+            ("bytes", Json::from(piece.len())),
+            ("total_bytes", Json::from(total)),
+            ("eof", Json::Bool(eof)),
+            ("data", Json::from(piece)),
+        ]),
+        Err(e) => error_response(&e),
+    }
 }
 
 /// Executes a `gen` request.
@@ -327,21 +675,22 @@ mod tests {
         assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
         assert_eq!(
             parse_request(r#"{"cmd":"gen","size":10,"len":20,"seed":3}"#).unwrap(),
-            Request::Gen { size: 10, len: 20, seed: 3 }
+            Request::Gen { size: 10, len: 20, seed: 3, store_result: false }
         );
         let r = parse_request(
             r#"{"cmd":"anonymize","model":"gl","epsilon":2.0,"eps_split":0.25,"m":4,"seed":9,"workers":8,"csv":"traj_id,x,y,t\n"}"#,
         )
         .unwrap();
         match r {
-            Request::Anonymize { spec, asynchronous } => {
-                assert_eq!(spec.model, Model::Combined);
-                assert_eq!(spec.epsilon, 2.0);
-                assert_eq!(spec.eps_split, 0.25);
-                assert_eq!(spec.m, 4);
-                assert_eq!(spec.workers, 8);
+            Request::Anonymize { params, asynchronous } => {
+                assert_eq!(params.model, Model::Combined);
+                assert_eq!(params.epsilon, 2.0);
+                assert_eq!(params.eps_split, 0.25);
+                assert_eq!(params.m, 4);
+                assert_eq!(params.workers, 8);
+                assert_eq!(params.data, DataRef::Inline("traj_id,x,y,t\n".to_string()));
                 assert!(!asynchronous);
-                let cfg = spec.config();
+                let cfg = params.resolve(&DatasetStore::new()).unwrap().config();
                 assert!((cfg.eps_global - 0.5).abs() < 1e-12);
                 assert!((cfg.eps_local - 1.5).abs() < 1e-12);
             }
@@ -351,22 +700,142 @@ mod tests {
             parse_request(r#"{"cmd":"status","job":"job-1"}"#).unwrap(),
             Request::Status { .. }
         ));
+        assert_eq!(parse_request(r#"{"cmd":"upload"}"#).unwrap(), Request::Upload);
+        assert_eq!(
+            parse_request(r#"{"cmd":"chunk","dataset":"ds-1","data":"0,1,2,3\n"}"#).unwrap(),
+            Request::Chunk { dataset: "ds-1".to_string(), data: "0,1,2,3\n".to_string() }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"commit","dataset":"ds-1"}"#).unwrap(),
+            Request::Commit { dataset: "ds-1".to_string() }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"download","dataset":"ds-1","offset":7,"max_bytes":64}"#)
+                .unwrap(),
+            Request::Download { dataset: "ds-1".to_string(), offset: 7, max_bytes: 64 }
+        );
     }
 
     #[test]
     fn defaults_applied() {
         let r = parse_request(r#"{"cmd":"anonymize","model":"pureg","csv":""}"#).unwrap();
         match r {
-            Request::Anonymize { spec, asynchronous } => {
-                assert_eq!(spec.epsilon, 1.0);
-                assert_eq!(spec.eps_split, 0.5);
-                assert_eq!(spec.m, 10);
-                assert_eq!(spec.seed, 42);
-                assert_eq!(spec.workers, 1);
+            Request::Anonymize { params, asynchronous } => {
+                assert_eq!(params.epsilon, 1.0);
+                assert_eq!(params.eps_split, 0.5);
+                assert_eq!(params.m, 10);
+                assert_eq!(params.seed, 42);
+                assert_eq!(params.workers, 1);
+                assert!(!params.store_result);
                 assert!(!asynchronous);
             }
             other => panic!("wrong request {other:?}"),
         }
+        match parse_request(r#"{"cmd":"download","dataset":"ds-2"}"#).unwrap() {
+            Request::Download { offset, max_bytes, .. } => {
+                assert_eq!(offset, 0);
+                assert_eq!(max_bytes, DEFAULT_DOWNLOAD_CHUNK_BYTES);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_handle_accepted_as_csv_alternative() {
+        let r = parse_request(r#"{"cmd":"anonymize","model":"gl","dataset":"ds-3"}"#).unwrap();
+        match r {
+            Request::Anonymize { params, .. } => {
+                assert_eq!(params.data, DataRef::Handle("ds-3".to_string()));
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats","dataset":"ds-3"}"#).unwrap(),
+            Request::Stats { data: DataRef::Handle(_) }
+        ));
+        match parse_request(r#"{"cmd":"evaluate","original_dataset":"ds-1","anonymized":"x"}"#)
+            .unwrap()
+        {
+            Request::Evaluate { original, anonymized } => {
+                assert_eq!(original, DataRef::Handle("ds-1".to_string()));
+                assert_eq!(anonymized, DataRef::Inline("x".to_string()));
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        // Exactly one of inline/handle: both or neither is an error.
+        let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","dataset":"ds-1"}"#)
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_request(r#"{"cmd":"anonymize","model":"gl"}"#).unwrap_err();
+        assert!(err.contains("\"csv\"") && err.contains("\"dataset\""), "{err}");
+        let err = parse_request(r#"{"cmd":"stats"}"#).unwrap_err();
+        assert!(err.contains("\"csv\"") && err.contains("\"dataset\""), "{err}");
+    }
+
+    #[test]
+    fn non_bool_async_and_store_are_errors_not_false() {
+        for bad in [r#""async":1"#, r#""async":"true""#, r#""async":null"#] {
+            let line = format!(r#"{{"cmd":"anonymize","model":"gl","csv":"",{bad}}}"#);
+            let err = parse_request(&line).unwrap_err();
+            assert!(err.contains("async must be a boolean"), "{bad}: {err}");
+        }
+        let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","store":"yes"}"#)
+            .unwrap_err();
+        assert!(err.contains("store must be a boolean"), "{err}");
+        let err = parse_request(r#"{"cmd":"gen","store":1}"#).unwrap_err();
+        assert!(err.contains("store must be a boolean"), "{err}");
+        // A proper boolean still parses.
+        assert!(matches!(
+            parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","async":true}"#).unwrap(),
+            Request::Anonymize { asynchronous: true, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_members_are_rejected_by_name() {
+        // The misspellings from the wild: epsilom, worker.
+        let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","epsilom":2.0}"#)
+            .unwrap_err();
+        assert!(err.contains("\"epsilom\""), "{err}");
+        assert!(err.contains("\"epsilon\""), "error must name the accepted set: {err}");
+        let err =
+            parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","worker":4}"#).unwrap_err();
+        assert!(err.contains("\"worker\"") && err.contains("\"workers\""), "{err}");
+        // Every command validates its member set, including no-member ones.
+        assert!(parse_request(r#"{"cmd":"health","extra":1}"#).unwrap_err().contains("extra"));
+        assert!(parse_request(r#"{"cmd":"upload","size":1}"#).unwrap_err().contains("size"));
+        assert!(parse_request(r#"{"cmd":"gen","sizee":5}"#).unwrap_err().contains("sizee"));
+        assert!(parse_request(r#"{"cmd":"status","job":"j","jb":"x"}"#)
+            .unwrap_err()
+            .contains("jb"));
+        assert!(parse_request(r#"{"cmd":"download","dataset":"ds-1","off":3}"#)
+            .unwrap_err()
+            .contains("off"));
+    }
+
+    #[test]
+    fn journaled_spec_roundtrips_and_is_validated() {
+        let spec = AnonymizeSpec {
+            model: Model::CombinedLocalFirst,
+            epsilon: 2.5,
+            eps_split: 0.25,
+            m: 7,
+            seed: 99,
+            workers: 3,
+            store_result: true,
+            csv: std::sync::Arc::new("traj_id,x,y,t\n0,1.0,2.0,3\n".to_string()),
+        };
+        let v = spec_to_json(&spec);
+        assert_eq!(spec_from_json(&v).unwrap(), spec);
+        // Tampered journals fail re-validation.
+        let mut bad = match spec_to_json(&spec) {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        bad.insert("workers".to_string(), Json::from(0u64));
+        assert!(spec_from_json(&Json::Obj(bad.clone())).is_err());
+        bad.remove("workers");
+        assert!(spec_from_json(&Json::Obj(bad)).unwrap_err().contains("workers"));
     }
 
     #[test]
@@ -399,7 +868,8 @@ mod tests {
             m: 2,
             seed: 1,
             workers: 1,
-            csv: to_csv(&world.dataset),
+            store_result: false,
+            csv: std::sync::Arc::new(to_csv(&world.dataset)),
         };
         let out = run_anonymize(&spec);
         assert_eq!(out.get("epsilon_spent").and_then(Json::as_f64), Some(1.0), "{out}");
@@ -460,7 +930,8 @@ mod tests {
             m: 4,
             seed: 7,
             workers: 2,
-            csv: csv.clone(),
+            store_result: false,
+            csv: std::sync::Arc::new(csv.clone()),
         };
         let anon = run_anonymize(&spec);
         assert_eq!(anon.get("ok"), Some(&Json::Bool(true)), "{anon}");
@@ -473,6 +944,57 @@ mod tests {
     }
 
     #[test]
+    fn handle_based_run_is_byte_identical_to_inline() {
+        let store = DatasetStore::new();
+        let gen = run_gen(5, 25, 8);
+        let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+        // Stream the dataset through the chunked-upload handlers.
+        let up = run_upload(&store);
+        let id = up.get("dataset").and_then(Json::as_str).unwrap().to_string();
+        for piece in csv.as_bytes().chunks(37) {
+            let piece = std::str::from_utf8(piece).unwrap();
+            assert_eq!(run_chunk(&store, &id, piece).get("ok"), Some(&Json::Bool(true)));
+        }
+        let committed = run_commit(&store, &id);
+        assert_eq!(committed.get("bytes").and_then(Json::as_u64), Some(csv.len() as u64));
+
+        let params = AnonymizeParams {
+            model: Model::Combined,
+            epsilon: 1.0,
+            eps_split: 0.5,
+            m: 3,
+            seed: 17,
+            workers: 2,
+            store_result: false,
+            data: DataRef::Handle(id.clone()),
+        };
+        let mut inline = params.clone();
+        inline.data = DataRef::Inline(csv.clone());
+        let by_handle = run_anonymize(&params.resolve(&store).unwrap());
+        let by_inline = run_anonymize(&inline.resolve(&store).unwrap());
+        assert_eq!(by_handle, by_inline, "handle-based run must match the inline run exactly");
+
+        // `store` moves the result CSV behind a handle; downloading it
+        // piecewise reassembles the identical bytes.
+        let released = by_inline.get("csv").and_then(Json::as_str).unwrap().to_string();
+        let stored = store_response_csv(by_handle, &store);
+        assert!(stored.get("csv").is_none(), "{stored}");
+        let result_id = stored.get("dataset").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(stored.get("bytes").and_then(Json::as_u64), Some(released.len() as u64));
+        let mut out = String::new();
+        loop {
+            let piece = run_download(&store, &result_id, out.len(), 53);
+            assert_eq!(piece.get("ok"), Some(&Json::Bool(true)), "{piece}");
+            out.push_str(piece.get("data").and_then(Json::as_str).unwrap());
+            if piece.get("eof") == Some(&Json::Bool(true)) {
+                break;
+            }
+        }
+        assert_eq!(out, released, "chunked download must reassemble the inline release");
+    }
+
+    #[test]
     fn run_anonymize_reports_csv_errors() {
         let spec = AnonymizeSpec {
             model: Model::PureLocal,
@@ -481,7 +1003,8 @@ mod tests {
             m: 2,
             seed: 1,
             workers: 1,
-            csv: "complete garbage\nwith, too, many, commas, here".into(),
+            store_result: false,
+            csv: std::sync::Arc::new("complete garbage\nwith, too, many, commas, here".into()),
         };
         let out = run_anonymize(&spec);
         assert_eq!(out.get("ok"), Some(&Json::Bool(false)));

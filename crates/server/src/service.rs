@@ -18,9 +18,11 @@
 use crate::jobs::JobQueue;
 use crate::json::Json;
 use crate::protocol::{self, Request};
+use crate::store::DatasetStore;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -35,11 +37,17 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum concurrently served connections.
     pub max_connections: usize,
+    /// Durable-state directory (CLI `--state-dir`). When set, the job
+    /// table is journaled to `<dir>/jobs.jsonl` and committed datasets
+    /// are mirrored under `<dir>/datasets/`; a restarted server replays
+    /// both, re-queueing jobs that were in flight and answering
+    /// `status`/`download` for work finished before the restart.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 32 }
+        Self { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 32, state_dir: None }
     }
 }
 
@@ -114,32 +122,70 @@ pub struct Server {
     job_threads: Vec<JoinHandle<()>>,
 }
 
-/// Dispatches one parsed request to its handler.
-fn dispatch(req: Request, jobs: &JobQueue) -> Json {
+/// Dispatches one parsed request to its handler. Dataset handles are
+/// resolved here, before any job is enqueued, so queued work owns its
+/// data and cannot be changed by later store mutations.
+fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
     match req {
         Request::Health => Json::obj([
             ("ok", Json::Bool(true)),
             ("status", Json::from("healthy")),
             ("outstanding_jobs", Json::from(jobs.outstanding())),
+            ("stored_datasets", Json::from(store.count())),
         ]),
-        Request::Gen { size, len, seed } => protocol::run_gen(size, len, seed),
-        Request::Anonymize { spec, asynchronous } => {
-            if asynchronous {
-                let id = jobs.submit(spec);
-                Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("job", Json::from(id)),
-                    ("state", Json::from("queued")),
-                ])
+        Request::Gen { size, len, seed, store_result } => {
+            let response = protocol::run_gen(size, len, seed);
+            if store_result {
+                protocol::store_response_csv(response, store)
             } else {
-                protocol::run_anonymize(&spec)
+                response
+            }
+        }
+        Request::Anonymize { params, asynchronous } => {
+            let spec = match params.resolve(store) {
+                Ok(spec) => spec,
+                Err(e) => return protocol::error_response(&e),
+            };
+            if asynchronous {
+                match jobs.submit(spec) {
+                    Ok(id) => Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("job", Json::from(id)),
+                        ("state", Json::from("queued")),
+                    ]),
+                    Err(e) => protocol::error_response(&e),
+                }
+            } else {
+                let response = protocol::run_anonymize(&spec);
+                if spec.store_result {
+                    protocol::store_response_csv(response, store)
+                } else {
+                    response
+                }
             }
         }
         Request::Evaluate { original, anonymized } => {
+            let original = match original.resolve_shared(store) {
+                Ok(csv) => csv,
+                Err(e) => return protocol::error_response(&e),
+            };
+            let anonymized = match anonymized.resolve_shared(store) {
+                Ok(csv) => csv,
+                Err(e) => return protocol::error_response(&e),
+            };
             protocol::run_evaluate(&original, &anonymized)
         }
-        Request::Stats { csv } => protocol::run_stats(&csv),
+        Request::Stats { data } => match data.resolve_shared(store) {
+            Ok(csv) => protocol::run_stats(&csv),
+            Err(e) => protocol::error_response(&e),
+        },
         Request::Status { job } => jobs.status_response(&job),
+        Request::Upload => protocol::run_upload(store),
+        Request::Chunk { dataset, data } => protocol::run_chunk(store, &dataset, &data),
+        Request::Commit { dataset } => protocol::run_commit(store, &dataset),
+        Request::Download { dataset, offset, max_bytes } => {
+            protocol::run_download(store, &dataset, offset, max_bytes)
+        }
     }
 }
 
@@ -148,11 +194,19 @@ fn dispatch(req: Request, jobs: &JobQueue) -> Json {
 /// is served an error and closed instead of buffering without limit.
 pub const MAX_REQUEST_BYTES: usize = 256 * 1024 * 1024;
 
-/// Reads one `\n`-terminated line of at most `max` bytes. Returns
-/// `Ok(None)` on clean EOF and `Err` on I/O failure or an oversized
-/// line (which poisons the framing — the caller must drop the
-/// connection).
+/// Reads one `\n`-terminated line of at most `max` content bytes (the
+/// terminator not counted). Returns `Ok(None)` on clean EOF and `Err`
+/// on I/O failure or an oversized line (which poisons the framing — the
+/// caller must drop the connection).
+///
+/// The bound is exact. The previous version only checked after
+/// consuming a newline-free chunk, so a line whose terminator fell
+/// within the *next* buffered chunk was accepted up to one `BufReader`
+/// chunk past the limit.
 fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Option<String>> {
+    let oversized = || {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "request line exceeds the size limit")
+    };
     let mut buf = Vec::new();
     loop {
         let chunk = reader.fill_buf()?;
@@ -161,6 +215,9 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<
             return Ok(None);
         }
         if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                return Err(oversized());
+            }
             buf.extend_from_slice(&chunk[..pos]);
             reader.consume(pos + 1);
             let line = String::from_utf8(buf).map_err(|_| {
@@ -168,15 +225,14 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<
             })?;
             return Ok(Some(line));
         }
+        // No terminator in sight: every buffered byte is line content,
+        // so the bound can be enforced before accepting the chunk.
+        if buf.len() + chunk.len() > max {
+            return Err(oversized());
+        }
         buf.extend_from_slice(chunk);
         let n = chunk.len();
         reader.consume(n);
-        if buf.len() > max {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "request line exceeds the size limit",
-            ));
-        }
     }
 }
 
@@ -184,7 +240,7 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<
 /// Exits when the peer closes, on I/O error (including the socket being
 /// shut down by [`Server::shutdown`]), on an oversized request, or when
 /// `stop` is raised.
-fn handle_connection(stream: TcpStream, jobs: &JobQueue, stop: &AtomicBool) {
+fn handle_connection(stream: TcpStream, jobs: &JobQueue, store: &DatasetStore, stop: &AtomicBool) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -209,7 +265,7 @@ fn handle_connection(stream: TcpStream, jobs: &JobQueue, stop: &AtomicBool) {
             continue;
         }
         let response = match protocol::parse_request(&line) {
-            Ok(req) => dispatch(req, jobs),
+            Ok(req) => dispatch(req, jobs, store),
             Err(e) => protocol::error_response(&e),
         };
         if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
@@ -235,12 +291,21 @@ impl Drop for ConnectionGuard {
 }
 
 impl Server {
-    /// Binds and starts serving in background threads.
+    /// Binds and starts serving in background threads. With a
+    /// `state_dir`, the job journal and persisted datasets are replayed
+    /// first; jobs that were queued or running when the previous
+    /// process died go straight back into the queue, so the new
+    /// workers complete them without any client action.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let jobs = JobQueue::new();
+        let store = DatasetStore::open(cfg.state_dir.as_ref().map(|d| d.join("datasets")))?;
+        let jobs = match &cfg.state_dir {
+            Some(dir) => JobQueue::with_journal(store.clone(), &dir.join("jobs.jsonl"))
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            None => JobQueue::with_store(store.clone()),
+        };
         let connections = Connections::default();
 
         let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
@@ -253,6 +318,7 @@ impl Server {
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let jobs = jobs.clone();
+            let store = store.clone();
             let connections = connections.clone();
             let pool = Arc::new(Semaphore::new(cfg.max_connections.max(1)));
             std::thread::spawn(move || {
@@ -285,6 +351,7 @@ impl Server {
                         break;
                     }
                     let jobs = jobs.clone();
+                    let store = store.clone();
                     let stop = Arc::clone(&stop);
                     let guard = ConnectionGuard {
                         pool: Arc::clone(&pool),
@@ -294,7 +361,7 @@ impl Server {
                     handlers.push(std::thread::spawn(move || {
                         // Guard releases the permit even on panic.
                         let _guard = guard;
-                        handle_connection(stream, &jobs, &stop);
+                        handle_connection(stream, &jobs, &store, &stop);
                     }));
                     // Reap finished handlers so the vec stays small.
                     handlers.retain(|h| !h.is_finished());
@@ -342,6 +409,39 @@ impl Server {
 mod tests {
     use super::*;
     use crate::client::Client;
+
+    /// Drives `read_line_bounded` with a tiny `BufReader` capacity so
+    /// lines terminate across chunk boundaries, the exact shape of the
+    /// old off-by-one-chunk bug.
+    fn read_bounded(input: &str, capacity: usize, max: usize) -> std::io::Result<Option<String>> {
+        let mut reader = BufReader::with_capacity(capacity, std::io::Cursor::new(input.as_bytes()));
+        read_line_bounded(&mut reader, max)
+    }
+
+    #[test]
+    fn read_line_bound_is_exact_at_the_limit() {
+        // Content of exactly `max` bytes passes; one more fails —
+        // regardless of where the BufReader chunk boundaries fall.
+        for capacity in [1, 2, 3, 5, 8, 64] {
+            let at = read_bounded("aaaaaaaa\nrest", capacity, 8).unwrap();
+            assert_eq!(at.as_deref(), Some("aaaaaaaa"), "capacity {capacity}");
+            let over = read_bounded("aaaaaaaaa\nrest", capacity, 8);
+            assert!(over.is_err(), "capacity {capacity}: 9 bytes must exceed max 8");
+        }
+    }
+
+    #[test]
+    fn read_line_bound_rejects_line_terminating_in_next_chunk() {
+        // Regression: with capacity 8 the whole "aaaaa\n" arrives in one
+        // chunk, so the old code saw the newline first and skipped the
+        // size check entirely, accepting 5 > max = 4.
+        assert!(read_bounded("aaaaa\n", 8, 4).is_err());
+        // And the buffered variant: 3-byte chunks, terminator in the
+        // second chunk; 5 content bytes > max 4 must still fail.
+        assert!(read_bounded("aaa", 3, 4).unwrap().is_none()); // EOF discard, sanity
+        assert!(read_bounded("aaaaa\n", 3, 4).is_err());
+        assert_eq!(read_bounded("aaaa\n", 3, 4).unwrap().as_deref(), Some("aaaa"));
+    }
 
     #[test]
     fn health_roundtrip_and_shutdown() {

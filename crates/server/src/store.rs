@@ -1,0 +1,362 @@
+//! Server-side dataset handles for chunked transfer.
+//!
+//! Shipping a T-Drive-scale corpus inline as one CSV string inside a
+//! single JSON line runs into [`crate::service::MAX_REQUEST_BYTES`].
+//! The store lets clients stream a dataset in bounded pieces instead:
+//! `upload` opens a pending handle (`ds-1`, `ds-2`, …), any number of
+//! `chunk` commands append to it, and `commit` seals it. Committed
+//! handles can then stand in for inline CSV in `anonymize` / `stats` /
+//! `evaluate` requests and are read back in bounded pieces by
+//! `download`.
+//!
+//! With a persistence directory (the server's `--state-dir`), every
+//! *committed* dataset is also written to `<dir>/ds-<id>.csv` and
+//! reloaded on restart, so result handles recorded in the job journal
+//! stay downloadable across restarts. Pending uploads are memory-only
+//! by design: an upload interrupted by a crash has no owner to resume
+//! it, so the client simply starts over.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on one assembled dataset (pending or committed).
+pub const MAX_DATASET_BYTES: usize = 4 * (1 << 30);
+/// Upper bound on concurrently held handles (pending + committed): a
+/// shared server must not let clients accumulate datasets without
+/// bound. There is no eviction or delete verb yet; when full, `upload`
+/// fails. A memory-only store frees its handles on restart; a durable
+/// store reloads them, so reclaiming slots means removing files from
+/// `<state-dir>/datasets/` (see the ROADMAP residue item).
+pub const MAX_STORED_DATASETS: usize = 256;
+/// Hard cap on one `download` piece; requests asking for more are
+/// clamped, keeping every response line bounded.
+pub const MAX_DOWNLOAD_CHUNK_BYTES: usize = 8 * 1024 * 1024;
+/// Piece size used when a `download` request names no `max_bytes`.
+pub const DEFAULT_DOWNLOAD_CHUNK_BYTES: usize = 1024 * 1024;
+
+/// Largest char boundary of `s` that is ≤ `i` (so chunk cuts never
+/// split a UTF-8 scalar).
+pub(crate) fn floor_char_boundary(s: &str, i: usize) -> usize {
+    if i >= s.len() {
+        return s.len();
+    }
+    let mut i = i;
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+enum Entry {
+    /// Being assembled by `chunk` commands.
+    Pending(String),
+    /// Sealed; usable as a request dataset and by `download`.
+    Committed(Arc<String>),
+}
+
+struct StoreInner {
+    next_id: u64,
+    entries: HashMap<String, Entry>,
+    /// When set, committed datasets are mirrored to `<dir>/ds-<id>.csv`.
+    dir: Option<PathBuf>,
+}
+
+/// Shared dataset store. Cloneable handle (`Arc` inside).
+#[derive(Clone)]
+pub struct DatasetStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl Default for DatasetStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatasetStore {
+    /// An empty, memory-only store.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(StoreInner {
+                next_id: 0,
+                entries: HashMap::new(),
+                dir: None,
+            })),
+        }
+    }
+
+    /// Opens a store persisted under `dir` (pass `None` for
+    /// memory-only). Creates the directory if missing and reloads every
+    /// `ds-<id>.csv` as a committed dataset; `next_id` resumes past the
+    /// highest id seen so replayed result handles never collide with
+    /// new ones.
+    pub fn open(dir: Option<PathBuf>) -> std::io::Result<Self> {
+        let Some(dir) = dir else { return Ok(Self::new()) };
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = HashMap::new();
+        let mut max_id = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if name.ends_with(".csv.tmp") {
+                // A crash between persist()'s write and rename leaves a
+                // temp file behind; it holds no committed data.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            let Some(id) = name.strip_prefix("ds-").and_then(|r| r.strip_suffix(".csv")) else {
+                continue;
+            };
+            let Ok(n) = id.parse::<u64>() else { continue };
+            let text = std::fs::read_to_string(&path)?;
+            max_id = max_id.max(n);
+            entries.insert(format!("ds-{n}"), Entry::Committed(Arc::new(text)));
+        }
+        Ok(Self {
+            inner: Arc::new(Mutex::new(StoreInner { next_id: max_id, entries, dir: Some(dir) })),
+        })
+    }
+
+    /// Number of held handles (pending + committed).
+    pub fn count(&self) -> usize {
+        self.inner.lock().expect("store poisoned").entries.len()
+    }
+
+    /// Opens a new pending handle for chunked upload.
+    pub fn begin(&self) -> Result<String, String> {
+        let mut s = self.inner.lock().expect("store poisoned");
+        if s.entries.len() >= MAX_STORED_DATASETS {
+            return Err(format!("dataset store is full ({MAX_STORED_DATASETS} handles)"));
+        }
+        s.next_id += 1;
+        let id = format!("ds-{}", s.next_id);
+        s.entries.insert(id.clone(), Entry::Pending(String::new()));
+        Ok(id)
+    }
+
+    /// Appends one piece to a pending handle, returning the assembled
+    /// size so far.
+    pub fn append(&self, id: &str, data: &str) -> Result<usize, String> {
+        let mut s = self.inner.lock().expect("store poisoned");
+        match s.entries.get_mut(id) {
+            None => Err(format!("unknown dataset {id:?}")),
+            Some(Entry::Committed(_)) => {
+                Err(format!("dataset {id:?} is already committed; chunks are rejected"))
+            }
+            Some(Entry::Pending(buf)) => {
+                if buf.len().saturating_add(data.len()) > MAX_DATASET_BYTES {
+                    return Err(format!("dataset {id:?} would exceed {MAX_DATASET_BYTES} bytes"));
+                }
+                buf.push_str(data);
+                Ok(buf.len())
+            }
+        }
+    }
+
+    /// Seals a pending handle, making it usable as request input and by
+    /// `download`. Returns the final size. With a persistence directory
+    /// the dataset is durably written (temp file + rename) before the
+    /// commit is acknowledged; a failed write leaves the handle pending
+    /// so the client may retry.
+    pub fn commit(&self, id: &str) -> Result<usize, String> {
+        let mut s = self.inner.lock().expect("store poisoned");
+        match s.entries.get(id) {
+            None => return Err(format!("unknown dataset {id:?}")),
+            Some(Entry::Committed(_)) => {
+                return Err(format!("dataset {id:?} is already committed"))
+            }
+            Some(Entry::Pending(_)) => {}
+        }
+        if let Some(dir) = s.dir.clone() {
+            let Some(Entry::Pending(buf)) = s.entries.get(id) else { unreachable!() };
+            persist(&dir, id, buf)?;
+        }
+        let Some(Entry::Pending(buf)) = s.entries.remove(id) else { unreachable!() };
+        let bytes = buf.len();
+        s.entries.insert(id.to_string(), Entry::Committed(Arc::new(buf)));
+        Ok(bytes)
+    }
+
+    /// Stores an already-complete dataset (e.g. an anonymization result
+    /// kept server-side for chunked download), returning its handle and
+    /// size.
+    pub fn insert(&self, csv: String) -> Result<(String, usize), String> {
+        if csv.len() > MAX_DATASET_BYTES {
+            return Err(format!("dataset would exceed {MAX_DATASET_BYTES} bytes"));
+        }
+        let mut s = self.inner.lock().expect("store poisoned");
+        if s.entries.len() >= MAX_STORED_DATASETS {
+            return Err(format!("dataset store is full ({MAX_STORED_DATASETS} handles)"));
+        }
+        s.next_id += 1;
+        let id = format!("ds-{}", s.next_id);
+        if let Some(dir) = s.dir.clone() {
+            persist(&dir, &id, &csv)?;
+        }
+        let bytes = csv.len();
+        s.entries.insert(id.clone(), Entry::Committed(Arc::new(csv)));
+        Ok((id, bytes))
+    }
+
+    /// The full text of a committed dataset.
+    pub fn resolve(&self, id: &str) -> Result<Arc<String>, String> {
+        let s = self.inner.lock().expect("store poisoned");
+        match s.entries.get(id) {
+            None => Err(format!("unknown dataset {id:?}")),
+            Some(Entry::Pending(_)) => Err(format!("dataset {id:?} is not committed yet")),
+            Some(Entry::Committed(text)) => Ok(Arc::clone(text)),
+        }
+    }
+
+    /// One bounded piece of a committed dataset, starting at byte
+    /// `offset` (which must fall on a piece boundary handed out by a
+    /// previous read). Returns `(piece, total_bytes, eof)`.
+    pub fn read_chunk(
+        &self,
+        id: &str,
+        offset: usize,
+        max_bytes: usize,
+    ) -> Result<(String, usize, bool), String> {
+        let text = self.resolve(id)?;
+        if offset > text.len() || !text.is_char_boundary(offset) {
+            return Err(format!(
+                "offset {offset} is not a piece boundary of dataset {id:?} ({} bytes)",
+                text.len()
+            ));
+        }
+        let max_bytes = max_bytes.clamp(1, MAX_DOWNLOAD_CHUNK_BYTES);
+        let mut end = floor_char_boundary(&text, offset.saturating_add(max_bytes));
+        if end <= offset && offset < text.len() {
+            // A chunk budget smaller than one scalar still makes
+            // progress: ship exactly one character.
+            end = offset + text[offset..].chars().next().map_or(1, char::len_utf8);
+        }
+        Ok((text[offset..end].to_string(), text.len(), end == text.len()))
+    }
+}
+
+/// Durably writes `<dir>/<id>.csv` via temp file + fsync + rename +
+/// directory fsync, so neither a process crash nor a power loss can
+/// leave a torn (or silently empty) dataset that a reload would serve
+/// as committed.
+fn persist(dir: &std::path::Path, id: &str, text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let tmp = dir.join(format!("{id}.csv.tmp"));
+    let path = dir.join(format!("{id}.csv"));
+    let write = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        // The rename itself must survive power loss too.
+        std::fs::File::open(dir)?.sync_all()
+    };
+    write().map_err(|e| format!("cannot persist dataset {id:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_commit_resolve_roundtrip() {
+        let store = DatasetStore::new();
+        let id = store.begin().unwrap();
+        assert_eq!(id, "ds-1");
+        assert_eq!(store.append(&id, "traj_id,x,y,t\n").unwrap(), 14);
+        assert_eq!(store.append(&id, "0,1.0,2.0,3\n").unwrap(), 26);
+        assert_eq!(store.commit(&id).unwrap(), 26);
+        assert_eq!(store.resolve(&id).unwrap().as_str(), "traj_id,x,y,t\n0,1.0,2.0,3\n");
+    }
+
+    #[test]
+    fn lifecycle_violations_are_errors() {
+        let store = DatasetStore::new();
+        assert!(store.append("ds-9", "x").unwrap_err().contains("unknown"));
+        assert!(store.commit("ds-9").unwrap_err().contains("unknown"));
+        assert!(store.resolve("ds-9").unwrap_err().contains("unknown"));
+        let id = store.begin().unwrap();
+        assert!(store.resolve(&id).unwrap_err().contains("not committed"));
+        assert!(store.read_chunk(&id, 0, 10).unwrap_err().contains("not committed"));
+        store.commit(&id).unwrap();
+        assert!(store.append(&id, "x").unwrap_err().contains("already committed"));
+        assert!(store.commit(&id).unwrap_err().contains("already committed"));
+    }
+
+    #[test]
+    fn read_chunk_walks_to_eof() {
+        let store = DatasetStore::new();
+        let (id, bytes) = store.insert("abcdefghij".to_string()).unwrap();
+        assert_eq!(bytes, 10);
+        let mut out = String::new();
+        loop {
+            let (piece, total, eof) = store.read_chunk(&id, out.len(), 3).unwrap();
+            assert_eq!(total, 10);
+            out.push_str(&piece);
+            if eof {
+                break;
+            }
+        }
+        assert_eq!(out, "abcdefghij");
+        // Reading exactly at the end is an empty eof piece, not an error.
+        assert_eq!(store.read_chunk(&id, 10, 3).unwrap(), (String::new(), 10, true));
+        assert!(store.read_chunk(&id, 11, 3).is_err());
+    }
+
+    #[test]
+    fn read_chunk_respects_char_boundaries() {
+        let store = DatasetStore::new();
+        let (id, _) = store.insert("aé😀b".to_string()).unwrap();
+        let mut out = String::new();
+        let mut pieces = 0;
+        loop {
+            // max_bytes 2 cannot hold the 4-byte emoji; progress must
+            // still be made one whole scalar at a time.
+            let (piece, _, eof) = store.read_chunk(&id, out.len(), 2).unwrap();
+            assert!(!piece.is_empty() || eof);
+            out.push_str(&piece);
+            pieces += 1;
+            assert!(pieces < 20, "no progress");
+            if eof {
+                break;
+            }
+        }
+        assert_eq!(out, "aé😀b");
+    }
+
+    #[test]
+    fn store_capacity_is_bounded() {
+        let store = DatasetStore::new();
+        for _ in 0..MAX_STORED_DATASETS {
+            store.begin().unwrap();
+        }
+        assert!(store.begin().unwrap_err().contains("full"));
+        assert!(store.insert(String::new()).unwrap_err().contains("full"));
+    }
+
+    #[test]
+    fn persisted_datasets_survive_reopen() {
+        let dir = std::env::temp_dir().join("trajdp-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DatasetStore::open(Some(dir.clone())).unwrap();
+        let id = store.begin().unwrap();
+        store.append(&id, "hello\n").unwrap();
+        store.commit(&id).unwrap();
+        let (id2, _) = store.insert("world\n".to_string()).unwrap();
+        // A pending upload at crash time is intentionally lost.
+        let pending = store.begin().unwrap();
+        store.append(&pending, "partial").unwrap();
+        drop(store);
+
+        let reopened = DatasetStore::open(Some(dir.clone())).unwrap();
+        assert_eq!(reopened.resolve(&id).unwrap().as_str(), "hello\n");
+        assert_eq!(reopened.resolve(&id2).unwrap().as_str(), "world\n");
+        assert!(reopened.resolve(&pending).unwrap_err().contains("unknown"));
+        // Fresh ids never collide with reloaded ones.
+        let (id3, _) = reopened.insert("x".to_string()).unwrap();
+        assert_ne!(id3, id);
+        assert_ne!(id3, id2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

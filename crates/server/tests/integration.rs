@@ -5,8 +5,42 @@ use trajdp_server::json::Json;
 use trajdp_server::{Client, Server, ServerConfig};
 
 fn start() -> Server {
-    Server::start(ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 8 })
-        .expect("bind on loopback")
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_connections: 8,
+        state_dir: None,
+    })
+    .expect("bind on loopback")
+}
+
+fn start_durable(state_dir: &std::path::Path) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_connections: 8,
+        state_dir: Some(state_dir.to_path_buf()),
+    })
+    .expect("bind on loopback with state dir")
+}
+
+/// Polls `status` until the job reports done, returning the final
+/// response.
+fn wait_done(client: &mut Client, job: &str) -> Json {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let status = client
+            .request(&Json::obj([("cmd", Json::from("status")), ("job", Json::from(job))]))
+            .unwrap();
+        match status.get("state").and_then(Json::as_str) {
+            Some("done") => return status,
+            Some("queued" | "running") => {
+                assert!(std::time::Instant::now() < deadline, "job stuck");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            other => panic!("unexpected state {other:?} in {status}"),
+        }
+    }
 }
 
 /// One client walks the full verb set over a single connection.
@@ -129,20 +163,7 @@ fn async_jobs_complete_and_match_sync() {
     assert_eq!(submitted.get("state").and_then(Json::as_str), Some("queued"));
     let job = submitted.get("job").and_then(Json::as_str).unwrap().to_string();
 
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    let done = loop {
-        let status = client
-            .request(&Json::obj([("cmd", Json::from("status")), ("job", Json::from(job.clone()))]))
-            .unwrap();
-        match status.get("state").and_then(Json::as_str) {
-            Some("done") => break status,
-            Some("queued" | "running") => {
-                assert!(std::time::Instant::now() < deadline, "job stuck");
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            other => panic!("unexpected state {other:?} in {status}"),
-        }
-    };
+    let done = wait_done(&mut client, &job);
     assert_eq!(
         done.get("csv").and_then(Json::as_str),
         sync.get("csv").and_then(Json::as_str),
@@ -155,4 +176,206 @@ fn async_jobs_complete_and_match_sync() {
 
     drop(client);
     server.shutdown();
+}
+
+/// Tentpole round-trip: a dataset far larger than the transfer piece
+/// size goes up chunked, is anonymized by handle, and comes back down
+/// chunked — byte-identical to the all-inline path.
+#[test]
+fn chunked_upload_anonymize_download_matches_inline() {
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // ~30k points of CSV, moved in 1 KiB pieces (dozens of chunks).
+    let gen = client.request_line(r#"{"cmd":"gen","size":20,"len":60,"seed":11}"#).unwrap();
+    let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+    assert!(csv.len() > 10 * 1024, "dataset must dwarf the piece size ({})", csv.len());
+
+    let inline_req = Json::obj([
+        ("cmd", Json::from("anonymize")),
+        ("model", Json::from("gl")),
+        ("m", Json::from(4u64)),
+        ("seed", Json::from(31u64)),
+        ("workers", Json::from(2u64)),
+        ("csv", Json::from(csv.clone())),
+    ]);
+    let inline = client.request(&inline_req).unwrap();
+    assert_eq!(inline.get("ok"), Some(&Json::Bool(true)), "{inline}");
+    let inline_release = inline.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+    let handle = client.upload_dataset(&csv, 1024).unwrap();
+    let by_handle = client
+        .request(&Json::obj([
+            ("cmd", Json::from("anonymize")),
+            ("model", Json::from("gl")),
+            ("m", Json::from(4u64)),
+            ("seed", Json::from(31u64)),
+            ("workers", Json::from(2u64)),
+            ("dataset", Json::from(handle.clone())),
+            ("store", Json::Bool(true)),
+        ]))
+        .unwrap();
+    assert_eq!(by_handle.get("ok"), Some(&Json::Bool(true)), "{by_handle}");
+    assert!(by_handle.get("csv").is_none(), "store:true must not inline the release");
+    let result_handle = by_handle.get("dataset").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(by_handle.get("bytes").and_then(Json::as_u64), Some(inline_release.len() as u64));
+
+    let downloaded = client.download_dataset(&result_handle).unwrap();
+    assert_eq!(
+        downloaded, inline_release,
+        "handle-based release must be byte-identical to the inline path"
+    );
+
+    // Handles also work for stats and evaluate.
+    let stats = client
+        .request(&Json::obj([
+            ("cmd", Json::from("stats")),
+            ("dataset", Json::from(handle.clone())),
+        ]))
+        .unwrap();
+    assert_eq!(stats.get("trajectories").and_then(Json::as_u64), Some(20), "{stats}");
+    let eval = client
+        .request(&Json::obj([
+            ("cmd", Json::from("evaluate")),
+            ("original_dataset", Json::from(handle)),
+            ("anonymized_dataset", Json::from(result_handle)),
+        ]))
+        .unwrap();
+    assert_eq!(eval.get("ok"), Some(&Json::Bool(true)), "{eval}");
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Protocol strictness over the wire: misspelled members, non-bool
+/// `async`, and an unknown dataset handle all answer errors — and the
+/// connection survives each one.
+#[test]
+fn strict_protocol_errors_over_the_wire() {
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for (req, needle) in [
+        (r#"{"cmd":"anonymize","model":"gl","csv":"","epsilom":2.0}"#, "epsilom"),
+        (r#"{"cmd":"anonymize","model":"gl","csv":"","async":1}"#, "async must be a boolean"),
+        (r#"{"cmd":"anonymize","model":"gl","dataset":"ds-404"}"#, "unknown dataset"),
+        (r#"{"cmd":"download","dataset":"ds-404"}"#, "unknown dataset"),
+        (r#"{"cmd":"chunk","dataset":"ds-404","data":"x"}"#, "unknown dataset"),
+        (r#"{"cmd":"health","verbose":true}"#, "verbose"),
+    ] {
+        let r = client.request_line(req).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{req} -> {r}");
+        let msg = r.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains(needle), "{req}: {msg}");
+    }
+    let health = client.request_line(r#"{"cmd":"health"}"#).unwrap();
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    drop(client);
+    server.shutdown();
+}
+
+/// Durable jobs: a server restarted on the same `--state-dir` answers
+/// `status` for jobs finished before the restart, still serves their
+/// stored result datasets, completes work that was queued at the kill,
+/// and never reuses old job ids.
+#[test]
+fn restarted_server_replays_journal_and_completes_queued_jobs() {
+    let dir = std::env::temp_dir().join("trajdp-restart-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let server = start_durable(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let gen = client.request_line(r#"{"cmd":"gen","size":6,"len":25,"seed":14}"#).unwrap();
+    let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+    let req = Json::obj([
+        ("cmd", Json::from("anonymize")),
+        ("model", Json::from("purel")),
+        ("m", Json::from(3u64)),
+        ("seed", Json::from(8u64)),
+        ("csv", Json::from(csv.clone())),
+        ("async", Json::Bool(true)),
+        ("store", Json::Bool(true)),
+    ]);
+    let submitted = client.request(&req).unwrap();
+    let finished_job = submitted.get("job").and_then(Json::as_str).unwrap().to_string();
+    let done = wait_done(&mut client, &finished_job);
+    let result_handle = done.get("dataset").and_then(Json::as_str).unwrap().to_string();
+    let release = client.download_dataset(&result_handle).unwrap();
+    drop(client);
+    server.shutdown();
+
+    // Simulate a crash with work still queued: append a submit event
+    // with no matching finish, exactly what a mid-queue kill leaves.
+    let sync_reference = {
+        let mut inline = std::collections::BTreeMap::new();
+        inline.insert("cmd".to_string(), Json::from("anonymize"));
+        inline.insert("model".to_string(), Json::from("gl"));
+        inline.insert("m".to_string(), Json::from(3u64));
+        inline.insert("seed".to_string(), Json::from(77u64));
+        inline.insert("csv".to_string(), Json::from(csv.clone()));
+        Json::Obj(inline)
+    };
+    let spec = Json::obj([
+        ("model", Json::from("gl")),
+        ("epsilon", Json::from(1.0)),
+        ("eps_split", Json::from(0.5)),
+        ("m", Json::from(3u64)),
+        ("seed", Json::from(77u64)),
+        ("workers", Json::from(1u64)),
+        ("store", Json::Bool(false)),
+        ("csv", Json::from(csv.clone())),
+    ]);
+    let killed_job = "job-17";
+    let event = Json::obj([
+        ("event", Json::from("submit")),
+        ("job", Json::from(killed_job)),
+        ("spec", spec),
+    ]);
+    use std::io::Write;
+    let mut journal =
+        std::fs::OpenOptions::new().append(true).open(dir.join("jobs.jsonl")).unwrap();
+    journal.write_all(format!("{event}\n").as_bytes()).unwrap();
+    drop(journal);
+
+    // Restart on the same state dir.
+    let server = start_durable(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Finished-before-restart job still answers status, and its stored
+    // result is still downloadable, byte-identical.
+    let replayed = client
+        .request(&Json::obj([("cmd", Json::from("status")), ("job", Json::from(finished_job))]))
+        .unwrap();
+    assert_eq!(replayed.get("state").and_then(Json::as_str), Some("done"), "{replayed}");
+    assert_eq!(
+        replayed.get("dataset").and_then(Json::as_str),
+        Some(result_handle.as_str()),
+        "{replayed}"
+    );
+    assert_eq!(client.download_dataset(&result_handle).unwrap(), release);
+
+    // The mid-queue job completes without any client resubmission, to
+    // the same bytes a direct synchronous run produces.
+    let done = wait_done(&mut client, killed_job);
+    let direct = client.request(&sync_reference).unwrap();
+    assert_eq!(
+        done.get("csv"),
+        direct.get("csv"),
+        "replayed queued job must match the synchronous run byte for byte"
+    );
+
+    // Fresh submits never collide with replayed ids.
+    let mut async_req = sync_reference;
+    if let Json::Obj(m) = &mut async_req {
+        m.insert("async".to_string(), Json::Bool(true));
+    }
+    let fresh = client.request(&async_req).unwrap();
+    let fresh_id = fresh.get("job").and_then(Json::as_str).unwrap();
+    let fresh_n: u64 = fresh_id.strip_prefix("job-").unwrap().parse().unwrap();
+    assert!(fresh_n > 17, "fresh id {fresh_id} must come after the replayed ids");
+    wait_done(&mut client, fresh_id);
+
+    drop(client);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -7,8 +7,9 @@
 //! trajdp anonymize --model gl --parallel 8 --input private.csv --out release.csv
 //! trajdp evaluate --original private.csv --anonymized release.csv
 //! trajdp stats --input release.csv
-//! trajdp serve --addr 127.0.0.1:7878 --workers 4
-//! trajdp submit --addr 127.0.0.1:7878 --file request.json
+//! trajdp serve --addr 127.0.0.1:7878 --workers 4 --state-dir state/
+//! trajdp submit --addr 127.0.0.1:7878 --file request.json --data private.csv
+//! trajdp fetch --addr 127.0.0.1:7878 --dataset ds-2 --out release.csv
 //! ```
 //!
 //! Files are the CSV interchange format of `trajdp_model::csv`
@@ -53,7 +54,10 @@ usage:
   trajdp evaluate  --original FILE.csv --anonymized FILE.csv
   trajdp stats     --input FILE.csv
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
-  trajdp submit    --addr HOST:PORT [--file REQUEST.json]";
+                   [--state-dir DIR]
+  trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
+                   [--chunk-threshold BYTES]
+  trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv";
 
 /// Parsed `--flag value` pairs of one subcommand.
 type Flags<'a> = HashMap<&'a str, &'a str>;
@@ -205,18 +209,21 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            let flags = parse_flags(cmd, rest, &["addr", "workers", "max-conn"])?;
+            let flags = parse_flags(cmd, rest, &["addr", "workers", "max-conn", "state-dir"])?;
             let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
             let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
                 .map_err(|e| format!("--workers: {e}"))?;
             let max_connections = opt_parse(&flags, "max-conn", 32usize)?;
-            let server = Server::start(ServerConfig { addr, workers, max_connections })
-                .map_err(|e| format!("cannot bind: {e}"))?;
+            let state_dir = opt(&flags, "state-dir").map(std::path::PathBuf::from);
+            let durable = state_dir.is_some();
+            let server = Server::start(ServerConfig { addr, workers, max_connections, state_dir })
+                .map_err(|e| format!("cannot start: {e}"))?;
             eprintln!(
-                "trajdp-server listening on {} ({} job workers); \
+                "trajdp-server listening on {} ({} job workers{}); \
                  send JSON-lines requests, e.g. {{\"cmd\":\"health\"}}",
                 server.local_addr(),
-                workers
+                workers,
+                if durable { ", durable job journal" } else { "" }
             );
             // Serve until the process is killed.
             loop {
@@ -224,8 +231,19 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "submit" => {
-            let flags = parse_flags(cmd, rest, &["addr", "file"])?;
+            let flags = parse_flags(cmd, rest, &["addr", "file", "data", "chunk-threshold"])?;
             let addr = required(&flags, "addr")?;
+            let threshold = opt_parse(&flags, "chunk-threshold", CHUNK_THRESHOLD_BYTES)?;
+            if threshold == 0 {
+                return Err("--chunk-threshold must be at least 1".into());
+            }
+            let data = match opt(&flags, "data") {
+                Some(path) => Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                ),
+                None => None,
+            };
             let request = match opt(&flags, "file") {
                 Some(path) => {
                     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
@@ -240,13 +258,111 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut client =
                 Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             for line in request.lines().filter(|l| !l.trim().is_empty()) {
-                let response = client.request_line(line)?;
+                let response = match prepare_request(&mut client, line, data.as_deref(), threshold)?
+                {
+                    Some(rewritten) => client.request(&rewritten)?,
+                    None => client.request_line(line)?,
+                };
                 println!("{response}");
             }
             Ok(())
         }
+        "fetch" => {
+            let flags = parse_flags(cmd, rest, &["addr", "dataset", "out"])?;
+            let addr = required(&flags, "addr")?;
+            let dataset = required(&flags, "dataset")?;
+            let out = required(&flags, "out")?;
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let csv = client.download_dataset(dataset)?;
+            std::fs::write(out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}: {} bytes from {dataset}", csv.len());
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Above this many bytes, `submit` ships a dataset member via chunked
+/// upload (`upload`/`chunk`/`commit`) and rewrites the request to use
+/// the returned handle, instead of inlining a giant string into one
+/// JSON line. Overridable with `--chunk-threshold`.
+const CHUNK_THRESHOLD_BYTES: usize = 1024 * 1024;
+
+/// Upload piece size: the threshold, but never so large that one
+/// `chunk` request line (with JSON escaping overhead) could trip the
+/// server's per-line framing limit and poison the connection.
+const MAX_UPLOAD_PIECE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Inline request members that can be swapped for a dataset handle,
+/// with the commands that accept the handle form. The command gate
+/// matters: uploading for a request the server will reject anyway
+/// would permanently occupy a store slot (there is no delete verb).
+const CHUNKABLE_MEMBERS: [(&str, &str, &[&str]); 3] = [
+    ("csv", "dataset", &["anonymize", "stats"]),
+    ("original", "original_dataset", &["evaluate"]),
+    ("anonymized", "anonymized_dataset", &["evaluate"]),
+];
+
+/// Applies `--data` splicing and the chunked-upload switch to one
+/// request line. Returns `None` when the line should be sent verbatim
+/// — including any line that is not a JSON object when no `--data` is
+/// in play: the server answers those with a per-line error, the same
+/// way regardless of the line's size, and the remaining lines still
+/// run. With `--data`, every line must be a JSON object (there is
+/// nothing to splice into otherwise), so a malformed line is a hard
+/// error.
+///
+/// `--data` splices only into commands that take a `csv` member
+/// (`anonymize`, `stats`) — other lines in the same file (`status`,
+/// `health`, …) pass through untouched — and conflicts with a request
+/// that already names its own dataset: silently replacing it would run
+/// the job on different data than the request line says. The
+/// chunked-upload switch is gated the same way: uploading for a
+/// command the server cannot accept a handle for would occupy a store
+/// slot just to be rejected.
+fn prepare_request(
+    client: &mut Client,
+    line: &str,
+    data: Option<&str>,
+    threshold: usize,
+) -> Result<Option<traj_freq_dp::server::Json>, String> {
+    use traj_freq_dp::server::Json;
+    let parsed = traj_freq_dp::server::json::parse(line);
+    let mut obj = match (parsed, data) {
+        (Ok(Json::Obj(obj)), _) => obj,
+        (_, None) => return Ok(None),
+        (Ok(_), Some(_)) => {
+            return Err("--data requires each request line to be a JSON object".to_string())
+        }
+        (Err(e), Some(_)) => return Err(format!("cannot parse request line: {e}")),
+    };
+    let cmd = obj.get("cmd").and_then(Json::as_str).unwrap_or("").to_string();
+    let mut rewritten = false;
+    if let Some(csv) = data {
+        if matches!(cmd.as_str(), "anonymize" | "stats") {
+            if obj.contains_key("csv") || obj.contains_key("dataset") {
+                return Err(format!(
+                    "--data conflicts with the {cmd} request's own \"csv\"/\"dataset\" member"
+                ));
+            }
+            obj.insert("csv".to_string(), Json::from(csv));
+            rewritten = true;
+        }
+    }
+    for (inline_key, handle_key, commands) in CHUNKABLE_MEMBERS {
+        if !commands.contains(&cmd.as_str()) {
+            continue;
+        }
+        let oversized = matches!(obj.get(inline_key), Some(Json::Str(s)) if s.len() > threshold);
+        if oversized {
+            let Some(Json::Str(csv)) = obj.remove(inline_key) else { unreachable!() };
+            let handle = client.upload_dataset(&csv, threshold.min(MAX_UPLOAD_PIECE_BYTES))?;
+            obj.insert(handle_key.to_string(), Json::from(handle));
+            rewritten = true;
+        }
+    }
+    Ok(rewritten.then_some(Json::Obj(obj)))
 }
 
 #[cfg(test)]
@@ -424,6 +540,89 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("parallel"));
+    }
+
+    #[test]
+    fn prepare_request_switches_large_members_to_chunked_upload() {
+        use traj_freq_dp::server::Json;
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // Small lines pass through verbatim (None = send as-is).
+        assert_eq!(prepare_request(&mut client, r#"{"cmd":"health"}"#, None, 100).unwrap(), None);
+
+        // A csv member over the threshold is uploaded chunked and the
+        // request rewritten to reference the handle.
+        let big = "traj_id,x,y,t\n".to_string() + &"0,1.0,2.0,3\n".repeat(40);
+        let line =
+            Json::obj([("cmd", Json::from("stats")), ("csv", Json::from(big.clone()))]).to_string();
+        let rewritten =
+            prepare_request(&mut client, &line, None, 64).unwrap().expect("must rewrite");
+        assert!(rewritten.get("csv").is_none());
+        let handle = rewritten.get("dataset").and_then(Json::as_str).unwrap().to_string();
+        // The handle is committed and usable: the rewritten request runs.
+        let resp = client.request(&rewritten).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        assert_eq!(resp.get("trajectories").and_then(Json::as_u64), Some(1));
+
+        // --data splices the dataset file into the request.
+        let spliced = prepare_request(&mut client, r#"{"cmd":"stats"}"#, Some(&big), 1 << 20)
+            .unwrap()
+            .expect("splice must rewrite");
+        assert_eq!(spliced.get("csv").and_then(Json::as_str), Some(big.as_str()));
+        // Only into commands that take a dataset: a status line in the
+        // same file passes through verbatim.
+        let status_line = r#"{"cmd":"status","job":"job-1"}"#;
+        assert_eq!(prepare_request(&mut client, status_line, Some(&big), 1 << 20).unwrap(), None);
+        // The upload switch is gated the same way: a big member on a
+        // command the server would reject anyway must not burn a store
+        // slot — the line goes through verbatim for a per-line error.
+        let misspelled =
+            Json::obj([("cmd", Json::from("anonymise")), ("csv", Json::from(big.clone()))])
+                .to_string();
+        assert_eq!(prepare_request(&mut client, &misspelled, None, 64).unwrap(), None);
+        // A request that already names its own dataset conflicts
+        // instead of being silently overwritten.
+        for conflicting in
+            [r#"{"cmd":"stats","csv":"x"}"#, r#"{"cmd":"anonymize","model":"gl","dataset":"ds-1"}"#]
+        {
+            let err = prepare_request(&mut client, conflicting, Some(&big), 1 << 20).unwrap_err();
+            assert!(err.contains("conflicts"), "{err}");
+        }
+        // And --data with a non-object request line is a hard error.
+        assert!(prepare_request(&mut client, "not json", Some(&big), 1 << 20).is_err());
+
+        let _ = handle;
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fetch_cli_downloads_a_stored_dataset() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let csv = "traj_id,x,y,t\n7,1.5,2.5,3\n".repeat(30);
+        let handle = {
+            let mut client = Client::connect(&addr).unwrap();
+            client.upload_dataset(&csv, 50).unwrap()
+        };
+        let dir = std::env::temp_dir().join("trajdp-cli-fetch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("fetched.csv");
+        run(&a(&["fetch", "--addr", &addr, "--dataset", &handle, "--out", out.to_str().unwrap()]))
+            .unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), csv);
+        // Required flags are enforced.
+        assert!(run(&a(&["fetch", "--addr", &addr])).unwrap_err().contains("--dataset"));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_rejects_zero_chunk_threshold() {
+        let err =
+            run(&a(&["submit", "--addr", "127.0.0.1:1", "--chunk-threshold", "0"])).unwrap_err();
+        assert!(err.contains("chunk-threshold"), "{err}");
     }
 
     #[test]
