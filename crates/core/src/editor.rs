@@ -421,11 +421,15 @@ impl DatasetEditor {
     /// With `workers > 1` the candidate list is cut into contiguous
     /// chunks scanned concurrently; each chunk keeps its own ∆l-bounded
     /// heap (branch-and-bound prunes within the chunk, seeded with a
-    /// global upper bound from the ∆l most promising candidates so far
-    /// chunks keep the serial path's pruning power) and the per-chunk
-    /// heaps merge under the same `(loss, slot)` order, so the selection
-    /// is independent of the worker count. Only the work *counters*
-    /// (`stats.segments_checked`) vary with the worker count.
+    /// global upper bound from the ∆l most promising candidates so
+    /// chunks keep the serial path's pruning power) and the seeded heap
+    /// merges with the per-chunk heaps under the same `(loss, slot)`
+    /// order, so the selection is independent of the worker count. The
+    /// chunks cover only the candidates *past* the seed prefix — the
+    /// prefix's exact losses are already in the seeded heap, so no
+    /// candidate's exact-loss sweep runs twice. Only the work
+    /// *counters* (`stats.segments_checked`) vary with the worker
+    /// count.
     fn increase_tf_bbox(&mut self, q: Point, delta: usize) -> usize {
         let qk = q.key();
         let containing = self.containing.get(&qk);
@@ -456,10 +460,15 @@ impl DatasetEditor {
             } else {
                 f64::INFINITY
             };
-            let shards = pool::map_chunks(workers, &candidates, |_, chunk| {
+            // Only the candidates past the seed prefix are handed to
+            // the chunk pool: the prefix's exact losses are already in
+            // `seeded`, and re-scanning them inside chunk 0 would pay
+            // the exact-loss sweep of the first ∆l candidates twice.
+            let shards = pool::map_chunks(workers, &candidates[seed..], |_, chunk| {
                 Self::scan_insertion_chunk(trajs, q, delta, chunk, bound)
             });
-            let mut merged: Vec<(f64, usize)> = Vec::with_capacity(delta * shards.len());
+            let mut merged = seeded;
+            merged.reserve(delta * shards.len());
             let mut checked = seed_checked;
             for (part, c) in shards {
                 merged.extend(part);
@@ -1086,6 +1095,7 @@ mod tests {
     #[test]
     fn bbox_increase_is_worker_count_invariant() {
         let trajs = clustered_trajs(40, 101);
+        let total_segments: usize = trajs.iter().map(Trajectory::num_segments).sum();
         let q = Point::new(450.0, 450.0);
         for delta in [1usize, 4, 11] {
             let mut serial = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
@@ -1103,7 +1113,38 @@ mod tests {
                     "delta={delta} workers={workers}"
                 );
                 assert_eq!(par.loss, serial.loss, "delta={delta} workers={workers}");
+                // Every candidate's exact-loss sweep runs at most once
+                // (the chunks exclude the seed prefix), so the scan
+                // work can never exceed one full pass.
+                assert!(
+                    par.stats.segments_checked <= total_segments,
+                    "delta={delta} workers={workers}: checked {} of {total_segments}",
+                    par.stats.segments_checked
+                );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_bbox_scan_does_not_rescan_the_seed_prefix() {
+        // With delta = candidate count no pruning is possible, so a
+        // single-scan implementation checks every segment exactly once.
+        // The old chunking handed the *whole* candidate list to the
+        // pool after seeding the bound from its prefix, so chunk 0
+        // re-scanned the first ∆l candidates and the counter exceeded
+        // the total.
+        let trajs = clustered_trajs(12, 9);
+        let total_segments: usize = trajs.iter().map(Trajectory::num_segments).sum();
+        let q = Point::new(450.0, 450.0); // not on any trajectory
+        for workers in [2usize, 3, 8] {
+            let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain());
+            ed.use_bbox_pruning = true;
+            ed.workers = workers;
+            assert_eq!(ed.increase_tf(q, trajs.len()), trajs.len());
+            assert_eq!(
+                ed.stats.segments_checked, total_segments,
+                "workers={workers}: the seed prefix must not be scanned twice"
+            );
         }
     }
 

@@ -78,6 +78,20 @@ impl Client {
         Ok(handle)
     }
 
+    /// Frees a dataset handle server-side, returning the freed byte
+    /// count. Fails with the server's distinct error when the handle is
+    /// pinned by a queued/running job.
+    pub fn delete_dataset(&mut self, handle: &str) -> Result<u64, String> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("delete")),
+            ("dataset", Json::from(handle)),
+        ]))?;
+        expect_ok(&response)?
+            .get("bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "delete response carries no byte count".to_string())
+    }
+
     /// Reassembles a committed dataset by walking `download` pieces to
     /// eof.
     pub fn download_dataset(&mut self, handle: &str) -> Result<String, String> {

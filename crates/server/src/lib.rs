@@ -9,8 +9,8 @@
 //! | [`executor`] | `anonymize_parallel` — shard-parallel global/local mechanisms, bit-identical to the serial pipeline at any worker count |
 //! | [`json`] | serde-free JSON value, parser, single-line writer |
 //! | [`protocol`] | request parsing + the handlers behind each verb |
-//! | [`store`] | chunked-transfer dataset handles (`ds-<id>`), optionally persisted |
-//! | [`jobs`] | job queue with ids, per-job status, and a durable JSON-lines journal |
+//! | [`store`] | chunked-transfer dataset handles (`ds-<id>`), optionally persisted, with delete/LRU/TTL lifecycle and job pinning |
+//! | [`jobs`] | job queue with ids, per-job status, and a durable, compacting JSON-lines journal |
 //! | [`service`] | `TcpListener` accept loop, bounded connection pool, graceful shutdown |
 //! | [`client`] | blocking JSON-lines client for tests and `trajdp submit` |
 //!
@@ -34,4 +34,4 @@ pub use client::Client;
 pub use executor::anonymize_parallel;
 pub use json::Json;
 pub use service::{Server, ServerConfig};
-pub use store::DatasetStore;
+pub use store::{DatasetStore, StoreConfig};

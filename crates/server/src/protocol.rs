@@ -18,6 +18,8 @@
 //! | `chunk`     | `dataset`, `data` (appends one piece)                             |
 //! | `commit`    | `dataset` (seals the handle for use)                              |
 //! | `download`  | `dataset`, `offset?`, `max_bytes?` (one bounded piece back)       |
+//! | `delete`    | `dataset` (frees the handle; rejected while a job pins it)        |
+//! | `list`      | — (all jobs and dataset handles)                                  |
 //!
 //! Unknown members are rejected by name — a misspelled `"epsilom"`
 //! must fail loudly, never run with the default (the same contract the
@@ -87,6 +89,12 @@ pub struct AnonymizeSpec {
     /// Keep the released CSV server-side (answer with a `dataset`
     /// handle for chunked download) instead of inlining it.
     pub store_result: bool,
+    /// The store handle the dataset was resolved from, when it came by
+    /// reference. The job journal records this id instead of the
+    /// resolved text (the handle's bytes are already durable in the
+    /// store), and the queue pins it while the job is queued/running so
+    /// neither `delete` nor eviction can yank the data a replay needs.
+    pub source: Option<String>,
     /// The private dataset as CSV text — shared, not owned, so a
     /// handle-based spec aliases the store's copy instead of
     /// duplicating it.
@@ -121,6 +129,10 @@ impl AnonymizeParams {
     /// run is byte-identical to the inline run because both paths feed
     /// the exact same CSV text to the executor.
     pub fn resolve(self, store: &DatasetStore) -> Result<AnonymizeSpec, String> {
+        let source = match &self.data {
+            DataRef::Handle(id) => Some(id.clone()),
+            DataRef::Inline(_) => None,
+        };
         Ok(AnonymizeSpec {
             model: self.model,
             epsilon: self.epsilon,
@@ -129,6 +141,7 @@ impl AnonymizeParams {
             seed: self.seed,
             workers: self.workers,
             store_result: self.store_result,
+            source,
             csv: self.data.resolve_shared(store)?,
         })
     }
@@ -239,6 +252,14 @@ pub enum Request {
         /// Upper bound on the piece size.
         max_bytes: usize,
     },
+    /// Free a dataset handle (pending or committed). Rejected with a
+    /// distinct error while a queued/running job pins the handle.
+    Delete {
+        /// The handle to free.
+        dataset: String,
+    },
+    /// Enumerate all jobs and dataset handles.
+    List,
 }
 
 /// Parses a model name as accepted by the CLI.
@@ -454,6 +475,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 max_bytes: max_bytes as usize,
             })
         }
+        "delete" => {
+            check_members(&v, cmd, &["dataset"])?;
+            Ok(Request::Delete { dataset: get_str(&v, "dataset")?.to_string() })
+        }
+        "list" => {
+            check_members(&v, cmd, &[])?;
+            Ok(Request::List)
+        }
         other => Err(format!("unknown cmd {other:?}")),
     }
 }
@@ -474,9 +503,13 @@ pub fn model_name(model: Model) -> &'static str {
 }
 
 /// Serializes a spec for the job journal — inverse of
-/// [`spec_from_json`].
+/// [`spec_from_json`]. A spec resolved from a store handle journals the
+/// handle id (`"dataset"`), not the resolved CSV: the bytes are already
+/// durable in the store and pinned for the job's lifetime, so
+/// re-recording megabytes of text per submit would only bloat the
+/// journal and slow every restart.
 pub fn spec_to_json(spec: &AnonymizeSpec) -> Json {
-    Json::obj([
+    let mut obj = match Json::obj([
         ("model", Json::from(model_name(spec.model))),
         ("epsilon", Json::from(spec.epsilon)),
         ("eps_split", Json::from(spec.eps_split)),
@@ -484,15 +517,26 @@ pub fn spec_to_json(spec: &AnonymizeSpec) -> Json {
         ("seed", Json::from(spec.seed)),
         ("workers", Json::from(spec.workers)),
         ("store", Json::from(spec.store_result)),
-        ("csv", Json::from(spec.csv.as_str())),
-    ])
+    ]) {
+        Json::Obj(m) => m,
+        _ => unreachable!(),
+    };
+    match &spec.source {
+        Some(handle) => obj.insert("dataset".to_string(), Json::from(handle.clone())),
+        None => obj.insert("csv".to_string(), Json::from(spec.csv.as_str())),
+    };
+    Json::Obj(obj)
 }
 
 /// Deserializes a journaled spec, re-validating every field: a replayed
 /// job must satisfy the same contracts a live request does, so a
 /// corrupted or hand-edited journal fails loudly instead of executing
-/// out-of-contract work.
-pub fn spec_from_json(v: &Json) -> Result<AnonymizeSpec, String> {
+/// out-of-contract work. Returns unresolved [`AnonymizeParams`]: a
+/// handle-backed spec is re-resolved against the store only when the
+/// job actually re-queues — a job that also has a journaled finish
+/// never touches the store, so deleting its input after it finished
+/// cannot brick replay.
+pub fn spec_from_json(v: &Json) -> Result<AnonymizeParams, String> {
     let require =
         |key: &str| v.get(key).ok_or_else(|| format!("journaled spec is missing member {key:?}"));
     let model = parse_model(get_str(v, "model")?)?;
@@ -508,7 +552,7 @@ pub fn spec_from_json(v: &Json) -> Result<AnonymizeSpec, String> {
     }
     let workers =
         validate_workers(require("workers")?.as_u64().ok_or("workers must be an integer")?)?;
-    Ok(AnonymizeSpec {
+    Ok(AnonymizeParams {
         model,
         epsilon,
         eps_split,
@@ -516,7 +560,7 @@ pub fn spec_from_json(v: &Json) -> Result<AnonymizeSpec, String> {
         seed: require("seed")?.as_u64().ok_or("seed must be a non-negative integer")?,
         workers,
         store_result: require("store")?.as_bool().ok_or("store must be a boolean")?,
-        csv: std::sync::Arc::new(get_str(v, "csv")?.to_string()),
+        data: get_data_ref(v, "csv", "dataset")?,
     })
 }
 
@@ -524,8 +568,11 @@ pub fn spec_from_json(v: &Json) -> Result<AnonymizeSpec, String> {
 /// store, answering with a `"dataset"` handle and its byte size instead
 /// of the inline text. Error responses pass through untouched; a full
 /// store turns the response into an error (the computed result would
-/// otherwise be silently dropped).
-pub fn store_response_csv(response: Json, store: &DatasetStore) -> Json {
+/// otherwise be silently dropped). `from_job` marks results minted by
+/// async jobs, whose handles are reconciled against the replayed
+/// journal at startup (a synchronous `store:true` response has no
+/// journal record, so its handle must never be treated as an orphan).
+pub fn store_response_csv(response: Json, store: &DatasetStore, from_job: bool) -> Json {
     if response.get("ok") != Some(&Json::Bool(true)) {
         return response;
     }
@@ -533,7 +580,7 @@ pub fn store_response_csv(response: Json, store: &DatasetStore) -> Json {
     let Some(Json::Str(csv)) = obj.remove("csv") else {
         return Json::Obj(obj);
     };
-    match store.insert(csv) {
+    match store.insert_with_provenance(csv, from_job) {
         Ok((id, bytes)) => {
             obj.insert("dataset".to_string(), Json::from(id));
             obj.insert("bytes".to_string(), Json::from(bytes));
@@ -587,6 +634,20 @@ pub fn run_download(store: &DatasetStore, dataset: &str, offset: usize, max_byte
             ("total_bytes", Json::from(total)),
             ("eof", Json::Bool(eof)),
             ("data", Json::from(piece)),
+        ]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Executes a `delete` request: frees a handle (and its persisted
+/// file). A handle pinned by a queued/running job answers a distinct
+/// error instead of yanking the job's data.
+pub fn run_delete(store: &DatasetStore, dataset: &str) -> Json {
+    match store.delete(dataset) {
+        Ok(bytes) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("dataset", Json::from(dataset)),
+            ("bytes", Json::from(bytes)),
         ]),
         Err(e) => error_response(&e),
     }
@@ -815,6 +876,7 @@ mod tests {
 
     #[test]
     fn journaled_spec_roundtrips_and_is_validated() {
+        let store = DatasetStore::new();
         let spec = AnonymizeSpec {
             model: Model::CombinedLocalFirst,
             epsilon: 2.5,
@@ -823,10 +885,23 @@ mod tests {
             seed: 99,
             workers: 3,
             store_result: true,
+            source: None,
             csv: std::sync::Arc::new("traj_id,x,y,t\n0,1.0,2.0,3\n".to_string()),
         };
         let v = spec_to_json(&spec);
-        assert_eq!(spec_from_json(&v).unwrap(), spec);
+        assert!(v.get("csv").is_some() && v.get("dataset").is_none());
+        assert_eq!(spec_from_json(&v).unwrap().resolve(&store).unwrap(), spec);
+        // A handle-backed spec journals the handle, not the text —
+        // and re-resolution restores the identical bytes.
+        let (handle, _) = store.insert("traj_id,x,y,t\n0,1.0,2.0,3\n".to_string()).unwrap();
+        let mut by_handle = spec.clone();
+        by_handle.source = Some(handle.clone());
+        let v = spec_to_json(&by_handle);
+        assert_eq!(v.get("dataset").and_then(Json::as_str), Some(handle.as_str()));
+        assert!(v.get("csv").is_none(), "handle-backed spec must not re-record the CSV");
+        let resolved = spec_from_json(&v).unwrap().resolve(&store).unwrap();
+        assert_eq!(resolved.csv, spec.csv);
+        assert_eq!(resolved.source, Some(handle));
         // Tampered journals fail re-validation.
         let mut bad = match spec_to_json(&spec) {
             Json::Obj(m) => m,
@@ -869,6 +944,7 @@ mod tests {
             seed: 1,
             workers: 1,
             store_result: false,
+            source: None,
             csv: std::sync::Arc::new(to_csv(&world.dataset)),
         };
         let out = run_anonymize(&spec);
@@ -931,6 +1007,7 @@ mod tests {
             seed: 7,
             workers: 2,
             store_result: false,
+            source: None,
             csv: std::sync::Arc::new(csv.clone()),
         };
         let anon = run_anonymize(&spec);
@@ -978,7 +1055,7 @@ mod tests {
         // `store` moves the result CSV behind a handle; downloading it
         // piecewise reassembles the identical bytes.
         let released = by_inline.get("csv").and_then(Json::as_str).unwrap().to_string();
-        let stored = store_response_csv(by_handle, &store);
+        let stored = store_response_csv(by_handle, &store, false);
         assert!(stored.get("csv").is_none(), "{stored}");
         let result_id = stored.get("dataset").and_then(Json::as_str).unwrap().to_string();
         assert_eq!(stored.get("bytes").and_then(Json::as_u64), Some(released.len() as u64));
@@ -1004,6 +1081,7 @@ mod tests {
             seed: 1,
             workers: 1,
             store_result: false,
+            source: None,
             csv: std::sync::Arc::new("complete garbage\nwith, too, many, commas, here".into()),
         };
         let out = run_anonymize(&spec);

@@ -18,7 +18,7 @@
 use crate::jobs::JobQueue;
 use crate::json::Json;
 use crate::protocol::{self, Request};
-use crate::store::DatasetStore;
+use crate::store::{DatasetStore, StoreConfig, MAX_STORED_DATASETS};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -33,21 +33,40 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
     pub addr: String,
-    /// Worker threads draining the async job queue.
+    /// Worker threads draining the async job queue. `0` starts none,
+    /// leaving async jobs queued indefinitely — only useful to tests
+    /// that need a job frozen in `queued`; the CLI rejects it.
     pub workers: usize,
     /// Maximum concurrently served connections.
     pub max_connections: usize,
     /// Durable-state directory (CLI `--state-dir`). When set, the job
-    /// table is journaled to `<dir>/jobs.jsonl` and committed datasets
-    /// are mirrored under `<dir>/datasets/`; a restarted server replays
+    /// table is journaled to `<dir>/jobs.jsonl` (compacted at startup
+    /// and after enough finish events) and committed datasets are
+    /// mirrored under `<dir>/datasets/`; a restarted server replays
     /// both, re-queueing jobs that were in flight and answering
     /// `status`/`download` for work finished before the restart.
     pub state_dir: Option<PathBuf>,
+    /// Dataset-store capacity (CLI `--max-datasets`): pending +
+    /// committed handles held at once. When full, the LRU unpinned
+    /// committed handle is evicted to make room.
+    pub max_datasets: usize,
+    /// Evict committed datasets untouched for this long (CLI
+    /// `--dataset-ttl`); `None` keeps them until deleted or
+    /// LRU-evicted. A background sweeper enforces the TTL even on an
+    /// idle store.
+    pub dataset_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 2, max_connections: 32, state_dir: None }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_connections: 32,
+            state_dir: None,
+            max_datasets: MAX_STORED_DATASETS,
+            dataset_ttl: None,
+        }
     }
 }
 
@@ -120,6 +139,7 @@ pub struct Server {
     connections: Connections,
     accept_thread: Option<JoinHandle<()>>,
     job_threads: Vec<JoinHandle<()>>,
+    sweep_thread: Option<JoinHandle<()>>,
 }
 
 /// Dispatches one parsed request to its handler. Dataset handles are
@@ -136,7 +156,7 @@ fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
         Request::Gen { size, len, seed, store_result } => {
             let response = protocol::run_gen(size, len, seed);
             if store_result {
-                protocol::store_response_csv(response, store)
+                protocol::store_response_csv(response, store, false)
             } else {
                 response
             }
@@ -158,7 +178,9 @@ fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
             } else {
                 let response = protocol::run_anonymize(&spec);
                 if spec.store_result {
-                    protocol::store_response_csv(response, store)
+                    // Synchronous results are acknowledged inline, not
+                    // via the journal — never orphan-reconciled.
+                    protocol::store_response_csv(response, store, false)
                 } else {
                     response
                 }
@@ -185,6 +207,32 @@ fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
         Request::Commit { dataset } => protocol::run_commit(store, &dataset),
         Request::Download { dataset, offset, max_bytes } => {
             protocol::run_download(store, &dataset, offset, max_bytes)
+        }
+        Request::Delete { dataset } => protocol::run_delete(store, &dataset),
+        Request::List => {
+            let jobs_arr = Json::Arr(
+                jobs.list()
+                    .into_iter()
+                    .map(|(id, state)| {
+                        Json::obj([("job", Json::from(id)), ("state", Json::from(state))])
+                    })
+                    .collect(),
+            );
+            let datasets_arr = Json::Arr(
+                store
+                    .list()
+                    .into_iter()
+                    .map(|(id, bytes, state, pins)| {
+                        Json::obj([
+                            ("dataset", Json::from(id)),
+                            ("bytes", Json::from(bytes)),
+                            ("state", Json::from(state)),
+                            ("pins", Json::from(pins)),
+                        ])
+                    })
+                    .collect(),
+            );
+            Json::obj([("ok", Json::Bool(true)), ("jobs", jobs_arr), ("datasets", datasets_arr)])
         }
     }
 }
@@ -300,7 +348,12 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let store = DatasetStore::open(cfg.state_dir.as_ref().map(|d| d.join("datasets")))?;
+        let store = DatasetStore::with_config(StoreConfig {
+            dir: cfg.state_dir.as_ref().map(|d| d.join("datasets")),
+            capacity: cfg.max_datasets,
+            ttl: cfg.dataset_ttl,
+            ..StoreConfig::default()
+        })?;
         let jobs = match &cfg.state_dir {
             Some(dir) => JobQueue::with_journal(store.clone(), &dir.join("jobs.jsonl"))
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
@@ -308,12 +361,32 @@ impl Server {
         };
         let connections = Connections::default();
 
-        let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+        let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers)
             .map(|_| {
                 let q = jobs.clone();
                 std::thread::spawn(move || q.work())
             })
             .collect();
+
+        // Stale datasets and abandoned uploads must expire even when no
+        // upload pressure triggers the implicit sweep — unconditionally:
+        // the abandoned-upload TTL is always configured, so a crashed
+        // uploader must not hold a multi-GB pending buffer on an
+        // otherwise idle server just because --dataset-ttl is unset.
+        let sweep_thread = Some({
+            let store = store.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ticks = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    ticks += 1;
+                    if ticks.is_multiple_of(10) {
+                        store.sweep();
+                    }
+                }
+            })
+        });
 
         let accept_thread = {
             let stop = Arc::clone(&stop);
@@ -379,6 +452,7 @@ impl Server {
             connections,
             accept_thread: Some(accept_thread),
             job_threads,
+            sweep_thread,
         })
     }
 
@@ -400,6 +474,9 @@ impl Server {
         }
         self.jobs.shutdown();
         for h in self.job_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweep_thread.take() {
             let _ = h.join();
         }
     }

@@ -9,7 +9,7 @@ fn start() -> Server {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         max_connections: 8,
-        state_dir: None,
+        ..ServerConfig::default()
     })
     .expect("bind on loopback")
 }
@@ -20,6 +20,7 @@ fn start_durable(state_dir: &std::path::Path) -> Server {
         workers: 2,
         max_connections: 8,
         state_dir: Some(state_dir.to_path_buf()),
+        ..ServerConfig::default()
     })
     .expect("bind on loopback with state dir")
 }
@@ -261,6 +262,12 @@ fn strict_protocol_errors_over_the_wire() {
         (r#"{"cmd":"download","dataset":"ds-404"}"#, "unknown dataset"),
         (r#"{"cmd":"chunk","dataset":"ds-404","data":"x"}"#, "unknown dataset"),
         (r#"{"cmd":"health","verbose":true}"#, "verbose"),
+        // The delete verb validates its member set like every other
+        // command, and names the accepted set in the error.
+        (r#"{"cmd":"delete","dataset":"ds-1","force":true}"#, "force"),
+        (r#"{"cmd":"delete"}"#, "dataset"),
+        (r#"{"cmd":"delete","dataset":"ds-404"}"#, "unknown dataset"),
+        (r#"{"cmd":"list","all":true}"#, "all"),
     ] {
         let r = client.request_line(req).unwrap();
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{req} -> {r}");
@@ -269,6 +276,86 @@ fn strict_protocol_errors_over_the_wire() {
     }
     let health = client.request_line(r#"{"cmd":"health"}"#).unwrap();
     assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    drop(client);
+    server.shutdown();
+}
+
+/// Storage lifecycle over the wire: a store at capacity frees a slot
+/// via `delete` and the next upload succeeds; deleting a handle that a
+/// queued job pins answers the distinct in-use error; `list` reports
+/// jobs and handles.
+#[test]
+fn delete_frees_slots_and_pinned_handles_are_protected() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0, // no job workers: submitted jobs stay queued
+        max_connections: 8,
+        max_datasets: 3,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // One committed dataset + fill the rest of the store with pending
+    // uploads (not evictable), hitting the cap.
+    let committed = client.upload_dataset("traj_id,x,y,t\n0,1.0,2.0,3\n", 1 << 20).unwrap();
+    let p1 = client.request_line(r#"{"cmd":"upload"}"#).unwrap();
+    let p1 = p1.get("dataset").and_then(Json::as_str).unwrap().to_string();
+    let _p2 = client.request_line(r#"{"cmd":"upload"}"#).unwrap();
+
+    // A queued job pins the committed handle: the store is full and
+    // even the LRU eviction may not take it.
+    let submitted = client
+        .request(&Json::obj([
+            ("cmd", Json::from("anonymize")),
+            ("model", Json::from("gl")),
+            ("dataset", Json::from(committed.clone())),
+            ("async", Json::Bool(true)),
+        ]))
+        .unwrap();
+    assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)), "{submitted}");
+
+    // At the cap with nothing evictable, upload fails...
+    let full = client.request_line(r#"{"cmd":"upload"}"#).unwrap();
+    assert_eq!(full.get("ok"), Some(&Json::Bool(false)), "{full}");
+    assert!(full.get("error").and_then(Json::as_str).unwrap().contains("full"), "{full}");
+    // ...and deleting the pinned input is rejected with the distinct
+    // in-use error, not "unknown" and not success.
+    let pinned = client
+        .request(&Json::obj([
+            ("cmd", Json::from("delete")),
+            ("dataset", Json::from(committed.clone())),
+        ]))
+        .unwrap();
+    assert_eq!(pinned.get("ok"), Some(&Json::Bool(false)));
+    let msg = pinned.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("queued or running job"), "{msg}");
+
+    // `list` shows the queued job and every handle, with the pin.
+    let listed = client.request_line(r#"{"cmd":"list"}"#).unwrap();
+    assert_eq!(listed.get("ok"), Some(&Json::Bool(true)), "{listed}");
+    let Some(Json::Arr(jobs)) = listed.get("jobs") else { panic!("{listed}") };
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("state").and_then(Json::as_str), Some("queued"));
+    let Some(Json::Arr(datasets)) = listed.get("datasets") else { panic!("{listed}") };
+    assert_eq!(datasets.len(), 3);
+    let pins: f64 = datasets
+        .iter()
+        .filter(|d| d.get("dataset").and_then(Json::as_str) == Some(committed.as_str()))
+        .filter_map(|d| d.get("pins").and_then(Json::as_f64))
+        .sum();
+    assert_eq!(pins, 1.0, "{listed}");
+
+    // Deleting an (unpinned) pending upload frees the slot: the next
+    // upload succeeds and the committed data is untouched.
+    let deleted = client
+        .request(&Json::obj([("cmd", Json::from("delete")), ("dataset", Json::from(p1))]))
+        .unwrap();
+    assert_eq!(deleted.get("ok"), Some(&Json::Bool(true)), "{deleted}");
+    let reopened = client.request_line(r#"{"cmd":"upload"}"#).unwrap();
+    assert_eq!(reopened.get("ok"), Some(&Json::Bool(true)), "{reopened}");
+    assert_eq!(client.download_dataset(&committed).unwrap(), "traj_id,x,y,t\n0,1.0,2.0,3\n");
+
     drop(client);
     server.shutdown();
 }

@@ -2,11 +2,13 @@
 # End-to-end smoke test of the trajdp service layer, driving the real
 # binary over TCP: serve in the background, chunked `submit --file
 # --data`, poll `status`, `fetch` the stored result, and diff it against
-# the inline CLI output. Then restart the server on the same --state-dir
-# and check that the finished job id still resolves and its result is
-# still downloadable. Exercises the code paths `cargo test` cannot: the
-# actual process boundary, CLI flag plumbing, and journal replay across
-# a process death.
+# the inline CLI output. Then exercise the storage lifecycle at the
+# dataset cap (LRU eviction, `delete` freeing a slot, re-upload),
+# restart the server on the same --state-dir and check that the
+# compacted journal still resolves the finished job and its stored
+# result. Exercises the code paths `cargo test` cannot: the actual
+# process boundary, CLI flag plumbing, and journal replay/compaction
+# across a process death.
 #
 # Usage: scripts/smoke.sh   (expects target/release/trajdp to exist)
 set -euo pipefail
@@ -39,7 +41,10 @@ wait_healthy() {
 "$BIN" anonymize --model gl --m 4 --seed 9 --input "$TMP/private.csv" \
     --out "$TMP/inline.csv"
 
-"$BIN" serve --addr "$ADDR" --workers 2 --state-dir "$TMP/state" &
+# A tiny --max-datasets cap so the lifecycle phase below can hit it with
+# a handful of uploads.
+"$BIN" serve --addr "$ADDR" --workers 2 --state-dir "$TMP/state" \
+    --max-datasets 4 &
 SERVER_PID=$!
 wait_healthy "$ADDR"
 
@@ -52,6 +57,15 @@ RESP=$("$BIN" submit --addr "$ADDR" --file "$TMP/req.json" \
     --data "$TMP/private.csv" --chunk-threshold 1000)
 JOB=$(printf '%s' "$RESP" | grep -o '"job":"[^"]*"' | head -1 | cut -d'"' -f4)
 [ -n "$JOB" ] || { echo "FAIL: no job id in: $RESP" >&2; exit 1; }
+
+# Journal-by-handle: the submit event must reference the uploaded
+# handle, not re-record the multi-KB CSV text.
+grep -q '"dataset":"ds-1"' "$TMP/state/jobs.jsonl" \
+    || { echo "FAIL: submit event does not journal the dataset handle" >&2; exit 1; }
+JOURNAL_BYTES=$(wc -c < "$TMP/state/jobs.jsonl")
+CSV_BYTES=$(wc -c < "$TMP/private.csv")
+[ "$JOURNAL_BYTES" -lt "$CSV_BYTES" ] \
+    || { echo "FAIL: journal ($JOURNAL_BYTES B) re-records the CSV ($CSV_BYTES B)" >&2; exit 1; }
 
 STATUS=""
 for i in $(seq 1 600); do
@@ -68,14 +82,50 @@ DS=$(printf '%s' "$STATUS" | grep -o '"dataset":"[^"]*"' | head -1 | cut -d'"' -
 cmp "$TMP/inline.csv" "$TMP/remote.csv" \
     || { echo "FAIL: chunked service output differs from inline CLI output" >&2; exit 1; }
 
-# Kill the server and restart on the same state dir: the journal must
-# resolve the finished job and the persisted dataset must still fetch.
+# ---- storage lifecycle at the cap -----------------------------------
+# State: ds-1 (input upload, cold) + $DS (result, warm from the fetch).
+# Fill the two remaining slots with pending uploads.
+P3=$(echo '{"cmd":"upload"}' | "$BIN" submit --addr "$ADDR" \
+    | grep -o '"dataset":"[^"]*"' | cut -d'"' -f4)
+P4=$(echo '{"cmd":"upload"}' | "$BIN" submit --addr "$ADDR" \
+    | grep -o '"dataset":"[^"]*"' | cut -d'"' -f4)
+[ -n "$P3" ] && [ -n "$P4" ] || { echo "FAIL: uploads below the cap must succeed" >&2; exit 1; }
+
+# At the cap, the next upload evicts the LRU unpinned committed handle —
+# the cold input ds-1 — and succeeds; the warm result survives.
+EVICT=$(echo '{"cmd":"upload"}' | "$BIN" submit --addr "$ADDR")
+printf '%s' "$EVICT" | grep -q '"ok":true' \
+    || { echo "FAIL: upload at the cap must LRU-evict and succeed: $EVICT" >&2; exit 1; }
+GONE=$(echo '{"cmd":"download","dataset":"ds-1"}' | "$BIN" submit --addr "$ADDR")
+printf '%s' "$GONE" | grep -q 'unknown dataset' \
+    || { echo "FAIL: cold input should have been evicted: $GONE" >&2; exit 1; }
+
+# `delete` frees a slot explicitly: abort one pending upload, and the
+# next upload succeeds without evicting anything committed.
+echo "{\"cmd\":\"delete\",\"dataset\":\"$P3\"}" | "$BIN" submit --addr "$ADDR" \
+    | grep -q '"ok":true' || { echo "FAIL: delete of a pending upload refused" >&2; exit 1; }
+echo '{"cmd":"upload"}' | "$BIN" submit --addr "$ADDR" | grep -q '"ok":true' \
+    || { echo "FAIL: upload after delete must reuse the freed slot" >&2; exit 1; }
+"$BIN" fetch --addr "$ADDR" --dataset "$DS" --out "$TMP/survivor.csv"
+cmp "$TMP/inline.csv" "$TMP/survivor.csv" \
+    || { echo "FAIL: stored result was disturbed by the lifecycle churn" >&2; exit 1; }
+
+# ---- restart: compaction + replay -----------------------------------
+# Kill the server and restart on the same state dir: startup compacts
+# the journal to snapshot form, the finished job must still resolve and
+# the persisted result must still fetch byte-identically.
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
-"$BIN" serve --addr "$ADDR2" --workers 2 --state-dir "$TMP/state" &
+"$BIN" serve --addr "$ADDR2" --workers 2 --state-dir "$TMP/state" \
+    --max-datasets 4 &
 SERVER_PID=$!
 wait_healthy "$ADDR2"
+
+grep -q '"event":"snapshot"' "$TMP/state/jobs.jsonl" \
+    || { echo "FAIL: restart did not compact the journal" >&2; exit 1; }
+grep -q '"event":"finish"' "$TMP/state/jobs.jsonl" \
+    && { echo "FAIL: compacted journal still carries raw finish events" >&2; exit 1; }
 
 STATUS=$(echo "{\"cmd\":\"status\",\"job\":\"$JOB\"}" | "$BIN" submit --addr "$ADDR2")
 printf '%s' "$STATUS" | grep -q '"state":"done"' \
@@ -83,5 +133,7 @@ printf '%s' "$STATUS" | grep -q '"state":"done"' \
 "$BIN" fetch --addr "$ADDR2" --dataset "$DS" --out "$TMP/remote2.csv"
 cmp "$TMP/inline.csv" "$TMP/remote2.csv" \
     || { echo "FAIL: restarted server serves different bytes" >&2; exit 1; }
+"$BIN" delete --addr "$ADDR2" --dataset "$DS" \
+    || { echo "FAIL: delete CLI verb failed on the restarted server" >&2; exit 1; }
 
-echo "smoke test passed: chunked transfer byte-identical to inline, journal replay OK"
+echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays"

@@ -10,6 +10,7 @@
 //! trajdp serve --addr 127.0.0.1:7878 --workers 4 --state-dir state/
 //! trajdp submit --addr 127.0.0.1:7878 --file request.json --data private.csv
 //! trajdp fetch --addr 127.0.0.1:7878 --dataset ds-2 --out release.csv
+//! trajdp delete --addr 127.0.0.1:7878 --dataset ds-2
 //! ```
 //!
 //! Files are the CSV interchange format of `trajdp_model::csv`
@@ -54,10 +55,11 @@ usage:
   trajdp evaluate  --original FILE.csv --anonymized FILE.csv
   trajdp stats     --input FILE.csv
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
-                   [--state-dir DIR]
+                   [--state-dir DIR] [--max-datasets N] [--dataset-ttl SECS]
   trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
                    [--chunk-threshold BYTES]
-  trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv";
+  trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv
+  trajdp delete    --addr HOST:PORT --dataset DS-ID";
 
 /// Parsed `--flag value` pairs of one subcommand.
 type Flags<'a> = HashMap<&'a str, &'a str>;
@@ -209,15 +211,45 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            let flags = parse_flags(cmd, rest, &["addr", "workers", "max-conn", "state-dir"])?;
+            let flags = parse_flags(
+                cmd,
+                rest,
+                &["addr", "workers", "max-conn", "state-dir", "max-datasets", "dataset-ttl"],
+            )?;
             let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
             let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
                 .map_err(|e| format!("--workers: {e}"))?;
             let max_connections = opt_parse(&flags, "max-conn", 32usize)?;
             let state_dir = opt(&flags, "state-dir").map(std::path::PathBuf::from);
+            let max_datasets = opt_parse(
+                &flags,
+                "max-datasets",
+                traj_freq_dp::server::store::MAX_STORED_DATASETS,
+            )?;
+            if max_datasets == 0 {
+                return Err("--max-datasets must be at least 1".into());
+            }
+            let dataset_ttl = match opt(&flags, "dataset-ttl") {
+                None => None,
+                Some(v) => {
+                    let secs: u64 =
+                        v.parse().map_err(|_| format!("invalid --dataset-ttl: {v:?}"))?;
+                    if secs == 0 {
+                        return Err("--dataset-ttl must be at least 1 second".into());
+                    }
+                    Some(std::time::Duration::from_secs(secs))
+                }
+            };
             let durable = state_dir.is_some();
-            let server = Server::start(ServerConfig { addr, workers, max_connections, state_dir })
-                .map_err(|e| format!("cannot start: {e}"))?;
+            let server = Server::start(ServerConfig {
+                addr,
+                workers,
+                max_connections,
+                state_dir,
+                max_datasets,
+                dataset_ttl,
+            })
+            .map_err(|e| format!("cannot start: {e}"))?;
             eprintln!(
                 "trajdp-server listening on {} ({} job workers{}); \
                  send JSON-lines requests, e.g. {{\"cmd\":\"health\"}}",
@@ -279,6 +311,16 @@ fn run(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {out}: {} bytes from {dataset}", csv.len());
             Ok(())
         }
+        "delete" => {
+            let flags = parse_flags(cmd, rest, &["addr", "dataset"])?;
+            let addr = required(&flags, "addr")?;
+            let dataset = required(&flags, "dataset")?;
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let bytes = client.delete_dataset(dataset)?;
+            eprintln!("deleted {dataset}: freed {bytes} bytes");
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -297,7 +339,8 @@ const MAX_UPLOAD_PIECE_BYTES: usize = 8 * 1024 * 1024;
 /// Inline request members that can be swapped for a dataset handle,
 /// with the commands that accept the handle form. The command gate
 /// matters: uploading for a request the server will reject anyway
-/// would permanently occupy a store slot (there is no delete verb).
+/// would occupy a store slot until the upload-TTL sweep or an eviction
+/// reclaims it.
 const CHUNKABLE_MEMBERS: [(&str, &str, &[&str]); 3] = [
     ("csv", "dataset", &["anonymize", "stats"]),
     ("original", "original_dataset", &["evaluate"]),
@@ -614,8 +657,34 @@ mod tests {
         assert_eq!(std::fs::read_to_string(&out).unwrap(), csv);
         // Required flags are enforced.
         assert!(run(&a(&["fetch", "--addr", &addr])).unwrap_err().contains("--dataset"));
+        // The delete verb frees the handle; a second delete reports it
+        // unknown, as does a fetch.
+        run(&a(&["delete", "--addr", &addr, "--dataset", &handle])).unwrap();
+        let err = run(&a(&["delete", "--addr", &addr, "--dataset", &handle])).unwrap_err();
+        assert!(err.contains("unknown dataset"), "{err}");
+        let err = run(&a(&[
+            "fetch",
+            "--addr",
+            &addr,
+            "--dataset",
+            &handle,
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown dataset"), "{err}");
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_lifecycle_knobs() {
+        let err = run(&a(&["serve", "--max-datasets", "0"])).unwrap_err();
+        assert!(err.contains("max-datasets"), "{err}");
+        let err = run(&a(&["serve", "--dataset-ttl", "0"])).unwrap_err();
+        assert!(err.contains("dataset-ttl"), "{err}");
+        let err = run(&a(&["serve", "--dataset-ttl", "soon"])).unwrap_err();
+        assert!(err.contains("dataset-ttl"), "{err}");
     }
 
     #[test]
