@@ -1,0 +1,753 @@
+//! The typed API surface of the service: stable error codes, the
+//! response model, and the versioned wire envelope.
+//!
+//! Before this module existed the wire was stringly typed: every
+//! failure was a bare `{"error": "<free text>"}` and every success an
+//! ad-hoc JSON object assembled inside its handler, so clients had to
+//! grep substrings to tell outcomes apart. This module is the single
+//! place where outcomes are *represented* ([`Response`], [`ApiError`])
+//! and *serialized* ([`render`]), for both protocol versions:
+//!
+//! * **v1** (version-less requests) keeps the exact historical shapes:
+//!   `{"ok":true, ...fields}` on success and
+//!   `{"ok":false,"error":"<message>"}` on failure — byte-identical to
+//!   what the server produced before error codes existed, so old
+//!   clients and scripts keep working unchanged.
+//! * **v2** (requests carrying `"v":2`) adds the machine-readable
+//!   envelope: successes are `{"ok":true,"id"?,...fields}` and failures
+//!   `{"ok":false,"id"?,"error":{"code":"<stable-code>","message":...}}`,
+//!   with the request's opaque `"id"` echoed for correlation.
+//!
+//! Error codes are a **compatibility contract**: once shipped, a code's
+//! meaning never changes and codes are never removed (new ones may be
+//! added). Clients must match on `code`, never on message text —
+//! messages are for humans and may be reworded freely.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable, machine-readable error codes. The kebab-case wire form of
+/// each code is given by [`ErrorCode::as_str`]; [`ErrorCode::parse`] is
+/// its inverse (used by clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request is malformed: unparseable JSON, a missing or
+    /// mistyped member, an unknown member, or a value outside its
+    /// documented bounds.
+    BadRequest,
+    /// The `cmd` member names no known verb.
+    UnknownVerb,
+    /// A size cap was exceeded: the request line is over the framing
+    /// limit, or a dataset would exceed the per-dataset byte cap.
+    PayloadTooLarge,
+    /// The request was well-formed but its dataset content is not
+    /// (CSV that does not parse, or mismatched trajectory counts).
+    InvalidDataset,
+    /// The named dataset handle does not exist (never did, was deleted,
+    /// or was evicted).
+    DatasetNotFound,
+    /// The handle exists but is in the wrong lifecycle state for the
+    /// verb: chunking or re-committing a committed handle, using or
+    /// downloading an uncommitted one, or touching one mid-commit.
+    DatasetState,
+    /// The handle is pinned by a queued or running job; `delete` is
+    /// rejected until the job finishes.
+    DatasetInUse,
+    /// The store holds its capacity in handles and nothing is
+    /// evictable; delete a dataset or commit/abandon pending uploads.
+    StoreFull,
+    /// The named job id is unknown (never existed, or its finished
+    /// record aged out of the retention window).
+    JobNotFound,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An I/O operation the request needed failed server-side: a disk
+    /// write its durability contract requires (journal append, dataset
+    /// persist), or the connection failing mid-request at the framing
+    /// layer.
+    Io,
+    /// The pipeline itself failed: an executor error or a panicking
+    /// job. These indicate a server-side bug or resource problem, not
+    /// a request the client could fix.
+    Internal,
+    /// Client-side only — never sent by the server. The exchange
+    /// failed beneath or around the protocol: connect/send/receive
+    /// errors, a closed connection, or a response that violates the
+    /// protocol (unparseable, missing promised members, a wrong id
+    /// echo). Retrying or failing over is the sane reaction to every
+    /// case in this class.
+    Transport,
+}
+
+/// Every code the *server* can put on the wire, in documentation
+/// order ([`ErrorCode::Transport`] is client-side only).
+pub const WIRE_ERROR_CODES: [ErrorCode; 12] = [
+    ErrorCode::BadRequest,
+    ErrorCode::UnknownVerb,
+    ErrorCode::PayloadTooLarge,
+    ErrorCode::InvalidDataset,
+    ErrorCode::DatasetNotFound,
+    ErrorCode::DatasetState,
+    ErrorCode::DatasetInUse,
+    ErrorCode::StoreFull,
+    ErrorCode::JobNotFound,
+    ErrorCode::ShuttingDown,
+    ErrorCode::Io,
+    ErrorCode::Internal,
+];
+
+impl ErrorCode {
+    /// The stable kebab-case wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownVerb => "unknown-verb",
+            ErrorCode::PayloadTooLarge => "payload-too-large",
+            ErrorCode::InvalidDataset => "invalid-dataset",
+            ErrorCode::DatasetNotFound => "dataset-not-found",
+            ErrorCode::DatasetState => "dataset-state",
+            ErrorCode::DatasetInUse => "dataset-in-use",
+            ErrorCode::StoreFull => "store-full",
+            ErrorCode::JobNotFound => "job-not-found",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Io => "io-error",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Transport => "transport",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`] for codes a server may send.
+    /// Unknown strings return `None` so a newer server's codes degrade
+    /// gracefully in an older client — and so does `"transport"`,
+    /// which is client-side only: a wire response claiming it must not
+    /// masquerade as a connectivity failure (the CLI maps transport to
+    /// a different exit code than server rejections).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        WIRE_ERROR_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed API failure: a stable [`ErrorCode`] for programs and a
+/// human-readable message. This is the error type of every
+/// request-handling path in the server and of every [`crate::Client`]
+/// method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// The stable machine-readable class of the failure.
+    pub code: ErrorCode,
+    /// Human-readable detail. Not a contract: match on `code`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// An error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError { code, message: message.into() }
+    }
+
+    /// [`ErrorCode::BadRequest`] shorthand.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::BadRequest, message)
+    }
+
+    /// [`ErrorCode::UnknownVerb`] shorthand.
+    pub fn unknown_verb(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::UnknownVerb, message)
+    }
+
+    /// [`ErrorCode::PayloadTooLarge`] shorthand.
+    pub fn payload_too_large(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::PayloadTooLarge, message)
+    }
+
+    /// [`ErrorCode::InvalidDataset`] shorthand.
+    pub fn invalid_dataset(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::InvalidDataset, message)
+    }
+
+    /// [`ErrorCode::DatasetNotFound`] shorthand.
+    pub fn dataset_not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::DatasetNotFound, message)
+    }
+
+    /// [`ErrorCode::DatasetState`] shorthand.
+    pub fn dataset_state(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::DatasetState, message)
+    }
+
+    /// [`ErrorCode::DatasetInUse`] shorthand.
+    pub fn dataset_in_use(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::DatasetInUse, message)
+    }
+
+    /// [`ErrorCode::StoreFull`] shorthand.
+    pub fn store_full(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::StoreFull, message)
+    }
+
+    /// [`ErrorCode::JobNotFound`] shorthand.
+    pub fn job_not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::JobNotFound, message)
+    }
+
+    /// [`ErrorCode::ShuttingDown`] shorthand.
+    pub fn shutting_down(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::ShuttingDown, message)
+    }
+
+    /// [`ErrorCode::Io`] shorthand.
+    pub fn io(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::Io, message)
+    }
+
+    /// [`ErrorCode::Internal`] shorthand.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::Internal, message)
+    }
+
+    /// [`ErrorCode::Transport`] shorthand (client-side only).
+    pub fn transport(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::Transport, message)
+    }
+
+    /// The same error with `prefix: ` prepended to the message — for
+    /// wrapping a store/executor failure in the context of the verb
+    /// that hit it, without losing the code.
+    pub fn context(self, prefix: &str) -> ApiError {
+        ApiError { code: self.code, message: format!("{prefix}: {}", self.message) }
+    }
+}
+
+impl fmt::Display for ApiError {
+    /// The bare message — v1 error responses carry exactly this, so it
+    /// must not embed the code (v1 shapes are frozen).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Protocol version of one request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolVersion {
+    /// The historical version-less shapes.
+    V1,
+    /// The enveloped shapes with error codes and id echo.
+    V2,
+}
+
+/// Protocol versions this server speaks, reported by `info`.
+pub const SUPPORTED_PROTOCOL_VERSIONS: [u64; 2] = [1, 2];
+
+/// The per-request wire envelope: which response shapes to produce and
+/// which correlation id (if any) to echo. Parsed from the request's
+/// optional `"v"` and `"id"` members before the verb is dispatched, so
+/// even a request whose *verb* fails to validate still gets the
+/// response shape it asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The protocol version the client asked for.
+    pub version: ProtocolVersion,
+    /// Opaque correlation id, echoed verbatim in v2 responses.
+    pub id: Option<String>,
+}
+
+impl Envelope {
+    /// The version-less default: v1, no id.
+    pub const V1: Envelope = Envelope { version: ProtocolVersion::V1, id: None };
+}
+
+/// The outcome of one request, mirroring [`crate::protocol::Request`].
+/// Handlers build these; [`render`] is the only place they are turned
+/// into wire JSON, so a field cannot be serialized in one verb and
+/// forgotten in another.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `health` — liveness plus coarse load.
+    Health {
+        /// Jobs not yet finished.
+        outstanding_jobs: usize,
+        /// Dataset handles currently held.
+        stored_datasets: usize,
+    },
+    /// `info` — identity, protocol versions, and the server's limits.
+    Info {
+        /// Job-queue worker threads.
+        workers: usize,
+        /// Configured dataset-store capacity (`--max-datasets`).
+        max_datasets: usize,
+    },
+    /// `gen` — a synthetic dataset, inline or stored.
+    Gen {
+        /// The generated CSV, inline or behind a handle.
+        data: Payload,
+        /// Trajectory count.
+        trajectories: u64,
+        /// Total point count.
+        points: u64,
+        /// Distinct discretized locations.
+        distinct_locations: u64,
+    },
+    /// Synchronous `anonymize` — the released dataset plus run stats.
+    Anonymize {
+        /// The released CSV, inline or behind a handle.
+        data: Payload,
+        /// ε actually consumed.
+        epsilon_spent: f64,
+        /// Total edit count.
+        edits: u64,
+        /// Mean per-point displacement (meters).
+        utility_loss: f64,
+        /// Worker threads the run used.
+        workers: usize,
+    },
+    /// Async `anonymize` — the job was accepted.
+    Submitted {
+        /// The assigned job id.
+        job: String,
+    },
+    /// `evaluate` — utility metrics of a release against its original.
+    Evaluate {
+        /// Mutual information.
+        mi: f64,
+        /// Information loss.
+        inf: f64,
+        /// Diameter divergence.
+        de: f64,
+        /// Trip divergence.
+        te: f64,
+        /// Frequent-pattern F1.
+        ffp: f64,
+    },
+    /// `stats` — shape statistics of a dataset.
+    Stats {
+        /// Trajectory count.
+        trajectories: u64,
+        /// Total point count.
+        points: u64,
+        /// Distinct discretized locations.
+        distinct_locations: u64,
+        /// Mean trajectory length.
+        avg_traj_len: f64,
+        /// Mean spatial spacing between consecutive points.
+        avg_point_spacing: f64,
+        /// Mean sampling period.
+        avg_sampling_period: f64,
+    },
+    /// `status` — the state of a job, with its result once done.
+    JobStatus {
+        /// The job id.
+        job: String,
+        /// `"queued"`, `"running"`, or `"done"`.
+        state: &'static str,
+        /// The finished job's recorded result (a v1-shaped response
+        /// body). `None` while queued/running. In v1 the result is
+        /// merged into the status response (the historical shape); in
+        /// v2 it nests under `"result"`.
+        result: Option<Arc<Json>>,
+    },
+    /// `upload` — a fresh pending handle.
+    Upload {
+        /// The minted handle.
+        dataset: String,
+    },
+    /// `chunk` — one piece appended.
+    Chunk {
+        /// The pending handle.
+        dataset: String,
+        /// Assembled size so far.
+        bytes: usize,
+    },
+    /// `commit` — the handle is sealed.
+    Commit {
+        /// The committed handle.
+        dataset: String,
+        /// Final size.
+        bytes: usize,
+    },
+    /// `download` — one bounded piece of a committed dataset.
+    Download {
+        /// The committed handle.
+        dataset: String,
+        /// Byte offset this piece starts at.
+        offset: usize,
+        /// The piece.
+        data: String,
+        /// Total size of the dataset.
+        total_bytes: usize,
+        /// Whether this piece reaches the end.
+        eof: bool,
+    },
+    /// `delete` — the handle was freed.
+    Delete {
+        /// The freed handle.
+        dataset: String,
+        /// Bytes released.
+        bytes: usize,
+    },
+    /// `list` — all jobs and dataset handles.
+    List {
+        /// `(id, state name)` per job, in id order.
+        jobs: Vec<(String, &'static str)>,
+        /// `(id, bytes, state name, pins)` per handle, in id order.
+        datasets: Vec<(String, usize, &'static str, usize)>,
+    },
+}
+
+/// Where a produced dataset went: inline in the response, or kept
+/// server-side behind a handle (`"store": true`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// The CSV text travels in the response (`"csv"`).
+    Inline(String),
+    /// The CSV stayed in the store (`"dataset"` + `"bytes"`).
+    Stored {
+        /// The result handle.
+        dataset: String,
+        /// Its size.
+        bytes: usize,
+    },
+}
+
+impl Payload {
+    /// Moves the payload into `obj` — the CSV text of a near-cap
+    /// dataset must not be copied a second time on its way to the
+    /// wire.
+    fn fill(self, obj: &mut BTreeMap<String, Json>) {
+        match self {
+            Payload::Inline(csv) => {
+                obj.insert("csv".to_string(), Json::Str(csv));
+            }
+            Payload::Stored { dataset, bytes } => {
+                obj.insert("dataset".to_string(), Json::Str(dataset));
+                obj.insert("bytes".to_string(), Json::from(bytes));
+            }
+        }
+    }
+}
+
+impl Response {
+    /// The response body — every member except `ok` and `id`, shaped
+    /// for `version`. The shapes are identical across versions except
+    /// for a finished job's `status`: v1 merges the recorded result
+    /// into the top level (the frozen historical shape), v2 nests it
+    /// under `"result"` so the envelope's members can never collide
+    /// with result members. Consumes the response so bulk payloads
+    /// (a multi-GB release, an 8 MiB download piece) move into the
+    /// wire object instead of being copied.
+    fn body(self, version: ProtocolVersion) -> BTreeMap<String, Json> {
+        let mut obj = BTreeMap::new();
+        match self {
+            Response::Health { outstanding_jobs, stored_datasets } => {
+                obj.insert("status".to_string(), Json::from("healthy"));
+                obj.insert("outstanding_jobs".to_string(), Json::from(outstanding_jobs));
+                obj.insert("stored_datasets".to_string(), Json::from(stored_datasets));
+            }
+            Response::Info { workers, max_datasets } => {
+                obj.insert("server".to_string(), Json::from("trajdp-server"));
+                obj.insert("version".to_string(), Json::from(env!("CARGO_PKG_VERSION")));
+                obj.insert(
+                    "protocol_versions".to_string(),
+                    Json::Arr(SUPPORTED_PROTOCOL_VERSIONS.iter().map(|&v| Json::from(v)).collect()),
+                );
+                obj.insert("workers".to_string(), Json::from(workers));
+                obj.insert("max_datasets".to_string(), Json::from(max_datasets));
+                obj.insert(
+                    "max_dataset_bytes".to_string(),
+                    Json::from(crate::store::MAX_DATASET_BYTES),
+                );
+                obj.insert(
+                    "max_request_bytes".to_string(),
+                    Json::from(crate::service::MAX_REQUEST_BYTES),
+                );
+                obj.insert(
+                    "max_download_chunk_bytes".to_string(),
+                    Json::from(crate::store::MAX_DOWNLOAD_CHUNK_BYTES),
+                );
+                obj.insert(
+                    "default_download_chunk_bytes".to_string(),
+                    Json::from(crate::store::DEFAULT_DOWNLOAD_CHUNK_BYTES),
+                );
+                obj.insert(
+                    "max_gen_points".to_string(),
+                    Json::from(crate::protocol::MAX_GEN_POINTS),
+                );
+                obj.insert("max_m".to_string(), Json::from(crate::protocol::MAX_M));
+                obj.insert("max_workers".to_string(), Json::from(crate::protocol::MAX_WORKERS));
+            }
+            Response::Gen { data, trajectories, points, distinct_locations } => {
+                data.fill(&mut obj);
+                obj.insert("trajectories".to_string(), Json::from(trajectories));
+                obj.insert("points".to_string(), Json::from(points));
+                obj.insert("distinct_locations".to_string(), Json::from(distinct_locations));
+            }
+            Response::Anonymize { data, epsilon_spent, edits, utility_loss, workers } => {
+                data.fill(&mut obj);
+                obj.insert("epsilon_spent".to_string(), Json::from(epsilon_spent));
+                obj.insert("edits".to_string(), Json::from(edits));
+                obj.insert("utility_loss".to_string(), Json::from(utility_loss));
+                obj.insert("workers".to_string(), Json::from(workers));
+            }
+            Response::Submitted { job } => {
+                obj.insert("job".to_string(), Json::Str(job));
+                obj.insert("state".to_string(), Json::from("queued"));
+            }
+            Response::Evaluate { mi, inf, de, te, ffp } => {
+                obj.insert("mi".to_string(), Json::from(mi));
+                obj.insert("inf".to_string(), Json::from(inf));
+                obj.insert("de".to_string(), Json::from(de));
+                obj.insert("te".to_string(), Json::from(te));
+                obj.insert("ffp".to_string(), Json::from(ffp));
+            }
+            Response::Stats {
+                trajectories,
+                points,
+                distinct_locations,
+                avg_traj_len,
+                avg_point_spacing,
+                avg_sampling_period,
+            } => {
+                obj.insert("trajectories".to_string(), Json::from(trajectories));
+                obj.insert("points".to_string(), Json::from(points));
+                obj.insert("distinct_locations".to_string(), Json::from(distinct_locations));
+                obj.insert("avg_traj_len".to_string(), Json::from(avg_traj_len));
+                obj.insert("avg_point_spacing".to_string(), Json::from(avg_point_spacing));
+                obj.insert("avg_sampling_period".to_string(), Json::from(avg_sampling_period));
+            }
+            Response::JobStatus { job, state, result } => {
+                match (result, version) {
+                    (Some(result), ProtocolVersion::V1) => {
+                        // The frozen v1 shape: the recorded result
+                        // merged into the top level (including its own
+                        // `ok`, which render() must not clobber — a
+                        // failed job's done-status reports ok:false).
+                        // The Arc clone is unavoidable: the job table
+                        // keeps its copy of the recorded result.
+                        obj = match (*result).clone() {
+                            Json::Obj(m) => m,
+                            other => {
+                                let mut m = BTreeMap::new();
+                                m.insert("result".to_string(), other);
+                                m
+                            }
+                        };
+                    }
+                    (Some(result), ProtocolVersion::V2) => {
+                        obj.insert("result".to_string(), (*result).clone());
+                    }
+                    (None, _) => {}
+                }
+                obj.insert("job".to_string(), Json::Str(job));
+                obj.insert("state".to_string(), Json::from(state));
+            }
+            Response::Upload { dataset } => {
+                obj.insert("dataset".to_string(), Json::Str(dataset));
+            }
+            Response::Chunk { dataset, bytes } | Response::Commit { dataset, bytes } => {
+                obj.insert("dataset".to_string(), Json::Str(dataset));
+                obj.insert("bytes".to_string(), Json::from(bytes));
+            }
+            Response::Download { dataset, offset, data, total_bytes, eof } => {
+                obj.insert("dataset".to_string(), Json::Str(dataset));
+                obj.insert("offset".to_string(), Json::from(offset));
+                obj.insert("bytes".to_string(), Json::from(data.len()));
+                obj.insert("total_bytes".to_string(), Json::from(total_bytes));
+                obj.insert("eof".to_string(), Json::Bool(eof));
+                obj.insert("data".to_string(), Json::Str(data));
+            }
+            Response::Delete { dataset, bytes } => {
+                obj.insert("dataset".to_string(), Json::Str(dataset));
+                obj.insert("bytes".to_string(), Json::from(bytes));
+            }
+            Response::List { jobs, datasets } => {
+                obj.insert(
+                    "jobs".to_string(),
+                    Json::Arr(
+                        jobs.into_iter()
+                            .map(|(id, state)| {
+                                Json::obj([("job", Json::Str(id)), ("state", Json::from(state))])
+                            })
+                            .collect(),
+                    ),
+                );
+                obj.insert(
+                    "datasets".to_string(),
+                    Json::Arr(
+                        datasets
+                            .into_iter()
+                            .map(|(id, bytes, state, pins)| {
+                                Json::obj([
+                                    ("dataset", Json::Str(id)),
+                                    ("bytes", Json::from(bytes)),
+                                    ("state", Json::from(state)),
+                                    ("pins", Json::from(pins)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+        }
+        obj
+    }
+}
+
+/// Serializes one request outcome for the wire — the single exit point
+/// of response serialization for both protocol versions. Takes the
+/// outcome by value: both call sites (the connection handler, the job
+/// worker) are done with it, and borrowing would force a full copy of
+/// every inline CSV payload.
+pub fn render(envelope: &Envelope, result: Result<Response, ApiError>) -> Json {
+    match result {
+        Ok(response) => {
+            let mut obj = response.body(envelope.version);
+            // `or_insert`, not `insert`: a v1 done-status merges the
+            // recorded result into the top level, and a *failed* job's
+            // result carries `ok:false`, which must win (the frozen
+            // historical behavior).
+            obj.entry("ok".to_string()).or_insert(Json::Bool(true));
+            if envelope.version == ProtocolVersion::V2 {
+                if let Some(id) = &envelope.id {
+                    obj.insert("id".to_string(), Json::from(id.as_str()));
+                }
+            }
+            Json::Obj(obj)
+        }
+        Err(e) => {
+            let mut obj = BTreeMap::new();
+            obj.insert("ok".to_string(), Json::Bool(false));
+            match envelope.version {
+                ProtocolVersion::V1 => {
+                    obj.insert("error".to_string(), Json::from(e.message.as_str()));
+                }
+                ProtocolVersion::V2 => {
+                    if let Some(id) = &envelope.id {
+                        obj.insert("id".to_string(), Json::from(id.as_str()));
+                    }
+                    obj.insert(
+                        "error".to_string(),
+                        Json::obj([
+                            ("code", Json::from(e.code.as_str())),
+                            ("message", Json::from(e.message.as_str())),
+                        ]),
+                    );
+                }
+            }
+            Json::Obj(obj)
+        }
+    }
+}
+
+/// [`render`] for the version-less v1 shape — what job results are
+/// recorded as (the journal format predates the envelope and stays
+/// version-less, so journals replay across server versions).
+pub fn render_v1(result: Result<Response, ApiError>) -> Json {
+    render(&Envelope::V1, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_kebab_case() {
+        for code in WIRE_ERROR_CODES {
+            let s = code.as_str();
+            assert_eq!(ErrorCode::parse(s), Some(code), "{s}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{s} must be kebab-case"
+            );
+        }
+        assert_eq!(ErrorCode::parse("no-such-code"), None);
+        // The client-side-only code is still kebab-case but must NOT
+        // parse off the wire: a server claiming "transport" would
+        // masquerade as a connectivity failure.
+        assert_eq!(ErrorCode::Transport.as_str(), "transport");
+        assert_eq!(ErrorCode::parse("transport"), None);
+    }
+
+    #[test]
+    fn context_keeps_the_code() {
+        let e = ApiError::store_full("dataset store is full").context("cannot store result");
+        assert_eq!(e.code, ErrorCode::StoreFull);
+        assert_eq!(e.message, "cannot store result: dataset store is full");
+        assert_eq!(e.to_string(), e.message, "Display is the bare message (v1 parity)");
+    }
+
+    #[test]
+    fn v1_error_shape_is_the_frozen_string_form() {
+        let err: Result<Response, ApiError> = Err(ApiError::dataset_not_found("unknown dataset"));
+        assert_eq!(render_v1(err).to_string(), r#"{"error":"unknown dataset","ok":false}"#);
+    }
+
+    #[test]
+    fn v2_error_shape_carries_code_and_id() {
+        let envelope = Envelope { version: ProtocolVersion::V2, id: Some("req-7".to_string()) };
+        let err = || -> Result<Response, ApiError> { Err(ApiError::store_full("full")) };
+        assert_eq!(
+            render(&envelope, err()).to_string(),
+            r#"{"error":{"code":"store-full","message":"full"},"id":"req-7","ok":false}"#
+        );
+        // Without an id, no id member appears.
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        assert_eq!(
+            render(&envelope, err()).to_string(),
+            r#"{"error":{"code":"store-full","message":"full"},"ok":false}"#
+        );
+    }
+
+    #[test]
+    fn v2_success_echoes_the_id() {
+        let envelope = Envelope { version: ProtocolVersion::V2, id: Some("abc".to_string()) };
+        let ok = Ok(Response::Upload { dataset: "ds-1".to_string() });
+        assert_eq!(render(&envelope, ok).to_string(), r#"{"dataset":"ds-1","id":"abc","ok":true}"#);
+    }
+
+    #[test]
+    fn v1_done_status_merges_result_and_failed_results_keep_ok_false() {
+        let failed = Arc::new(Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::from("job panicked: boom")),
+        ]));
+        let status = Response::JobStatus {
+            job: "job-3".to_string(),
+            state: "done",
+            result: Some(Arc::clone(&failed)),
+        };
+        // v1: merged flat, the result's ok:false preserved.
+        assert_eq!(
+            render_v1(Ok(status.clone())).to_string(),
+            r#"{"error":"job panicked: boom","job":"job-3","ok":false,"state":"done"}"#
+        );
+        // v2: nested verbatim; the envelope's ok:true says the *status
+        // query* succeeded, the nested result says the job failed.
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        assert_eq!(
+            render(&envelope, Ok(status)).to_string(),
+            r#"{"job":"job-3","ok":true,"result":{"error":"job panicked: boom","ok":false},"state":"done"}"#
+        );
+    }
+
+    #[test]
+    fn non_object_done_results_nest_under_result_in_v1() {
+        let status = Response::JobStatus {
+            job: "job-1".to_string(),
+            state: "done",
+            result: Some(Arc::new(Json::from("raw"))),
+        };
+        assert_eq!(
+            render_v1(Ok(status)).to_string(),
+            r#"{"job":"job-1","ok":true,"result":"raw","state":"done"}"#
+        );
+    }
+}

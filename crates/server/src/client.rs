@@ -1,15 +1,212 @@
-//! A small blocking JSON-lines client, used by the integration tests
-//! and the `trajdp submit` CLI verb.
+//! A small blocking JSON-lines client with a typed API, used by the
+//! integration tests and the `trajdp` CLI verbs.
+//!
+//! Two layers:
+//!
+//! * **Raw**: [`Client::request_line`] / [`Client::request`] send one
+//!   line verbatim and hand back the parsed response object — the
+//!   passthrough the `trajdp submit` verb uses for user-authored
+//!   request files, whatever protocol version they speak.
+//! * **Typed**: [`Client::health`], [`Client::info`],
+//!   [`Client::submit`], [`Client::status`],
+//!   [`Client::upload_dataset`], [`Client::download_dataset`],
+//!   [`Client::delete_dataset`] speak protocol v2 (every call carries a
+//!   fresh correlation id and verifies its echo), return typed structs,
+//!   and fail with [`ApiError`] — the server's stable
+//!   [`ErrorCode`] on a rejected request, or
+//!   [`ErrorCode::Transport`] when the exchange itself failed — the
+//!   connection (with the underlying [`std::io::ErrorKind`] named in
+//!   the message, so "connection refused" and "broken pipe" are
+//!   distinguishable) or a response that violates the protocol
+//!   (unparseable body, missing members, a wrong id echo).
 
+use crate::api::{ApiError, ErrorCode};
 use crate::json::{self, Json};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A connected client. One request/response pair per call; the
-//  underlying connection is reused across calls.
+/// underlying connection is reused across calls.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Correlation-id counter for typed (v2) calls.
+    next_id: u64,
+}
+
+/// `health` — liveness plus coarse load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// Jobs not yet finished.
+    pub outstanding_jobs: u64,
+    /// Dataset handles currently held.
+    pub stored_datasets: u64,
+}
+
+/// `info` — the server's identity, supported protocol versions, and
+/// every limit a client would otherwise have to guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Server software version.
+    pub version: String,
+    /// Protocol versions the server accepts (`[1, 2]`).
+    pub protocol_versions: Vec<u64>,
+    /// Job-queue worker threads.
+    pub workers: u64,
+    /// Dataset-store capacity (handles held at once).
+    pub max_datasets: u64,
+    /// Per-dataset byte cap.
+    pub max_dataset_bytes: u64,
+    /// Per-request-line byte cap (the framing limit).
+    pub max_request_bytes: u64,
+    /// Hard cap on one `download` piece.
+    pub max_download_chunk_bytes: u64,
+    /// Piece size when `download` names no `max_bytes`.
+    pub default_download_chunk_bytes: u64,
+    /// Cap on `gen`'s `size * len`.
+    pub max_gen_points: u64,
+    /// Cap on the signature size `m`.
+    pub max_m: u64,
+    /// Cap on per-request worker threads.
+    pub max_workers: u64,
+}
+
+/// A successfully enqueued async `anonymize`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// The job id to poll with [`Client::status`].
+    pub job: String,
+}
+
+/// Lifecycle phase of a job, as reported by `status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; [`JobStatus::result`] holds the recorded outcome.
+    Done,
+}
+
+/// `status` — a job's phase, with its result once done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// The finished job's recorded result: a v1-shaped response body
+    /// whose own `ok` member says whether the *job* succeeded.
+    /// `None` until [`JobPhase::Done`].
+    pub result: Option<Json>,
+}
+
+/// A dataset handle acknowledgement (`commit` / `delete`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// The handle.
+    pub dataset: String,
+    /// Its size in bytes (freed bytes, for `delete`).
+    pub bytes: u64,
+}
+
+/// Transport-coded "the response is not what the protocol promises".
+fn malformed(what: &str, detail: impl std::fmt::Display) -> ApiError {
+    ApiError::transport(format!("malformed {what} response: {detail}"))
+}
+
+/// A required string member of a response body.
+fn want_str(v: &Json, what: &str, key: &str) -> Result<String, ApiError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| malformed(what, format_args!("missing string member {key:?}")))
+}
+
+/// A required integer member of a response body.
+fn want_u64(v: &Json, what: &str, key: &str) -> Result<u64, ApiError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| malformed(what, format_args!("missing integer member {key:?}")))
+}
+
+impl Health {
+    /// Parses a `health` response body — inverse of the server's
+    /// serialization of [`crate::api::Response::Health`].
+    pub fn from_response(v: &Json) -> Result<Health, ApiError> {
+        Ok(Health {
+            outstanding_jobs: want_u64(v, "health", "outstanding_jobs")?,
+            stored_datasets: want_u64(v, "health", "stored_datasets")?,
+        })
+    }
+}
+
+impl ServerInfo {
+    /// Parses an `info` response body.
+    pub fn from_response(v: &Json) -> Result<ServerInfo, ApiError> {
+        let versions = match v.get("protocol_versions") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| {
+                    item.as_u64().ok_or_else(|| {
+                        malformed("info", "non-integer entry in \"protocol_versions\"")
+                    })
+                })
+                .collect::<Result<Vec<u64>, ApiError>>()?,
+            _ => return Err(malformed("info", "missing array member \"protocol_versions\"")),
+        };
+        Ok(ServerInfo {
+            version: want_str(v, "info", "version")?,
+            protocol_versions: versions,
+            workers: want_u64(v, "info", "workers")?,
+            max_datasets: want_u64(v, "info", "max_datasets")?,
+            max_dataset_bytes: want_u64(v, "info", "max_dataset_bytes")?,
+            max_request_bytes: want_u64(v, "info", "max_request_bytes")?,
+            max_download_chunk_bytes: want_u64(v, "info", "max_download_chunk_bytes")?,
+            default_download_chunk_bytes: want_u64(v, "info", "default_download_chunk_bytes")?,
+            max_gen_points: want_u64(v, "info", "max_gen_points")?,
+            max_m: want_u64(v, "info", "max_m")?,
+            max_workers: want_u64(v, "info", "max_workers")?,
+        })
+    }
+}
+
+impl SubmitReceipt {
+    /// Parses an async-anonymize acceptance.
+    pub fn from_response(v: &Json) -> Result<SubmitReceipt, ApiError> {
+        Ok(SubmitReceipt { job: want_str(v, "submit", "job")? })
+    }
+}
+
+impl JobStatus {
+    /// Parses a v2 `status` response body (the finished result nests
+    /// under `"result"`).
+    pub fn from_response(v: &Json) -> Result<JobStatus, ApiError> {
+        let job = want_str(v, "status", "job")?;
+        let phase = match want_str(v, "status", "state")?.as_str() {
+            "queued" => JobPhase::Queued,
+            "running" => JobPhase::Running,
+            "done" => JobPhase::Done,
+            other => return Err(malformed("status", format_args!("unknown state {other:?}"))),
+        };
+        let result = v.get("result").cloned();
+        if phase == JobPhase::Done && result.is_none() {
+            return Err(malformed("status", "done without a result member"));
+        }
+        Ok(JobStatus { job, phase, result })
+    }
+}
+
+impl DatasetInfo {
+    /// Parses a `commit`/`delete` acknowledgement.
+    pub fn from_response(v: &Json) -> Result<DatasetInfo, ApiError> {
+        Ok(DatasetInfo {
+            dataset: want_str(v, "dataset", "dataset")?,
+            bytes: want_u64(v, "dataset", "bytes")?,
+        })
+    }
 }
 
 impl Client {
@@ -17,41 +214,132 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: BufReader::new(stream) })
+        Ok(Client { writer, reader: BufReader::new(stream), next_id: 0 })
     }
 
-    /// Sends one raw request line and reads one response object.
-    pub fn request_line(&mut self, line: &str) -> Result<Json, String> {
+    /// Sends one raw request line and reads one response object. I/O
+    /// failures surface the underlying [`std::io::ErrorKind`] in the
+    /// message — a timeout, a refused connection, and a broken pipe
+    /// must be tellable apart without string-matching os error text.
+    pub fn request_line(&mut self, line: &str) -> Result<Json, ApiError> {
         debug_assert!(!line.contains('\n'), "requests are single lines");
         self.writer
             .write_all(format!("{line}\n").as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send failed: {e}"))?;
+            .map_err(|e| ApiError::transport(format!("send failed ({:?}): {e}", e.kind())))?;
         let mut response = String::new();
-        let n = self.reader.read_line(&mut response).map_err(|e| format!("receive failed: {e}"))?;
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| ApiError::transport(format!("receive failed ({:?}): {e}", e.kind())))?;
         if n == 0 {
-            return Err("server closed the connection".to_string());
+            return Err(ApiError::transport("server closed the connection"));
         }
-        json::parse(response.trim_end()).map_err(|e| format!("bad response: {e}"))
+        json::parse(response.trim_end())
+            .map_err(|e| ApiError::transport(format!("bad response: {e}")))
     }
 
-    /// Sends a request object.
-    pub fn request(&mut self, req: &Json) -> Result<Json, String> {
+    /// Sends a request object verbatim.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ApiError> {
         self.request_line(&req.to_string())
+    }
+
+    /// One typed v2 exchange: stamps the request with `"v": 2` and a
+    /// fresh correlation id, verifies the id echo, and converts a
+    /// `{"ok":false}` envelope into the typed [`ApiError`] it carries.
+    fn call(&mut self, mut obj: BTreeMap<String, Json>) -> Result<Json, ApiError> {
+        self.next_id += 1;
+        let id = format!("c-{}", self.next_id);
+        obj.insert("v".to_string(), Json::from(2u64));
+        obj.insert("id".to_string(), Json::from(id.as_str()));
+        let response = self.request(&Json::Obj(obj))?;
+        // Inspect `ok` before the id echo: an error may legitimately
+        // arrive without an id (framing errors are always v1-shaped,
+        // and an older server rejects the "v" member itself in the v1
+        // shape) — the server's actual diagnostic must win over a
+        // generic "no id echo" transport error.
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(false) => return Err(parse_error_envelope(&response)),
+            Some(true) => {}
+            None => return Err(malformed("enveloped", "no boolean \"ok\" member")),
+        }
+        if response.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+            return Err(ApiError::transport(format!(
+                "response id does not echo request id {id:?} (got {:?})",
+                response.get("id")
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Builds the member map of one command.
+    fn members(
+        cmd: &str,
+        pairs: impl IntoIterator<Item = (&'static str, Json)>,
+    ) -> BTreeMap<String, Json> {
+        let mut obj = BTreeMap::new();
+        obj.insert("cmd".to_string(), Json::from(cmd));
+        for (k, v) in pairs {
+            obj.insert(k.to_string(), v);
+        }
+        obj
+    }
+
+    /// Liveness probe.
+    pub fn health(&mut self) -> Result<Health, ApiError> {
+        let v = self.call(Self::members("health", []))?;
+        Health::from_response(&v)
+    }
+
+    /// The server's identity, protocol versions, and limits — ask this
+    /// instead of hard-coding caps.
+    pub fn info(&mut self) -> Result<ServerInfo, ApiError> {
+        let v = self.call(Self::members("info", []))?;
+        ServerInfo::from_response(&v)
+    }
+
+    /// Enqueues an asynchronous `anonymize`. `params` holds the verb's
+    /// members (`model`, `csv` or `dataset`, `epsilon`, …); `cmd` and
+    /// `async` are filled in here — params already naming either are
+    /// rejected rather than silently overwritten (the same
+    /// fail-loudly contract the wire's member check enforces).
+    pub fn submit(&mut self, params: &Json) -> Result<SubmitReceipt, ApiError> {
+        let Json::Obj(params) = params else {
+            return Err(ApiError::bad_request("submit parameters must be a JSON object"));
+        };
+        for reserved in ["cmd", "async"] {
+            if params.contains_key(reserved) {
+                return Err(ApiError::bad_request(format!(
+                    "submit fills in {reserved:?} itself; the parameter object must not name it"
+                )));
+            }
+        }
+        let mut obj = params.clone();
+        obj.insert("cmd".to_string(), Json::from("anonymize"));
+        obj.insert("async".to_string(), Json::Bool(true));
+        let v = self.call(obj)?;
+        SubmitReceipt::from_response(&v)
+    }
+
+    /// Polls a job.
+    pub fn status(&mut self, job: &str) -> Result<JobStatus, ApiError> {
+        let v = self.call(Self::members("status", [("job", Json::from(job))]))?;
+        JobStatus::from_response(&v)
     }
 
     /// Streams a dataset to the server in pieces of at most
     /// `chunk_bytes` via `upload` / `chunk` / `commit`, returning the
-    /// committed `ds-<id>` handle. The commit acknowledgement must
-    /// account for every byte sent, or the transfer errors.
-    pub fn upload_dataset(&mut self, csv: &str, chunk_bytes: usize) -> Result<String, String> {
+    /// committed handle and its acknowledged size. The commit
+    /// acknowledgement must account for every byte sent, or the
+    /// transfer errors.
+    pub fn upload_dataset(
+        &mut self,
+        csv: &str,
+        chunk_bytes: usize,
+    ) -> Result<DatasetInfo, ApiError> {
         let chunk_bytes = chunk_bytes.max(1);
-        let opened = self.request(&Json::obj([("cmd", Json::from("upload"))]))?;
-        let handle = expect_ok(&opened)?
-            .get("dataset")
-            .and_then(Json::as_str)
-            .ok_or("upload response carries no dataset handle")?
-            .to_string();
+        let opened = self.call(Self::members("upload", []))?;
+        let handle = want_str(&opened, "upload", "dataset")?;
         let mut offset = 0;
         while offset < csv.len() {
             let mut end = crate::store::floor_char_boundary(csv, offset + chunk_bytes);
@@ -59,71 +347,237 @@ impl Client {
                 // Budget smaller than one scalar: send it whole anyway.
                 end = offset + csv[offset..].chars().next().map_or(1, char::len_utf8);
             }
-            let sent = self.request(&Json::obj([
-                ("cmd", Json::from("chunk")),
-                ("dataset", Json::from(handle.clone())),
-                ("data", Json::from(&csv[offset..end])),
-            ]))?;
-            expect_ok(&sent)?;
+            self.call(Self::members(
+                "chunk",
+                [("dataset", Json::from(handle.as_str())), ("data", Json::from(&csv[offset..end]))],
+            ))?;
             offset = end;
         }
-        let committed = self.request(&Json::obj([
-            ("cmd", Json::from("commit")),
-            ("dataset", Json::from(handle.clone())),
-        ]))?;
-        let bytes = expect_ok(&committed)?.get("bytes").and_then(Json::as_u64);
-        if bytes != Some(csv.len() as u64) {
-            return Err(format!("commit acknowledged {bytes:?} bytes for {} sent", csv.len()));
+        let committed =
+            self.call(Self::members("commit", [("dataset", Json::from(handle.as_str()))]))?;
+        let info = DatasetInfo::from_response(&committed)?;
+        if info.bytes != csv.len() as u64 {
+            return Err(ApiError::transport(format!(
+                "commit acknowledged {} bytes for {} sent",
+                info.bytes,
+                csv.len()
+            )));
         }
-        Ok(handle)
+        Ok(info)
     }
 
     /// Frees a dataset handle server-side, returning the freed byte
-    /// count. Fails with the server's distinct error when the handle is
+    /// count. Fails with [`ErrorCode::DatasetInUse`] when the handle is
     /// pinned by a queued/running job.
-    pub fn delete_dataset(&mut self, handle: &str) -> Result<u64, String> {
-        let response = self.request(&Json::obj([
-            ("cmd", Json::from("delete")),
-            ("dataset", Json::from(handle)),
-        ]))?;
-        expect_ok(&response)?
-            .get("bytes")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "delete response carries no byte count".to_string())
+    pub fn delete_dataset(&mut self, handle: &str) -> Result<DatasetInfo, ApiError> {
+        let v = self.call(Self::members("delete", [("dataset", Json::from(handle))]))?;
+        DatasetInfo::from_response(&v)
     }
 
     /// Reassembles a committed dataset by walking `download` pieces to
-    /// eof.
-    pub fn download_dataset(&mut self, handle: &str) -> Result<String, String> {
+    /// eof. `chunk_bytes` bounds each piece; pass `None` for the
+    /// server's default (discoverable via [`Client::info`]).
+    pub fn download_dataset_chunked(
+        &mut self,
+        handle: &str,
+        chunk_bytes: Option<usize>,
+    ) -> Result<String, ApiError> {
         let mut out = String::new();
         loop {
-            let piece = self.request(&Json::obj([
-                ("cmd", Json::from("download")),
-                ("dataset", Json::from(handle)),
-                ("offset", Json::from(out.len())),
-            ]))?;
-            let piece = expect_ok(&piece)?;
-            let data =
-                piece.get("data").and_then(Json::as_str).ok_or("download piece carries no data")?;
+            let mut members = Self::members(
+                "download",
+                [("dataset", Json::from(handle)), ("offset", Json::from(out.len()))],
+            );
+            if let Some(max) = chunk_bytes {
+                members.insert("max_bytes".to_string(), Json::from(max));
+            }
+            let piece = self.call(members)?;
+            let data = piece
+                .get("data")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed("download", "piece carries no data"))?;
             out.push_str(data);
             match piece.get("eof").and_then(Json::as_bool) {
                 Some(true) => return Ok(out),
                 Some(false) if !data.is_empty() => {}
-                _ => return Err("download made no progress".to_string()),
+                _ => return Err(malformed("download", "made no progress")),
             }
         }
     }
+
+    /// [`Self::download_dataset_chunked`] with the server's default
+    /// piece size.
+    pub fn download_dataset(&mut self, handle: &str) -> Result<String, ApiError> {
+        self.download_dataset_chunked(handle, None)
+    }
 }
 
-/// Fails with the server's error message unless the response says ok.
-fn expect_ok(response: &Json) -> Result<&Json, String> {
-    if response.get("ok") == Some(&Json::Bool(true)) {
-        Ok(response)
-    } else {
-        Err(response
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("request failed without an error message")
-            .to_string())
+/// The [`ApiError`] inside a v2 `{"ok":false}` envelope — or a
+/// v1-shaped error (`"error"` as a bare string), which an older server
+/// or the framing layer can produce; those parse as [`ErrorCode::Internal`]
+/// with the message kept. A code this client does not know (a newer
+/// server) — or the client-side-only `"transport"`, which no honest
+/// server sends — degrades to [`ErrorCode::Internal`] with the raw
+/// code prefixed to the message, so nothing is silently dropped and a
+/// wire response can never masquerade as a connectivity failure.
+fn parse_error_envelope(response: &Json) -> ApiError {
+    let error = response.get("error");
+    if let Some(Json::Str(message)) = error {
+        // The v1 shape: a bare message string, no code to recover.
+        return ApiError::internal(message.clone());
+    }
+    let message = error
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("request failed without an error message");
+    match error.and_then(|e| e.get("code")).and_then(Json::as_str) {
+        Some(raw) => match ErrorCode::parse(raw) {
+            Some(code) => ApiError::new(code, message),
+            None => ApiError::internal(format!("[{raw}] {message}")),
+        },
+        None => ApiError::internal(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{render, Envelope, ProtocolVersion, Response};
+    use std::sync::Arc;
+
+    fn v2(id: &str) -> Envelope {
+        Envelope { version: ProtocolVersion::V2, id: Some(id.to_string()) }
+    }
+
+    /// Round-trip: every typed parser inverts the server's rendering of
+    /// the matching [`Response`] variant.
+    #[test]
+    fn typed_parsers_invert_rendered_responses() {
+        let health =
+            render(&v2("a"), Ok(Response::Health { outstanding_jobs: 3, stored_datasets: 7 }));
+        assert_eq!(
+            Health::from_response(&health).unwrap(),
+            Health { outstanding_jobs: 3, stored_datasets: 7 }
+        );
+
+        let info = render(&v2("b"), Ok(Response::Info { workers: 4, max_datasets: 64 }));
+        let parsed = ServerInfo::from_response(&info).unwrap();
+        assert_eq!(parsed.workers, 4);
+        assert_eq!(parsed.max_datasets, 64);
+        assert_eq!(parsed.protocol_versions, vec![1, 2]);
+        assert_eq!(parsed.max_dataset_bytes, crate::store::MAX_DATASET_BYTES as u64);
+        assert_eq!(parsed.max_request_bytes, crate::service::MAX_REQUEST_BYTES as u64);
+        assert_eq!(parsed.max_download_chunk_bytes, crate::store::MAX_DOWNLOAD_CHUNK_BYTES as u64);
+        assert_eq!(
+            parsed.default_download_chunk_bytes,
+            crate::store::DEFAULT_DOWNLOAD_CHUNK_BYTES as u64
+        );
+        assert_eq!(parsed.max_gen_points, crate::protocol::MAX_GEN_POINTS);
+        assert_eq!(parsed.max_m, crate::protocol::MAX_M);
+        assert_eq!(parsed.max_workers, crate::protocol::MAX_WORKERS);
+        assert_eq!(parsed.version, env!("CARGO_PKG_VERSION"));
+
+        let receipt = render(&v2("c"), Ok(Response::Submitted { job: "job-9".to_string() }));
+        assert_eq!(
+            SubmitReceipt::from_response(&receipt).unwrap(),
+            SubmitReceipt { job: "job-9".to_string() }
+        );
+
+        let queued = render(
+            &v2("d"),
+            Ok(Response::JobStatus { job: "job-9".to_string(), state: "queued", result: None }),
+        );
+        assert_eq!(
+            JobStatus::from_response(&queued).unwrap(),
+            JobStatus { job: "job-9".to_string(), phase: JobPhase::Queued, result: None }
+        );
+        let body = Json::obj([("ok", Json::Bool(true)), ("csv", Json::from("x\n"))]);
+        let done = render(
+            &v2("e"),
+            Ok(Response::JobStatus {
+                job: "job-9".to_string(),
+                state: "done",
+                result: Some(Arc::new(body.clone())),
+            }),
+        );
+        let parsed = JobStatus::from_response(&done).unwrap();
+        assert_eq!(parsed.phase, JobPhase::Done);
+        assert_eq!(parsed.result, Some(body));
+
+        let commit =
+            render(&v2("f"), Ok(Response::Commit { dataset: "ds-2".to_string(), bytes: 26 }));
+        assert_eq!(
+            DatasetInfo::from_response(&commit).unwrap(),
+            DatasetInfo { dataset: "ds-2".to_string(), bytes: 26 }
+        );
+        let delete =
+            render(&v2("g"), Ok(Response::Delete { dataset: "ds-2".to_string(), bytes: 26 }));
+        assert_eq!(
+            DatasetInfo::from_response(&delete).unwrap(),
+            DatasetInfo { dataset: "ds-2".to_string(), bytes: 26 }
+        );
+    }
+
+    #[test]
+    fn error_envelopes_parse_back_to_the_typed_error() {
+        let original = ApiError::dataset_in_use("dataset \"ds-1\" is referenced by a job");
+        let wire = render(&v2("h"), Err(original.clone()));
+        assert_eq!(parse_error_envelope(&wire), original, "codes round-trip the wire");
+        // An unknown (future) code degrades without losing information.
+        let wire = crate::json::parse(
+            r#"{"error":{"code":"rate-limited","message":"slow down"},"id":"i","ok":false}"#,
+        )
+        .unwrap();
+        let parsed = parse_error_envelope(&wire);
+        assert_eq!(parsed.code, ErrorCode::Internal);
+        assert!(parsed.message.contains("rate-limited") && parsed.message.contains("slow down"));
+        // A wire response claiming the client-side-only "transport"
+        // code must not classify as a connectivity failure.
+        let wire =
+            crate::json::parse(r#"{"error":{"code":"transport","message":"spoof"},"ok":false}"#)
+                .unwrap();
+        assert_eq!(parse_error_envelope(&wire).code, ErrorCode::Internal);
+    }
+
+    #[test]
+    fn v1_shaped_errors_surface_the_server_diagnostic_not_an_id_mismatch() {
+        // An id-less v1-shaped error (a framing error, or an older
+        // server rejecting the "v" member itself) must parse as the
+        // server's own message — not be shadowed by a transport-coded
+        // "no id echo" failure, and not lose the message text.
+        let wire = crate::json::parse(r#"{"error":"unknown member \"v\"","ok":false}"#).unwrap();
+        let parsed = parse_error_envelope(&wire);
+        assert_ne!(parsed.code, ErrorCode::Transport);
+        assert!(parsed.message.contains("unknown member"), "{parsed:?}");
+    }
+
+    #[test]
+    fn submit_rejects_reserved_members_instead_of_overwriting() {
+        // No server needed: the conflict is caught before any I/O, so
+        // a throwaway (unconnected) client address is never dialed.
+        let server = crate::service::Server::start(crate::service::ServerConfig {
+            workers: 0,
+            ..crate::service::ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for params in [
+            Json::obj([("cmd", Json::from("stats")), ("dataset", Json::from("ds-1"))]),
+            Json::obj([("async", Json::Bool(false)), ("model", Json::from("gl"))]),
+        ] {
+            let err = client.submit(&params).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest);
+            assert!(err.message.contains("fills in"), "{err}");
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn done_status_without_result_is_malformed() {
+        let v = crate::json::parse(r#"{"job":"job-1","ok":true,"state":"done"}"#).unwrap();
+        let err = JobStatus::from_response(&v).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Transport);
+        assert!(err.message.contains("result"), "{err}");
     }
 }

@@ -55,6 +55,7 @@
 //! reads proceed while a write is in flight. Submit acknowledgements
 //! still happen strictly after the event is durable.
 
+use crate::api::{render_v1, ApiError, Response};
 use crate::json::Json;
 use crate::protocol::{run_anonymize, spec_from_json, spec_to_json, AnonymizeSpec};
 use crate::store::DatasetStore;
@@ -383,13 +384,13 @@ impl JobQueue {
     /// — including its fsync — runs outside the queue mutex, so
     /// concurrent `status`/`list` reads never stall behind a large
     /// submit; the id is acknowledged only after the event is durable.
-    pub fn submit(&self, mut spec: AnonymizeSpec) -> Result<String, String> {
+    pub fn submit(&self, mut spec: AnonymizeSpec) -> Result<String, ApiError> {
         let mut journal = self.journal.lock().expect("journal poisoned");
         let (lock, cvar) = &*self.inner;
         let id = {
             let mut q = lock.lock().expect("queue poisoned");
             if q.shutdown {
-                return Err("server is shutting down; submit rejected".to_string());
+                return Err(ApiError::shutting_down("server is shutting down; submit rejected"));
             }
             q.next_id += 1;
             format!("job-{}", q.next_id)
@@ -417,7 +418,7 @@ impl JobQueue {
                     if let Some(handle) = &spec.source {
                         self.store.unpin(handle);
                     }
-                    return Err(format!("cannot journal submit: {e}"));
+                    return Err(ApiError::io(format!("cannot journal submit: {e}")));
                 }
             }
         }
@@ -436,7 +437,7 @@ impl JobQueue {
             if let Some(handle) = &spec.source {
                 self.store.unpin(handle);
             }
-            return Err("server is shutting down; submit rejected".to_string());
+            return Err(ApiError::shutting_down("server is shutting down; submit rejected"));
         }
         q.pending.push_back(id.clone());
         q.states.insert(id.clone(), JobState::Queued);
@@ -554,7 +555,9 @@ impl JobQueue {
 
     /// Worker loop: execute jobs until shutdown. A panicking job is
     /// recorded as a failed result instead of killing the worker thread
-    /// and stranding the job in `Running` forever.
+    /// and stranding the job in `Running` forever. Results are recorded
+    /// in the version-less v1 shape — the journal format predates the
+    /// envelope and stays stable across protocol versions.
     pub fn work(&self) {
         while let Some((id, spec)) = self.take() {
             let result =
@@ -565,39 +568,30 @@ impl JobQueue {
                             .map(|s| s.to_string())
                             .or_else(|| panic.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "job panicked".to_string());
-                        crate::protocol::error_response(&format!("job panicked: {msg}"))
+                        Err(ApiError::internal(format!("job panicked: {msg}")))
                     });
-            let result = if spec.store_result {
-                crate::protocol::store_response_csv(result, &self.store, true)
-            } else {
-                result
+            let result = match result {
+                Ok(response) if spec.store_result => {
+                    crate::protocol::store_result(response, &self.store, true)
+                }
+                other => other,
             };
-            self.finish(&id, result);
+            self.finish(&id, render_v1(result));
         }
     }
 
-    /// The `status` response for a job id.
-    pub fn status_response(&self, id: &str) -> Json {
+    /// The `status` outcome for a job id. A finished job carries its
+    /// recorded result (a v1-shaped response body) — the renderer
+    /// merges it flat in v1 and nests it under `"result"` in v2.
+    pub fn status_response(&self, id: &str) -> Result<Response, ApiError> {
         match self.state(id) {
-            None => crate::protocol::error_response(&format!("unknown job {id:?}")),
+            None => Err(ApiError::job_not_found(format!("unknown job {id:?}"))),
             Some(JobState::Done(result)) => {
-                let mut obj = match (*result).clone() {
-                    Json::Obj(m) => m,
-                    other => {
-                        let mut m = std::collections::BTreeMap::new();
-                        m.insert("result".to_string(), other);
-                        m
-                    }
-                };
-                obj.insert("job".to_string(), Json::from(id.to_string()));
-                obj.insert("state".to_string(), Json::from("done"));
-                Json::Obj(obj)
+                Ok(Response::JobStatus { job: id.to_string(), state: "done", result: Some(result) })
             }
-            Some(state) => Json::obj([
-                ("ok", Json::Bool(true)),
-                ("job", Json::from(id.to_string())),
-                ("state", Json::from(state.name())),
-            ]),
+            Some(state) => {
+                Ok(Response::JobStatus { job: id.to_string(), state: state.name(), result: None })
+            }
         }
     }
 }
@@ -655,7 +649,7 @@ fn replay(text: &str, inner: &mut QueueInner, store: &DatasetStore) -> Result<()
         match event {
             "submit" => {
                 let spec_json = v.get("spec").ok_or_else(|| fail("submit without spec".into()))?;
-                let spec = spec_from_json(spec_json).map_err(fail)?;
+                let spec = spec_from_json(spec_json).map_err(|e| fail(e.message))?;
                 if specs.insert(id.clone(), spec).is_some() || inner.states.contains_key(&id) {
                     return Err(fail(format!("duplicate submit for {id:?}")));
                 }
@@ -759,7 +753,7 @@ mod tests {
         };
         let result = wait_done(&q, &id);
         assert_eq!(result.get("ok"), Some(&Json::Bool(true)), "{result}");
-        let status = q.status_response(&id);
+        let status = render_v1(q.status_response(&id));
         assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
         assert_eq!(status.get("job").and_then(Json::as_str), Some(id.as_str()));
         assert!(status.get("csv").is_some(), "done status inlines the result");
@@ -787,7 +781,8 @@ mod tests {
         let accepted = q.submit(spec()).unwrap();
         q.shutdown();
         let err = q.submit(spec()).unwrap_err();
-        assert!(err.contains("shutting down"), "{err}");
+        assert_eq!(err.code, crate::api::ErrorCode::ShuttingDown);
+        assert!(err.message.contains("shutting down"), "{err}");
         // The pre-shutdown job is still drained by a late worker.
         let worker = {
             let q = q.clone();
@@ -811,8 +806,8 @@ mod tests {
             q.state(&format!("job-{MAX_FINISHED_RETAINED}")),
             Some(JobState::Done(_))
         ));
-        let r = q.status_response("job-0");
-        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "evicted id reports unknown");
+        let r = q.status_response("job-0").unwrap_err();
+        assert_eq!(r.code, crate::api::ErrorCode::JobNotFound, "evicted id reports unknown");
     }
 
     #[test]
@@ -837,7 +832,7 @@ mod tests {
         }
         assert_eq!(q.state("job-1"), None, "oldest job record evicted");
         assert!(
-            store.resolve(&handles[0]).unwrap_err().contains("unknown"),
+            store.resolve(&handles[0]).unwrap_err().message.contains("unknown"),
             "evicted job's result handle must be deleted with it"
         );
         assert!(store.resolve(&handles[1]).is_ok(), "retained jobs keep their results");
@@ -890,7 +885,7 @@ mod tests {
         q.shutdown();
         worker.join().unwrap();
         assert!(
-            store.resolve(&ds_r).unwrap_err().contains("unknown"),
+            store.resolve(&ds_r).unwrap_err().message.contains("unknown"),
             "deferred reclaim must fire once the last pin drops"
         );
     }
@@ -898,8 +893,13 @@ mod tests {
     #[test]
     fn unknown_job_is_an_error() {
         let q = JobQueue::new();
-        let r = q.status_response("job-404");
-        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let err = q.status_response("job-404").unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::JobNotFound);
+        assert_eq!(
+            render_v1(q.status_response("job-404")).to_string(),
+            r#"{"error":"unknown job \"job-404\"","ok":false}"#,
+            "the v1 error shape is frozen"
+        );
     }
 
     #[test]
@@ -959,7 +959,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("jobs.jsonl");
         let the_spec = spec();
-        let reference = run_anonymize(&the_spec);
+        let reference = render_v1(run_anonymize(&the_spec));
 
         // Submit, then "crash" before any worker runs.
         let q1 = JobQueue::with_journal(DatasetStore::new(), &path).unwrap();
@@ -1070,7 +1070,7 @@ mod tests {
 
         // While the job is queued, the input handle cannot be deleted.
         let err = store.delete(&handle).unwrap_err();
-        assert!(err.contains("queued or running job"), "{err}");
+        assert!(err.message.contains("queued or running job"), "{err}");
 
         // Crash + replay: the handle re-resolves to the same bytes and
         // is re-pinned.
@@ -1078,13 +1078,16 @@ mod tests {
         let store2 = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
         let q2 = JobQueue::with_journal(store2.clone(), &path).unwrap();
         assert_eq!(q2.state(&id), Some(JobState::Queued));
-        assert!(store2.delete(&handle).unwrap_err().contains("queued or running"));
+        assert!(store2.delete(&handle).unwrap_err().message.contains("queued or running"));
         let worker = {
             let q = q2.clone();
             std::thread::spawn(move || q.work())
         };
         let replayed = wait_done(&q2, &id);
-        assert_eq!(replayed.get("csv"), run_anonymize(&handle_spec(&store2).0).get("csv"));
+        assert_eq!(
+            replayed.get("csv"),
+            render_v1(run_anonymize(&handle_spec(&store2).0)).get("csv")
+        );
         q2.shutdown();
         worker.join().unwrap();
         // Finished: the pin is released and the delete goes through.
@@ -1232,7 +1235,7 @@ mod tests {
             let q = q.clone();
             let first = first.clone();
             std::thread::spawn(move || {
-                let status = q.status_response(&first);
+                let status = render_v1(q.status_response(&first));
                 let listed = q.list();
                 tx.send((status, listed)).unwrap();
             })
@@ -1283,7 +1286,7 @@ mod tests {
         let store2 = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
         let q2 = JobQueue::with_journal(store2.clone(), &path).unwrap();
         assert!(
-            store2.resolve(&orphan).unwrap_err().contains("unknown"),
+            store2.resolve(&orphan).unwrap_err().message.contains("unknown"),
             "unreferenced job result must be reconciled away"
         );
         assert!(store2.resolve(&kept).is_ok(), "journal-referenced result must be kept");

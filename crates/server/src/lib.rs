@@ -6,6 +6,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`api`] | stable error codes ([`api::ErrorCode`]/[`api::ApiError`]), the typed [`api::Response`] model, and the versioned wire envelope with centralized serialization |
 //! | [`executor`] | `anonymize_parallel` — shard-parallel global/local mechanisms, bit-identical to the serial pipeline at any worker count |
 //! | [`json`] | serde-free JSON value, parser, single-line writer |
 //! | [`protocol`] | request parsing + the handlers behind each verb |
@@ -22,6 +23,7 @@
 //! root seed — see `trajdp_core::stream`. Sharding changes only which
 //! thread evaluates a unit, never what the unit draws.
 
+pub mod api;
 pub mod client;
 pub mod executor;
 pub mod jobs;
@@ -30,6 +32,7 @@ pub mod protocol;
 pub mod service;
 pub mod store;
 
+pub use api::{ApiError, Envelope, ErrorCode, ProtocolVersion, Response};
 pub use client::Client;
 pub use executor::anonymize_parallel;
 pub use json::Json;

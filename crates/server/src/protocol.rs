@@ -9,6 +9,7 @@
 //! | cmd         | members                                                           |
 //! |-------------|-------------------------------------------------------------------|
 //! | `health`    | —                                                                 |
+//! | `info`      | — (server version, protocol versions, limits)                     |
 //! | `gen`       | `size?`, `len?`, `seed?`, `store?`                                |
 //! | `anonymize` | `model`, `csv` \| `dataset`, `epsilon?`, `eps_split?`, `m?`, `seed?`, `workers?`, `async?`, `store?` |
 //! | `evaluate`  | `original` \| `original_dataset`, `anonymized` \| `anonymized_dataset` |
@@ -21,18 +22,25 @@
 //! | `delete`    | `dataset` (frees the handle; rejected while a job pins it)        |
 //! | `list`      | — (all jobs and dataset handles)                                  |
 //!
-//! Unknown members are rejected by name — a misspelled `"epsilom"`
-//! must fail loudly, never run with the default (the same contract the
-//! CLI enforces on flags).
+//! Besides its verb members, every request may carry the envelope
+//! members `"v"` (protocol version, `1` or `2`; absent means 1) and —
+//! with `"v": 2` — an opaque `"id"` echoed in the response for
+//! correlation. Unknown members are rejected by name — a misspelled
+//! `"epsilom"` must fail loudly, never run with the default (the same
+//! contract the CLI enforces on flags).
 //!
 //! Responses always carry `"ok"` (`true`/`false`); failures add
-//! `"error"`. An `anonymize` request with `"async": true` enqueues a job
-//! and answers `{"ok":true,"job":"<id>","state":"queued"}` immediately;
-//! `status` polls it and returns the finished result inline once done.
-//! `"store": true` on `gen`/`anonymize` keeps the produced CSV
-//! server-side and answers with its `dataset` handle (for `download`)
-//! instead of the inline text.
+//! `"error"` — a bare message string in v1, a
+//! `{"code","message"}` object with a stable [`crate::api::ErrorCode`]
+//! in v2 (see [`crate::api`] for the envelope contract). An `anonymize`
+//! request with `"async": true` enqueues a job and answers
+//! `{"ok":true,"job":"<id>","state":"queued"}` immediately; `status`
+//! polls it and returns the finished result once done. `"store": true`
+//! on `gen`/`anonymize` keeps the produced CSV server-side and answers
+//! with its `dataset` handle (for `download`) instead of the inline
+//! text.
 
+use crate::api::{ApiError, Envelope, Payload, ProtocolVersion, Response};
 use crate::json::Json;
 use crate::store::{DatasetStore, DEFAULT_DOWNLOAD_CHUNK_BYTES};
 use trajdp_core::{FreqDpConfig, Model};
@@ -60,7 +68,7 @@ impl DataRef {
     /// memory on resolution). Resolution happens once, at dispatch
     /// time, so a job owns its data: restarting the store after submit
     /// cannot change what a queued job computes.
-    pub fn resolve_shared(self, store: &DatasetStore) -> Result<std::sync::Arc<String>, String> {
+    pub fn resolve_shared(self, store: &DatasetStore) -> Result<std::sync::Arc<String>, ApiError> {
         match self {
             DataRef::Inline(csv) => Ok(std::sync::Arc::new(csv)),
             DataRef::Handle(id) => store.resolve(&id),
@@ -128,7 +136,7 @@ impl AnonymizeParams {
     /// Resolves the dataset reference against the store. A handle-based
     /// run is byte-identical to the inline run because both paths feed
     /// the exact same CSV text to the executor.
-    pub fn resolve(self, store: &DatasetStore) -> Result<AnonymizeSpec, String> {
+    pub fn resolve(self, store: &DatasetStore) -> Result<AnonymizeSpec, ApiError> {
         let source = match &self.data {
             DataRef::Handle(id) => Some(id.clone()),
             DataRef::Inline(_) => None,
@@ -193,6 +201,8 @@ pub const MAX_WORKERS: u64 = 1_024;
 pub enum Request {
     /// Liveness probe.
     Health,
+    /// Server identity, supported protocol versions, and limits.
+    Info,
     /// Generate a synthetic dataset.
     Gen {
         /// Number of trajectories.
@@ -263,22 +273,22 @@ pub enum Request {
 }
 
 /// Parses a model name as accepted by the CLI.
-pub fn parse_model(name: &str) -> Result<Model, String> {
+pub fn parse_model(name: &str) -> Result<Model, ApiError> {
     match name {
         "pureg" => Ok(Model::PureGlobal),
         "purel" => Ok(Model::PureLocal),
         "gl" => Ok(Model::Combined),
         "lg" => Ok(Model::CombinedLocalFirst),
-        other => Err(format!("unknown model {other:?} (pureg|purel|gl|lg)")),
+        other => Err(ApiError::bad_request(format!("unknown model {other:?} (pureg|purel|gl|lg)"))),
     }
 }
 
 /// Validates an ε-split fraction: must lie strictly inside (0, 1).
-pub fn validate_eps_split(split: f64) -> Result<f64, String> {
+pub fn validate_eps_split(split: f64) -> Result<f64, ApiError> {
     if split.is_finite() && split > 0.0 && split < 1.0 {
         Ok(split)
     } else {
-        Err(format!("--eps-split must lie in (0, 1), got {split}"))
+        Err(ApiError::bad_request(format!("--eps-split must lie in (0, 1), got {split}")))
     }
 }
 
@@ -286,60 +296,69 @@ pub fn validate_eps_split(split: f64) -> Result<f64, String> {
 /// lie in `[1, MAX_WORKERS]`. A zero count used to be clamped silently
 /// deep inside the chunking helper; rejecting it here keeps the
 /// contract visible, mirroring [`validate_eps_split`].
-pub fn validate_workers(workers: u64) -> Result<usize, String> {
+pub fn validate_workers(workers: u64) -> Result<usize, ApiError> {
     if workers == 0 {
-        Err("workers must be at least 1".into())
+        Err(ApiError::bad_request("workers must be at least 1"))
     } else if workers > MAX_WORKERS {
-        Err(format!("workers must not exceed {MAX_WORKERS}"))
+        Err(ApiError::bad_request(format!("workers must not exceed {MAX_WORKERS}")))
     } else {
         Ok(workers as usize)
     }
 }
 
-fn get_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+fn get_u64(v: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_u64().ok_or_else(|| {
+            ApiError::bad_request(format!("{key} must be a non-negative integer below 2^53"))
+        }),
+    }
+}
+
+fn get_f64(v: &Json, key: &str, default: f64) -> Result<f64, ApiError> {
     match v.get(key) {
         None => Ok(default),
         Some(j) => {
-            j.as_u64().ok_or_else(|| format!("{key} must be a non-negative integer below 2^53"))
+            j.as_f64().ok_or_else(|| ApiError::bad_request(format!("{key} must be a number")))
         }
     }
 }
 
-fn get_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
-    match v.get(key) {
-        None => Ok(default),
-        Some(j) => j.as_f64().ok_or_else(|| format!("{key} must be a number")),
-    }
-}
-
-fn get_bool(v: &Json, key: &str, default: bool) -> Result<bool, String> {
+fn get_bool(v: &Json, key: &str, default: bool) -> Result<bool, ApiError> {
     // A non-bool value (`"async": 1`, `"async": "true"`) must be an
     // error: falling back to the default would silently run a
     // potentially huge job with the wrong mode.
     match v.get(key) {
         None => Ok(default),
-        Some(j) => j.as_bool().ok_or_else(|| format!("{key} must be a boolean (true or false)")),
+        Some(j) => j.as_bool().ok_or_else(|| {
+            ApiError::bad_request(format!("{key} must be a boolean (true or false)"))
+        }),
     }
 }
 
-fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
-    v.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string member {key:?}"))
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing string member {key:?}")))
 }
 
 /// Rejects members outside the command's accepted set by name — a
 /// misspelled `"epsilom"` or `"worker"` must never be silently ignored
 /// and run with the default (the bug class the CLI's strict flag parser
-/// already kills for flags).
-fn check_members(v: &Json, cmd: &str, accepted: &[&str]) -> Result<(), String> {
+/// already kills for flags). The envelope members `"v"` and `"id"` are
+/// accepted on every command, like `"cmd"` itself.
+fn check_members(v: &Json, cmd: &str, accepted: &[&str]) -> Result<(), ApiError> {
     if let Json::Obj(map) = v {
         for key in map.keys() {
-            if key != "cmd" && !accepted.contains(&key.as_str()) {
+            if key != "cmd" && key != "v" && key != "id" && !accepted.contains(&key.as_str()) {
                 let list = if accepted.is_empty() {
                     "none besides \"cmd\"".to_string()
                 } else {
                     accepted.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>().join(", ")
                 };
-                return Err(format!("unknown member {key:?} for cmd {cmd:?} (accepted: {list})"));
+                return Err(ApiError::bad_request(format!(
+                    "unknown member {key:?} for cmd {cmd:?} (accepted: {list})"
+                )));
             }
         }
     }
@@ -348,49 +367,102 @@ fn check_members(v: &Json, cmd: &str, accepted: &[&str]) -> Result<(), String> {
 
 /// Reads a dataset given either inline (`inline_key`) or by handle
 /// (`handle_key`); exactly one of the two must be present.
-fn get_data_ref(v: &Json, inline_key: &str, handle_key: &str) -> Result<DataRef, String> {
+fn get_data_ref(v: &Json, inline_key: &str, handle_key: &str) -> Result<DataRef, ApiError> {
     let want_str = |j: &Json, key: &str| {
-        j.as_str().map(str::to_string).ok_or_else(|| format!("{key} must be a string"))
+        j.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ApiError::bad_request(format!("{key} must be a string")))
     };
     match (v.get(inline_key), v.get(handle_key)) {
-        (Some(_), Some(_)) => {
-            Err(format!("members {inline_key:?} and {handle_key:?} are mutually exclusive"))
-        }
+        (Some(_), Some(_)) => Err(ApiError::bad_request(format!(
+            "members {inline_key:?} and {handle_key:?} are mutually exclusive"
+        ))),
         (Some(j), None) => Ok(DataRef::Inline(want_str(j, inline_key)?)),
         (None, Some(j)) => Ok(DataRef::Handle(want_str(j, handle_key)?)),
-        (None, None) => Err(format!("missing member {inline_key:?} or {handle_key:?}")),
+        (None, None) => {
+            Err(ApiError::bad_request(format!("missing member {inline_key:?} or {handle_key:?}")))
+        }
     }
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = crate::json::parse(line).map_err(|e| e.to_string())?;
-    let cmd = get_str(&v, "cmd")?;
+/// Parses one request line into its envelope (protocol version +
+/// correlation id) and verb. The envelope is always returned — even
+/// when the verb fails to validate, the error must be rendered in the
+/// shape the client asked for. Only a line that does not parse as JSON
+/// at all (or one with an unusable `"v"`) falls back to the v1 shape.
+pub fn parse_request_line(line: &str) -> (Envelope, Result<Request, ApiError>) {
+    let v = match crate::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (Envelope::V1, Err(ApiError::bad_request(e.to_string()))),
+    };
+    let version = match v.get("v") {
+        None => ProtocolVersion::V1,
+        Some(j) => match j.as_u64() {
+            Some(1) => ProtocolVersion::V1,
+            Some(2) => ProtocolVersion::V2,
+            _ => {
+                return (
+                    Envelope::V1,
+                    Err(ApiError::bad_request("v must be a supported protocol version (1 or 2)")),
+                )
+            }
+        },
+    };
+    let mut envelope = Envelope { version, id: None };
+    match v.get("id") {
+        None => {}
+        Some(Json::Str(s)) if version == ProtocolVersion::V2 => envelope.id = Some(s.clone()),
+        Some(Json::Str(_)) => {
+            // An id on a version-less request would be silently dropped
+            // (v1 response shapes are frozen and carry no id) — reject
+            // instead, so the client learns its correlation id is not
+            // coming back.
+            return (envelope, Err(ApiError::bad_request("member \"id\" requires \"v\": 2")));
+        }
+        Some(_) => return (envelope, Err(ApiError::bad_request("id must be a string"))),
+    }
+    (envelope, parse_verb(&v))
+}
+
+/// Parses just the verb of one request line, ignoring the envelope —
+/// the convenient form for tests and single-shot callers.
+pub fn parse_request(line: &str) -> Result<Request, ApiError> {
+    parse_request_line(line).1
+}
+
+fn parse_verb(v: &Json) -> Result<Request, ApiError> {
+    let cmd = get_str(v, "cmd")?;
     match cmd {
         "health" => {
-            check_members(&v, cmd, &[])?;
+            check_members(v, cmd, &[])?;
             Ok(Request::Health)
         }
+        "info" => {
+            check_members(v, cmd, &[])?;
+            Ok(Request::Info)
+        }
         "gen" => {
-            check_members(&v, cmd, &["size", "len", "seed", "store"])?;
-            let size = get_u64(&v, "size", 200)?;
-            let len = get_u64(&v, "len", 150)?;
+            check_members(v, cmd, &["size", "len", "seed", "store"])?;
+            let size = get_u64(v, "size", 200)?;
+            let len = get_u64(v, "len", 150)?;
             if size == 0 || len == 0 {
-                return Err("size and len must be at least 1".into());
+                return Err(ApiError::bad_request("size and len must be at least 1"));
             }
             if size.saturating_mul(len) > MAX_GEN_POINTS {
-                return Err(format!("size * len must not exceed {MAX_GEN_POINTS} points"));
+                return Err(ApiError::bad_request(format!(
+                    "size * len must not exceed {MAX_GEN_POINTS} points"
+                )));
             }
             Ok(Request::Gen {
                 size: size as usize,
                 len: len as usize,
-                seed: get_u64(&v, "seed", 42)?,
-                store_result: get_bool(&v, "store", false)?,
+                seed: get_u64(v, "seed", 42)?,
+                store_result: get_bool(v, "store", false)?,
             })
         }
         "anonymize" => {
             check_members(
-                &v,
+                v,
                 cmd,
                 &[
                     "model",
@@ -405,91 +477,86 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "store",
                 ],
             )?;
-            let model = parse_model(get_str(&v, "model")?)?;
-            let epsilon = get_f64(&v, "epsilon", 1.0)?;
+            let model = parse_model(get_str(v, "model")?)?;
+            let epsilon = get_f64(v, "epsilon", 1.0)?;
             if epsilon <= 0.0 || !epsilon.is_finite() {
-                return Err("epsilon must be positive".into());
+                return Err(ApiError::bad_request("epsilon must be positive"));
             }
-            let eps_split = validate_eps_split(get_f64(&v, "eps_split", 0.5)?)?;
-            let m = get_u64(&v, "m", 10)?;
+            let eps_split = validate_eps_split(get_f64(v, "eps_split", 0.5)?)?;
+            let m = get_u64(v, "m", 10)?;
             if m == 0 || m > MAX_M {
-                return Err(format!("m must lie in [1, {MAX_M}]"));
+                return Err(ApiError::bad_request(format!("m must lie in [1, {MAX_M}]")));
             }
-            let workers = validate_workers(get_u64(&v, "workers", 1)?)?;
+            let workers = validate_workers(get_u64(v, "workers", 1)?)?;
             let params = AnonymizeParams {
                 model,
                 epsilon,
                 eps_split,
                 m: m as usize,
-                seed: get_u64(&v, "seed", 42)?,
+                seed: get_u64(v, "seed", 42)?,
                 workers,
-                store_result: get_bool(&v, "store", false)?,
-                data: get_data_ref(&v, "csv", "dataset")?,
+                store_result: get_bool(v, "store", false)?,
+                data: get_data_ref(v, "csv", "dataset")?,
             };
-            let asynchronous = get_bool(&v, "async", false)?;
+            let asynchronous = get_bool(v, "async", false)?;
             Ok(Request::Anonymize { params, asynchronous })
         }
         "evaluate" => {
             check_members(
-                &v,
+                v,
                 cmd,
                 &["original", "anonymized", "original_dataset", "anonymized_dataset"],
             )?;
             Ok(Request::Evaluate {
-                original: get_data_ref(&v, "original", "original_dataset")?,
-                anonymized: get_data_ref(&v, "anonymized", "anonymized_dataset")?,
+                original: get_data_ref(v, "original", "original_dataset")?,
+                anonymized: get_data_ref(v, "anonymized", "anonymized_dataset")?,
             })
         }
         "stats" => {
-            check_members(&v, cmd, &["csv", "dataset"])?;
-            Ok(Request::Stats { data: get_data_ref(&v, "csv", "dataset")? })
+            check_members(v, cmd, &["csv", "dataset"])?;
+            Ok(Request::Stats { data: get_data_ref(v, "csv", "dataset")? })
         }
         "status" => {
-            check_members(&v, cmd, &["job"])?;
-            Ok(Request::Status { job: get_str(&v, "job")?.to_string() })
+            check_members(v, cmd, &["job"])?;
+            Ok(Request::Status { job: get_str(v, "job")?.to_string() })
         }
         "upload" => {
-            check_members(&v, cmd, &[])?;
+            check_members(v, cmd, &[])?;
             Ok(Request::Upload)
         }
         "chunk" => {
-            check_members(&v, cmd, &["dataset", "data"])?;
+            check_members(v, cmd, &["dataset", "data"])?;
             Ok(Request::Chunk {
-                dataset: get_str(&v, "dataset")?.to_string(),
-                data: get_str(&v, "data")?.to_string(),
+                dataset: get_str(v, "dataset")?.to_string(),
+                data: get_str(v, "data")?.to_string(),
             })
         }
         "commit" => {
-            check_members(&v, cmd, &["dataset"])?;
-            Ok(Request::Commit { dataset: get_str(&v, "dataset")?.to_string() })
+            check_members(v, cmd, &["dataset"])?;
+            Ok(Request::Commit { dataset: get_str(v, "dataset")?.to_string() })
         }
         "download" => {
-            check_members(&v, cmd, &["dataset", "offset", "max_bytes"])?;
-            let max_bytes = get_u64(&v, "max_bytes", DEFAULT_DOWNLOAD_CHUNK_BYTES as u64)?;
+            check_members(v, cmd, &["dataset", "offset", "max_bytes"])?;
+            let max_bytes = get_u64(v, "max_bytes", DEFAULT_DOWNLOAD_CHUNK_BYTES as u64)?;
             if max_bytes == 0 {
-                return Err("max_bytes must be at least 1".into());
+                return Err(ApiError::bad_request("max_bytes must be at least 1"));
             }
             Ok(Request::Download {
-                dataset: get_str(&v, "dataset")?.to_string(),
-                offset: get_u64(&v, "offset", 0)? as usize,
+                dataset: get_str(v, "dataset")?.to_string(),
+                offset: get_u64(v, "offset", 0)? as usize,
                 max_bytes: max_bytes as usize,
             })
         }
         "delete" => {
-            check_members(&v, cmd, &["dataset"])?;
-            Ok(Request::Delete { dataset: get_str(&v, "dataset")?.to_string() })
+            check_members(v, cmd, &["dataset"])?;
+            Ok(Request::Delete { dataset: get_str(v, "dataset")?.to_string() })
         }
         "list" => {
-            check_members(&v, cmd, &[])?;
+            check_members(v, cmd, &[])?;
             Ok(Request::List)
         }
-        other => Err(format!("unknown cmd {other:?}")),
+        other => Err(ApiError::unknown_verb(format!("unknown cmd {other:?}"))),
     }
-}
-
-/// An error response.
-pub fn error_response(message: &str) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::from(message))])
 }
 
 /// Protocol/CLI name of a model — inverse of [`parse_model`].
@@ -536,195 +603,171 @@ pub fn spec_to_json(spec: &AnonymizeSpec) -> Json {
 /// job actually re-queues — a job that also has a journaled finish
 /// never touches the store, so deleting its input after it finished
 /// cannot brick replay.
-pub fn spec_from_json(v: &Json) -> Result<AnonymizeParams, String> {
-    let require =
-        |key: &str| v.get(key).ok_or_else(|| format!("journaled spec is missing member {key:?}"));
+pub fn spec_from_json(v: &Json) -> Result<AnonymizeParams, ApiError> {
+    let require = |key: &str| {
+        v.get(key).ok_or_else(|| {
+            ApiError::bad_request(format!("journaled spec is missing member {key:?}"))
+        })
+    };
+    let want = |msg: &str| ApiError::bad_request(msg);
     let model = parse_model(get_str(v, "model")?)?;
-    let epsilon = require("epsilon")?.as_f64().ok_or("epsilon must be a number")?;
+    let epsilon = require("epsilon")?.as_f64().ok_or_else(|| want("epsilon must be a number"))?;
     if epsilon <= 0.0 || !epsilon.is_finite() {
-        return Err("epsilon must be positive".into());
+        return Err(ApiError::bad_request("epsilon must be positive"));
     }
-    let eps_split =
-        validate_eps_split(require("eps_split")?.as_f64().ok_or("eps_split must be a number")?)?;
-    let m = require("m")?.as_u64().ok_or("m must be a non-negative integer")?;
+    let eps_split = validate_eps_split(
+        require("eps_split")?.as_f64().ok_or_else(|| want("eps_split must be a number"))?,
+    )?;
+    let m = require("m")?.as_u64().ok_or_else(|| want("m must be a non-negative integer"))?;
     if m == 0 || m > MAX_M {
-        return Err(format!("m must lie in [1, {MAX_M}]"));
+        return Err(ApiError::bad_request(format!("m must lie in [1, {MAX_M}]")));
     }
-    let workers =
-        validate_workers(require("workers")?.as_u64().ok_or("workers must be an integer")?)?;
+    let workers = validate_workers(
+        require("workers")?.as_u64().ok_or_else(|| want("workers must be an integer"))?,
+    )?;
     Ok(AnonymizeParams {
         model,
         epsilon,
         eps_split,
         m: m as usize,
-        seed: require("seed")?.as_u64().ok_or("seed must be a non-negative integer")?,
+        seed: require("seed")?
+            .as_u64()
+            .ok_or_else(|| want("seed must be a non-negative integer"))?,
         workers,
-        store_result: require("store")?.as_bool().ok_or("store must be a boolean")?,
+        store_result: require("store")?.as_bool().ok_or_else(|| want("store must be a boolean"))?,
         data: get_data_ref(v, "csv", "dataset")?,
     })
 }
 
-/// Moves the `"csv"` payload of a successful response into the dataset
-/// store, answering with a `"dataset"` handle and its byte size instead
-/// of the inline text. Error responses pass through untouched; a full
-/// store turns the response into an error (the computed result would
-/// otherwise be silently dropped). `from_job` marks results minted by
-/// async jobs, whose handles are reconciled against the replayed
-/// journal at startup (a synchronous `store:true` response has no
-/// journal record, so its handle must never be treated as an orphan).
-pub fn store_response_csv(response: Json, store: &DatasetStore, from_job: bool) -> Json {
-    if response.get("ok") != Some(&Json::Bool(true)) {
-        return response;
-    }
-    let Json::Obj(mut obj) = response else { return response };
-    let Some(Json::Str(csv)) = obj.remove("csv") else {
-        return Json::Obj(obj);
-    };
-    match store.insert_with_provenance(csv, from_job) {
-        Ok((id, bytes)) => {
-            obj.insert("dataset".to_string(), Json::from(id));
-            obj.insert("bytes".to_string(), Json::from(bytes));
-            Json::Obj(obj)
+/// Moves an inline result payload of a `gen`/`anonymize` response into
+/// the dataset store, so the response answers with a `dataset` handle
+/// and its byte size instead of the inline text. A full store turns
+/// the outcome into an error (the computed result would otherwise be
+/// silently dropped) — with the underlying code preserved. `from_job`
+/// marks results minted by async jobs, whose handles are reconciled
+/// against the replayed journal at startup (a synchronous `store:true`
+/// response has no journal record, so its handle must never be treated
+/// as an orphan).
+pub fn store_result(
+    response: Response,
+    store: &DatasetStore,
+    from_job: bool,
+) -> Result<Response, ApiError> {
+    let mut response = response;
+    if let Response::Gen { data, .. } | Response::Anonymize { data, .. } = &mut response {
+        if let Payload::Inline(csv) = data {
+            let csv = std::mem::take(csv);
+            let (dataset, bytes) = store
+                .insert_with_provenance(csv, from_job)
+                .map_err(|e| e.context("cannot store result"))?;
+            *data = Payload::Stored { dataset, bytes };
         }
-        Err(e) => error_response(&format!("cannot store result: {e}")),
     }
+    Ok(response)
 }
 
 /// Executes an `upload` request: opens a pending dataset handle.
-pub fn run_upload(store: &DatasetStore) -> Json {
-    match store.begin() {
-        Ok(id) => Json::obj([("ok", Json::Bool(true)), ("dataset", Json::from(id))]),
-        Err(e) => error_response(&e),
-    }
+pub fn run_upload(store: &DatasetStore) -> Result<Response, ApiError> {
+    store.begin().map(|dataset| Response::Upload { dataset })
 }
 
 /// Executes a `chunk` request: appends one piece to a pending handle.
-pub fn run_chunk(store: &DatasetStore, dataset: &str, data: &str) -> Json {
-    match store.append(dataset, data) {
-        Ok(bytes) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("dataset", Json::from(dataset)),
-            ("bytes", Json::from(bytes)),
-        ]),
-        Err(e) => error_response(&e),
-    }
+pub fn run_chunk(store: &DatasetStore, dataset: &str, data: &str) -> Result<Response, ApiError> {
+    store.append(dataset, data).map(|bytes| Response::Chunk { dataset: dataset.to_string(), bytes })
 }
 
 /// Executes a `commit` request: seals a pending handle.
-pub fn run_commit(store: &DatasetStore, dataset: &str) -> Json {
-    match store.commit(dataset) {
-        Ok(bytes) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("dataset", Json::from(dataset)),
-            ("bytes", Json::from(bytes)),
-        ]),
-        Err(e) => error_response(&e),
-    }
+pub fn run_commit(store: &DatasetStore, dataset: &str) -> Result<Response, ApiError> {
+    store.commit(dataset).map(|bytes| Response::Commit { dataset: dataset.to_string(), bytes })
 }
 
 /// Executes a `download` request: one bounded piece of a committed
 /// dataset.
-pub fn run_download(store: &DatasetStore, dataset: &str, offset: usize, max_bytes: usize) -> Json {
-    match store.read_chunk(dataset, offset, max_bytes) {
-        Ok((piece, total, eof)) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("dataset", Json::from(dataset)),
-            ("offset", Json::from(offset)),
-            ("bytes", Json::from(piece.len())),
-            ("total_bytes", Json::from(total)),
-            ("eof", Json::Bool(eof)),
-            ("data", Json::from(piece)),
-        ]),
-        Err(e) => error_response(&e),
-    }
+pub fn run_download(
+    store: &DatasetStore,
+    dataset: &str,
+    offset: usize,
+    max_bytes: usize,
+) -> Result<Response, ApiError> {
+    store.read_chunk(dataset, offset, max_bytes).map(|(piece, total, eof)| Response::Download {
+        dataset: dataset.to_string(),
+        offset,
+        data: piece,
+        total_bytes: total,
+        eof,
+    })
 }
 
 /// Executes a `delete` request: frees a handle (and its persisted
 /// file). A handle pinned by a queued/running job answers a distinct
-/// error instead of yanking the job's data.
-pub fn run_delete(store: &DatasetStore, dataset: &str) -> Json {
-    match store.delete(dataset) {
-        Ok(bytes) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("dataset", Json::from(dataset)),
-            ("bytes", Json::from(bytes)),
-        ]),
-        Err(e) => error_response(&e),
-    }
+/// [`crate::api::ErrorCode::DatasetInUse`] error instead of yanking the
+/// job's data.
+pub fn run_delete(store: &DatasetStore, dataset: &str) -> Result<Response, ApiError> {
+    store.delete(dataset).map(|bytes| Response::Delete { dataset: dataset.to_string(), bytes })
 }
 
-/// Executes a `gen` request.
-pub fn run_gen(size: usize, len: usize, seed: u64) -> Json {
+/// Executes a `gen` request (infallible: parameters were validated at
+/// parse time).
+pub fn run_gen(size: usize, len: usize, seed: u64) -> Response {
     let world = generate(&GeneratorConfig::tdrive_profile(size, len, seed));
     let stats = DatasetStats::compute(&world.dataset);
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("csv", Json::from(to_csv(&world.dataset))),
-        ("trajectories", Json::from(stats.num_trajectories)),
-        ("points", Json::from(stats.total_points)),
-        ("distinct_locations", Json::from(stats.distinct_locations)),
-    ])
+    Response::Gen {
+        data: Payload::Inline(to_csv(&world.dataset)),
+        trajectories: stats.num_trajectories as u64,
+        points: stats.total_points as u64,
+        distinct_locations: stats.distinct_locations as u64,
+    }
 }
 
 /// Executes an `anonymize` request through the sharded executor.
-pub fn run_anonymize(spec: &AnonymizeSpec) -> Json {
-    let ds = match from_csv(&spec.csv) {
-        Ok(ds) => ds,
-        Err(e) => return error_response(&format!("cannot parse csv: {e}")),
-    };
+pub fn run_anonymize(spec: &AnonymizeSpec) -> Result<Response, ApiError> {
+    let ds = from_csv(&spec.csv)
+        .map_err(|e| ApiError::invalid_dataset(format!("cannot parse csv: {e}")))?;
     let cfg = spec.config();
-    match crate::executor::anonymize_parallel(&ds, spec.model, &cfg, spec.workers) {
-        Ok(result) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("csv", Json::from(to_csv(&result.dataset))),
-            ("epsilon_spent", Json::from(result.epsilon_spent)),
-            ("edits", Json::from(result.total_edits())),
-            ("utility_loss", Json::from(result.utility_loss())),
-            ("workers", Json::from(spec.workers)),
-        ]),
-        Err(e) => error_response(&e.to_string()),
-    }
+    let result = crate::executor::anonymize_parallel(&ds, spec.model, &cfg, spec.workers)
+        .map_err(|e| ApiError::internal(e.to_string()))?;
+    Ok(Response::Anonymize {
+        data: Payload::Inline(to_csv(&result.dataset)),
+        epsilon_spent: result.epsilon_spent,
+        edits: result.total_edits() as u64,
+        utility_loss: result.utility_loss(),
+        workers: spec.workers,
+    })
 }
 
 /// Executes an `evaluate` request.
-pub fn run_evaluate(original: &str, anonymized: &str) -> Json {
-    let orig = match from_csv(original) {
-        Ok(ds) => ds,
-        Err(e) => return error_response(&format!("cannot parse original: {e}")),
-    };
-    let anon = match from_csv(anonymized) {
-        Ok(ds) => ds,
-        Err(e) => return error_response(&format!("cannot parse anonymized: {e}")),
-    };
+pub fn run_evaluate(original: &str, anonymized: &str) -> Result<Response, ApiError> {
+    let orig = from_csv(original)
+        .map_err(|e| ApiError::invalid_dataset(format!("cannot parse original: {e}")))?;
+    let anon = from_csv(anonymized)
+        .map_err(|e| ApiError::invalid_dataset(format!("cannot parse anonymized: {e}")))?;
     if orig.len() != anon.len() {
-        return error_response("datasets must contain the same number of trajectories");
+        return Err(ApiError::invalid_dataset(
+            "datasets must contain the same number of trajectories",
+        ));
     }
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("mi", Json::from(mutual_information(&orig, &anon, 64))),
-        ("inf", Json::from(information_loss(&orig, &anon))),
-        ("de", Json::from(diameter_divergence(&orig, &anon, 24))),
-        ("te", Json::from(trip_divergence(&orig, &anon, 16))),
-        ("ffp", Json::from(frequent_pattern_f1(&orig, &anon, 64, 2, 200))),
-    ])
+    Ok(Response::Evaluate {
+        mi: mutual_information(&orig, &anon, 64),
+        inf: information_loss(&orig, &anon),
+        de: diameter_divergence(&orig, &anon, 24),
+        te: trip_divergence(&orig, &anon, 16),
+        ffp: frequent_pattern_f1(&orig, &anon, 64, 2, 200),
+    })
 }
 
 /// Executes a `stats` request.
-pub fn run_stats(csv: &str) -> Json {
-    let ds = match from_csv(csv) {
-        Ok(ds) => ds,
-        Err(e) => return error_response(&format!("cannot parse csv: {e}")),
-    };
+pub fn run_stats(csv: &str) -> Result<Response, ApiError> {
+    let ds =
+        from_csv(csv).map_err(|e| ApiError::invalid_dataset(format!("cannot parse csv: {e}")))?;
     let s = DatasetStats::compute(&ds);
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("trajectories", Json::from(s.num_trajectories)),
-        ("points", Json::from(s.total_points)),
-        ("distinct_locations", Json::from(s.distinct_locations)),
-        ("avg_traj_len", Json::from(s.avg_traj_len)),
-        ("avg_point_spacing", Json::from(s.avg_point_spacing)),
-        ("avg_sampling_period", Json::from(s.avg_sampling_period)),
-    ])
+    Ok(Response::Stats {
+        trajectories: s.num_trajectories as u64,
+        points: s.total_points as u64,
+        distinct_locations: s.distinct_locations as u64,
+        avg_traj_len: s.avg_traj_len,
+        avg_point_spacing: s.avg_point_spacing,
+        avg_sampling_period: s.avg_sampling_period,
+    })
 }
 
 #[cfg(test)]
@@ -734,6 +777,7 @@ mod tests {
     #[test]
     fn parses_all_commands() {
         assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(parse_request(r#"{"cmd":"info"}"#).unwrap(), Request::Info);
         assert_eq!(
             parse_request(r#"{"cmd":"gen","size":10,"len":20,"seed":3}"#).unwrap(),
             Request::Gen { size: 10, len: 20, seed: 3, store_result: false }
@@ -826,11 +870,11 @@ mod tests {
         // Exactly one of inline/handle: both or neither is an error.
         let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","dataset":"ds-1"}"#)
             .unwrap_err();
-        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(err.message.contains("mutually exclusive"), "{err}");
         let err = parse_request(r#"{"cmd":"anonymize","model":"gl"}"#).unwrap_err();
-        assert!(err.contains("\"csv\"") && err.contains("\"dataset\""), "{err}");
+        assert!(err.message.contains("\"csv\"") && err.message.contains("\"dataset\""), "{err}");
         let err = parse_request(r#"{"cmd":"stats"}"#).unwrap_err();
-        assert!(err.contains("\"csv\"") && err.contains("\"dataset\""), "{err}");
+        assert!(err.message.contains("\"csv\"") && err.message.contains("\"dataset\""), "{err}");
     }
 
     #[test]
@@ -838,13 +882,13 @@ mod tests {
         for bad in [r#""async":1"#, r#""async":"true""#, r#""async":null"#] {
             let line = format!(r#"{{"cmd":"anonymize","model":"gl","csv":"",{bad}}}"#);
             let err = parse_request(&line).unwrap_err();
-            assert!(err.contains("async must be a boolean"), "{bad}: {err}");
+            assert!(err.message.contains("async must be a boolean"), "{bad}: {err}");
         }
         let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","store":"yes"}"#)
             .unwrap_err();
-        assert!(err.contains("store must be a boolean"), "{err}");
+        assert!(err.message.contains("store must be a boolean"), "{err}");
         let err = parse_request(r#"{"cmd":"gen","store":1}"#).unwrap_err();
-        assert!(err.contains("store must be a boolean"), "{err}");
+        assert!(err.message.contains("store must be a boolean"), "{err}");
         // A proper boolean still parses.
         assert!(matches!(
             parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","async":true}"#).unwrap(),
@@ -857,20 +901,28 @@ mod tests {
         // The misspellings from the wild: epsilom, worker.
         let err = parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","epsilom":2.0}"#)
             .unwrap_err();
-        assert!(err.contains("\"epsilom\""), "{err}");
-        assert!(err.contains("\"epsilon\""), "error must name the accepted set: {err}");
+        assert!(err.message.contains("\"epsilom\""), "{err}");
+        assert!(err.message.contains("\"epsilon\""), "error must name the accepted set: {err}");
         let err =
             parse_request(r#"{"cmd":"anonymize","model":"gl","csv":"","worker":4}"#).unwrap_err();
-        assert!(err.contains("\"worker\"") && err.contains("\"workers\""), "{err}");
+        assert!(err.message.contains("\"worker\"") && err.message.contains("\"workers\""), "{err}");
         // Every command validates its member set, including no-member ones.
-        assert!(parse_request(r#"{"cmd":"health","extra":1}"#).unwrap_err().contains("extra"));
-        assert!(parse_request(r#"{"cmd":"upload","size":1}"#).unwrap_err().contains("size"));
-        assert!(parse_request(r#"{"cmd":"gen","sizee":5}"#).unwrap_err().contains("sizee"));
+        assert!(parse_request(r#"{"cmd":"health","extra":1}"#)
+            .unwrap_err()
+            .message
+            .contains("extra"));
+        assert!(parse_request(r#"{"cmd":"upload","size":1}"#)
+            .unwrap_err()
+            .message
+            .contains("size"));
+        assert!(parse_request(r#"{"cmd":"gen","sizee":5}"#).unwrap_err().message.contains("sizee"));
         assert!(parse_request(r#"{"cmd":"status","job":"j","jb":"x"}"#)
             .unwrap_err()
+            .message
             .contains("jb"));
         assert!(parse_request(r#"{"cmd":"download","dataset":"ds-1","off":3}"#)
             .unwrap_err()
+            .message
             .contains("off"));
     }
 
@@ -910,7 +962,7 @@ mod tests {
         bad.insert("workers".to_string(), Json::from(0u64));
         assert!(spec_from_json(&Json::Obj(bad.clone())).is_err());
         bad.remove("workers");
-        assert!(spec_from_json(&Json::Obj(bad)).unwrap_err().contains("workers"));
+        assert!(spec_from_json(&Json::Obj(bad)).unwrap_err().message.contains("workers"));
     }
 
     #[test]
@@ -947,8 +999,10 @@ mod tests {
             source: None,
             csv: std::sync::Arc::new(to_csv(&world.dataset)),
         };
-        let out = run_anonymize(&spec);
-        assert_eq!(out.get("epsilon_spent").and_then(Json::as_f64), Some(1.0), "{out}");
+        match run_anonymize(&spec).unwrap() {
+            Response::Anonymize { epsilon_spent, .. } => assert_eq!(epsilon_spent, 1.0),
+            other => panic!("wrong response {other:?}"),
+        }
     }
 
     #[test]
@@ -956,19 +1010,23 @@ mod tests {
         // gen that would allocate billions of points.
         assert!(parse_request(r#"{"cmd":"gen","size":9007199254740991,"len":150}"#)
             .unwrap_err()
+            .message
             .contains("points"));
         assert!(parse_request(r#"{"cmd":"gen","size":0,"len":10}"#).is_err());
         // anonymize with absurd m / workers.
         assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","m":1000000,"csv":""}"#)
             .unwrap_err()
+            .message
             .contains("m must"));
         assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","m":0,"csv":""}"#).is_err());
         assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","workers":100000,"csv":""}"#)
             .unwrap_err()
+            .message
             .contains("workers"));
         // Seeds above 2^53 would silently lose precision in f64 transit.
         assert!(parse_request(r#"{"cmd":"gen","size":5,"len":10,"seed":9007199254740993}"#)
             .unwrap_err()
+            .message
             .contains("2^53"));
     }
 
@@ -986,19 +1044,28 @@ mod tests {
     fn workers_validation_bounds() {
         assert_eq!(validate_workers(1), Ok(1));
         assert_eq!(validate_workers(MAX_WORKERS), Ok(MAX_WORKERS as usize));
-        assert!(validate_workers(0).unwrap_err().contains("at least 1"));
-        assert!(validate_workers(MAX_WORKERS + 1).unwrap_err().contains("exceed"));
+        assert!(validate_workers(0).unwrap_err().message.contains("at least 1"));
+        assert!(validate_workers(MAX_WORKERS + 1).unwrap_err().message.contains("exceed"));
         // Zero workers in a request must error, not clamp silently.
         assert!(parse_request(r#"{"cmd":"anonymize","model":"gl","workers":0,"csv":""}"#)
             .unwrap_err()
+            .message
             .contains("workers"));
+    }
+
+    /// The inline CSV of a `gen`/`anonymize` response, for tests.
+    fn inline_csv(response: &Response) -> &str {
+        match response {
+            Response::Gen { data: Payload::Inline(csv), .. }
+            | Response::Anonymize { data: Payload::Inline(csv), .. } => csv,
+            other => panic!("no inline csv in {other:?}"),
+        }
     }
 
     #[test]
     fn gen_anonymize_stats_roundtrip_inline() {
         let gen = run_gen(6, 30, 5);
-        assert_eq!(gen.get("ok"), Some(&Json::Bool(true)));
-        let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+        let csv = inline_csv(&gen).to_string();
         let spec = AnonymizeSpec {
             model: Model::Combined,
             epsilon: 1.0,
@@ -1010,31 +1077,36 @@ mod tests {
             source: None,
             csv: std::sync::Arc::new(csv.clone()),
         };
-        let anon = run_anonymize(&spec);
-        assert_eq!(anon.get("ok"), Some(&Json::Bool(true)), "{anon}");
-        let released = anon.get("csv").and_then(Json::as_str).unwrap();
-        let eval = run_evaluate(&csv, released);
-        assert_eq!(eval.get("ok"), Some(&Json::Bool(true)), "{eval}");
-        assert!(eval.get("mi").and_then(Json::as_f64).is_some());
-        let stats = run_stats(released);
-        assert_eq!(stats.get("trajectories").and_then(Json::as_u64), Some(6));
+        let anon = run_anonymize(&spec).unwrap();
+        let released = inline_csv(&anon).to_string();
+        match run_evaluate(&csv, &released).unwrap() {
+            Response::Evaluate { mi, .. } => assert!(mi.is_finite()),
+            other => panic!("wrong response {other:?}"),
+        }
+        match run_stats(&released).unwrap() {
+            Response::Stats { trajectories, .. } => assert_eq!(trajectories, 6),
+            other => panic!("wrong response {other:?}"),
+        }
     }
 
     #[test]
     fn handle_based_run_is_byte_identical_to_inline() {
         let store = DatasetStore::new();
         let gen = run_gen(5, 25, 8);
-        let csv = gen.get("csv").and_then(Json::as_str).unwrap().to_string();
+        let csv = inline_csv(&gen).to_string();
 
         // Stream the dataset through the chunked-upload handlers.
-        let up = run_upload(&store);
-        let id = up.get("dataset").and_then(Json::as_str).unwrap().to_string();
+        let Response::Upload { dataset: id } = run_upload(&store).unwrap() else {
+            panic!("wrong response")
+        };
         for piece in csv.as_bytes().chunks(37) {
             let piece = std::str::from_utf8(piece).unwrap();
-            assert_eq!(run_chunk(&store, &id, piece).get("ok"), Some(&Json::Bool(true)));
+            run_chunk(&store, &id, piece).unwrap();
         }
-        let committed = run_commit(&store, &id);
-        assert_eq!(committed.get("bytes").and_then(Json::as_u64), Some(csv.len() as u64));
+        match run_commit(&store, &id).unwrap() {
+            Response::Commit { bytes, .. } => assert_eq!(bytes, csv.len()),
+            other => panic!("wrong response {other:?}"),
+        }
 
         let params = AnonymizeParams {
             model: Model::Combined,
@@ -1048,24 +1120,31 @@ mod tests {
         };
         let mut inline = params.clone();
         inline.data = DataRef::Inline(csv.clone());
-        let by_handle = run_anonymize(&params.resolve(&store).unwrap());
-        let by_inline = run_anonymize(&inline.resolve(&store).unwrap());
+        let by_handle = run_anonymize(&params.resolve(&store).unwrap()).unwrap();
+        let by_inline = run_anonymize(&inline.resolve(&store).unwrap()).unwrap();
         assert_eq!(by_handle, by_inline, "handle-based run must match the inline run exactly");
 
         // `store` moves the result CSV behind a handle; downloading it
         // piecewise reassembles the identical bytes.
-        let released = by_inline.get("csv").and_then(Json::as_str).unwrap().to_string();
-        let stored = store_response_csv(by_handle, &store, false);
-        assert!(stored.get("csv").is_none(), "{stored}");
-        let result_id = stored.get("dataset").and_then(Json::as_str).unwrap().to_string();
-        assert_eq!(stored.get("bytes").and_then(Json::as_u64), Some(released.len() as u64));
+        let released = inline_csv(&by_inline).to_string();
+        let stored = store_result(by_handle, &store, false).unwrap();
+        let (result_id, bytes) = match &stored {
+            Response::Anonymize { data: Payload::Stored { dataset, bytes }, .. } => {
+                (dataset.clone(), *bytes)
+            }
+            other => panic!("store_result must swap the payload: {other:?}"),
+        };
+        assert_eq!(bytes, released.len());
         let mut out = String::new();
         loop {
-            let piece = run_download(&store, &result_id, out.len(), 53);
-            assert_eq!(piece.get("ok"), Some(&Json::Bool(true)), "{piece}");
-            out.push_str(piece.get("data").and_then(Json::as_str).unwrap());
-            if piece.get("eof") == Some(&Json::Bool(true)) {
-                break;
+            match run_download(&store, &result_id, out.len(), 53).unwrap() {
+                Response::Download { data, eof, .. } => {
+                    out.push_str(&data);
+                    if eof {
+                        break;
+                    }
+                }
+                other => panic!("wrong response {other:?}"),
             }
         }
         assert_eq!(out, released, "chunked download must reassemble the inline release");
@@ -1084,8 +1163,79 @@ mod tests {
             source: None,
             csv: std::sync::Arc::new("complete garbage\nwith, too, many, commas, here".into()),
         };
-        let out = run_anonymize(&spec);
-        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
-        assert!(out.get("error").is_some());
+        let err = run_anonymize(&spec).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::InvalidDataset);
+        assert!(err.message.contains("cannot parse csv"), "{err}");
+    }
+
+    #[test]
+    fn envelope_defaults_to_v1_without_members() {
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health"}"#);
+        assert_eq!(envelope, Envelope::V1);
+        assert_eq!(req.unwrap(), Request::Health);
+        // An explicit "v":1 is the same envelope.
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","v":1}"#);
+        assert_eq!(envelope, Envelope::V1);
+        assert!(req.is_ok());
+    }
+
+    #[test]
+    fn envelope_v2_with_id_parses_on_every_command() {
+        for line in [
+            r#"{"cmd":"health","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"info","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"upload","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"list","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"gen","size":2,"len":3,"v":2,"id":"req-1"}"#,
+            r#"{"cmd":"anonymize","model":"gl","csv":"","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"status","job":"job-1","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"download","dataset":"ds-1","v":2,"id":"req-1"}"#,
+            r#"{"cmd":"delete","dataset":"ds-1","v":2,"id":"req-1"}"#,
+        ] {
+            let (envelope, req) = parse_request_line(line);
+            assert_eq!(envelope.version, ProtocolVersion::V2, "{line}");
+            assert_eq!(envelope.id.as_deref(), Some("req-1"), "{line}");
+            assert!(req.is_ok(), "{line}: {req:?}");
+        }
+        // v2 without an id is fine; the id is optional.
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","v":2}"#);
+        assert_eq!(envelope, Envelope { version: ProtocolVersion::V2, id: None });
+        assert!(req.is_ok());
+    }
+
+    #[test]
+    fn envelope_survives_a_verb_error() {
+        // The verb fails to validate, but the envelope is still parsed
+        // so the error can be rendered in the shape the client asked
+        // for, with its id echoed.
+        let (envelope, req) = parse_request_line(r#"{"cmd":"bogus","v":2,"id":"x-9"}"#);
+        assert_eq!(envelope.version, ProtocolVersion::V2);
+        assert_eq!(envelope.id.as_deref(), Some("x-9"));
+        let err = req.unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::UnknownVerb);
+        let (envelope, req) = parse_request_line(
+            r#"{"cmd":"anonymize","model":"gl","csv":"","epsilom":1,"v":2,"id":"x-10"}"#,
+        );
+        assert_eq!(envelope.id.as_deref(), Some("x-10"));
+        assert_eq!(req.unwrap_err().code, crate::api::ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn envelope_rejects_bad_version_and_id() {
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","v":3}"#);
+        assert_eq!(envelope, Envelope::V1, "an unusable v falls back to v1 shapes");
+        let err = req.unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::BadRequest);
+        assert!(err.message.contains("1 or 2"), "{err}");
+        for bad in [r#"{"cmd":"health","v":"2"}"#, r#"{"cmd":"health","v":2.5}"#] {
+            assert!(parse_request_line(bad).1.is_err(), "{bad}");
+        }
+        // A non-string id, and an id without v:2, are both rejected.
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","v":2,"id":7}"#);
+        assert_eq!(envelope.version, ProtocolVersion::V2);
+        assert!(req.unwrap_err().message.contains("id must be a string"));
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","id":"x"}"#);
+        assert_eq!(envelope.version, ProtocolVersion::V1);
+        assert!(req.unwrap_err().message.contains("requires"), "id without v:2 must be rejected");
     }
 }

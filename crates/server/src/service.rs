@@ -15,8 +15,8 @@
 //! in the accept loop re-checks the flag periodically so a cap-saturated
 //! server still shuts down.
 
+use crate::api::{self, ApiError, Response};
 use crate::jobs::JobQueue;
-use crate::json::Json;
 use crate::protocol::{self, Request};
 use crate::store::{DatasetStore, StoreConfig, MAX_STORED_DATASETS};
 use std::collections::HashMap;
@@ -142,65 +142,62 @@ pub struct Server {
     sweep_thread: Option<JoinHandle<()>>,
 }
 
+/// Static facts about this server instance that the `info` verb
+/// reports — the knobs a client cannot discover any other way.
+#[derive(Debug, Clone, Copy)]
+struct InfoContext {
+    /// Job-queue worker threads.
+    workers: usize,
+    /// Configured dataset-store capacity (`--max-datasets`).
+    max_datasets: usize,
+}
+
 /// Dispatches one parsed request to its handler. Dataset handles are
 /// resolved here, before any job is enqueued, so queued work owns its
 /// data and cannot be changed by later store mutations.
-fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
+fn dispatch(
+    req: Request,
+    jobs: &JobQueue,
+    store: &DatasetStore,
+    info: &InfoContext,
+) -> Result<Response, ApiError> {
     match req {
-        Request::Health => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("status", Json::from("healthy")),
-            ("outstanding_jobs", Json::from(jobs.outstanding())),
-            ("stored_datasets", Json::from(store.count())),
-        ]),
+        Request::Health => Ok(Response::Health {
+            outstanding_jobs: jobs.outstanding(),
+            stored_datasets: store.count(),
+        }),
+        Request::Info => {
+            Ok(Response::Info { workers: info.workers, max_datasets: info.max_datasets })
+        }
         Request::Gen { size, len, seed, store_result } => {
             let response = protocol::run_gen(size, len, seed);
             if store_result {
-                protocol::store_response_csv(response, store, false)
+                protocol::store_result(response, store, false)
             } else {
-                response
+                Ok(response)
             }
         }
         Request::Anonymize { params, asynchronous } => {
-            let spec = match params.resolve(store) {
-                Ok(spec) => spec,
-                Err(e) => return protocol::error_response(&e),
-            };
+            let spec = params.resolve(store)?;
             if asynchronous {
-                match jobs.submit(spec) {
-                    Ok(id) => Json::obj([
-                        ("ok", Json::Bool(true)),
-                        ("job", Json::from(id)),
-                        ("state", Json::from("queued")),
-                    ]),
-                    Err(e) => protocol::error_response(&e),
-                }
+                jobs.submit(spec).map(|job| Response::Submitted { job })
             } else {
-                let response = protocol::run_anonymize(&spec);
+                let response = protocol::run_anonymize(&spec)?;
                 if spec.store_result {
                     // Synchronous results are acknowledged inline, not
                     // via the journal — never orphan-reconciled.
-                    protocol::store_response_csv(response, store, false)
+                    protocol::store_result(response, store, false)
                 } else {
-                    response
+                    Ok(response)
                 }
             }
         }
         Request::Evaluate { original, anonymized } => {
-            let original = match original.resolve_shared(store) {
-                Ok(csv) => csv,
-                Err(e) => return protocol::error_response(&e),
-            };
-            let anonymized = match anonymized.resolve_shared(store) {
-                Ok(csv) => csv,
-                Err(e) => return protocol::error_response(&e),
-            };
+            let original = original.resolve_shared(store)?;
+            let anonymized = anonymized.resolve_shared(store)?;
             protocol::run_evaluate(&original, &anonymized)
         }
-        Request::Stats { data } => match data.resolve_shared(store) {
-            Ok(csv) => protocol::run_stats(&csv),
-            Err(e) => protocol::error_response(&e),
-        },
+        Request::Stats { data } => protocol::run_stats(&data.resolve_shared(store)?),
         Request::Status { job } => jobs.status_response(&job),
         Request::Upload => protocol::run_upload(store),
         Request::Chunk { dataset, data } => protocol::run_chunk(store, &dataset, &data),
@@ -209,31 +206,7 @@ fn dispatch(req: Request, jobs: &JobQueue, store: &DatasetStore) -> Json {
             protocol::run_download(store, &dataset, offset, max_bytes)
         }
         Request::Delete { dataset } => protocol::run_delete(store, &dataset),
-        Request::List => {
-            let jobs_arr = Json::Arr(
-                jobs.list()
-                    .into_iter()
-                    .map(|(id, state)| {
-                        Json::obj([("job", Json::from(id)), ("state", Json::from(state))])
-                    })
-                    .collect(),
-            );
-            let datasets_arr = Json::Arr(
-                store
-                    .list()
-                    .into_iter()
-                    .map(|(id, bytes, state, pins)| {
-                        Json::obj([
-                            ("dataset", Json::from(id)),
-                            ("bytes", Json::from(bytes)),
-                            ("state", Json::from(state)),
-                            ("pins", Json::from(pins)),
-                        ])
-                    })
-                    .collect(),
-            );
-            Json::obj([("ok", Json::Bool(true)), ("jobs", jobs_arr), ("datasets", datasets_arr)])
-        }
+        Request::List => Ok(Response::List { jobs: jobs.list(), datasets: store.list() }),
     }
 }
 
@@ -252,8 +225,10 @@ pub const MAX_REQUEST_BYTES: usize = 256 * 1024 * 1024;
 /// within the *next* buffered chunk was accepted up to one `BufReader`
 /// chunk past the limit.
 fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Option<String>> {
+    // `FileTooLarge` is the classification marker `framing_error`
+    // keys on — the kind, not the message text, decides the wire code.
     let oversized = || {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "request line exceeds the size limit")
+        std::io::Error::new(std::io::ErrorKind::FileTooLarge, "request line exceeds the size limit")
     };
     let mut buf = Vec::new();
     loop {
@@ -284,11 +259,31 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<
     }
 }
 
+/// Classifies a framing-layer read failure by its [`std::io::ErrorKind`]
+/// — never by message text. An oversized line
+/// ([`std::io::ErrorKind::FileTooLarge`], the marker
+/// [`read_line_bounded`] constructs) is the client's fault and carries
+/// the payload cap's code; undecodable bytes are a bad request;
+/// anything else is the transport itself failing.
+fn framing_error(e: &std::io::Error) -> ApiError {
+    match e.kind() {
+        std::io::ErrorKind::FileTooLarge => ApiError::payload_too_large(e.to_string()),
+        std::io::ErrorKind::InvalidData => ApiError::bad_request(e.to_string()),
+        _ => ApiError::io(e.to_string()),
+    }
+}
+
 /// Serves one connection: a loop of request line → response line.
 /// Exits when the peer closes, on I/O error (including the socket being
 /// shut down by [`Server::shutdown`]), on an oversized request, or when
 /// `stop` is raised.
-fn handle_connection(stream: TcpStream, jobs: &JobQueue, store: &DatasetStore, stop: &AtomicBool) {
+fn handle_connection(
+    stream: TcpStream,
+    jobs: &JobQueue,
+    store: &DatasetStore,
+    info: &InfoContext,
+    stop: &AtomicBool,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -303,8 +298,11 @@ fn handle_connection(stream: TcpStream, jobs: &JobQueue, store: &DatasetStore, s
             Ok(None) => break, // peer closed
             Err(e) => {
                 // Tell the peer why before dropping the connection; the
-                // framing is unrecoverable after an oversized line.
-                let response = protocol::error_response(&e.to_string());
+                // framing is unrecoverable after an oversized line, and
+                // the line was never parsed, so no envelope is known —
+                // framing errors are always v1-shaped (documented in
+                // PROTOCOL.md).
+                let response = api::render_v1(Err(framing_error(&e)));
                 let _ = writer.write_all(format!("{response}\n").as_bytes());
                 break;
             }
@@ -312,10 +310,9 @@ fn handle_connection(stream: TcpStream, jobs: &JobQueue, store: &DatasetStore, s
         if line.trim().is_empty() {
             continue;
         }
-        let response = match protocol::parse_request(&line) {
-            Ok(req) => dispatch(req, jobs, store),
-            Err(e) => protocol::error_response(&e),
-        };
+        let (envelope, parsed) = protocol::parse_request_line(&line);
+        let result = parsed.and_then(|req| dispatch(req, jobs, store, info));
+        let response = api::render(&envelope, result);
         if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
         {
             break;
@@ -388,6 +385,7 @@ impl Server {
             })
         });
 
+        let info = InfoContext { workers: cfg.workers, max_datasets: cfg.max_datasets };
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let jobs = jobs.clone();
@@ -434,7 +432,7 @@ impl Server {
                     handlers.push(std::thread::spawn(move || {
                         // Guard releases the permit even on panic.
                         let _guard = guard;
-                        handle_connection(stream, &jobs, &store, &stop);
+                        handle_connection(stream, &jobs, &store, &info, &stop);
                     }));
                     // Reap finished handlers so the vec stays small.
                     handlers.retain(|h| !h.is_finished());
@@ -486,6 +484,7 @@ impl Server {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::json::Json;
 
     /// Drives `read_line_bounded` with a tiny `BufReader` capacity so
     /// lines terminate across chunk boundaries, the exact shape of the
@@ -518,6 +517,27 @@ mod tests {
         assert!(read_bounded("aaa", 3, 4).unwrap().is_none()); // EOF discard, sanity
         assert!(read_bounded("aaaaa\n", 3, 4).is_err());
         assert_eq!(read_bounded("aaaa\n", 3, 4).unwrap().as_deref(), Some("aaaa"));
+    }
+
+    #[test]
+    fn framing_errors_carry_the_documented_codes() {
+        use crate::api::ErrorCode;
+        // The oversized-line error produced by read_line_bounded maps
+        // to payload-too-large — over the wire this needs a line past
+        // MAX_REQUEST_BYTES (256 MiB), so the mapping is pinned here.
+        let oversized = read_bounded("aaaaa\n", 8, 4).unwrap_err();
+        assert_eq!(framing_error(&oversized).code, ErrorCode::PayloadTooLarge);
+        assert_eq!(framing_error(&oversized).message, "request line exceeds the size limit");
+        let not_utf8 = std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8");
+        assert_eq!(framing_error(&not_utf8).code, ErrorCode::BadRequest);
+        let broken = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        assert_eq!(framing_error(&broken).code, ErrorCode::Io);
+        // And the v1 message is byte-identical to the pre-redesign
+        // shape (the error string was the io::Error text verbatim).
+        assert_eq!(
+            api::render_v1(Err(framing_error(&oversized))).to_string(),
+            r#"{"error":"request line exceeds the size limit","ok":false}"#
+        );
     }
 
     #[test]

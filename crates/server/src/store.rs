@@ -49,6 +49,7 @@
 //! table. The entry being persisted sits in a `Committing` state that
 //! rejects concurrent mutation until the write lands.
 
+use crate::api::ApiError;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -231,7 +232,7 @@ impl StoreInner {
     /// e.g. after a `--max-datasets` cut — must shrink to it, not stay
     /// one-in-one-out above it forever). Errors when every remaining
     /// slot is pinned or pending.
-    fn make_room(&mut self) -> Result<(), String> {
+    fn make_room(&mut self) -> Result<(), ApiError> {
         self.sweep(Instant::now());
         while self.entries.len() >= self.capacity {
             let victim = self
@@ -250,11 +251,11 @@ impl StoreInner {
                     self.unlink(&id, from_job);
                 }
                 None => {
-                    return Err(format!(
+                    return Err(ApiError::store_full(format!(
                         "dataset store is full ({} handles, none evictable); \
                          delete a dataset or commit/abandon pending uploads",
                         self.capacity
-                    ))
+                    )))
                 }
             }
         }
@@ -396,7 +397,7 @@ impl DatasetStore {
 
     /// Opens a new pending handle for chunked upload, evicting the LRU
     /// unpinned committed dataset if the store is full.
-    pub fn begin(&self) -> Result<String, String> {
+    pub fn begin(&self) -> Result<String, ApiError> {
         let mut s = self.lock();
         s.make_room()?;
         s.next_id += 1;
@@ -408,19 +409,21 @@ impl DatasetStore {
 
     /// Appends one piece to a pending handle, returning the assembled
     /// size so far.
-    pub fn append(&self, id: &str, data: &str) -> Result<usize, String> {
+    pub fn append(&self, id: &str, data: &str) -> Result<usize, ApiError> {
         let mut s = self.lock();
         match s.entries.get_mut(id) {
-            None => Err(format!("unknown dataset {id:?}")),
-            Some(Entry::Committed { .. }) => {
-                Err(format!("dataset {id:?} is already committed; chunks are rejected"))
-            }
-            Some(Entry::Committing) => {
-                Err(format!("dataset {id:?} is being committed; chunks are rejected"))
-            }
+            None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
+            Some(Entry::Committed { .. }) => Err(ApiError::dataset_state(format!(
+                "dataset {id:?} is already committed; chunks are rejected"
+            ))),
+            Some(Entry::Committing) => Err(ApiError::dataset_state(format!(
+                "dataset {id:?} is being committed; chunks are rejected"
+            ))),
             Some(Entry::Pending { buf, touched }) => {
                 if buf.len().saturating_add(data.len()) > MAX_DATASET_BYTES {
-                    return Err(format!("dataset {id:?} would exceed {MAX_DATASET_BYTES} bytes"));
+                    return Err(ApiError::payload_too_large(format!(
+                        "dataset {id:?} would exceed {MAX_DATASET_BYTES} bytes"
+                    )));
                 }
                 buf.push_str(data);
                 *touched = Instant::now();
@@ -435,16 +438,20 @@ impl DatasetStore {
     /// before the commit is acknowledged — but the write runs **outside
     /// the store mutex**, so concurrent reads never stall behind it; a
     /// failed write leaves the handle pending so the client may retry.
-    pub fn commit(&self, id: &str) -> Result<usize, String> {
+    pub fn commit(&self, id: &str) -> Result<usize, ApiError> {
         let (buf, dir) = {
             let mut s = self.lock();
             match s.entries.get(id) {
-                None => return Err(format!("unknown dataset {id:?}")),
+                None => return Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
                 Some(Entry::Committed { .. }) => {
-                    return Err(format!("dataset {id:?} is already committed"))
+                    return Err(ApiError::dataset_state(format!(
+                        "dataset {id:?} is already committed"
+                    )))
                 }
                 Some(Entry::Committing) => {
-                    return Err(format!("dataset {id:?} is already being committed"))
+                    return Err(ApiError::dataset_state(format!(
+                        "dataset {id:?} is already being committed"
+                    )))
                 }
                 Some(Entry::Pending { .. }) => {}
             }
@@ -477,9 +484,11 @@ impl DatasetStore {
         &self,
         csv: String,
         from_job: bool,
-    ) -> Result<(String, usize), String> {
+    ) -> Result<(String, usize), ApiError> {
         if csv.len() > MAX_DATASET_BYTES {
-            return Err(format!("dataset would exceed {MAX_DATASET_BYTES} bytes"));
+            return Err(ApiError::payload_too_large(format!(
+                "dataset would exceed {MAX_DATASET_BYTES} bytes"
+            )));
         }
         let (id, dir) = {
             let mut s = self.lock();
@@ -501,7 +510,7 @@ impl DatasetStore {
     }
 
     /// [`Self::insert_with_provenance`] for client-owned datasets.
-    pub fn insert(&self, csv: String) -> Result<(String, usize), String> {
+    pub fn insert(&self, csv: String) -> Result<(String, usize), ApiError> {
         self.insert_with_provenance(csv, false)
     }
 
@@ -510,17 +519,19 @@ impl DatasetStore {
     /// Deleting a handle pinned by a queued/running job is rejected
     /// with a distinct error — the job owns that data until it
     /// finishes.
-    pub fn delete(&self, id: &str) -> Result<usize, String> {
+    pub fn delete(&self, id: &str) -> Result<usize, ApiError> {
         let mut s = self.lock();
         match s.entries.get(id) {
-            None => Err(format!("unknown dataset {id:?}")),
-            Some(Entry::Committing) => {
-                Err(format!("dataset {id:?} is being committed; retry the delete"))
-            }
-            Some(Entry::Committed { pins, .. }) if *pins > 0 => Err(format!(
-                "dataset {id:?} is referenced by a queued or running job; \
+            None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
+            Some(Entry::Committing) => Err(ApiError::dataset_state(format!(
+                "dataset {id:?} is being committed; retry the delete"
+            ))),
+            Some(Entry::Committed { pins, .. }) if *pins > 0 => {
+                Err(ApiError::dataset_in_use(format!(
+                    "dataset {id:?} is referenced by a queued or running job; \
                  delete is rejected until the job finishes"
-            )),
+                )))
+            }
             Some(Entry::Committed { .. } | Entry::Pending { .. }) => {
                 let bytes = match s.entries.remove(id) {
                     Some(Entry::Committed { text, from_job, .. }) => {
@@ -556,7 +567,7 @@ impl DatasetStore {
 
     /// Pins a committed handle against eviction and deletion (one pin
     /// per referencing job; pins stack).
-    pub fn pin(&self, id: &str) -> Result<(), String> {
+    pub fn pin(&self, id: &str) -> Result<(), ApiError> {
         let mut s = self.lock();
         s.touch(id);
         match s.entries.get_mut(id) {
@@ -564,8 +575,8 @@ impl DatasetStore {
                 *pins += 1;
                 Ok(())
             }
-            Some(_) => Err(format!("dataset {id:?} is not committed yet")),
-            None => Err(format!("unknown dataset {id:?}")),
+            Some(_) => Err(ApiError::dataset_state(format!("dataset {id:?} is not committed yet"))),
+            None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
         }
     }
 
@@ -603,13 +614,13 @@ impl DatasetStore {
 
     /// The full text of a committed dataset (refreshes its LRU/TTL
     /// stamp).
-    pub fn resolve(&self, id: &str) -> Result<Arc<String>, String> {
+    pub fn resolve(&self, id: &str) -> Result<Arc<String>, ApiError> {
         let mut s = self.lock();
         s.touch(id);
         match s.entries.get(id) {
-            None => Err(format!("unknown dataset {id:?}")),
+            None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
             Some(Entry::Pending { .. } | Entry::Committing) => {
-                Err(format!("dataset {id:?} is not committed yet"))
+                Err(ApiError::dataset_state(format!("dataset {id:?} is not committed yet")))
             }
             Some(Entry::Committed { text, .. }) => Ok(Arc::clone(text)),
         }
@@ -643,13 +654,13 @@ impl DatasetStore {
         id: &str,
         offset: usize,
         max_bytes: usize,
-    ) -> Result<(String, usize, bool), String> {
+    ) -> Result<(String, usize, bool), ApiError> {
         let text = self.resolve(id)?;
         if offset > text.len() || !text.is_char_boundary(offset) {
-            return Err(format!(
+            return Err(ApiError::bad_request(format!(
                 "offset {offset} is not a piece boundary of dataset {id:?} ({} bytes)",
                 text.len()
-            ));
+            )));
         }
         let max_bytes = max_bytes.clamp(1, MAX_DOWNLOAD_CHUNK_BYTES);
         let mut end = floor_char_boundary(&text, offset.saturating_add(max_bytes));
@@ -666,7 +677,7 @@ impl DatasetStore {
     /// leave a torn (or silently empty) dataset that a reload would
     /// serve as committed. Must be called **without** the store mutex
     /// held.
-    fn persist(&self, dir: &std::path::Path, file: &str, text: &str) -> Result<(), String> {
+    fn persist(&self, dir: &std::path::Path, file: &str, text: &str) -> Result<(), ApiError> {
         use std::io::Write as _;
         let tmp = dir.join(format!("{file}.tmp"));
         let path = dir.join(file);
@@ -682,7 +693,7 @@ impl DatasetStore {
             // The rename itself must survive power loss too.
             std::fs::File::open(dir)?.sync_all()
         };
-        write().map_err(|e| format!("cannot persist dataset {file:?}: {e}"))
+        write().map_err(|e| ApiError::io(format!("cannot persist dataset {file:?}: {e}")))
     }
 }
 
@@ -704,17 +715,17 @@ mod tests {
     #[test]
     fn lifecycle_violations_are_errors() {
         let store = DatasetStore::new();
-        assert!(store.append("ds-9", "x").unwrap_err().contains("unknown"));
-        assert!(store.commit("ds-9").unwrap_err().contains("unknown"));
-        assert!(store.resolve("ds-9").unwrap_err().contains("unknown"));
-        assert!(store.delete("ds-9").unwrap_err().contains("unknown"));
+        assert!(store.append("ds-9", "x").unwrap_err().message.contains("unknown"));
+        assert!(store.commit("ds-9").unwrap_err().message.contains("unknown"));
+        assert!(store.resolve("ds-9").unwrap_err().message.contains("unknown"));
+        assert!(store.delete("ds-9").unwrap_err().message.contains("unknown"));
         let id = store.begin().unwrap();
-        assert!(store.resolve(&id).unwrap_err().contains("not committed"));
-        assert!(store.read_chunk(&id, 0, 10).unwrap_err().contains("not committed"));
-        assert!(store.pin(&id).unwrap_err().contains("not committed"));
+        assert!(store.resolve(&id).unwrap_err().message.contains("not committed"));
+        assert!(store.read_chunk(&id, 0, 10).unwrap_err().message.contains("not committed"));
+        assert!(store.pin(&id).unwrap_err().message.contains("not committed"));
         store.commit(&id).unwrap();
-        assert!(store.append(&id, "x").unwrap_err().contains("already committed"));
-        assert!(store.commit(&id).unwrap_err().contains("already"));
+        assert!(store.append(&id, "x").unwrap_err().message.contains("already committed"));
+        assert!(store.commit(&id).unwrap_err().message.contains("already"));
     }
 
     #[test]
@@ -767,8 +778,8 @@ mod tests {
             store.begin().unwrap();
         }
         let err = store.begin().unwrap_err();
-        assert!(err.contains("full") && err.contains("delete"), "{err}");
-        assert!(store.insert(String::new()).unwrap_err().contains("full"));
+        assert!(err.message.contains("full") && err.message.contains("delete"), "{err}");
+        assert!(store.insert(String::new()).unwrap_err().message.contains("full"));
     }
 
     #[test]
@@ -782,7 +793,10 @@ mod tests {
         // Touch a so b becomes the LRU victim.
         store.resolve(&a).unwrap();
         let (d, _) = store.insert("ddd".to_string()).unwrap();
-        assert!(store.resolve(&b).unwrap_err().contains("unknown"), "LRU entry must be evicted");
+        assert!(
+            store.resolve(&b).unwrap_err().message.contains("unknown"),
+            "LRU entry must be evicted"
+        );
         for id in [&a, &c, &d] {
             assert!(store.resolve(id).is_ok(), "{id} must survive");
         }
@@ -799,13 +813,13 @@ mod tests {
         store.pin(&a).unwrap();
         let err = store.delete(&a).unwrap_err();
         assert!(
-            err.contains("queued or running job"),
+            err.message.contains("queued or running job"),
             "pinned delete needs a distinct error: {err}"
         );
         // a is the LRU entry but pinned: eviction must take b instead.
         let (c, _) = store.insert("ccc".to_string()).unwrap();
         assert!(store.resolve(&a).is_ok());
-        assert!(store.resolve(&b).unwrap_err().contains("unknown"));
+        assert!(store.resolve(&b).unwrap_err().message.contains("unknown"));
         // Two pins: one unpin keeps the protection, the second releases.
         store.pin(&a).unwrap();
         store.unpin(&a);
@@ -836,7 +850,7 @@ mod tests {
         let committed = store.begin().unwrap();
         store.commit(&committed).unwrap();
         assert_eq!(store.expire_uploads(Duration::ZERO), 1);
-        assert!(store.append(&abandoned, "x").unwrap_err().contains("unknown"));
+        assert!(store.append(&abandoned, "x").unwrap_err().message.contains("unknown"));
         assert!(store.resolve(&committed).is_ok(), "committed entries are not uploads");
         // The configured upload TTL also reclaims via the sweep.
         let store = DatasetStore::with_config(StoreConfig {
@@ -846,7 +860,7 @@ mod tests {
         .unwrap();
         let p = store.begin().unwrap();
         assert_eq!(store.sweep(), 1);
-        assert!(store.commit(&p).unwrap_err().contains("unknown"));
+        assert!(store.commit(&p).unwrap_err().message.contains("unknown"));
     }
 
     #[test]
@@ -862,7 +876,7 @@ mod tests {
         store.pin(&pinned).unwrap();
         let (stale, _) = store.insert("x".to_string()).unwrap();
         assert_eq!(store.sweep(), 1);
-        assert!(store.resolve(&stale).unwrap_err().contains("unknown"));
+        assert!(store.resolve(&stale).unwrap_err().message.contains("unknown"));
         assert!(store.resolve(&pinned).is_ok());
         // Without a TTL nothing committed expires.
         let store = DatasetStore::new();
@@ -892,18 +906,18 @@ mod tests {
         .unwrap();
         assert_eq!(reopened.resolve(&id).unwrap().as_str(), "hello\n");
         assert_eq!(reopened.resolve(&id2).unwrap().as_str(), "world\n");
-        assert!(reopened.resolve(&pending).unwrap_err().contains("unknown"));
+        assert!(reopened.resolve(&pending).unwrap_err().message.contains("unknown"));
         // Reloaded handles are LRU-cold in id order: at capacity, the
         // lower-id reloaded entry is evicted first — and its file goes
         // with it, so the eviction survives another reopen.
         let (id3, _) = reopened.insert("x".to_string()).unwrap();
         assert_ne!(id3, id);
         assert_ne!(id3, id2);
-        assert!(reopened.resolve(&id).unwrap_err().contains("unknown"));
+        assert!(reopened.resolve(&id).unwrap_err().message.contains("unknown"));
         assert!(reopened.resolve(&id2).is_ok());
         drop(reopened);
         let again = DatasetStore::open(Some(dir.clone())).unwrap();
-        assert!(again.resolve(&id).unwrap_err().contains("unknown"));
+        assert!(again.resolve(&id).unwrap_err().message.contains("unknown"));
         assert!(again.resolve(&id2).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -942,7 +956,7 @@ mod tests {
         assert!(!dir.join(format!("{id}.csv")).exists());
         drop(store);
         let reopened = DatasetStore::open(Some(dir.clone())).unwrap();
-        assert!(reopened.resolve(&id).unwrap_err().contains("unknown"));
+        assert!(reopened.resolve(&id).unwrap_err().message.contains("unknown"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -965,7 +979,7 @@ mod tests {
         let reopened = DatasetStore::open(Some(dir.clone())).unwrap();
         let referenced: HashSet<String> = [kept.clone()].into_iter().collect();
         assert_eq!(reopened.reconcile_job_results(&referenced), vec![orphan.clone()]);
-        assert!(reopened.resolve(&orphan).unwrap_err().contains("unknown"));
+        assert!(reopened.resolve(&orphan).unwrap_err().message.contains("unknown"));
         assert_eq!(reopened.resolve(&kept).unwrap().as_str(), "journaled result\n");
         assert_eq!(reopened.resolve(&upload).unwrap().as_str(), "client upload\n");
         assert!(!dir.join(format!("{orphan}.job.csv")).exists());
@@ -981,6 +995,29 @@ mod tests {
         store.pin(&a).unwrap();
         let listed = store.list();
         assert_eq!(listed, vec![(a, 4, "committed", 1), (p, 2, "pending", 0)]);
+    }
+
+    #[test]
+    fn persist_failures_are_io_coded_and_retryable() {
+        // A failed durable write (the directory vanished under the
+        // store — the same shape as ENOSPC or a dead disk) must report
+        // the io-error code and leave the upload pending for a retry.
+        let dir = std::env::temp_dir().join("trajdp-store-io-error-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DatasetStore::open(Some(dir.clone())).unwrap();
+        let id = store.begin().unwrap();
+        store.append(&id, "data\n").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = store.commit(&id).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::Io);
+        assert!(err.message.contains("cannot persist"), "{err}");
+        let err = store.insert("more\n".to_string()).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::Io);
+        // The failed commit rolled the handle back to pending: the
+        // client can retry once the disk recovers.
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(store.commit(&id).unwrap(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Regression for the lifecycle pass's lock contract: a large

@@ -204,7 +204,7 @@ fn chunked_upload_anonymize_download_matches_inline() {
     assert_eq!(inline.get("ok"), Some(&Json::Bool(true)), "{inline}");
     let inline_release = inline.get("csv").and_then(Json::as_str).unwrap().to_string();
 
-    let handle = client.upload_dataset(&csv, 1024).unwrap();
+    let handle = client.upload_dataset(&csv, 1024).unwrap().dataset;
     let by_handle = client
         .request(&Json::obj([
             ("cmd", Json::from("anonymize")),
@@ -298,7 +298,7 @@ fn delete_frees_slots_and_pinned_handles_are_protected() {
 
     // One committed dataset + fill the rest of the store with pending
     // uploads (not evictable), hitting the cap.
-    let committed = client.upload_dataset("traj_id,x,y,t\n0,1.0,2.0,3\n", 1 << 20).unwrap();
+    let committed = client.upload_dataset("traj_id,x,y,t\n0,1.0,2.0,3\n", 1 << 20).unwrap().dataset;
     let p1 = client.request_line(r#"{"cmd":"upload"}"#).unwrap();
     let p1 = p1.get("dataset").and_then(Json::as_str).unwrap().to_string();
     let _p2 = client.request_line(r#"{"cmd":"upload"}"#).unwrap();

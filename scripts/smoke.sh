@@ -136,4 +136,53 @@ cmp "$TMP/inline.csv" "$TMP/remote2.csv" \
 "$BIN" delete --addr "$ADDR2" --dataset "$DS" \
     || { echo "FAIL: delete CLI verb failed on the restarted server" >&2; exit 1; }
 
-echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays"
+# ---- protocol v2: envelope, id echo, stable error codes -------------
+V2OK=$(echo '{"cmd":"health","v":2,"id":"smoke-1"}' | "$BIN" submit --addr "$ADDR2")
+printf '%s' "$V2OK" | grep -q '"id":"smoke-1"' && printf '%s' "$V2OK" | grep -q '"ok":true' \
+    || { echo "FAIL: v2 success must echo the id: $V2OK" >&2; exit 1; }
+V2MISS=$(echo '{"cmd":"download","dataset":"ds-404","v":2,"id":"smoke-2"}' \
+    | "$BIN" submit --addr "$ADDR2")
+printf '%s' "$V2MISS" | grep -q '"code":"dataset-not-found"' \
+    && printf '%s' "$V2MISS" | grep -q '"id":"smoke-2"' \
+    || { echo "FAIL: v2 error must carry code + id: $V2MISS" >&2; exit 1; }
+V2VERB=$(echo '{"cmd":"bogus","v":2,"id":"smoke-3"}' | "$BIN" submit --addr "$ADDR2")
+printf '%s' "$V2VERB" | grep -q '"code":"unknown-verb"' \
+    || { echo "FAIL: unknown verb must code unknown-verb: $V2VERB" >&2; exit 1; }
+# The same failure without "v":2 keeps the bare v1 string shape.
+V1MISS=$(echo '{"cmd":"download","dataset":"ds-404"}' | "$BIN" submit --addr "$ADDR2")
+printf '%s' "$V1MISS" | grep -q '"error":"unknown dataset' \
+    || { echo "FAIL: v1 error shape changed: $V1MISS" >&2; exit 1; }
+
+# ---- info: discoverable caps drive the download chunk size ----------
+INFO=$("$BIN" info --addr "$ADDR2")
+MAXCHUNK=$(printf '%s\n' "$INFO" | grep '^max_download_chunk_bytes=' | cut -d= -f2)
+DEFCHUNK=$(printf '%s\n' "$INFO" | grep '^default_download_chunk_bytes=' | cut -d= -f2)
+printf '%s\n' "$INFO" | grep -q '^protocol_versions=1,2$' \
+    || { echo "FAIL: info must report protocol versions 1,2: $INFO" >&2; exit 1; }
+[ -n "$MAXCHUNK" ] && [ -n "$DEFCHUNK" ] && [ "$MAXCHUNK" -ge "$DEFCHUNK" ] \
+    || { echo "FAIL: info must report usable chunk caps: $INFO" >&2; exit 1; }
+# A fresh upload, then a download sized by the info-reported cap.
+DS2=$(echo '{"cmd":"upload","v":2,"id":"smoke-4"}' | "$BIN" submit --addr "$ADDR2" \
+    | grep -o '"dataset":"[^"]*"' | cut -d'"' -f4)
+echo "{\"cmd\":\"chunk\",\"dataset\":\"$DS2\",\"data\":\"traj_id,x,y,t\\n\",\"v\":2,\"id\":\"smoke-5\"}" \
+    | "$BIN" submit --addr "$ADDR2" | grep -q '"ok":true' \
+    || { echo "FAIL: v2 chunk refused" >&2; exit 1; }
+echo "{\"cmd\":\"commit\",\"dataset\":\"$DS2\",\"v\":2,\"id\":\"smoke-6\"}" \
+    | "$BIN" submit --addr "$ADDR2" | grep -q '"ok":true' \
+    || { echo "FAIL: v2 commit refused" >&2; exit 1; }
+V2DL=$(echo "{\"cmd\":\"download\",\"dataset\":\"$DS2\",\"max_bytes\":$MAXCHUNK,\"v\":2,\"id\":\"smoke-7\"}" \
+    | "$BIN" submit --addr "$ADDR2")
+printf '%s' "$V2DL" | grep -q '"eof":true' && printf '%s' "$V2DL" | grep -q '"id":"smoke-7"' \
+    || { echo "FAIL: info-cap-sized download failed: $V2DL" >&2; exit 1; }
+
+# ---- CLI exit-code classes ------------------------------------------
+rc=0; "$BIN" delete --addr "$ADDR2" --dataset ds-nope 2>/dev/null || rc=$?
+[ "$rc" = 4 ] || { echo "FAIL: server-rejected request must exit 4 (got $rc)" >&2; exit 1; }
+rc=0; "$BIN" fetch --addr 127.0.0.1:1 --dataset ds-1 --out "$TMP/none.csv" 2>/dev/null || rc=$?
+[ "$rc" = 3 ] || { echo "FAIL: connection failure must exit 3 (got $rc)" >&2; exit 1; }
+rc=0; "$BIN" gen --sizee 5 --out "$TMP/x.csv" 2>/dev/null || rc=$?
+[ "$rc" = 2 ] || { echo "FAIL: usage error must exit 2 (got $rc)" >&2; exit 1; }
+rc=0; "$BIN" stats --input "$TMP/definitely-missing.csv" 2>/dev/null || rc=$?
+[ "$rc" = 1 ] || { echo "FAIL: local failure must exit 1 (got $rc)" >&2; exit 1; }
+
+echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + exit classes OK"

@@ -11,12 +11,26 @@
 //! trajdp submit --addr 127.0.0.1:7878 --file request.json --data private.csv
 //! trajdp fetch --addr 127.0.0.1:7878 --dataset ds-2 --out release.csv
 //! trajdp delete --addr 127.0.0.1:7878 --dataset ds-2
+//! trajdp info --addr 127.0.0.1:7878
 //! ```
 //!
 //! Files are the CSV interchange format of `trajdp_model::csv`
 //! (`traj_id,x,y,t`). The binary exists so the library can be exercised
 //! on real exported data without writing Rust; `serve` turns it into a
 //! long-lived JSON-lines service (`trajdp_server`).
+//!
+//! ## Exit codes
+//!
+//! Failures are classified, so scripts can tell *why* a command failed
+//! without parsing stderr (documented in `PROTOCOL.md`):
+//!
+//! | code | class |
+//! |------|-------|
+//! | 0 | success |
+//! | 1 | local failure (file I/O, CSV parse, pipeline error) |
+//! | 2 | usage error (unknown command/flag, bad value) |
+//! | 3 | transport failure (cannot connect, connection lost) |
+//! | 4 | the server rejected the request (a stable API error code) |
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -27,11 +41,72 @@ use traj_freq_dp::metrics::{
 use traj_freq_dp::model::csv::{from_csv, to_csv};
 use traj_freq_dp::model::stats::DatasetStats;
 use traj_freq_dp::model::Dataset;
+use traj_freq_dp::server::api::{ApiError, ErrorCode};
 use traj_freq_dp::server::protocol::{
     budget_split, parse_model, validate_eps_split, validate_workers,
 };
 use traj_freq_dp::server::{anonymize_parallel, Client, Server, ServerConfig};
 use traj_freq_dp::synth::{generate, GeneratorConfig};
+
+/// A classified CLI failure; each class maps to a documented exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command, unknown/misspelled flag,
+    /// missing or invalid value. Exit 2.
+    Usage(String),
+    /// The server could not be reached or the connection failed
+    /// mid-exchange. Exit 3.
+    Transport(String),
+    /// The server understood us and said no — carries the stable
+    /// [`ErrorCode`]. Exit 4.
+    Api(ApiError),
+    /// Everything local: file I/O, CSV parsing, pipeline errors.
+    /// Exit 1.
+    Other(String),
+}
+
+impl CliError {
+    /// The documented process exit code of this failure class.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Transport(_) => 3,
+            CliError::Api(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Transport(m) | CliError::Other(m) => f.write_str(m),
+            // The stable code rides along so scripts reading stderr see
+            // the same identifier wire clients get.
+            CliError::Api(e) => write!(f, "{} [{}]", e.message, e.code),
+        }
+    }
+}
+
+/// Client-layer errors classify themselves: a transport-coded failure
+/// is a connectivity problem (exit 3), anything else is the server
+/// rejecting the request (exit 4).
+impl From<ApiError> for CliError {
+    fn from(e: ApiError) -> CliError {
+        if e.code == ErrorCode::Transport {
+            CliError::Transport(e.message)
+        } else {
+            CliError::Api(e)
+        }
+    }
+}
+
+/// Maps a protocol-validator rejection of a *flag value* to a usage
+/// error: at the CLI boundary a bad `--eps-split` is a usage mistake,
+/// not an API failure.
+fn usage(e: ApiError) -> CliError {
+    CliError::Usage(e.message)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,9 +114,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -59,7 +136,11 @@ usage:
   trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
                    [--chunk-threshold BYTES]
   trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv
-  trajdp delete    --addr HOST:PORT --dataset DS-ID";
+  trajdp delete    --addr HOST:PORT --dataset DS-ID
+  trajdp info      --addr HOST:PORT
+
+exit codes: 0 ok, 1 local failure, 2 usage error, 3 cannot reach the
+server, 4 the server rejected the request (see PROTOCOL.md)";
 
 /// Parsed `--flag value` pairs of one subcommand.
 type Flags<'a> = HashMap<&'a str, &'a str>;
@@ -72,30 +153,38 @@ fn flag_list(accepted: &[&str]) -> String {
 /// Unknown or misspelled options, bare positional arguments, duplicate
 /// flags, and a trailing flag with no value are all hard errors — a
 /// `--epsilonn 2.0` must fail loudly, never run with the default.
-fn parse_flags<'a>(cmd: &str, args: &'a [String], accepted: &[&str]) -> Result<Flags<'a>, String> {
+fn parse_flags<'a>(
+    cmd: &str,
+    args: &'a [String],
+    accepted: &[&str],
+) -> Result<Flags<'a>, CliError> {
     let mut flags = Flags::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let name = arg.strip_prefix("--").ok_or_else(|| {
-            format!(
+            CliError::Usage(format!(
                 "unexpected argument {arg:?} to {cmd} (accepted flags: {})",
                 flag_list(accepted)
-            )
+            ))
         })?;
         if !accepted.contains(&name) {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown option --{name} for {cmd} (accepted flags: {})",
                 flag_list(accepted)
-            ));
+            )));
         }
-        let value = it.next().ok_or_else(|| format!("missing value for --{name} (of {cmd})"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("missing value for --{name} (of {cmd})")))?;
         if value.starts_with("--") {
             // `--out --len` means --out's value was forgotten, not that
             // a file named "--len" was intended.
-            return Err(format!("missing value for --{name} (found flag {value:?} instead)"));
+            return Err(CliError::Usage(format!(
+                "missing value for --{name} (found flag {value:?} instead)"
+            )));
         }
         if flags.insert(name, value.as_str()).is_some() {
-            return Err(format!("duplicate option --{name}"));
+            return Err(CliError::Usage(format!("duplicate option --{name}")));
         }
     }
     Ok(flags)
@@ -106,28 +195,35 @@ fn opt<'a>(flags: &Flags<'a>, name: &str) -> Option<&'a str> {
     flags.get(name).copied()
 }
 
-fn opt_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+fn opt_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, CliError> {
     match opt(flags, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{name}: {v:?}")),
+        Some(v) => v.parse().map_err(|_| CliError::Usage(format!("invalid --{name}: {v:?}"))),
     }
 }
 
-fn required<'a>(flags: &Flags<'a>, name: &str) -> Result<&'a str, String> {
-    opt(flags, name).ok_or_else(|| format!("missing required --{name}"))
+fn required<'a>(flags: &Flags<'a>, name: &str) -> Result<&'a str, CliError> {
+    opt(flags, name).ok_or_else(|| CliError::Usage(format!("missing required --{name}")))
 }
 
-fn load(path: &str) -> Result<Dataset, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+fn load(path: &str) -> Result<Dataset, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+    from_csv(&text).map_err(|e| CliError::Other(format!("cannot parse {path}: {e}")))
 }
 
-fn save(path: &str, ds: &Dataset) -> Result<(), String> {
-    std::fs::write(path, to_csv(ds)).map_err(|e| format!("cannot write {path}: {e}"))
+fn save(path: &str, ds: &Dataset) -> Result<(), CliError> {
+    std::fs::write(path, to_csv(ds))
+        .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().map(String::as_str).ok_or("no command given")?;
+fn connect(addr: &str) -> Result<Client, CliError> {
+    Client::connect(addr)
+        .map_err(|e| CliError::Transport(format!("cannot connect to {addr} ({:?}): {e}", e.kind())))
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = args.first().map(String::as_str).ok_or(CliError::Usage("no command given".into()))?;
     let rest = &args[1..];
     match cmd {
         "gen" => {
@@ -151,16 +247,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 rest,
                 &["model", "epsilon", "eps-split", "m", "seed", "parallel", "input", "out"],
             )?;
-            let model = parse_model(required(&flags, "model")?)?;
+            let model = parse_model(required(&flags, "model")?).map_err(usage)?;
             let epsilon = opt_parse(&flags, "epsilon", 1.0f64)?;
             if epsilon <= 0.0 || !epsilon.is_finite() {
-                return Err("--epsilon must be positive".into());
+                return Err(CliError::Usage("--epsilon must be positive".into()));
             }
-            let eps_split = validate_eps_split(opt_parse(&flags, "eps-split", 0.5f64)?)?;
+            let eps_split =
+                validate_eps_split(opt_parse(&flags, "eps-split", 0.5f64)?).map_err(usage)?;
             let m = opt_parse(&flags, "m", 10usize)?;
             let seed = opt_parse(&flags, "seed", 42u64)?;
             let parallel = validate_workers(opt_parse(&flags, "parallel", 1u64)?)
-                .map_err(|e| format!("--parallel: {e}"))?;
+                .map_err(|e| CliError::Usage(format!("--parallel: {e}")))?;
             let input = required(&flags, "input")?;
             let out = required(&flags, "out")?;
             let ds = load(input)?;
@@ -176,9 +273,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 ..Default::default()
             };
             let result = if parallel > 1 {
-                anonymize_parallel(&ds, model, &cfg, parallel).map_err(|e| e.to_string())?
+                anonymize_parallel(&ds, model, &cfg, parallel)
+                    .map_err(|e| CliError::Other(e.to_string()))?
             } else {
-                anonymize(&ds, model, &cfg).map_err(|e| e.to_string())?
+                anonymize(&ds, model, &cfg).map_err(|e| CliError::Other(e.to_string()))?
             };
             save(out, &result.dataset)?;
             eprintln!(
@@ -194,7 +292,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let original = load(required(&flags, "original")?)?;
             let anonymized = load(required(&flags, "anonymized")?)?;
             if original.len() != anonymized.len() {
-                return Err("datasets must contain the same number of trajectories".into());
+                return Err(CliError::Other(
+                    "datasets must contain the same number of trajectories".into(),
+                ));
             }
             println!("MI  = {:.4}", mutual_information(&original, &anonymized, 64));
             println!("INF = {:.4}", information_loss(&original, &anonymized));
@@ -218,7 +318,7 @@ fn run(args: &[String]) -> Result<(), String> {
             )?;
             let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
             let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
-                .map_err(|e| format!("--workers: {e}"))?;
+                .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
             let max_connections = opt_parse(&flags, "max-conn", 32usize)?;
             let state_dir = opt(&flags, "state-dir").map(std::path::PathBuf::from);
             let max_datasets = opt_parse(
@@ -227,15 +327,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 traj_freq_dp::server::store::MAX_STORED_DATASETS,
             )?;
             if max_datasets == 0 {
-                return Err("--max-datasets must be at least 1".into());
+                return Err(CliError::Usage("--max-datasets must be at least 1".into()));
             }
             let dataset_ttl = match opt(&flags, "dataset-ttl") {
                 None => None,
                 Some(v) => {
-                    let secs: u64 =
-                        v.parse().map_err(|_| format!("invalid --dataset-ttl: {v:?}"))?;
+                    let secs: u64 = v
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --dataset-ttl: {v:?}")))?;
                     if secs == 0 {
-                        return Err("--dataset-ttl must be at least 1 second".into());
+                        return Err(CliError::Usage(
+                            "--dataset-ttl must be at least 1 second".into(),
+                        ));
                     }
                     Some(std::time::Duration::from_secs(secs))
                 }
@@ -249,7 +352,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 max_datasets,
                 dataset_ttl,
             })
-            .map_err(|e| format!("cannot start: {e}"))?;
+            .map_err(|e| CliError::Other(format!("cannot start: {e}")))?;
             eprintln!(
                 "trajdp-server listening on {} ({} job workers{}); \
                  send JSON-lines requests, e.g. {{\"cmd\":\"health\"}}",
@@ -267,28 +370,26 @@ fn run(args: &[String]) -> Result<(), String> {
             let addr = required(&flags, "addr")?;
             let threshold = opt_parse(&flags, "chunk-threshold", CHUNK_THRESHOLD_BYTES)?;
             if threshold == 0 {
-                return Err("--chunk-threshold must be at least 1".into());
+                return Err(CliError::Usage("--chunk-threshold must be at least 1".into()));
             }
             let data = match opt(&flags, "data") {
                 Some(path) => Some(
                     std::fs::read_to_string(path)
-                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                        .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?,
                 ),
                 None => None,
             };
             let request = match opt(&flags, "file") {
-                Some(path) => {
-                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
-                }
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?,
                 None => {
                     let mut buf = String::new();
                     std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
-                        .map_err(|e| format!("cannot read stdin: {e}"))?;
+                        .map_err(|e| CliError::Other(format!("cannot read stdin: {e}")))?;
                     buf
                 }
             };
-            let mut client =
-                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut client = connect(addr)?;
             for line in request.lines().filter(|l| !l.trim().is_empty()) {
                 let response = match prepare_request(&mut client, line, data.as_deref(), threshold)?
                 {
@@ -304,10 +405,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let addr = required(&flags, "addr")?;
             let dataset = required(&flags, "dataset")?;
             let out = required(&flags, "out")?;
-            let mut client =
-                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut client = connect(addr)?;
             let csv = client.download_dataset(dataset)?;
-            std::fs::write(out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+            std::fs::write(out, &csv)
+                .map_err(|e| CliError::Other(format!("cannot write {out}: {e}")))?;
             eprintln!("wrote {out}: {} bytes from {dataset}", csv.len());
             Ok(())
         }
@@ -315,13 +416,35 @@ fn run(args: &[String]) -> Result<(), String> {
             let flags = parse_flags(cmd, rest, &["addr", "dataset"])?;
             let addr = required(&flags, "addr")?;
             let dataset = required(&flags, "dataset")?;
-            let mut client =
-                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-            let bytes = client.delete_dataset(dataset)?;
-            eprintln!("deleted {dataset}: freed {bytes} bytes");
+            let mut client = connect(addr)?;
+            let info = client.delete_dataset(dataset)?;
+            eprintln!("deleted {dataset}: freed {} bytes", info.bytes);
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        "info" => {
+            let flags = parse_flags(cmd, rest, &["addr"])?;
+            let addr = required(&flags, "addr")?;
+            let mut client = connect(addr)?;
+            let info = client.info()?;
+            // `key=value` lines: stable to parse from shell, readable
+            // at a glance.
+            println!("version={}", info.version);
+            println!(
+                "protocol_versions={}",
+                info.protocol_versions.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+            );
+            println!("workers={}", info.workers);
+            println!("max_datasets={}", info.max_datasets);
+            println!("max_dataset_bytes={}", info.max_dataset_bytes);
+            println!("max_request_bytes={}", info.max_request_bytes);
+            println!("max_download_chunk_bytes={}", info.max_download_chunk_bytes);
+            println!("default_download_chunk_bytes={}", info.default_download_chunk_bytes);
+            println!("max_gen_points={}", info.max_gen_points);
+            println!("max_m={}", info.max_m);
+            println!("max_workers={}", info.max_workers);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -369,25 +492,29 @@ fn prepare_request(
     line: &str,
     data: Option<&str>,
     threshold: usize,
-) -> Result<Option<traj_freq_dp::server::Json>, String> {
+) -> Result<Option<traj_freq_dp::server::Json>, CliError> {
     use traj_freq_dp::server::Json;
     let parsed = traj_freq_dp::server::json::parse(line);
     let mut obj = match (parsed, data) {
         (Ok(Json::Obj(obj)), _) => obj,
         (_, None) => return Ok(None),
         (Ok(_), Some(_)) => {
-            return Err("--data requires each request line to be a JSON object".to_string())
+            return Err(CliError::Usage(
+                "--data requires each request line to be a JSON object".to_string(),
+            ))
         }
-        (Err(e), Some(_)) => return Err(format!("cannot parse request line: {e}")),
+        (Err(e), Some(_)) => {
+            return Err(CliError::Usage(format!("cannot parse request line: {e}")))
+        }
     };
     let cmd = obj.get("cmd").and_then(Json::as_str).unwrap_or("").to_string();
     let mut rewritten = false;
     if let Some(csv) = data {
         if matches!(cmd.as_str(), "anonymize" | "stats") {
             if obj.contains_key("csv") || obj.contains_key("dataset") {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "--data conflicts with the {cmd} request's own \"csv\"/\"dataset\" member"
-                ));
+                )));
             }
             obj.insert("csv".to_string(), Json::from(csv));
             rewritten = true;
@@ -400,8 +527,8 @@ fn prepare_request(
         let oversized = matches!(obj.get(inline_key), Some(Json::Str(s)) if s.len() > threshold);
         if oversized {
             let Some(Json::Str(csv)) = obj.remove(inline_key) else { unreachable!() };
-            let handle = client.upload_dataset(&csv, threshold.min(MAX_UPLOAD_PIECE_BYTES))?;
-            obj.insert(handle_key.to_string(), Json::from(handle));
+            let uploaded = client.upload_dataset(&csv, threshold.min(MAX_UPLOAD_PIECE_BYTES))?;
+            obj.insert(handle_key.to_string(), Json::from(uploaded.dataset));
             rewritten = true;
         }
     }
@@ -414,6 +541,11 @@ mod tests {
 
     fn a(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The rendered message of a CLI error, for content asserts.
+    fn msg(e: CliError) -> String {
+        e.to_string()
     }
 
     #[test]
@@ -434,37 +566,61 @@ mod tests {
     #[test]
     fn unknown_and_dangling_flags_are_rejected() {
         // A misspelled flag must not silently run with the default.
-        let err = parse_flags("anonymize", &a(&["--epsilonn", "2.0"]), &["epsilon"]).unwrap_err();
+        let err =
+            msg(parse_flags("anonymize", &a(&["--epsilonn", "2.0"]), &["epsilon"]).unwrap_err());
         assert!(err.contains("--epsilonn") && err.contains("--epsilon"), "{err}");
         // A trailing flag with no value must not be ignored.
         let err =
-            parse_flags("gen", &a(&["--size", "5", "--seed"]), &["size", "seed"]).unwrap_err();
+            msg(parse_flags("gen", &a(&["--size", "5", "--seed"]), &["size", "seed"]).unwrap_err());
         assert!(err.contains("missing value for --seed"), "{err}");
         // A flag token in value position means the value was forgotten;
         // it must not be swallowed as the value.
-        let err = parse_flags("gen", &a(&["--out", "--len", "5"]), &["out", "len"]).unwrap_err();
+        let err =
+            msg(parse_flags("gen", &a(&["--out", "--len", "5"]), &["out", "len"]).unwrap_err());
         assert!(err.contains("missing value for --out"), "{err}");
         // Bare positional arguments and duplicates are errors too.
-        assert!(parse_flags("stats", &a(&["input.csv"]), &["input"])
-            .unwrap_err()
+        assert!(msg(parse_flags("stats", &a(&["input.csv"]), &["input"]).unwrap_err())
             .contains("unexpected argument"));
-        assert!(parse_flags("gen", &a(&["--size", "1", "--size", "2"]), &["size"])
-            .unwrap_err()
-            .contains("duplicate"));
+        assert!(msg(
+            parse_flags("gen", &a(&["--size", "1", "--size", "2"]), &["size"]).unwrap_err()
+        )
+        .contains("duplicate"));
     }
 
     #[test]
     fn misspelled_flag_errors_name_accepted_flags() {
-        let err = run(&a(&["anonymize", "--model", "gl", "--epsilonn", "2.0"])).unwrap_err();
+        let err = msg(run(&a(&["anonymize", "--model", "gl", "--epsilonn", "2.0"])).unwrap_err());
         assert!(err.contains("unknown option --epsilonn"), "{err}");
         assert!(err.contains("--epsilon") && err.contains("--eps-split"), "{err}");
-        let err = run(&a(&["gen", "--out", "x.csv", "--sizee", "5"])).unwrap_err();
+        let err = msg(run(&a(&["gen", "--out", "x.csv", "--sizee", "5"])).unwrap_err());
         assert!(err.contains("--sizee"), "{err}");
     }
 
     #[test]
+    fn error_classes_map_to_documented_exit_codes() {
+        // Usage: unknown command / bad flags → 2.
+        assert_eq!(run(&a(&["bogus"])).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&a(&["gen", "--sizee", "5"])).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&[]).unwrap_err().exit_code(), 2);
+        // Transport: nothing listens on a reserved port → 3.
+        let err = run(&a(&["info", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Local failure: unreadable input file → 1.
+        let err = run(&a(&["stats", "--input", "/definitely/not/a/file.csv"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+        // Api: a server that answers with an error code → 4 (and the
+        // code is named in the message for stderr readers).
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let err = run(&a(&["delete", "--addr", &addr, "--dataset", "ds-404"])).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(msg(err).contains("dataset-not-found"));
+        server.shutdown();
+    }
+
+    #[test]
     fn serve_rejects_zero_workers() {
-        let err = run(&a(&["serve", "--workers", "0"])).unwrap_err();
+        let err = msg(run(&a(&["serve", "--workers", "0"])).unwrap_err());
         assert!(err.contains("workers") && err.contains("at least 1"), "{err}");
     }
 
@@ -519,6 +675,8 @@ mod tests {
                 "y",
             ]))
             .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad}: bad eps-split is a usage error");
+            let err = msg(err);
             assert!(err.contains("eps-split") || err.contains("invalid"), "{bad}: {err}");
         }
     }
@@ -582,7 +740,8 @@ mod tests {
             "y",
         ]))
         .unwrap_err();
-        assert!(err.contains("parallel"));
+        assert_eq!(err.exit_code(), 2);
+        assert!(msg(err).contains("parallel"));
     }
 
     #[test]
@@ -629,7 +788,8 @@ mod tests {
         for conflicting in
             [r#"{"cmd":"stats","csv":"x"}"#, r#"{"cmd":"anonymize","model":"gl","dataset":"ds-1"}"#]
         {
-            let err = prepare_request(&mut client, conflicting, Some(&big), 1 << 20).unwrap_err();
+            let err =
+                msg(prepare_request(&mut client, conflicting, Some(&big), 1 << 20).unwrap_err());
             assert!(err.contains("conflicts"), "{err}");
         }
         // And --data with a non-object request line is a hard error.
@@ -647,7 +807,7 @@ mod tests {
         let csv = "traj_id,x,y,t\n7,1.5,2.5,3\n".repeat(30);
         let handle = {
             let mut client = Client::connect(&addr).unwrap();
-            client.upload_dataset(&csv, 50).unwrap()
+            client.upload_dataset(&csv, 50).unwrap().dataset
         };
         let dir = std::env::temp_dir().join("trajdp-cli-fetch-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -656,13 +816,13 @@ mod tests {
             .unwrap();
         assert_eq!(std::fs::read_to_string(&out).unwrap(), csv);
         // Required flags are enforced.
-        assert!(run(&a(&["fetch", "--addr", &addr])).unwrap_err().contains("--dataset"));
+        assert!(msg(run(&a(&["fetch", "--addr", &addr])).unwrap_err()).contains("--dataset"));
         // The delete verb frees the handle; a second delete reports it
         // unknown, as does a fetch.
         run(&a(&["delete", "--addr", &addr, "--dataset", &handle])).unwrap();
-        let err = run(&a(&["delete", "--addr", &addr, "--dataset", &handle])).unwrap_err();
+        let err = msg(run(&a(&["delete", "--addr", &addr, "--dataset", &handle])).unwrap_err());
         assert!(err.contains("unknown dataset"), "{err}");
-        let err = run(&a(&[
+        let err = msg(run(&a(&[
             "fetch",
             "--addr",
             &addr,
@@ -671,19 +831,37 @@ mod tests {
             "--out",
             out.to_str().unwrap(),
         ]))
-        .unwrap_err();
+        .unwrap_err());
         assert!(err.contains("unknown dataset"), "{err}");
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
+    fn info_cli_reports_server_limits() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        // The typed client sees the same limits the verb prints.
+        let mut client = Client::connect(&addr).unwrap();
+        let info = client.info().unwrap();
+        assert_eq!(info.protocol_versions, vec![1, 2]);
+        assert_eq!(info.workers, 2, "default ServerConfig starts 2 workers");
+        assert_eq!(info.max_datasets, traj_freq_dp::server::store::MAX_STORED_DATASETS as u64);
+        assert!(info.max_download_chunk_bytes >= info.default_download_chunk_bytes);
+        drop(client);
+        run(&a(&["info", "--addr", &addr])).unwrap();
+        // Required flags are enforced.
+        assert!(run(&a(&["info"])).is_err());
+        server.shutdown();
+    }
+
+    #[test]
     fn serve_rejects_bad_lifecycle_knobs() {
-        let err = run(&a(&["serve", "--max-datasets", "0"])).unwrap_err();
+        let err = msg(run(&a(&["serve", "--max-datasets", "0"])).unwrap_err());
         assert!(err.contains("max-datasets"), "{err}");
-        let err = run(&a(&["serve", "--dataset-ttl", "0"])).unwrap_err();
+        let err = msg(run(&a(&["serve", "--dataset-ttl", "0"])).unwrap_err());
         assert!(err.contains("dataset-ttl"), "{err}");
-        let err = run(&a(&["serve", "--dataset-ttl", "soon"])).unwrap_err();
+        let err = msg(run(&a(&["serve", "--dataset-ttl", "soon"])).unwrap_err());
         assert!(err.contains("dataset-ttl"), "{err}");
     }
 
@@ -691,15 +869,17 @@ mod tests {
     fn submit_rejects_zero_chunk_threshold() {
         let err =
             run(&a(&["submit", "--addr", "127.0.0.1:1", "--chunk-threshold", "0"])).unwrap_err();
-        assert!(err.contains("chunk-threshold"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(msg(err).contains("chunk-threshold"));
     }
 
     #[test]
     fn anonymize_rejects_bad_model_and_epsilon() {
         let err =
-            run(&a(&["anonymize", "--model", "zzz", "--input", "x", "--out", "y"])).unwrap_err();
+            msg(run(&a(&["anonymize", "--model", "zzz", "--input", "x", "--out", "y"]))
+                .unwrap_err());
         assert!(err.contains("unknown model"));
-        let err = run(&a(&[
+        let err = msg(run(&a(&[
             "anonymize",
             "--model",
             "gl",
@@ -710,7 +890,7 @@ mod tests {
             "--out",
             "y",
         ]))
-        .unwrap_err();
+        .unwrap_err());
         assert!(err.contains("positive"));
     }
 }
