@@ -1,0 +1,129 @@
+//! Deterministic observability benchmark harness.
+//!
+//! Unlike the criterion benches (statistical, minutes-long), this bin
+//! runs a fixed iteration count over the pipeline and modification
+//! workloads with pinned seeds and writes a machine-readable summary —
+//! the `BENCH_*.json` artifact CI checks for well-formedness:
+//!
+//! ```text
+//! cargo run -p trajdp_bench --release --bin trajdp-bench -- --quick --out BENCH_6.json
+//! ```
+//!
+//! `--quick` shrinks the world and iteration counts so the run finishes
+//! in seconds (the CI mode); without it the sizes match the criterion
+//! `pipeline`/`modification` benches. Timings are wall-clock and
+//! machine-dependent; the *shape* of the file is the contract.
+
+use std::time::Instant;
+use trajdp_bench::standard_world;
+use trajdp_core::editor::{DatasetEditor, TrajectoryEditor};
+use trajdp_core::{anonymize, FreqDpConfig, IndexKind, Model};
+use trajdp_model::Point;
+use trajdp_server::json::Json;
+
+struct BenchResult {
+    name: &'static str,
+    iters: u64,
+    total_ms: f64,
+}
+
+/// Runs `f` once as warmup, then `iters` timed iterations.
+fn bench(name: &'static str, iters: u64, mut f: impl FnMut()) -> BenchResult {
+    eprintln!("bench {name}: {iters} iterations...");
+    f();
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    BenchResult { name, iters, total_ms }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: trajdp-bench [--quick] [--out FILE.json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let (size, len, m, iters) = if quick { (20, 60, 6, 3) } else { (60, 100, 10, 10) };
+    let world = standard_world(size, len, 41);
+    let cfg = FreqDpConfig { m, ..Default::default() };
+    let mut results = Vec::new();
+    for (name, model) in [
+        ("pipeline/PureG", Model::PureGlobal),
+        ("pipeline/PureL", Model::PureLocal),
+        ("pipeline/GL", Model::Combined),
+    ] {
+        results.push(bench(name, iters, || {
+            std::hint::black_box(anonymize(&world.dataset, model, &cfg).expect("valid config"));
+        }));
+    }
+
+    // Modification phase in isolation, mirroring benches/modification.rs.
+    let (msize, mlen) = if quick { (10, 80) } else { (20, 200) };
+    let world = standard_world(msize, mlen, 31);
+    let traj = world.dataset.trajectories[0].clone();
+    let domain = world.dataset.domain;
+    let target = traj.samples[traj.len() / 2].loc;
+    let off_target = Point::new(target.x + 210.0, target.y + 140.0);
+    results.push(bench("modification/intra-insert-5", iters, || {
+        let mut ed = TrajectoryEditor::new(traj.clone(), IndexKind::default(), domain);
+        std::hint::black_box(ed.insert_occurrences(off_target, 5));
+    }));
+    results.push(bench("modification/intra-delete-all", iters, || {
+        let mut ed = TrajectoryEditor::new(traj.clone(), IndexKind::default(), domain);
+        std::hint::black_box(ed.delete_occurrences(target.key(), usize::MAX));
+    }));
+    let trajs = world.dataset.trajectories.clone();
+    let q = world.node_point(world.hotspots[0]);
+    let off = Point::new(q.x + 150.0, q.y + 150.0);
+    results.push(bench("modification/inter-increase-tf-10", iters, || {
+        let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain);
+        std::hint::black_box(ed.increase_tf(off, 10));
+    }));
+    results.push(bench("modification/inter-decrease-tf-10", iters, || {
+        let mut ed = DatasetEditor::new(trajs.clone(), IndexKind::default(), domain);
+        std::hint::black_box(ed.decrease_tf(q.key(), 10));
+    }));
+
+    let report = Json::obj([
+        ("schema", "trajdp-bench/v1".into()),
+        ("pr", 6u64.into()),
+        ("quick", quick.into()),
+        (
+            "benches",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", r.name.into()),
+                            ("iters", r.iters.into()),
+                            ("total_ms", r.total_ms.into()),
+                            ("mean_ms", (r.total_ms / r.iters as f64).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{report}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}: {} benches", results.len());
+}

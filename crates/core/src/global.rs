@@ -17,6 +17,22 @@ use trajdp_index::SearchStats;
 use trajdp_mech::{round_to_range, LaplaceMechanism, MechError};
 use trajdp_model::{Dataset, PointKey};
 
+/// Wall-clock breakdown of one [`realize_tf`] run. Pure observability:
+/// the timings never feed back into the computation, so determinism and
+/// worker-count invariance of the edits are untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Editor construction plus edit-step planning.
+    pub build: std::time::Duration,
+    /// Time spent applying TF increases.
+    pub increase: std::time::Duration,
+    /// Time spent applying TF decreases.
+    pub decrease: std::time::Duration,
+    /// End-to-end modification wall (covers build + increase + decrease
+    /// plus report assembly).
+    pub realize: std::time::Duration,
+}
+
 /// Outcome of one global-mechanism run.
 #[derive(Debug, Clone)]
 pub struct GlobalReport {
@@ -33,6 +49,9 @@ pub struct GlobalReport {
     /// prune differently than the serial heap, so the counters reflect
     /// the work actually done, not a canonical amount.
     pub search_stats: SearchStats,
+    /// Wall-clock per modification stage (also not invariant — it
+    /// measures this run's real elapsed time).
+    pub timings: StageTimings,
 }
 
 /// Draws the perturbed TF distribution `L*` (Algorithm 1, lines 1–6)
@@ -124,6 +143,7 @@ pub fn realize_tf(
     workers: usize,
 ) -> (Dataset, GlobalReport) {
     let workers = workers.max(1);
+    let realize_started = std::time::Instant::now();
     let mut editor = DatasetEditor::new(ds.trajectories.clone(), kind, ds.domain);
     editor.use_bbox_pruning = bbox_pruning;
     editor.workers = workers;
@@ -147,14 +167,19 @@ pub fn realize_tf(
             std::cmp::Ordering::Equal => {}
         }
     }
+    let build = realize_started.elapsed();
+    let mut increase_time = std::time::Duration::ZERO;
+    let mut decrease_time = std::time::Duration::ZERO;
     let mut i = 0;
     while i < steps.len() {
+        let step_started = std::time::Instant::now();
         match steps[i] {
             EditStep::Increase(p, delta) => {
                 // An insertion search may read any trajectory, so
                 // increases never batch with neighbouring edits.
                 editor.increase_tf(p.to_point(), delta);
                 i += 1;
+                increase_time += step_started.elapsed();
             }
             EditStep::Decrease(..) => {
                 // Batch the maximal run of decreases with pairwise
@@ -197,6 +222,7 @@ pub fn realize_tf(
                         editor.apply_decrease(*p, v);
                     }
                 }
+                decrease_time += step_started.elapsed();
             }
         }
     }
@@ -206,6 +232,12 @@ pub fn realize_tf(
         insertions: editor.insertions,
         deletions: editor.deletions,
         search_stats: editor.stats,
+        timings: StageTimings {
+            build,
+            increase: increase_time,
+            decrease: decrease_time,
+            realize: realize_started.elapsed(),
+        },
     };
     let out = Dataset::new(ds.domain, editor.into_trajectories());
     (out, report)

@@ -285,6 +285,18 @@ pub enum Response {
         workers: usize,
         /// Configured dataset-store capacity (`--max-datasets`).
         max_datasets: usize,
+        /// Seconds since the server started — lets clients correlate
+        /// metrics snapshots across restarts.
+        uptime_secs: u64,
+        /// Server start time, seconds since the Unix epoch.
+        started_at: u64,
+        /// Whether the server persists state (`--state-dir` given).
+        state_dir: bool,
+    },
+    /// `metrics` — a frozen snapshot of the observability registry.
+    Metrics {
+        /// The snapshot; its typed JSON shape is merged into the body.
+        snapshot: crate::obs::MetricsSnapshot,
     },
     /// `gen` — a synthetic dataset, inline or stored.
     Gen {
@@ -309,6 +321,9 @@ pub enum Response {
         utility_loss: f64,
         /// Worker threads the run used.
         workers: usize,
+        /// Per-phase wall-clock of the run. Emitted in v2 only — the
+        /// v1 anonymize success shape is frozen.
+        timings: Option<crate::obs::PhaseTimings>,
     },
     /// Async `anonymize` — the job was accepted.
     Submitted {
@@ -354,6 +369,14 @@ pub enum Response {
         /// merged into the status response (the historical shape); in
         /// v2 it nests under `"result"`.
         result: Option<Arc<Json>>,
+        /// Submit → done wall-clock of a finished job, seconds.
+        /// Emitted in v2 only (the v1 done-status shape is frozen);
+        /// `None` while unfinished or when the job predates this
+        /// server process (journal-replayed jobs carry no clock).
+        duration_secs: Option<f64>,
+        /// Per-phase wall-clock of a finished anonymize job. Same
+        /// v2-only and in-memory-only caveats as `duration_secs`.
+        timings: Option<crate::obs::PhaseTimings>,
     },
     /// `upload` — a fresh pending handle.
     Upload {
@@ -452,7 +475,7 @@ impl Response {
                 obj.insert("outstanding_jobs".to_string(), Json::from(outstanding_jobs));
                 obj.insert("stored_datasets".to_string(), Json::from(stored_datasets));
             }
-            Response::Info { workers, max_datasets } => {
+            Response::Info { workers, max_datasets, uptime_secs, started_at, state_dir } => {
                 obj.insert("server".to_string(), Json::from("trajdp-server"));
                 obj.insert("version".to_string(), Json::from(env!("CARGO_PKG_VERSION")));
                 obj.insert(
@@ -483,6 +506,17 @@ impl Response {
                 );
                 obj.insert("max_m".to_string(), Json::from(crate::protocol::MAX_M));
                 obj.insert("max_workers".to_string(), Json::from(crate::protocol::MAX_WORKERS));
+                // New observability members; `info` was never captured
+                // in the frozen v1 transcript, so both versions carry
+                // them.
+                obj.insert("uptime_secs".to_string(), Json::from(uptime_secs));
+                obj.insert("started_at".to_string(), Json::from(started_at));
+                obj.insert("state_dir".to_string(), Json::Bool(state_dir));
+            }
+            Response::Metrics { snapshot } => {
+                if let Json::Obj(m) = snapshot.to_json() {
+                    obj = m;
+                }
             }
             Response::Gen { data, trajectories, points, distinct_locations } => {
                 data.fill(&mut obj);
@@ -490,12 +524,18 @@ impl Response {
                 obj.insert("points".to_string(), Json::from(points));
                 obj.insert("distinct_locations".to_string(), Json::from(distinct_locations));
             }
-            Response::Anonymize { data, epsilon_spent, edits, utility_loss, workers } => {
+            Response::Anonymize { data, epsilon_spent, edits, utility_loss, workers, timings } => {
                 data.fill(&mut obj);
                 obj.insert("epsilon_spent".to_string(), Json::from(epsilon_spent));
                 obj.insert("edits".to_string(), Json::from(edits));
                 obj.insert("utility_loss".to_string(), Json::from(utility_loss));
                 obj.insert("workers".to_string(), Json::from(workers));
+                // v2 only: the v1 anonymize success body is frozen.
+                if version == ProtocolVersion::V2 {
+                    if let Some(t) = timings {
+                        obj.insert("timings".to_string(), t.to_json());
+                    }
+                }
             }
             Response::Submitted { job } => {
                 obj.insert("job".to_string(), Json::Str(job));
@@ -523,7 +563,7 @@ impl Response {
                 obj.insert("avg_point_spacing".to_string(), Json::from(avg_point_spacing));
                 obj.insert("avg_sampling_period".to_string(), Json::from(avg_sampling_period));
             }
-            Response::JobStatus { job, state, result } => {
+            Response::JobStatus { job, state, result, duration_secs, timings } => {
                 match (result, version) {
                     (Some(result), ProtocolVersion::V1) => {
                         // The frozen v1 shape: the recorded result
@@ -548,6 +588,15 @@ impl Response {
                 }
                 obj.insert("job".to_string(), Json::Str(job));
                 obj.insert("state".to_string(), Json::from(state));
+                // v2 only: the v1 done-status shape is frozen.
+                if version == ProtocolVersion::V2 {
+                    if let Some(d) = duration_secs {
+                        obj.insert("duration_secs".to_string(), Json::from(d));
+                    }
+                    if let Some(t) = timings {
+                        obj.insert("timings".to_string(), t.to_json());
+                    }
+                }
             }
             Response::Upload { dataset } => {
                 obj.insert("dataset".to_string(), Json::Str(dataset));
@@ -723,6 +772,8 @@ mod tests {
             job: "job-3".to_string(),
             state: "done",
             result: Some(Arc::clone(&failed)),
+            duration_secs: Some(1.25),
+            timings: None,
         };
         // v1: merged flat, the result's ok:false preserved.
         assert_eq!(
@@ -730,12 +781,36 @@ mod tests {
             r#"{"error":"job panicked: boom","job":"job-3","ok":false,"state":"done"}"#
         );
         // v2: nested verbatim; the envelope's ok:true says the *status
-        // query* succeeded, the nested result says the job failed.
+        // query* succeeded, the nested result says the job failed. The
+        // wall-clock duration appears here and only here — v1 stays
+        // byte-frozen above.
         let envelope = Envelope { version: ProtocolVersion::V2, id: None };
         assert_eq!(
             render(&envelope, Ok(status)).to_string(),
-            r#"{"job":"job-3","ok":true,"result":{"error":"job panicked: boom","ok":false},"state":"done"}"#
+            r#"{"duration_secs":1.25,"job":"job-3","ok":true,"result":{"error":"job panicked: boom","ok":false},"state":"done"}"#
         );
+    }
+
+    #[test]
+    fn phase_timings_are_v2_only_on_anonymize() {
+        let resp = || Response::Anonymize {
+            data: Payload::Inline("csv".to_string()),
+            epsilon_spent: 1.0,
+            edits: 2,
+            utility_loss: 0.5,
+            workers: 1,
+            timings: Some(crate::obs::PhaseTimings { total_secs: 0.25, ..Default::default() }),
+        };
+        // v1: byte-frozen shape, no timings member.
+        assert_eq!(
+            render_v1(Ok(resp())).to_string(),
+            r#"{"csv":"csv","edits":2,"epsilon_spent":1,"ok":true,"utility_loss":0.5,"workers":1}"#
+        );
+        // v2: timings present.
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        let rendered = render(&envelope, Ok(resp()));
+        let t = rendered.get("timings").expect("v2 anonymize must carry timings");
+        assert_eq!(t.get("total_secs").and_then(Json::as_f64), Some(0.25));
     }
 
     #[test]
@@ -744,6 +819,8 @@ mod tests {
             job: "job-1".to_string(),
             state: "done",
             result: Some(Arc::new(Json::from("raw"))),
+            duration_secs: None,
+            timings: None,
         };
         assert_eq!(
             render_v1(Ok(status)).to_string(),

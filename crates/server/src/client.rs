@@ -22,6 +22,7 @@
 
 use crate::api::{ApiError, ErrorCode};
 use crate::json::{self, Json};
+use crate::obs::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -70,6 +71,12 @@ pub struct ServerInfo {
     pub max_m: u64,
     /// Cap on per-request worker threads.
     pub max_workers: u64,
+    /// Seconds since this server instance started.
+    pub uptime_secs: u64,
+    /// Unix epoch seconds at server start.
+    pub started_at: u64,
+    /// Whether the server runs with a durable `--state-dir`.
+    pub state_dir: bool,
 }
 
 /// A successfully enqueued async `anonymize`.
@@ -101,6 +108,13 @@ pub struct JobStatus {
     /// whose own `ok` member says whether the *job* succeeded.
     /// `None` until [`JobPhase::Done`].
     pub result: Option<Json>,
+    /// Wall-clock from submit to done, seconds. `None` until done —
+    /// and legitimately `None` on a done job replayed from the journal
+    /// (timings are in-memory observability, never journaled).
+    pub duration_secs: Option<f64>,
+    /// Per-phase wall-clock of a done `anonymize` job (the rendered
+    /// [`crate::obs::PhaseTimings`] object), when the server has it.
+    pub timings: Option<Json>,
 }
 
 /// A dataset handle acknowledgement (`commit` / `delete`).
@@ -130,6 +144,13 @@ fn want_u64(v: &Json, what: &str, key: &str) -> Result<u64, ApiError> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| malformed(what, format_args!("missing integer member {key:?}")))
+}
+
+/// A required boolean member of a response body.
+fn want_bool(v: &Json, what: &str, key: &str) -> Result<bool, ApiError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| malformed(what, format_args!("missing boolean member {key:?}")))
 }
 
 impl Health {
@@ -169,6 +190,9 @@ impl ServerInfo {
             max_gen_points: want_u64(v, "info", "max_gen_points")?,
             max_m: want_u64(v, "info", "max_m")?,
             max_workers: want_u64(v, "info", "max_workers")?,
+            uptime_secs: want_u64(v, "info", "uptime_secs")?,
+            started_at: want_u64(v, "info", "started_at")?,
+            state_dir: want_bool(v, "info", "state_dir")?,
         })
     }
 }
@@ -195,7 +219,13 @@ impl JobStatus {
         if phase == JobPhase::Done && result.is_none() {
             return Err(malformed("status", "done without a result member"));
         }
-        Ok(JobStatus { job, phase, result })
+        Ok(JobStatus {
+            job,
+            phase,
+            result,
+            duration_secs: v.get("duration_secs").and_then(Json::as_f64),
+            timings: v.get("timings").cloned(),
+        })
     }
 }
 
@@ -296,6 +326,12 @@ impl Client {
     pub fn info(&mut self) -> Result<ServerInfo, ApiError> {
         let v = self.call(Self::members("info", []))?;
         ServerInfo::from_response(&v)
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ApiError> {
+        let v = self.call(Self::members("metrics", []))?;
+        MetricsSnapshot::from_json(&v).map_err(|e| malformed("metrics", e))
     }
 
     /// Enqueues an asynchronous `anonymize`. `params` holds the verb's
@@ -460,10 +496,22 @@ mod tests {
             Health { outstanding_jobs: 3, stored_datasets: 7 }
         );
 
-        let info = render(&v2("b"), Ok(Response::Info { workers: 4, max_datasets: 64 }));
+        let info = render(
+            &v2("b"),
+            Ok(Response::Info {
+                workers: 4,
+                max_datasets: 64,
+                uptime_secs: 12,
+                started_at: 1_700_000_000,
+                state_dir: true,
+            }),
+        );
         let parsed = ServerInfo::from_response(&info).unwrap();
         assert_eq!(parsed.workers, 4);
         assert_eq!(parsed.max_datasets, 64);
+        assert_eq!(parsed.uptime_secs, 12);
+        assert_eq!(parsed.started_at, 1_700_000_000);
+        assert!(parsed.state_dir);
         assert_eq!(parsed.protocol_versions, vec![1, 2]);
         assert_eq!(parsed.max_dataset_bytes, crate::store::MAX_DATASET_BYTES as u64);
         assert_eq!(parsed.max_request_bytes, crate::service::MAX_REQUEST_BYTES as u64);
@@ -485,11 +533,23 @@ mod tests {
 
         let queued = render(
             &v2("d"),
-            Ok(Response::JobStatus { job: "job-9".to_string(), state: "queued", result: None }),
+            Ok(Response::JobStatus {
+                job: "job-9".to_string(),
+                state: "queued",
+                result: None,
+                duration_secs: None,
+                timings: None,
+            }),
         );
         assert_eq!(
             JobStatus::from_response(&queued).unwrap(),
-            JobStatus { job: "job-9".to_string(), phase: JobPhase::Queued, result: None }
+            JobStatus {
+                job: "job-9".to_string(),
+                phase: JobPhase::Queued,
+                result: None,
+                duration_secs: None,
+                timings: None,
+            }
         );
         let body = Json::obj([("ok", Json::Bool(true)), ("csv", Json::from("x\n"))]);
         let done = render(
@@ -498,11 +558,14 @@ mod tests {
                 job: "job-9".to_string(),
                 state: "done",
                 result: Some(Arc::new(body.clone())),
+                duration_secs: Some(0.5),
+                timings: None,
             }),
         );
         let parsed = JobStatus::from_response(&done).unwrap();
         assert_eq!(parsed.phase, JobPhase::Done);
         assert_eq!(parsed.result, Some(body));
+        assert_eq!(parsed.duration_secs, Some(0.5));
 
         let commit =
             render(&v2("f"), Ok(Response::Commit { dataset: "ds-2".to_string(), bytes: 26 }));

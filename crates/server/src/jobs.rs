@@ -57,12 +57,14 @@
 
 use crate::api::{render_v1, ApiError, Response};
 use crate::json::Json;
+use crate::obs::{log_enabled, log_event, LogLevel, Metrics, PhaseTimings};
 use crate::protocol::{run_anonymize, spec_from_json, spec_to_json, AnonymizeSpec};
 use crate::store::DatasetStore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Lifecycle of one queued job.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,11 +104,31 @@ pub const MAX_FINISHED_RETAINED: usize = 256;
 /// lines.
 pub const COMPACT_FINISHED_EVENTS: usize = 256;
 
+/// In-memory observability record of one job: submission/pickup clocks,
+/// the finished wall-clock, per-phase timings, and the correlation id of
+/// the submitting request. Never journaled — a replayed job legitimately
+/// has no clock, and `status` simply omits the members.
+#[derive(Debug, Clone, Default)]
+struct JobMeta {
+    submitted_at: Option<Instant>,
+    started_at: Option<Instant>,
+    /// Submit → done wall-clock, seconds, once finished.
+    duration_secs: Option<f64>,
+    /// Per-phase wall-clock of a finished anonymize run.
+    timings: Option<PhaseTimings>,
+    /// The v2 envelope id of the submitting request, carried through
+    /// the queue so worker log lines correlate with the submit.
+    cid: Option<String>,
+}
+
 #[derive(Default)]
 struct QueueInner {
     /// Ids waiting for a worker, in submit order.
     pending: VecDeque<String>,
     states: HashMap<String, JobState>,
+    /// Observability metadata per known job; evicted with the job
+    /// record so it cannot outgrow the retention cap.
+    meta: HashMap<String, JobMeta>,
     /// Specs of every unfinished (queued or running) job — workers take
     /// from here, and journal compaction re-records them.
     live_specs: HashMap<String, AnonymizeSpec>,
@@ -135,6 +157,7 @@ impl QueueInner {
         let mut dropped_handles = Vec::new();
         while self.finished_order.len() > MAX_FINISHED_RETAINED {
             if let Some(evicted) = self.finished_order.pop_front() {
+                self.meta.remove(&evicted);
                 if let Some(JobState::Done(result)) = self.states.remove(&evicted) {
                     if let Some(handle) = result.get("dataset").and_then(Json::as_str) {
                         dropped_handles.push(handle.to_string());
@@ -283,6 +306,11 @@ pub struct JobQueue {
     /// Lock order is always journal → queue, never the reverse.
     journal: Arc<Mutex<Option<JournalWriter>>>,
     store: DatasetStore,
+    /// Observability registry. All-atomic: the queue publishes counters
+    /// and histogram samples into it from inside its own critical
+    /// sections, and readers (the `metrics` verb) never touch the
+    /// queue or journal locks.
+    metrics: Arc<Metrics>,
 }
 
 impl JobQueue {
@@ -294,7 +322,14 @@ impl JobQueue {
     /// An empty, memory-only queue sharing `store` (so `"store": true`
     /// job results land where `download` can find them).
     pub fn with_store(store: DatasetStore) -> Self {
-        Self { inner: Arc::default(), journal: Arc::default(), store }
+        Self { inner: Arc::default(), journal: Arc::default(), store, metrics: Arc::default() }
+    }
+
+    /// The same queue publishing into `metrics` instead of its private
+    /// registry — the server wires all layers to one shared registry.
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// A queue journaled at `path`: replays the existing journal (if
@@ -374,6 +409,7 @@ impl JobQueue {
             inner: Arc::new((Mutex::new(inner), Condvar::new())),
             journal: Arc::new(Mutex::new(Some(writer))),
             store,
+            metrics: Arc::default(),
         })
     }
 
@@ -384,7 +420,18 @@ impl JobQueue {
     /// — including its fsync — runs outside the queue mutex, so
     /// concurrent `status`/`list` reads never stall behind a large
     /// submit; the id is acknowledged only after the event is durable.
-    pub fn submit(&self, mut spec: AnonymizeSpec) -> Result<String, ApiError> {
+    pub fn submit(&self, spec: AnonymizeSpec) -> Result<String, ApiError> {
+        self.submit_with_cid(spec, None)
+    }
+
+    /// [`Self::submit`] carrying the submitting request's correlation
+    /// id, so worker-side log lines correlate with the v2 envelope of
+    /// the request that queued the job.
+    pub fn submit_with_cid(
+        &self,
+        mut spec: AnonymizeSpec,
+        cid: Option<String>,
+    ) -> Result<String, ApiError> {
         let mut journal = self.journal.lock().expect("journal poisoned");
         let (lock, cvar) = &*self.inner;
         let id = {
@@ -412,8 +459,13 @@ impl JobQueue {
                 ("job", Json::from(id.clone())),
                 ("spec", spec_to_json(&spec)),
             ]);
+            let append_started = Instant::now();
             match writer.append(&event) {
-                Ok(before) => appended_at = Some(before),
+                Ok(before) => {
+                    self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.journal_fsync.observe(append_started.elapsed());
+                    appended_at = Some(before);
+                }
                 Err(e) => {
                     if let Some(handle) = &spec.source {
                         self.store.unpin(handle);
@@ -442,7 +494,21 @@ impl JobQueue {
         q.pending.push_back(id.clone());
         q.states.insert(id.clone(), JobState::Queued);
         q.live_specs.insert(id.clone(), spec);
+        q.meta.insert(
+            id.clone(),
+            JobMeta { submitted_at: Some(Instant::now()), cid: cid.clone(), ..JobMeta::default() },
+        );
+        self.metrics.jobs_submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.set_queue_depth(q.live_specs.len() as u64);
+        drop(q);
         cvar.notify_one();
+        if log_enabled(LogLevel::Info) {
+            let mut fields = vec![("job", Json::from(id.as_str()))];
+            if let Some(cid) = &cid {
+                fields.push(("cid", Json::from(cid.as_str())));
+            }
+            log_event(LogLevel::Info, "job submitted", &fields);
+        }
         Ok(id)
     }
 
@@ -471,14 +537,23 @@ impl JobQueue {
     }
 
     /// Blocks until a job is available, returning `None` on shutdown.
-    fn take(&self) -> Option<(String, AnonymizeSpec)> {
+    /// The third element is the submitting request's correlation id,
+    /// for the worker's log lines.
+    fn take(&self) -> Option<(String, AnonymizeSpec, Option<String>)> {
         let (lock, cvar) = &*self.inner;
         let mut q = lock.lock().expect("queue poisoned");
         loop {
             if let Some(id) = q.pending.pop_front() {
                 q.states.insert(id.clone(), JobState::Running);
                 let spec = q.live_specs.get(&id).expect("pending implies live spec").clone();
-                return Some((id, spec));
+                let now = Instant::now();
+                let meta = q.meta.entry(id.clone()).or_default();
+                meta.started_at = Some(now);
+                let cid = meta.cid.clone();
+                if let Some(submitted) = meta.submitted_at {
+                    self.metrics.queue_wait.observe(now.duration_since(submitted));
+                }
+                return Some((id, spec, cid));
             }
             if q.shutdown {
                 return None;
@@ -487,7 +562,17 @@ impl JobQueue {
         }
     }
 
+    /// Test shorthand for [`Self::finish_with_timings`] without timings
+    /// (production code always finishes via the worker, which has them).
+    #[cfg(test)]
     fn finish(&self, id: &str, result: Json) {
+        self.finish_with_timings(id, result, None);
+    }
+
+    /// [`Self::finish`] carrying the run's per-phase timings, recorded
+    /// in the in-memory job metadata (never the journal) so `status`
+    /// on the done job can report them.
+    fn finish_with_timings(&self, id: &str, result: Json, timings: Option<PhaseTimings>) {
         let mut journal = self.journal.lock().expect("journal poisoned");
         if let Some(writer) = journal.as_mut() {
             let event = Json::obj([
@@ -500,7 +585,11 @@ impl JobQueue {
             // from its journaled submit to the same bytes. The result
             // handle a `store:true` re-run strands is cleaned up by the
             // startup orphan reconciliation.
-            let _ = writer.append(&event);
+            let append_started = Instant::now();
+            if writer.append(&event).is_ok() {
+                self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.journal_fsync.observe(append_started.elapsed());
+            }
             writer.finished_appends += 1;
         }
         let (source, dropped, snapshot) = {
@@ -508,6 +597,17 @@ impl JobQueue {
             let mut q = lock.lock().expect("queue poisoned");
             let source = q.live_specs.remove(id).and_then(|spec| spec.source);
             let dropped = q.record_done(id, Arc::new(result));
+            let now = Instant::now();
+            let meta = q.meta.entry(id.to_string()).or_default();
+            meta.timings = timings;
+            if let Some(submitted) = meta.submitted_at {
+                meta.duration_secs = Some(now.duration_since(submitted).as_secs_f64());
+            }
+            if let Some(started) = meta.started_at {
+                self.metrics.run_time.observe(now.duration_since(started));
+            }
+            self.metrics.jobs_completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.set_queue_depth(q.live_specs.len() as u64);
             let snapshot = match journal.as_ref() {
                 Some(w) if w.finished_appends >= COMPACT_FINISHED_EVENTS => Some(q.snapshot()),
                 _ => None,
@@ -540,7 +640,9 @@ impl JobQueue {
             // Compaction failure is not fatal either: the append-only
             // journal is still complete, just longer than it needs to
             // be; the next threshold crossing (or startup) retries.
-            let _ = writer.rewrite(&snapshot);
+            if writer.rewrite(&snapshot).is_ok() {
+                self.metrics.journal_compactions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         }
     }
 
@@ -559,7 +661,17 @@ impl JobQueue {
     /// in the version-less v1 shape — the journal format predates the
     /// envelope and stays stable across protocol versions.
     pub fn work(&self) {
-        while let Some((id, spec)) = self.take() {
+        while let Some((id, spec, cid)) = self.take() {
+            let log_fields = |id: &str, cid: &Option<String>| {
+                let mut fields = vec![("job", Json::from(id))];
+                if let Some(cid) = cid {
+                    fields.push(("cid", Json::from(cid.as_str())));
+                }
+                fields
+            };
+            if log_enabled(LogLevel::Debug) {
+                log_event(LogLevel::Debug, "job started", &log_fields(&id, &cid));
+            }
             let result =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_anonymize(&spec)))
                     .unwrap_or_else(|panic| {
@@ -576,7 +688,30 @@ impl JobQueue {
                 }
                 other => other,
             };
-            self.finish(&id, render_v1(result));
+            // Pull the executor's phase timings off the response before
+            // it is rendered to the version-less journal shape (which
+            // deliberately omits them).
+            let timings = match &result {
+                Ok(Response::Anonymize { timings, .. }) => *timings,
+                _ => None,
+            };
+            if log_enabled(LogLevel::Info) {
+                let mut fields = log_fields(&id, &cid);
+                match (&result, timings) {
+                    (Ok(_), Some(t)) => {
+                        fields.push(("ok", Json::Bool(true)));
+                        fields.push(("total_secs", Json::from(t.total_secs)));
+                        fields.push(("realize_secs", Json::from(t.realize_secs)));
+                    }
+                    (Ok(_), None) => fields.push(("ok", Json::Bool(true))),
+                    (Err(e), _) => {
+                        fields.push(("ok", Json::Bool(false)));
+                        fields.push(("code", Json::from(e.code.as_str())));
+                    }
+                }
+                log_event(LogLevel::Info, "job finished", &fields);
+            }
+            self.finish_with_timings(&id, render_v1(result), timings);
         }
     }
 
@@ -584,14 +719,27 @@ impl JobQueue {
     /// recorded result (a v1-shaped response body) — the renderer
     /// merges it flat in v1 and nests it under `"result"` in v2.
     pub fn status_response(&self, id: &str) -> Result<Response, ApiError> {
-        match self.state(id) {
+        let (lock, _) = &*self.inner;
+        let (state, meta) = {
+            let q = lock.lock().expect("queue poisoned");
+            (q.states.get(id).cloned(), q.meta.get(id).cloned())
+        };
+        match state {
             None => Err(ApiError::job_not_found(format!("unknown job {id:?}"))),
-            Some(JobState::Done(result)) => {
-                Ok(Response::JobStatus { job: id.to_string(), state: "done", result: Some(result) })
-            }
-            Some(state) => {
-                Ok(Response::JobStatus { job: id.to_string(), state: state.name(), result: None })
-            }
+            Some(JobState::Done(result)) => Ok(Response::JobStatus {
+                job: id.to_string(),
+                state: "done",
+                result: Some(result),
+                duration_secs: meta.as_ref().and_then(|m| m.duration_secs),
+                timings: meta.and_then(|m| m.timings),
+            }),
+            Some(state) => Ok(Response::JobStatus {
+                job: id.to_string(),
+                state: state.name(),
+                result: None,
+                duration_secs: None,
+                timings: None,
+            }),
         }
     }
 }
@@ -1250,6 +1398,103 @@ mod tests {
         submitter.join().unwrap().unwrap();
         assert_eq!(q.outstanding(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The ISSUE-6 lock contract: the metrics registry must add no lock
+    /// shared with request handling. With BOTH the journal lock and the
+    /// queue mutex held (a worst-case in-flight submit), snapshotting
+    /// and recording must still complete — they are atomics-only.
+    #[test]
+    fn metrics_answer_while_journal_and_queue_locks_are_held() {
+        let dir = std::env::temp_dir().join("trajdp-metrics-nostall-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let q = JobQueue::with_journal(DatasetStore::new(), &dir.join("jobs.jsonl"))
+            .unwrap()
+            .with_metrics(Arc::clone(&metrics));
+        q.submit(spec()).unwrap();
+
+        // Hold both locks in journal → queue order, exactly what a
+        // submit does around its fsync.
+        let journal_guard = q.journal.lock().unwrap();
+        let (lock, _) = &*q.inner;
+        let queue_guard = lock.lock().unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = {
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                metrics.record_request("status", std::time::Duration::from_micros(10));
+                metrics.record_error(crate::api::ErrorCode::JobNotFound);
+                tx.send(metrics.snapshot()).unwrap();
+            })
+        };
+        let snap = rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("metrics stalled behind the queue/journal locks");
+        assert_eq!(snap.jobs_submitted, 1);
+        assert_eq!(snap.queue_depth, 1);
+        assert!(snap.journal_appends >= 1, "the submit append must have been counted");
+        assert_eq!(snap.journal_fsync.count, snap.journal_appends);
+        reader.join().unwrap();
+        drop(queue_guard);
+        drop(journal_guard);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_publishes_job_counters_and_latencies() {
+        let metrics = Arc::new(Metrics::new());
+        let q = JobQueue::new().with_metrics(Arc::clone(&metrics));
+        let id = q.submit_with_cid(spec(), Some("req-77".to_string())).unwrap();
+        assert_eq!(metrics.snapshot().queue_depth, 1);
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.work())
+        };
+        wait_done(&q, &id);
+        q.shutdown();
+        worker.join().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs_submitted, 1);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.queue_depth, 0, "the finish must drain the depth gauge");
+        assert_eq!(snap.queue_wait.count, 1);
+        assert_eq!(snap.run_time.count, 1);
+    }
+
+    #[test]
+    fn done_status_reports_duration_and_phase_timings() {
+        let q = JobQueue::new();
+        let mut the_spec = spec();
+        the_spec.model = Model::PureGlobal; // exercises realize_tf → stage timings
+        let id = q.submit(the_spec).unwrap();
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.work())
+        };
+        wait_done(&q, &id);
+        q.shutdown();
+        worker.join().unwrap();
+        match q.status_response(&id).unwrap() {
+            Response::JobStatus { state: "done", duration_secs, timings, .. } => {
+                let d = duration_secs.expect("a finished job must report its wall-clock");
+                assert!((0.0..3600.0).contains(&d), "implausible duration {d}");
+                let t = timings.expect("an anonymize job must report phase timings");
+                assert!(t.total_secs > 0.0);
+                assert!(t.realize_secs >= t.build_secs, "realize covers build");
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+        // The v2 rendering carries both members; v1 stays frozen.
+        let v2 = crate::api::Envelope { version: crate::api::ProtocolVersion::V2, id: None };
+        let rendered = crate::api::render(&v2, q.status_response(&id));
+        assert!(rendered.get("duration_secs").is_some());
+        assert!(rendered.get("timings").is_some());
+        let v1 = render_v1(q.status_response(&id));
+        assert!(v1.get("duration_secs").is_none(), "v1 done-status shape is frozen");
+        assert!(v1.get("timings").is_none(), "v1 done-status shape is frozen");
     }
 
     #[test]

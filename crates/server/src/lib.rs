@@ -14,6 +14,7 @@
 //! | [`jobs`] | job queue with ids, per-job status, and a durable, compacting JSON-lines journal |
 //! | [`service`] | `TcpListener` accept loop, bounded connection pool, graceful shutdown |
 //! | [`client`] | blocking JSON-lines client for tests and `trajdp submit` |
+//! | [`obs`] | observability: atomics-only metrics registry (the `metrics` verb), leveled JSON-lines logging, per-job phase timings |
 //!
 //! ## Determinism
 //!
@@ -28,6 +29,7 @@ pub mod client;
 pub mod executor;
 pub mod jobs;
 pub mod json;
+pub mod obs;
 pub mod protocol;
 pub mod service;
 pub mod store;
@@ -36,5 +38,6 @@ pub use api::{ApiError, Envelope, ErrorCode, ProtocolVersion, Response};
 pub use client::Client;
 pub use executor::anonymize_parallel;
 pub use json::Json;
+pub use obs::{init_logger, LogLevel, Metrics, MetricsSnapshot, PhaseTimings};
 pub use service::{Server, ServerConfig};
 pub use store::{DatasetStore, StoreConfig};

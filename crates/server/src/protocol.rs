@@ -9,7 +9,8 @@
 //! | cmd         | members                                                           |
 //! |-------------|-------------------------------------------------------------------|
 //! | `health`    | —                                                                 |
-//! | `info`      | — (server version, protocol versions, limits)                     |
+//! | `info`      | — (server version, protocol versions, limits, uptime)             |
+//! | `metrics`   | — (observability snapshot: counters, gauges, histograms)          |
 //! | `gen`       | `size?`, `len?`, `seed?`, `store?`                                |
 //! | `anonymize` | `model`, `csv` \| `dataset`, `epsilon?`, `eps_split?`, `m?`, `seed?`, `workers?`, `async?`, `store?` |
 //! | `evaluate`  | `original` \| `original_dataset`, `anonymized` \| `anonymized_dataset` |
@@ -203,6 +204,9 @@ pub enum Request {
     Health,
     /// Server identity, supported protocol versions, and limits.
     Info,
+    /// Snapshot of the observability registry (counters, gauges,
+    /// latency histograms).
+    Metrics,
     /// Generate a synthetic dataset.
     Gen {
         /// Number of trajectories.
@@ -440,6 +444,10 @@ fn parse_verb(v: &Json) -> Result<Request, ApiError> {
         "info" => {
             check_members(v, cmd, &[])?;
             Ok(Request::Info)
+        }
+        "metrics" => {
+            check_members(v, cmd, &[])?;
+            Ok(Request::Metrics)
         }
         "gen" => {
             check_members(v, cmd, &["size", "len", "seed", "store"])?;
@@ -721,17 +729,29 @@ pub fn run_gen(size: usize, len: usize, seed: u64) -> Response {
 
 /// Executes an `anonymize` request through the sharded executor.
 pub fn run_anonymize(spec: &AnonymizeSpec) -> Result<Response, ApiError> {
+    let started = std::time::Instant::now();
     let ds = from_csv(&spec.csv)
         .map_err(|e| ApiError::invalid_dataset(format!("cannot parse csv: {e}")))?;
     let cfg = spec.config();
     let result = crate::executor::anonymize_parallel(&ds, spec.model, &cfg, spec.workers)
         .map_err(|e| ApiError::internal(e.to_string()))?;
+    let stage = result.global.as_ref().map(|g| g.timings).unwrap_or_default();
+    let timings = crate::obs::PhaseTimings {
+        total_secs: started.elapsed().as_secs_f64(),
+        global_secs: result.global_time.as_secs_f64(),
+        local_secs: result.local_time.as_secs_f64(),
+        build_secs: stage.build.as_secs_f64(),
+        increase_secs: stage.increase.as_secs_f64(),
+        decrease_secs: stage.decrease.as_secs_f64(),
+        realize_secs: stage.realize.as_secs_f64(),
+    };
     Ok(Response::Anonymize {
         data: Payload::Inline(to_csv(&result.dataset)),
         epsilon_spent: result.epsilon_spent,
         edits: result.total_edits() as u64,
         utility_loss: result.utility_loss(),
         workers: spec.workers,
+        timings: Some(timings),
     })
 }
 
@@ -778,6 +798,7 @@ mod tests {
     fn parses_all_commands() {
         assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
         assert_eq!(parse_request(r#"{"cmd":"info"}"#).unwrap(), Request::Info);
+        assert_eq!(parse_request(r#"{"cmd":"metrics"}"#).unwrap(), Request::Metrics);
         assert_eq!(
             parse_request(r#"{"cmd":"gen","size":10,"len":20,"seed":3}"#).unwrap(),
             Request::Gen { size: 10, len: 20, seed: 3, store_result: false }
@@ -915,6 +936,10 @@ mod tests {
             .unwrap_err()
             .message
             .contains("size"));
+        // `metrics` takes no members and mirrors health's phrasing.
+        let err = parse_request(r#"{"cmd":"metrics","verbose":true}"#).unwrap_err();
+        assert!(err.message.contains("verbose"), "{err}");
+        assert!(err.message.contains("none besides \"cmd\""), "{err}");
         assert!(parse_request(r#"{"cmd":"gen","sizee":5}"#).unwrap_err().message.contains("sizee"));
         assert!(parse_request(r#"{"cmd":"status","job":"j","jb":"x"}"#)
             .unwrap_err()
@@ -1122,7 +1147,26 @@ mod tests {
         inline.data = DataRef::Inline(csv.clone());
         let by_handle = run_anonymize(&params.resolve(&store).unwrap()).unwrap();
         let by_inline = run_anonymize(&inline.resolve(&store).unwrap()).unwrap();
-        assert_eq!(by_handle, by_inline, "handle-based run must match the inline run exactly");
+        // Strip the wall-clock phase timings before comparing: they are
+        // observability, not output, and never identical across runs.
+        let strip = |r: &Response| match r.clone() {
+            Response::Anonymize { data, epsilon_spent, edits, utility_loss, workers, .. } => {
+                Response::Anonymize {
+                    data,
+                    epsilon_spent,
+                    edits,
+                    utility_loss,
+                    workers,
+                    timings: None,
+                }
+            }
+            other => other,
+        };
+        assert_eq!(
+            strip(&by_handle),
+            strip(&by_inline),
+            "handle-based run must match the inline run exactly"
+        );
 
         // `store` moves the result CSV behind a handle; downloading it
         // piecewise reassembles the identical bytes.

@@ -17,6 +17,8 @@
 
 use crate::api::{self, ApiError, Response};
 use crate::jobs::JobQueue;
+use crate::json::Json;
+use crate::obs::{log_enabled, log_event, LogLevel, Metrics};
 use crate::protocol::{self, Request};
 use crate::store::{DatasetStore, StoreConfig, MAX_STORED_DATASETS};
 use std::collections::HashMap;
@@ -26,7 +28,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -142,14 +144,24 @@ pub struct Server {
     sweep_thread: Option<JoinHandle<()>>,
 }
 
-/// Static facts about this server instance that the `info` verb
-/// reports — the knobs a client cannot discover any other way.
-#[derive(Debug, Clone, Copy)]
-struct InfoContext {
+/// Per-server context shared by every connection handler: the static
+/// facts the `info` verb reports plus the observability registry the
+/// `metrics` verb snapshots.
+#[derive(Clone)]
+struct ServiceContext {
     /// Job-queue worker threads.
     workers: usize,
     /// Configured dataset-store capacity (`--max-datasets`).
     max_datasets: usize,
+    /// Whether a durable `--state-dir` is configured.
+    state_dir: bool,
+    /// Unix epoch seconds at server start, for `info.started_at`.
+    started_at: u64,
+    /// Monotonic start instant, for `info.uptime_secs`.
+    started: Instant,
+    /// Shared observability registry (also wired into the store and
+    /// the job queue).
+    metrics: Arc<Metrics>,
 }
 
 /// Dispatches one parsed request to its handler. Dataset handles are
@@ -159,16 +171,22 @@ fn dispatch(
     req: Request,
     jobs: &JobQueue,
     store: &DatasetStore,
-    info: &InfoContext,
+    ctx: &ServiceContext,
+    cid: Option<String>,
 ) -> Result<Response, ApiError> {
     match req {
         Request::Health => Ok(Response::Health {
             outstanding_jobs: jobs.outstanding(),
             stored_datasets: store.count(),
         }),
-        Request::Info => {
-            Ok(Response::Info { workers: info.workers, max_datasets: info.max_datasets })
-        }
+        Request::Info => Ok(Response::Info {
+            workers: ctx.workers,
+            max_datasets: ctx.max_datasets,
+            uptime_secs: ctx.started.elapsed().as_secs(),
+            started_at: ctx.started_at,
+            state_dir: ctx.state_dir,
+        }),
+        Request::Metrics => Ok(Response::Metrics { snapshot: ctx.metrics.snapshot() }),
         Request::Gen { size, len, seed, store_result } => {
             let response = protocol::run_gen(size, len, seed);
             if store_result {
@@ -180,7 +198,10 @@ fn dispatch(
         Request::Anonymize { params, asynchronous } => {
             let spec = params.resolve(store)?;
             if asynchronous {
-                jobs.submit(spec).map(|job| Response::Submitted { job })
+                // The envelope id rides along as the job's correlation
+                // id, so logs emitted by the worker thread can be tied
+                // back to the submitting request.
+                jobs.submit_with_cid(spec, cid).map(|job| Response::Submitted { job })
             } else {
                 let response = protocol::run_anonymize(&spec)?;
                 if spec.store_result {
@@ -207,6 +228,27 @@ fn dispatch(
         }
         Request::Delete { dataset } => protocol::run_delete(store, &dataset),
         Request::List => Ok(Response::List { jobs: jobs.list(), datasets: store.list() }),
+    }
+}
+
+/// The wire verb of a parsed request, for the per-verb metrics bucket.
+/// Unparseable or unknown-verb lines land in the `"invalid"` bucket.
+fn verb_name(req: &Request) -> &'static str {
+    match req {
+        Request::Health => "health",
+        Request::Info => "info",
+        Request::Metrics => "metrics",
+        Request::Gen { .. } => "gen",
+        Request::Anonymize { .. } => "anonymize",
+        Request::Evaluate { .. } => "evaluate",
+        Request::Stats { .. } => "stats",
+        Request::Status { .. } => "status",
+        Request::Upload => "upload",
+        Request::Chunk { .. } => "chunk",
+        Request::Commit { .. } => "commit",
+        Request::Download { .. } => "download",
+        Request::Delete { .. } => "delete",
+        Request::List => "list",
     }
 }
 
@@ -281,13 +323,17 @@ fn handle_connection(
     stream: TcpStream,
     jobs: &JobQueue,
     store: &DatasetStore,
-    info: &InfoContext,
+    ctx: &ServiceContext,
     stop: &AtomicBool,
+    conn_id: u64,
 ) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    if log_enabled(LogLevel::Debug) {
+        log_event(LogLevel::Debug, "connection opened", &[("conn", Json::from(conn_id))]);
+    }
     let mut reader = BufReader::new(stream);
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -302,21 +348,65 @@ fn handle_connection(
                 // the line was never parsed, so no envelope is known —
                 // framing errors are always v1-shaped (documented in
                 // PROTOCOL.md).
-                let response = api::render_v1(Err(framing_error(&e)));
-                let _ = writer.write_all(format!("{response}\n").as_bytes());
+                let err = framing_error(&e);
+                ctx.metrics.record_error(err.code);
+                ctx.metrics.record_request("invalid", Duration::ZERO);
+                if log_enabled(LogLevel::Warn) {
+                    log_event(
+                        LogLevel::Warn,
+                        "framing error",
+                        &[("conn", Json::from(conn_id)), ("code", Json::from(err.code.as_str()))],
+                    );
+                }
+                let response = api::render_v1(Err(err));
+                let out = format!("{response}\n");
+                ctx.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+                let _ = writer.write_all(out.as_bytes());
                 break;
             }
         };
         if line.trim().is_empty() {
             continue;
         }
+        ctx.metrics.bytes_in.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        let started = Instant::now();
         let (envelope, parsed) = protocol::parse_request_line(&line);
-        let result = parsed.and_then(|req| dispatch(req, jobs, store, info));
+        let verb = match &parsed {
+            Ok(req) => verb_name(req),
+            Err(_) => "invalid",
+        };
+        let cid = envelope.id.clone();
+        let result = parsed.and_then(|req| dispatch(req, jobs, store, ctx, cid.clone()));
+        let code = result.as_ref().err().map(|e| e.code);
+        if let Some(code) = code {
+            ctx.metrics.record_error(code);
+        }
         let response = api::render(&envelope, result);
-        if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
-        {
+        let out = format!("{response}\n");
+        ctx.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        ctx.metrics.record_request(verb, elapsed);
+        if log_enabled(LogLevel::Info) {
+            let mut fields: Vec<(&str, Json)> = vec![
+                ("conn", Json::from(conn_id)),
+                ("cmd", Json::from(verb)),
+                ("ok", Json::from(code.is_none())),
+                ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+            ];
+            if let Some(code) = code {
+                fields.push(("code", Json::from(code.as_str())));
+            }
+            if let Some(cid) = &cid {
+                fields.push(("cid", Json::from(cid.clone())));
+            }
+            log_event(LogLevel::Info, "request", &fields);
+        }
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }
+    }
+    if log_enabled(LogLevel::Debug) {
+        log_event(LogLevel::Debug, "connection closed", &[("conn", Json::from(conn_id))]);
     }
 }
 
@@ -326,11 +416,13 @@ struct ConnectionGuard {
     pool: Arc<Semaphore>,
     connections: Connections,
     conn_id: u64,
+    metrics: Arc<Metrics>,
 }
 
 impl Drop for ConnectionGuard {
     fn drop(&mut self) {
         self.connections.deregister(self.conn_id);
+        self.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
         self.pool.release();
     }
 }
@@ -345,17 +437,22 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        // One registry for the whole instance, attached to the store
+        // and the job queue before any clone is handed out.
+        let metrics = Arc::new(Metrics::new());
         let store = DatasetStore::with_config(StoreConfig {
             dir: cfg.state_dir.as_ref().map(|d| d.join("datasets")),
             capacity: cfg.max_datasets,
             ttl: cfg.dataset_ttl,
             ..StoreConfig::default()
-        })?;
+        })?
+        .with_metrics(Arc::clone(&metrics));
         let jobs = match &cfg.state_dir {
             Some(dir) => JobQueue::with_journal(store.clone(), &dir.join("jobs.jsonl"))
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
             None => JobQueue::with_store(store.clone()),
-        };
+        }
+        .with_metrics(Arc::clone(&metrics));
         let connections = Connections::default();
 
         let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers)
@@ -385,7 +482,28 @@ impl Server {
             })
         });
 
-        let info = InfoContext { workers: cfg.workers, max_datasets: cfg.max_datasets };
+        let ctx = ServiceContext {
+            workers: cfg.workers,
+            max_datasets: cfg.max_datasets,
+            state_dir: cfg.state_dir.is_some(),
+            started_at: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            started: Instant::now(),
+            metrics: Arc::clone(&metrics),
+        };
+        if log_enabled(LogLevel::Info) {
+            log_event(
+                LogLevel::Info,
+                "server listening",
+                &[
+                    ("addr", Json::from(addr.to_string())),
+                    ("workers", Json::from(cfg.workers)),
+                    ("state_dir", Json::from(ctx.state_dir)),
+                ],
+            );
+        }
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let jobs = jobs.clone();
@@ -424,15 +542,19 @@ impl Server {
                     let jobs = jobs.clone();
                     let store = store.clone();
                     let stop = Arc::clone(&stop);
+                    let ctx = ctx.clone();
+                    ctx.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
                     let guard = ConnectionGuard {
                         pool: Arc::clone(&pool),
                         connections: connections.clone(),
                         conn_id,
+                        metrics: Arc::clone(&ctx.metrics),
                     };
                     handlers.push(std::thread::spawn(move || {
                         // Guard releases the permit even on panic.
                         let _guard = guard;
-                        handle_connection(stream, &jobs, &store, &info, &stop);
+                        handle_connection(stream, &jobs, &store, &ctx, &stop, conn_id);
                     }));
                     // Reap finished handlers so the vec stays small.
                     handlers.retain(|h| !h.is_finished());

@@ -50,8 +50,10 @@
 //! rejects concurrent mutation until the write lands.
 
 use crate::api::ApiError;
+use crate::obs::Metrics;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -139,9 +141,29 @@ struct StoreInner {
     capacity: usize,
     ttl: Option<Duration>,
     upload_ttl: Duration,
+    /// Observability registry. Counters and gauges are atomics: the
+    /// store computes values under its own mutex and publishes them
+    /// with plain stores — a `metrics` snapshot never takes this lock.
+    metrics: Arc<Metrics>,
 }
 
 impl StoreInner {
+    /// Publishes the store gauges. Called at the tail of every mutating
+    /// operation, while this mutex is already held; the write side is a
+    /// pair of relaxed atomic stores, so readers never queue behind it.
+    fn publish_gauges(&self) {
+        let bytes: usize = self
+            .entries
+            .values()
+            .map(|e| match e {
+                Entry::Pending { buf, .. } => buf.len(),
+                Entry::Committing => 0,
+                Entry::Committed { text, .. } => text.len(),
+            })
+            .sum();
+        self.metrics.set_store_gauges(bytes as u64, self.entries.len() as u64);
+    }
+
     fn touch(&mut self, id: &str) {
         self.clock += 1;
         let clock = self.clock;
@@ -203,6 +225,7 @@ impl StoreInner {
     /// Drops expired pending uploads and (with a TTL) stale unpinned
     /// committed entries. Returns how many slots were reclaimed.
     fn sweep(&mut self, now: Instant) -> usize {
+        self.metrics.store_ttl_sweeps.fetch_add(1, Relaxed);
         let mut reclaimed = self.expire_pending(now, self.upload_ttl);
         if let Some(ttl) = self.ttl {
             let stale: Vec<(String, bool)> = self
@@ -221,6 +244,7 @@ impl StoreInner {
                 self.entries.remove(id);
                 self.unlink(id, *from_job);
             }
+            self.metrics.store_evictions.fetch_add(stale.len() as u64, Relaxed);
             reclaimed += stale.len();
         }
         reclaimed
@@ -249,6 +273,7 @@ impl StoreInner {
                 Some((_, id, from_job)) => {
                     self.entries.remove(&id);
                     self.unlink(&id, from_job);
+                    self.metrics.store_evictions.fetch_add(1, Relaxed);
                 }
                 None => {
                     return Err(ApiError::store_full(format!(
@@ -366,6 +391,7 @@ impl DatasetStore {
                 capacity: cfg.capacity.max(1),
                 ttl: cfg.ttl,
                 upload_ttl: cfg.upload_ttl,
+                metrics: Arc::default(),
             })),
             #[cfg(test)]
             persist_gate: None,
@@ -374,6 +400,19 @@ impl DatasetStore {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
         self.inner.lock().expect("store poisoned")
+    }
+
+    /// Attaches the shared observability registry and seeds the
+    /// bytes/handles gauges from the current table (a store reloaded
+    /// from disk starts non-empty). The registry propagates through the
+    /// shared inner state, so clones made before or after see it too.
+    pub fn with_metrics(self, metrics: Arc<Metrics>) -> Self {
+        {
+            let mut s = self.lock();
+            s.metrics = metrics;
+            s.publish_gauges();
+        }
+        self
     }
 
     /// Number of held handles (pending + committed).
@@ -385,14 +424,20 @@ impl DatasetStore {
     /// entries), returning how many slots were reclaimed. Also runs
     /// implicitly before every `begin`/`insert`.
     pub fn sweep(&self) -> usize {
-        self.lock().sweep(Instant::now())
+        let mut s = self.lock();
+        let reclaimed = s.sweep(Instant::now());
+        s.publish_gauges();
+        reclaimed
     }
 
     /// Reclaims pending uploads whose last `begin`/`chunk` is at least
     /// `max_age` old, regardless of the configured
     /// [`StoreConfig::upload_ttl`]. Returns how many were reclaimed.
     pub fn expire_uploads(&self, max_age: Duration) -> usize {
-        self.lock().expire_pending(Instant::now(), max_age)
+        let mut s = self.lock();
+        let reclaimed = s.expire_pending(Instant::now(), max_age);
+        s.publish_gauges();
+        reclaimed
     }
 
     /// Opens a new pending handle for chunked upload, evicting the LRU
@@ -404,6 +449,7 @@ impl DatasetStore {
         let id = format!("ds-{}", s.next_id);
         s.entries
             .insert(id.clone(), Entry::Pending { buf: String::new(), touched: Instant::now() });
+        s.publish_gauges();
         Ok(id)
     }
 
@@ -411,14 +457,18 @@ impl DatasetStore {
     /// size so far.
     pub fn append(&self, id: &str, data: &str) -> Result<usize, ApiError> {
         let mut s = self.lock();
-        match s.entries.get_mut(id) {
-            None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
-            Some(Entry::Committed { .. }) => Err(ApiError::dataset_state(format!(
-                "dataset {id:?} is already committed; chunks are rejected"
-            ))),
-            Some(Entry::Committing) => Err(ApiError::dataset_state(format!(
-                "dataset {id:?} is being committed; chunks are rejected"
-            ))),
+        let assembled = match s.entries.get_mut(id) {
+            None => return Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
+            Some(Entry::Committed { .. }) => {
+                return Err(ApiError::dataset_state(format!(
+                    "dataset {id:?} is already committed; chunks are rejected"
+                )))
+            }
+            Some(Entry::Committing) => {
+                return Err(ApiError::dataset_state(format!(
+                    "dataset {id:?} is being committed; chunks are rejected"
+                )))
+            }
             Some(Entry::Pending { buf, touched }) => {
                 if buf.len().saturating_add(data.len()) > MAX_DATASET_BYTES {
                     return Err(ApiError::payload_too_large(format!(
@@ -427,9 +477,11 @@ impl DatasetStore {
                 }
                 buf.push_str(data);
                 *touched = Instant::now();
-                Ok(buf.len())
+                buf.len()
             }
-        }
+        };
+        s.publish_gauges();
+        Ok(assembled)
     }
 
     /// Seals a pending handle, making it usable as request input and by
@@ -472,6 +524,7 @@ impl DatasetStore {
         let mut s = self.lock();
         let bytes = buf.len();
         s.install_committed(id, buf, false);
+        s.publish_gauges();
         Ok(bytes)
     }
 
@@ -505,7 +558,9 @@ impl DatasetStore {
             }
         }
         let bytes = csv.len();
-        self.lock().install_committed(&id, csv, from_job);
+        let mut s = self.lock();
+        s.install_committed(&id, csv, from_job);
+        s.publish_gauges();
         Ok((id, bytes))
     }
 
@@ -541,6 +596,7 @@ impl DatasetStore {
                     Some(Entry::Pending { buf, .. }) => buf.len(),
                     _ => unreachable!(),
                 };
+                s.publish_gauges();
                 Ok(bytes)
             }
         }
@@ -560,6 +616,7 @@ impl DatasetStore {
                 if let Some(Entry::Committed { from_job, .. }) = s.entries.remove(id) {
                     s.unlink(id, from_job);
                 }
+                s.publish_gauges();
                 true
             }
         }
@@ -609,6 +666,7 @@ impl DatasetStore {
             s.entries.remove(id);
             s.unlink(id, true);
         }
+        s.publish_gauges();
         orphans
     }
 
@@ -1018,6 +1076,26 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         assert_eq!(store.commit(&id).unwrap(), 5);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_publishes_gauges_and_counts_evictions() {
+        let metrics = Arc::new(Metrics::new());
+        let store =
+            DatasetStore::with_config(StoreConfig { capacity: 2, ..StoreConfig::default() })
+                .unwrap()
+                .with_metrics(Arc::clone(&metrics));
+        store.insert("aaa".to_string()).unwrap();
+        store.insert("bbbb".to_string()).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.store_handles, 2);
+        assert_eq!(snap.store_bytes, 7);
+        store.insert("cc".to_string()).unwrap(); // evicts the LRU entry
+        let snap = metrics.snapshot();
+        assert_eq!(snap.store_handles, 2);
+        assert_eq!(snap.store_bytes, 6);
+        assert_eq!(snap.store_evictions, 1);
+        assert!(snap.store_ttl_sweeps >= 1, "every insert runs the sweep");
     }
 
     /// Regression for the lifecycle pass's lock contract: a large

@@ -344,6 +344,9 @@ fn v2_envelope_session_end_to_end() {
         "max_gen_points",
         "max_m",
         "max_workers",
+        "uptime_secs",
+        "started_at",
+        "state_dir",
     ] {
         assert!(info.get(key).is_some(), "info must report {key}: {info}");
     }
@@ -408,5 +411,113 @@ fn v2_envelope_session_end_to_end() {
     assert_eq!(health.outstanding_jobs, 0);
 
     drop(client);
+    server.shutdown();
+}
+
+/// The `metrics` verb over the wire: the same section shape in v1 and
+/// v2 (only the id echo differs), snapshots move monotonically with
+/// traffic, and each wire error triggered bumps exactly its own code's
+/// counter by the observed amount.
+#[test]
+fn metrics_verb_snapshots_are_monotonic_and_count_errors() {
+    let server = parity_server();
+    let mut c = Raw::connect(server.local_addr());
+
+    let scrape = |c: &mut Raw, line: &str| trajdp_server::json::parse(&c.send(line)).unwrap();
+    let m1 = scrape(&mut c, r#"{"cmd":"metrics"}"#);
+    assert_eq!(m1.get("ok"), Some(&Json::Bool(true)), "{m1}");
+    let m2 = scrape(&mut c, r#"{"cmd":"metrics","v":2,"id":"m-1"}"#);
+    assert_eq!(m2.get("id").and_then(Json::as_str), Some("m-1"), "{m2}");
+    for key in
+        ["uptime_secs", "requests", "errors", "jobs", "store", "journal", "connections", "bytes"]
+    {
+        assert!(m1.get(key).is_some(), "v1 metrics must report {key}: {m1}");
+        assert!(m2.get(key).is_some(), "v2 metrics must report {key}: {m2}");
+    }
+    // v1 and v2 carry the identical snapshot shape: stripping the v2
+    // envelope id leaves the same member set.
+    if let (Json::Obj(o1), Json::Obj(mut o2)) = (m1.clone(), m2.clone()) {
+        o2.remove("id");
+        assert_eq!(
+            o1.keys().collect::<Vec<_>>(),
+            o2.keys().collect::<Vec<_>>(),
+            "metrics members must match across versions"
+        );
+    } else {
+        panic!("metrics responses must be objects");
+    }
+
+    let verb_count = |m: &Json, verb: &str| {
+        m.get("requests")
+            .and_then(|r| r.get(verb))
+            .and_then(|v| v.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metrics must count verb {verb}: {m}"))
+    };
+    let error_count = |m: &Json, code: &str| {
+        m.get("errors")
+            .and_then(|e| e.get(code))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metrics must count code {code}: {m}"))
+    };
+
+    // Drive known traffic: 3 health calls, 2 dataset-not-found errors,
+    // 1 unknown verb, 1 unparseable line.
+    for _ in 0..3 {
+        assert!(c.send(r#"{"cmd":"health"}"#).contains(r#""ok":true"#));
+    }
+    for _ in 0..2 {
+        assert!(c.send(r#"{"cmd":"download","dataset":"ds-404"}"#).contains("unknown dataset"));
+    }
+    assert!(c.send(r#"{"cmd":"bogus"}"#).contains("unknown cmd"));
+    assert!(c.send("not json").contains("parse error"));
+
+    let m3 = scrape(&mut c, r#"{"cmd":"metrics"}"#);
+    assert_eq!(verb_count(&m3, "health"), verb_count(&m1, "health") + 3);
+    assert_eq!(verb_count(&m3, "metrics"), verb_count(&m1, "metrics") + 2);
+    // The unparseable line lands in the "invalid" bucket; the unknown
+    // verb and the parse failure each count their error code once.
+    assert_eq!(verb_count(&m3, "invalid"), verb_count(&m1, "invalid") + 2);
+    assert_eq!(
+        error_count(&m3, ErrorCode::DatasetNotFound.as_str()),
+        error_count(&m1, ErrorCode::DatasetNotFound.as_str()) + 2
+    );
+    assert_eq!(
+        error_count(&m3, ErrorCode::UnknownVerb.as_str()),
+        error_count(&m1, ErrorCode::UnknownVerb.as_str()) + 1
+    );
+    assert_eq!(
+        error_count(&m3, ErrorCode::BadRequest.as_str()),
+        error_count(&m1, ErrorCode::BadRequest.as_str()) + 1
+    );
+
+    // Monotonicity: every per-verb counter and every error counter in
+    // the later snapshot is >= its earlier value, and traffic gauges
+    // only grew.
+    for verb in ["health", "metrics", "download", "invalid", "gen", "status"] {
+        assert!(verb_count(&m3, verb) >= verb_count(&m1, verb), "{verb} went backwards");
+    }
+    if let Some(Json::Obj(errors)) = m1.get("errors").cloned() {
+        for code in errors.keys() {
+            assert!(
+                error_count(&m3, code) >= error_count(&m1, code),
+                "error counter {code} went backwards"
+            );
+        }
+    }
+    let bytes = |m: &Json, dir: &str| {
+        m.get("bytes").and_then(|b| b.get(dir)).and_then(Json::as_u64).unwrap()
+    };
+    assert!(bytes(&m3, "in") > bytes(&m1, "in"));
+    assert!(bytes(&m3, "out") > bytes(&m1, "out"));
+
+    // The typed client parses the same snapshot the raw scrape saw.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let snap = client.metrics().unwrap();
+    let health = snap.requests.iter().find(|r| r.verb == "health").unwrap();
+    assert_eq!(health.count, verb_count(&m3, "health"));
+
+    drop(client);
+    drop(c);
     server.shutdown();
 }

@@ -175,6 +175,25 @@ V2DL=$(echo "{\"cmd\":\"download\",\"dataset\":\"$DS2\",\"max_bytes\":$MAXCHUNK,
 printf '%s' "$V2DL" | grep -q '"eof":true' && printf '%s' "$V2DL" | grep -q '"id":"smoke-7"' \
     || { echo "FAIL: info-cap-sized download failed: $V2DL" >&2; exit 1; }
 
+# ---- metrics: the v2 session above must be visible in the scrape ----
+METRICS=$("$BIN" metrics --addr "$ADDR2")
+printf '%s\n' "$METRICS" | grep -q '^trajdp_uptime_seconds ' \
+    || { echo "FAIL: metrics must report uptime: $METRICS" >&2; exit 1; }
+HEALTHN=$(printf '%s\n' "$METRICS" | grep '^trajdp_requests_total{verb="health"}' \
+    | grep -o '[0-9]*$')
+[ -n "$HEALTHN" ] && [ "$HEALTHN" -ge 1 ] \
+    || { echo "FAIL: health requests of this session must be counted" >&2; exit 1; }
+NOTFOUND=$(printf '%s\n' "$METRICS" | grep '^trajdp_errors_total{code="dataset-not-found"}' \
+    | grep -o '[0-9]*$')
+# smoke-2 and the v1 replay of the same failure each hit this code.
+[ -n "$NOTFOUND" ] && [ "$NOTFOUND" -ge 2 ] \
+    || { echo "FAIL: dataset-not-found rejections must be counted (got ${NOTFOUND:-none})" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep '^trajdp_errors_total{code="unknown-verb"}' \
+    | grep -q ' [1-9]' || { echo "FAIL: unknown-verb rejection must be counted" >&2; exit 1; }
+# The JSON exposition parses and carries the same sections.
+"$BIN" metrics --addr "$ADDR2" --json | grep -q '"requests":' \
+    || { echo "FAIL: metrics --json must emit the wire shape" >&2; exit 1; }
+
 # ---- CLI exit-code classes ------------------------------------------
 rc=0; "$BIN" delete --addr "$ADDR2" --dataset ds-nope 2>/dev/null || rc=$?
 [ "$rc" = 4 ] || { echo "FAIL: server-rejected request must exit 4 (got $rc)" >&2; exit 1; }
@@ -185,4 +204,4 @@ rc=0; "$BIN" gen --sizee 5 --out "$TMP/x.csv" 2>/dev/null || rc=$?
 rc=0; "$BIN" stats --input "$TMP/definitely-missing.csv" 2>/dev/null || rc=$?
 [ "$rc" = 1 ] || { echo "FAIL: local failure must exit 1 (got $rc)" >&2; exit 1; }
 
-echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + exit classes OK"
+echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + metrics scrape + exit classes OK"

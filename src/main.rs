@@ -7,11 +7,12 @@
 //! trajdp anonymize --model gl --parallel 8 --input private.csv --out release.csv
 //! trajdp evaluate --original private.csv --anonymized release.csv
 //! trajdp stats --input release.csv
-//! trajdp serve --addr 127.0.0.1:7878 --workers 4 --state-dir state/
+//! trajdp serve --addr 127.0.0.1:7878 --workers 4 --state-dir state/ --log-level info
 //! trajdp submit --addr 127.0.0.1:7878 --file request.json --data private.csv
 //! trajdp fetch --addr 127.0.0.1:7878 --dataset ds-2 --out release.csv
 //! trajdp delete --addr 127.0.0.1:7878 --dataset ds-2
 //! trajdp info --addr 127.0.0.1:7878
+//! trajdp metrics --addr 127.0.0.1:7878
 //! ```
 //!
 //! Files are the CSV interchange format of `trajdp_model::csv`
@@ -32,7 +33,7 @@
 //! | 3 | transport failure (cannot connect, connection lost) |
 //! | 4 | the server rejected the request (a stable API error code) |
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 use traj_freq_dp::core::{anonymize, FreqDpConfig};
 use traj_freq_dp::metrics::{
@@ -45,7 +46,9 @@ use traj_freq_dp::server::api::{ApiError, ErrorCode};
 use traj_freq_dp::server::protocol::{
     budget_split, parse_model, validate_eps_split, validate_workers,
 };
-use traj_freq_dp::server::{anonymize_parallel, Client, Server, ServerConfig};
+use traj_freq_dp::server::{
+    anonymize_parallel, init_logger, Client, LogLevel, Server, ServerConfig,
+};
 use traj_freq_dp::synth::{generate, GeneratorConfig};
 
 /// A classified CLI failure; each class maps to a documented exit code.
@@ -133,11 +136,13 @@ usage:
   trajdp stats     --input FILE.csv
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
                    [--state-dir DIR] [--max-datasets N] [--dataset-ttl SECS]
+                   [--log-level off|error|warn|info|debug] [--log-json]
   trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
                    [--chunk-threshold BYTES]
   trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv
   trajdp delete    --addr HOST:PORT --dataset DS-ID
   trajdp info      --addr HOST:PORT
+  trajdp metrics   --addr HOST:PORT [--json]
 
 exit codes: 0 ok, 1 local failure, 2 usage error, 3 cannot reach the
 server, 4 the server rejected the request (see PROTOCOL.md)";
@@ -158,19 +163,42 @@ fn parse_flags<'a>(
     args: &'a [String],
     accepted: &[&str],
 ) -> Result<Flags<'a>, CliError> {
+    parse_flags_and_switches(cmd, args, accepted, &[]).map(|(flags, _)| flags)
+}
+
+/// Like [`parse_flags`], but also accepts bare value-less toggles
+/// (`--json`, `--log-json`). Returns the value flags plus the set of
+/// switches that were present.
+fn parse_flags_and_switches<'a>(
+    cmd: &str,
+    args: &'a [String],
+    accepted: &[&str],
+    switches: &[&str],
+) -> Result<(Flags<'a>, HashSet<&'a str>), CliError> {
+    let all = || {
+        let names: Vec<&str> = accepted.iter().chain(switches).copied().collect();
+        flag_list(&names)
+    };
     let mut flags = Flags::new();
+    let mut on: HashSet<&'a str> = HashSet::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let name = arg.strip_prefix("--").ok_or_else(|| {
             CliError::Usage(format!(
                 "unexpected argument {arg:?} to {cmd} (accepted flags: {})",
-                flag_list(accepted)
+                all()
             ))
         })?;
+        if switches.contains(&name) {
+            if !on.insert(name) {
+                return Err(CliError::Usage(format!("duplicate option --{name}")));
+            }
+            continue;
+        }
         if !accepted.contains(&name) {
             return Err(CliError::Usage(format!(
                 "unknown option --{name} for {cmd} (accepted flags: {})",
-                flag_list(accepted)
+                all()
             )));
         }
         let value = it
@@ -187,7 +215,7 @@ fn parse_flags<'a>(
             return Err(CliError::Usage(format!("duplicate option --{name}")));
         }
     }
-    Ok(flags)
+    Ok((flags, on))
 }
 
 /// The value of `--name`, if given.
@@ -311,11 +339,33 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "serve" => {
-            let flags = parse_flags(
+            let (flags, switches) = parse_flags_and_switches(
                 cmd,
                 rest,
-                &["addr", "workers", "max-conn", "state-dir", "max-datasets", "dataset-ttl"],
+                &[
+                    "addr",
+                    "workers",
+                    "max-conn",
+                    "state-dir",
+                    "max-datasets",
+                    "dataset-ttl",
+                    "log-level",
+                ],
+                &["log-json"],
             )?;
+            let log_json = switches.contains("log-json");
+            let log_level = match opt(&flags, "log-level") {
+                Some(v) => LogLevel::parse(v).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "invalid --log-level: {v:?} (expected off, error, warn, info, or debug)"
+                    ))
+                })?,
+                // `--log-json` alone means "log, as JSON" — silent JSON
+                // would be a useless combination.
+                None if log_json => LogLevel::Info,
+                None => LogLevel::Off,
+            };
+            init_logger(log_level, log_json);
             let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
             let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
                 .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
@@ -442,6 +492,22 @@ fn run(args: &[String]) -> Result<(), CliError> {
             println!("max_gen_points={}", info.max_gen_points);
             println!("max_m={}", info.max_m);
             println!("max_workers={}", info.max_workers);
+            println!("uptime_secs={}", info.uptime_secs);
+            println!("started_at={}", info.started_at);
+            println!("state_dir={}", info.state_dir);
+            Ok(())
+        }
+        "metrics" => {
+            let (flags, switches) = parse_flags_and_switches(cmd, rest, &["addr"], &["json"])?;
+            let addr = required(&flags, "addr")?;
+            let mut client = connect(addr)?;
+            let snap = client.metrics()?;
+            if switches.contains("json") {
+                println!("{}", snap.to_json());
+            } else {
+                // Prometheus text exposition already ends in a newline.
+                print!("{}", snap.to_prometheus());
+            }
             Ok(())
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -853,6 +919,34 @@ mod tests {
         // Required flags are enforced.
         assert!(run(&a(&["info"])).is_err());
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_cli_scrapes_a_live_server() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        client.info().unwrap();
+        drop(client);
+        // Both expositions work against a live server; the typed client
+        // sees the info request counted above.
+        run(&a(&["metrics", "--addr", &addr])).unwrap();
+        run(&a(&["metrics", "--addr", &addr, "--json"])).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
+        let snap = client.metrics().unwrap();
+        let info_count = snap.requests.iter().find(|r| r.verb == "info").map(|r| r.count).unwrap();
+        assert!(info_count >= 1, "info requests must be counted, got {info_count}");
+        assert!(run(&a(&["metrics"])).is_err(), "--addr is required");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_bad_log_level() {
+        let err = msg(run(&a(&["serve", "--log-level", "loud"])).unwrap_err());
+        assert!(err.contains("log-level"), "{err}");
+        // `--log-json` is a bare switch: it must not eat a value.
+        let err = msg(run(&a(&["serve", "--log-json", "true"])).unwrap_err());
+        assert!(err.contains("unexpected argument"), "{err}");
     }
 
     #[test]
