@@ -6,25 +6,113 @@
 //! the `BENCH_*.json` artifact CI checks for well-formedness:
 //!
 //! ```text
-//! cargo run -p trajdp_bench --release --bin trajdp-bench -- --quick --out BENCH_6.json
+//! cargo run -p trajdp_bench --release --bin trajdp-bench -- --quick --out BENCH_7.json
 //! ```
 //!
 //! `--quick` shrinks the world and iteration counts so the run finishes
 //! in seconds (the CI mode); without it the sizes match the criterion
 //! `pipeline`/`modification` benches. Timings are wall-clock and
 //! machine-dependent; the *shape* of the file is the contract.
+//!
+//! Besides the pipeline/modification timings, the harness runs a
+//! connection storm against an in-process server: 128 concurrent
+//! clients — far past the old thread-per-connection worker cap — each
+//! holding its socket open for a run of request/response round trips.
+//! CI asserts the storm completes with zero dropped clients.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 use trajdp_bench::standard_world;
 use trajdp_core::editor::{DatasetEditor, TrajectoryEditor};
 use trajdp_core::{anonymize, FreqDpConfig, IndexKind, Model};
 use trajdp_model::Point;
 use trajdp_server::json::Json;
+use trajdp_server::{Server, ServerConfig};
 
 struct BenchResult {
     name: &'static str,
     iters: u64,
     total_ms: f64,
+}
+
+/// Outcome of the connection-storm workload: every client's per-request
+/// round-trip latencies pooled, plus how many clients failed outright.
+struct StormResult {
+    clients: usize,
+    requests_per_client: usize,
+    completed: u64,
+    dropped: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+}
+
+/// Hammers an in-process server with `clients` concurrent connections,
+/// each performing `per_client` request/response round trips (health
+/// and metrics alternating). This exercises the reactor's readiness
+/// loop well past the old thread-per-connection cap: all clients hold
+/// their sockets open for the whole run. A client counts as dropped if
+/// it fails to connect, loses its stream mid-run, or reads a non-`ok`
+/// response — on a healthy server all three are zero.
+fn storm(clients: usize, per_client: usize) -> StormResult {
+    eprintln!("bench storm: {clients} clients x {per_client} requests...");
+    let server = Server::start(ServerConfig::default()).expect("bench server");
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || -> Option<Vec<f64>> {
+                let stream = TcpStream::connect(addr).ok()?;
+                let mut reader = BufReader::new(stream.try_clone().ok()?);
+                let mut writer = stream;
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let line = if i % 2 == 0 {
+                        "{\"cmd\":\"health\"}\n"
+                    } else {
+                        "{\"cmd\":\"metrics\"}\n"
+                    };
+                    let sent = Instant::now();
+                    writer.write_all(line.as_bytes()).ok()?;
+                    let mut response = String::new();
+                    reader.read_line(&mut response).ok()?;
+                    if !response.contains("\"ok\":true") {
+                        return None;
+                    }
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                }
+                Some(latencies)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut dropped = 0u64;
+    for handle in handles {
+        match handle.join().expect("storm client panicked") {
+            Some(client_latencies) => latencies.extend(client_latencies),
+            None => dropped += 1,
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    StormResult {
+        clients,
+        requests_per_client: per_client,
+        completed: latencies.len() as u64,
+        dropped,
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+        throughput_rps: latencies.len() as f64 / elapsed.max(f64::EPSILON),
+    }
 }
 
 /// Runs `f` once as warmup, then `iters` timed iterations.
@@ -46,7 +134,7 @@ fn usage() -> ! {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_6.json");
+    let mut out = String::from("BENCH_7.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,9 +188,22 @@ fn main() {
         std::hint::black_box(ed.decrease_tf(q.key(), 10));
     }));
 
+    // Connection storm against the reactor. The client count stays at
+    // 128 even in --quick (holding 128 sockets open is the point — CI
+    // asserts it); only the per-client request count shrinks.
+    let storm_result = storm(128, if quick { 8 } else { 32 });
+    eprintln!(
+        "bench storm: {} completed, {} dropped, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
+        storm_result.completed,
+        storm_result.dropped,
+        storm_result.p50_ms,
+        storm_result.p99_ms,
+        storm_result.throughput_rps
+    );
+
     let report = Json::obj([
         ("schema", "trajdp-bench/v1".into()),
-        ("pr", 6u64.into()),
+        ("pr", 7u64.into()),
         ("quick", quick.into()),
         (
             "benches",
@@ -119,6 +220,18 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "storm",
+            Json::obj([
+                ("clients", (storm_result.clients as u64).into()),
+                ("requests_per_client", (storm_result.requests_per_client as u64).into()),
+                ("completed", storm_result.completed.into()),
+                ("dropped", storm_result.dropped.into()),
+                ("p50_ms", storm_result.p50_ms.into()),
+                ("p99_ms", storm_result.p99_ms.into()),
+                ("throughput_rps", storm_result.throughput_rps.into()),
+            ]),
         ),
     ]);
     if let Err(e) = std::fs::write(&out, format!("{report}\n")) {

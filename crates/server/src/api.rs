@@ -63,6 +63,10 @@ pub enum ErrorCode {
     JobNotFound,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server is at its configured connection capacity
+    /// (`--max-conn`) and shed this connection instead of queueing it.
+    /// Back off and retry; existing connections are unaffected.
+    Overloaded,
     /// An I/O operation the request needed failed server-side: a disk
     /// write its durability contract requires (journal append, dataset
     /// persist), or the connection failing mid-request at the framing
@@ -83,7 +87,7 @@ pub enum ErrorCode {
 
 /// Every code the *server* can put on the wire, in documentation
 /// order ([`ErrorCode::Transport`] is client-side only).
-pub const WIRE_ERROR_CODES: [ErrorCode; 12] = [
+pub const WIRE_ERROR_CODES: [ErrorCode; 13] = [
     ErrorCode::BadRequest,
     ErrorCode::UnknownVerb,
     ErrorCode::PayloadTooLarge,
@@ -94,6 +98,7 @@ pub const WIRE_ERROR_CODES: [ErrorCode; 12] = [
     ErrorCode::StoreFull,
     ErrorCode::JobNotFound,
     ErrorCode::ShuttingDown,
+    ErrorCode::Overloaded,
     ErrorCode::Io,
     ErrorCode::Internal,
 ];
@@ -112,6 +117,7 @@ impl ErrorCode {
             ErrorCode::StoreFull => "store-full",
             ErrorCode::JobNotFound => "job-not-found",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Io => "io-error",
             ErrorCode::Internal => "internal",
             ErrorCode::Transport => "transport",
@@ -203,6 +209,11 @@ impl ApiError {
         ApiError::new(ErrorCode::ShuttingDown, message)
     }
 
+    /// [`ErrorCode::Overloaded`] shorthand.
+    pub fn overloaded(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::Overloaded, message)
+    }
+
     /// [`ErrorCode::Io`] shorthand.
     pub fn io(message: impl Into<String>) -> ApiError {
         ApiError::new(ErrorCode::Io, message)
@@ -285,6 +296,13 @@ pub enum Response {
         workers: usize,
         /// Configured dataset-store capacity (`--max-datasets`).
         max_datasets: usize,
+        /// Concurrent-connection cap (`--max-conn`); accepts beyond it
+        /// are shed with [`ErrorCode::Overloaded`].
+        max_connections: usize,
+        /// Per-connection read deadline (`--read-timeout`), seconds: a
+        /// partially received request line must complete within this
+        /// window or the connection is closed.
+        read_timeout_secs: u64,
         /// Seconds since the server started — lets clients correlate
         /// metrics snapshots across restarts.
         uptime_secs: u64,
@@ -296,7 +314,9 @@ pub enum Response {
     /// `metrics` — a frozen snapshot of the observability registry.
     Metrics {
         /// The snapshot; its typed JSON shape is merged into the body.
-        snapshot: crate::obs::MetricsSnapshot,
+        /// Boxed: a snapshot (histograms included) dwarfs every other
+        /// variant, and `Response` values are moved around by value.
+        snapshot: Box<crate::obs::MetricsSnapshot>,
     },
     /// `gen` — a synthetic dataset, inline or stored.
     Gen {
@@ -475,7 +495,15 @@ impl Response {
                 obj.insert("outstanding_jobs".to_string(), Json::from(outstanding_jobs));
                 obj.insert("stored_datasets".to_string(), Json::from(stored_datasets));
             }
-            Response::Info { workers, max_datasets, uptime_secs, started_at, state_dir } => {
+            Response::Info {
+                workers,
+                max_datasets,
+                max_connections,
+                read_timeout_secs,
+                uptime_secs,
+                started_at,
+                state_dir,
+            } => {
                 obj.insert("server".to_string(), Json::from("trajdp-server"));
                 obj.insert("version".to_string(), Json::from(env!("CARGO_PKG_VERSION")));
                 obj.insert(
@@ -506,6 +534,8 @@ impl Response {
                 );
                 obj.insert("max_m".to_string(), Json::from(crate::protocol::MAX_M));
                 obj.insert("max_workers".to_string(), Json::from(crate::protocol::MAX_WORKERS));
+                obj.insert("max_connections".to_string(), Json::from(max_connections));
+                obj.insert("read_timeout_secs".to_string(), Json::from(read_timeout_secs));
                 // New observability members; `info` was never captured
                 // in the frozen v1 transcript, so both versions carry
                 // them.

@@ -57,6 +57,12 @@ pub struct ServerInfo {
     pub workers: u64,
     /// Dataset-store capacity (handles held at once).
     pub max_datasets: u64,
+    /// Concurrent-connection cap; accepts beyond it are shed with
+    /// [`ErrorCode::Overloaded`].
+    pub max_connections: u64,
+    /// Per-connection read deadline, seconds: a partial request line
+    /// must complete within this window or the connection is closed.
+    pub read_timeout_secs: u64,
     /// Per-dataset byte cap.
     pub max_dataset_bytes: u64,
     /// Per-request-line byte cap (the framing limit).
@@ -183,6 +189,8 @@ impl ServerInfo {
             protocol_versions: versions,
             workers: want_u64(v, "info", "workers")?,
             max_datasets: want_u64(v, "info", "max_datasets")?,
+            max_connections: want_u64(v, "info", "max_connections")?,
+            read_timeout_secs: want_u64(v, "info", "read_timeout_secs")?,
             max_dataset_bytes: want_u64(v, "info", "max_dataset_bytes")?,
             max_request_bytes: want_u64(v, "info", "max_request_bytes")?,
             max_download_chunk_bytes: want_u64(v, "info", "max_download_chunk_bytes")?,
@@ -501,6 +509,8 @@ mod tests {
             Ok(Response::Info {
                 workers: 4,
                 max_datasets: 64,
+                max_connections: 1024,
+                read_timeout_secs: 10,
                 uptime_secs: 12,
                 started_at: 1_700_000_000,
                 state_dir: true,
@@ -509,6 +519,8 @@ mod tests {
         let parsed = ServerInfo::from_response(&info).unwrap();
         assert_eq!(parsed.workers, 4);
         assert_eq!(parsed.max_datasets, 64);
+        assert_eq!(parsed.max_connections, 1024);
+        assert_eq!(parsed.read_timeout_secs, 10);
         assert_eq!(parsed.uptime_secs, 12);
         assert_eq!(parsed.started_at, 1_700_000_000);
         assert!(parsed.state_dir);

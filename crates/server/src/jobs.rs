@@ -45,6 +45,21 @@
 //! per retained finished job; everything a finished job's original
 //! submit carried (potentially megabytes of CSV) is dropped.
 //!
+//! ## Result spilling
+//!
+//! A journaled queue keeps the finished-job table from pinning huge
+//! response payloads in RAM: a result whose serialized form reaches
+//! [`SPILL_RESULT_BYTES`] is written to `<state-dir>/results/<id>.json`
+//! and the in-memory record keeps only the path (plus the result's
+//! dataset handle, so retention eviction can still reclaim it without a
+//! disk read). `status` reads the file back outside the queue mutex and
+//! answers with the identical bytes; journal compaction streams spilled
+//! files straight into the rewritten journal. Replay re-spills large
+//! results, and startup removes `results/` files no job references. A
+//! failed spill write falls back to keeping the result inline — the
+//! spill is a memory optimization, never a durability mechanism (the
+//! journal's `finish` event is the durable copy).
+//!
 //! ## Locking
 //!
 //! Journal appends fsync. Doing that under the queue mutex — as the
@@ -53,7 +68,8 @@
 //! write. Appends are now serialized on a dedicated journal lock;
 //! the queue mutex is taken only for the in-memory transitions, so
 //! reads proceed while a write is in flight. Submit acknowledgements
-//! still happen strictly after the event is durable.
+//! still happen strictly after the event is durable. Spill files are
+//! written and read entirely outside the queue mutex as well.
 
 use crate::api::{render_v1, ApiError, Response};
 use crate::json::Json;
@@ -78,15 +94,21 @@ pub enum JobState {
     /// be able to collect every retained result under the queue mutex
     /// without deep-copying any of them.
     Done(Arc<Json>),
+    /// Finished, but the result was large enough to spill to disk: only
+    /// the file path lives in memory. The result's dataset handle (if
+    /// it stored one) is captured at spill time so retention eviction
+    /// can reclaim the handle without reading the file back.
+    Spilled { path: PathBuf, dataset: Option<String> },
 }
 
 impl JobState {
-    /// Protocol name of the state.
+    /// Protocol name of the state. A spilled job is still `"done"` —
+    /// where the result bytes live is invisible on the wire.
     pub fn name(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
-            JobState::Done(_) => "done",
+            JobState::Done(_) | JobState::Spilled { .. } => "done",
         }
     }
 }
@@ -103,6 +125,75 @@ pub const MAX_FINISHED_RETAINED: usize = 256;
 /// the time this fires the journal carries at least this many dead
 /// lines.
 pub const COMPACT_FINISHED_EVENTS: usize = 256;
+
+/// Serialized result size at which a journaled queue spills a finished
+/// job's payload to `<state-dir>/results/` instead of retaining it in
+/// the job table. With [`MAX_FINISHED_RETAINED`] jobs retained, inline
+/// results below this bound the table to ~256 MiB worst case; anything
+/// larger lives on disk and is read back per `status` request.
+pub const SPILL_RESULT_BYTES: usize = 1 << 20;
+
+/// Where and when finished results spill to disk. Present only on
+/// journaled queues — a memory-only queue has no state dir to spill
+/// into, so its results always stay inline.
+struct Spill {
+    /// `<state-dir>/results`, created lazily on first spill.
+    dir: PathBuf,
+    /// Serialized-size threshold at which a result spills.
+    threshold: usize,
+}
+
+impl Spill {
+    fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    /// Writes one pre-serialized result. No fsync: the journal's
+    /// `finish` event is the durable copy, and a restart re-spills from
+    /// it — a torn spill file never outlives the replay that would
+    /// have read it.
+    fn write(&self, id: &str, text: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(id);
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// Decides where a finished result lives: at or above the spill
+/// threshold it goes to the results dir and only its path (plus the
+/// dataset handle, for eviction) stays in memory; otherwise inline. A
+/// failed spill write degrades to inline — worse memory, same answers.
+fn done_state(spill: Option<&Spill>, id: &str, result: Json) -> JobState {
+    if let Some(spill) = spill {
+        let text = result.to_string();
+        if text.len() >= spill.threshold {
+            match spill.write(id, &text) {
+                Ok(path) => {
+                    let dataset = result.get("dataset").and_then(Json::as_str).map(str::to_string);
+                    if log_enabled(LogLevel::Debug) {
+                        log_event(
+                            LogLevel::Debug,
+                            "job result spilled",
+                            &[("job", Json::from(id)), ("bytes", Json::from(text.len() as u64))],
+                        );
+                    }
+                    return JobState::Spilled { path, dataset };
+                }
+                Err(e) => {
+                    if log_enabled(LogLevel::Warn) {
+                        log_event(
+                            LogLevel::Warn,
+                            "result spill failed; keeping result in memory",
+                            &[("job", Json::from(id)), ("error", Json::from(e.to_string()))],
+                        );
+                    }
+                }
+            }
+        }
+    }
+    JobState::Done(Arc::new(result))
+}
 
 /// In-memory observability record of one job: submission/pickup clocks,
 /// the finished wall-clock, per-phase timings, and the correlation id of
@@ -144,28 +235,40 @@ struct QueueInner {
 
 impl QueueInner {
     /// Records a completion, evicting the oldest finished jobs past the
-    /// retention cap. Returns the result dataset handles of the evicted
-    /// jobs: a `store:true` result lives *at most* as long as its job
-    /// record (LRU pressure or a TTL may evict the handle sooner — it
-    /// is an unpinned cache entry like any other), so the caller must
-    /// delete those handles from the store — otherwise they would sit
-    /// unreachable (their job id answers "unknown") until the startup
-    /// reconciliation removed them anyway.
-    fn record_done(&mut self, id: &str, result: Arc<Json>) -> Vec<String> {
-        self.states.insert(id.to_string(), JobState::Done(result));
+    /// retention cap. Returns the result dataset handles and spill
+    /// files of the evicted jobs: a `store:true` result lives *at most*
+    /// as long as its job record (LRU pressure or a TTL may evict the
+    /// handle sooner — it is an unpinned cache entry like any other),
+    /// so the caller must delete those handles from the store and
+    /// unlink the files — otherwise they would sit unreachable (their
+    /// job id answers "unknown") until the startup reconciliation and
+    /// orphan sweep removed them anyway. Both cleanups are the caller's
+    /// job because they touch the disk/store, never done under the
+    /// queue mutex this runs inside.
+    fn record_done(&mut self, id: &str, done: JobState) -> (Vec<String>, Vec<PathBuf>) {
+        debug_assert!(matches!(done, JobState::Done(_) | JobState::Spilled { .. }));
+        self.states.insert(id.to_string(), done);
         self.finished_order.push_back(id.to_string());
         let mut dropped_handles = Vec::new();
+        let mut dropped_files = Vec::new();
         while self.finished_order.len() > MAX_FINISHED_RETAINED {
             if let Some(evicted) = self.finished_order.pop_front() {
                 self.meta.remove(&evicted);
-                if let Some(JobState::Done(result)) = self.states.remove(&evicted) {
-                    if let Some(handle) = result.get("dataset").and_then(Json::as_str) {
-                        dropped_handles.push(handle.to_string());
+                match self.states.remove(&evicted) {
+                    Some(JobState::Done(result)) => {
+                        if let Some(handle) = result.get("dataset").and_then(Json::as_str) {
+                            dropped_handles.push(handle.to_string());
+                        }
                     }
+                    Some(JobState::Spilled { path, dataset }) => {
+                        dropped_handles.extend(dataset);
+                        dropped_files.push(path);
+                    }
+                    _ => {}
                 }
             }
         }
-        dropped_handles
+        (dropped_handles, dropped_files)
     }
 
     /// A consistent copy of the state a compacted journal must record.
@@ -185,7 +288,12 @@ impl QueueInner {
                 .finished_order
                 .iter()
                 .filter_map(|id| match self.states.get(id) {
-                    Some(JobState::Done(result)) => Some((id.clone(), Arc::clone(result))),
+                    Some(JobState::Done(result)) => {
+                        Some((id.clone(), DoneRecord::Mem(Arc::clone(result))))
+                    }
+                    Some(JobState::Spilled { path, .. }) => {
+                        Some((id.clone(), DoneRecord::Spilled(path.clone())))
+                    }
                     _ => None,
                 })
                 .collect(),
@@ -198,7 +306,16 @@ impl QueueInner {
 struct Snapshot {
     next_id: u64,
     submits: Vec<(String, AnonymizeSpec)>,
-    dones: Vec<(String, Arc<Json>)>,
+    dones: Vec<(String, DoneRecord)>,
+}
+
+/// Where one retained result's bytes live at compaction time. Spilled
+/// results are recorded by path only — the rewrite streams the file
+/// straight into the journal, so a snapshot of 256 spilled results
+/// never materializes them in memory at once.
+enum DoneRecord {
+    Mem(Arc<Json>),
+    Spilled(PathBuf),
 }
 
 /// The append/rewrite half of the journal, behind its own lock so disk
@@ -276,13 +393,17 @@ impl JournalWriter {
                 spec_to_json(spec)
             )?;
         }
-        for (id, result) in &snapshot.dones {
-            writeln!(
-                f,
-                "{{\"event\":\"done\",\"job\":{},\"result\":{}}}",
-                Json::from(id.clone()),
-                result
-            )?;
+        for (id, record) in &snapshot.dones {
+            write!(f, "{{\"event\":\"done\",\"job\":{},\"result\":", Json::from(id.clone()))?;
+            match record {
+                DoneRecord::Mem(result) => write!(f, "{result}")?,
+                // A spilled file holds exactly the single-line JSON of
+                // the result, no trailing newline — copy it verbatim.
+                DoneRecord::Spilled(path) => {
+                    std::io::copy(&mut std::fs::File::open(path)?, &mut f)?;
+                }
+            }
+            writeln!(f, "}}")?;
         }
         let f = f.into_inner().map_err(|e| e.into_error())?;
         f.sync_all()?;
@@ -305,6 +426,8 @@ pub struct JobQueue {
     /// Serializes journal disk writes, independent of the queue mutex.
     /// Lock order is always journal → queue, never the reverse.
     journal: Arc<Mutex<Option<JournalWriter>>>,
+    /// Result spill policy; `None` on memory-only queues.
+    spill: Option<Arc<Spill>>,
     store: DatasetStore,
     /// Observability registry. All-atomic: the queue publishes counters
     /// and histogram samples into it from inside its own critical
@@ -322,7 +445,13 @@ impl JobQueue {
     /// An empty, memory-only queue sharing `store` (so `"store": true`
     /// job results land where `download` can find them).
     pub fn with_store(store: DatasetStore) -> Self {
-        Self { inner: Arc::default(), journal: Arc::default(), store, metrics: Arc::default() }
+        Self {
+            inner: Arc::default(),
+            journal: Arc::default(),
+            spill: None,
+            store,
+            metrics: Arc::default(),
+        }
     }
 
     /// The same queue publishing into `metrics` instead of its private
@@ -334,10 +463,26 @@ impl JobQueue {
 
     /// A queue journaled at `path`: replays the existing journal (if
     /// any), re-enqueueing unfinished jobs (pinning their dataset
-    /// handles) and restoring finished results, reconciles orphaned
-    /// job-result datasets against the replayed state, compacts the
-    /// journal, then appends all further events to the same file.
+    /// handles) and restoring finished results (re-spilling large ones
+    /// to `results/` beside the journal), reconciles orphaned
+    /// job-result datasets and spill files against the replayed state,
+    /// compacts the journal, then appends all further events to the
+    /// same file.
     pub fn with_journal(store: DatasetStore, path: &Path) -> Result<Self, String> {
+        Self::with_journal_opts(store, path, SPILL_RESULT_BYTES)
+    }
+
+    /// [`Self::with_journal`] with an explicit spill threshold, for
+    /// tests that need spilling to trigger without megabyte payloads.
+    pub fn with_journal_opts(
+        store: DatasetStore,
+        path: &Path,
+        spill_threshold: usize,
+    ) -> Result<Self, String> {
+        let spill = Arc::new(Spill {
+            dir: path.parent().map_or_else(|| PathBuf::from("results"), |d| d.join("results")),
+            threshold: spill_threshold,
+        });
         let mut inner = QueueInner::default();
         let mut text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -371,8 +516,27 @@ impl JobQueue {
                 text.truncate(tail_start);
             }
         }
-        replay(&text, &mut inner, &store)
+        replay(&text, &mut inner, &store, Some(&spill))
             .map_err(|e| format!("journal {}: {e}", path.display()))?;
+
+        // Sweep spill files no replayed job references: eviction unlinks
+        // and job re-runs can both strand a `results/` file if the
+        // process dies between the state change and the disk cleanup.
+        let live: HashSet<PathBuf> = inner
+            .states
+            .values()
+            .filter_map(|s| match s {
+                JobState::Spilled { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        if let Ok(entries) = std::fs::read_dir(&spill.dir) {
+            for entry in entries.flatten() {
+                if !live.contains(&entry.path()) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
 
         // Reconcile orphaned job results: a `store:true` job whose
         // result was inserted but whose finish event never reached the
@@ -381,10 +545,16 @@ impl JobQueue {
         // the replayed state still names is kept.
         let mut referenced: HashSet<String> = HashSet::new();
         for state in inner.states.values() {
-            if let JobState::Done(result) = state {
-                if let Some(handle) = result.get("dataset").and_then(Json::as_str) {
-                    referenced.insert(handle.to_string());
+            match state {
+                JobState::Done(result) => {
+                    if let Some(handle) = result.get("dataset").and_then(Json::as_str) {
+                        referenced.insert(handle.to_string());
+                    }
                 }
+                JobState::Spilled { dataset: Some(handle), .. } => {
+                    referenced.insert(handle.clone());
+                }
+                _ => {}
             }
         }
         for spec in inner.live_specs.values() {
@@ -408,6 +578,7 @@ impl JobQueue {
         Ok(Self {
             inner: Arc::new((Mutex::new(inner), Condvar::new())),
             journal: Arc::new(Mutex::new(Some(writer))),
+            spill: Some(spill),
             store,
             metrics: Arc::default(),
         })
@@ -522,7 +693,7 @@ impl JobQueue {
     pub fn outstanding(&self) -> usize {
         let (lock, _) = &*self.inner;
         let q = lock.lock().expect("queue poisoned");
-        q.states.values().filter(|s| !matches!(s, JobState::Done(_))).count()
+        q.states.values().filter(|s| matches!(s, JobState::Queued | JobState::Running)).count()
     }
 
     /// Every known job as `(id, state name)`, in id order — the `list`
@@ -592,11 +763,15 @@ impl JobQueue {
             }
             writer.finished_appends += 1;
         }
+        // Spill before taking the queue mutex: the write is disk I/O
+        // (the journal lock held here already serializes disk work),
+        // and only the resulting path enters the table.
+        let done = done_state(self.spill.as_deref(), id, result);
         let (source, dropped, snapshot) = {
             let (lock, _) = &*self.inner;
             let mut q = lock.lock().expect("queue poisoned");
             let source = q.live_specs.remove(id).and_then(|spec| spec.source);
-            let dropped = q.record_done(id, Arc::new(result));
+            let dropped = q.record_done(id, done);
             let now = Instant::now();
             let meta = q.meta.entry(id.to_string()).or_default();
             meta.timings = timings;
@@ -620,9 +795,15 @@ impl JobQueue {
         // Results of jobs evicted from the retention window go with
         // their job record. A handle that cannot be reclaimed yet (it
         // is still pinned as some queued job's input, or mid-commit) is
-        // deferred and retried when a pin-holding job finishes.
+        // deferred and retried when a pin-holding job finishes. Spill
+        // files have no pins — unlink them outright (a miss is caught
+        // by the startup orphan sweep).
+        let (dropped_handles, dropped_files) = dropped;
+        for file in dropped_files {
+            let _ = std::fs::remove_file(file);
+        }
         let mut deferred: Vec<String> =
-            dropped.into_iter().filter(|handle| !self.store.try_reclaim(handle)).collect();
+            dropped_handles.into_iter().filter(|handle| !self.store.try_reclaim(handle)).collect();
         if let Some(handle) = source {
             let was_deferred = {
                 let (lock, _) = &*self.inner;
@@ -733,6 +914,24 @@ impl JobQueue {
                 duration_secs: meta.as_ref().and_then(|m| m.duration_secs),
                 timings: meta.and_then(|m| m.timings),
             }),
+            Some(JobState::Spilled { path, .. }) => {
+                // Read the spilled payload back outside the queue mutex
+                // (released above) — a slow disk stalls this request,
+                // never concurrent submits or polls.
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    ApiError::io(format!("cannot read spilled result for job {id:?}: {e}"))
+                })?;
+                let result = crate::json::parse(&text).map_err(|e| {
+                    ApiError::io(format!("spilled result for job {id:?} is corrupt: {e}"))
+                })?;
+                Ok(Response::JobStatus {
+                    job: id.to_string(),
+                    state: "done",
+                    result: Some(Arc::new(result)),
+                    duration_secs: meta.as_ref().and_then(|m| m.duration_secs),
+                    timings: meta.and_then(|m| m.timings),
+                })
+            }
             Some(state) => Ok(Response::JobStatus {
                 job: id.to_string(),
                 state: state.name(),
@@ -757,7 +956,12 @@ fn job_number(id: &str) -> Result<u64, String> {
 /// of unfinished jobs are re-resolved against `store` (and re-pinned);
 /// finished jobs never touch the store, so an input deleted after its
 /// job completed cannot brick replay.
-fn replay(text: &str, inner: &mut QueueInner, store: &DatasetStore) -> Result<(), String> {
+fn replay(
+    text: &str,
+    inner: &mut QueueInner,
+    store: &DatasetStore,
+    spill: Option<&Spill>,
+) -> Result<(), String> {
     let lines: Vec<(usize, &str)> =
         text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
     // Submit order and unresolved specs of jobs not yet seen to finish.
@@ -809,7 +1013,12 @@ fn replay(text: &str, inner: &mut QueueInner, store: &DatasetStore) -> Result<()
                     return Err(fail(format!("finish for unsubmitted job {id:?}")));
                 }
                 unfinished.retain(|u| u != &id);
-                dropped.extend(inner.record_done(&id, Arc::new(result.clone())));
+                let state = done_state(spill, &id, result.clone());
+                let (handles, files) = inner.record_done(&id, state);
+                dropped.extend(handles);
+                for file in files {
+                    let _ = std::fs::remove_file(file);
+                }
             }
             "done" => {
                 // Compacted form of submit + finish; the spec is gone.
@@ -817,7 +1026,12 @@ fn replay(text: &str, inner: &mut QueueInner, store: &DatasetStore) -> Result<()
                 if specs.contains_key(&id) || inner.states.contains_key(&id) {
                     return Err(fail(format!("duplicate record for {id:?}")));
                 }
-                dropped.extend(inner.record_done(&id, Arc::new(result.clone())));
+                let state = done_state(spill, &id, result.clone());
+                let (handles, files) = inner.record_done(&id, state);
+                dropped.extend(handles);
+                for file in files {
+                    let _ = std::fs::remove_file(file);
+                }
             }
             other => return Err(fail(format!("unknown event {other:?}"))),
         }
@@ -1537,6 +1751,144 @@ mod tests {
         assert!(store2.resolve(&kept).is_ok(), "journal-referenced result must be kept");
         assert!(store2.resolve(&upload).is_ok(), "client uploads are never reconciled");
         assert!(matches!(q2.state(&id), Some(JobState::Done(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A result body comfortably above the tiny spill thresholds the
+    /// tests below configure, and identifiable by its tag.
+    fn big_result(tag: &str) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("csv", Json::from(format!("{tag},{}\n", "x".repeat(256)))),
+        ])
+    }
+
+    #[test]
+    fn large_results_spill_to_disk_and_status_reads_back() {
+        let dir = std::env::temp_dir().join("trajdp-spill-basic-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let q =
+            JobQueue::with_journal_opts(DatasetStore::new(), &dir.join("jobs.jsonl"), 64).unwrap();
+
+        // Below the threshold: stays inline.
+        q.finish("job-1", Json::obj([("ok", Json::Bool(true))]));
+        assert!(matches!(q.state("job-1"), Some(JobState::Done(_))));
+
+        // Above it: only the path lives in memory, the payload on disk.
+        let result = big_result("spilled");
+        q.finish("job-2", result.clone());
+        let spilled_path = match q.state("job-2") {
+            Some(JobState::Spilled { path, dataset }) => {
+                assert_eq!(dataset, None, "no dataset member in this result");
+                path
+            }
+            other => panic!("large result must spill, got {other:?}"),
+        };
+        assert_eq!(spilled_path, dir.join("results").join("job-2.json"));
+        assert_eq!(std::fs::read_to_string(&spilled_path).unwrap(), result.to_string());
+
+        // Status answers byte-identically to an inline result, and the
+        // wire cannot tell the states apart.
+        assert_eq!(q.outstanding(), 0, "spilled jobs are finished jobs");
+        assert_eq!(q.list(), vec![("job-1".to_string(), "done"), ("job-2".to_string(), "done")]);
+        let status = render_v1(q.status_response("job-2"));
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(status.get("csv"), result.get("csv"));
+
+        // A vanished spill file degrades to an io error on that job
+        // only — it must not panic or wedge the queue.
+        std::fs::remove_file(&spilled_path).unwrap();
+        let err = q.status_response("job-2").unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::Io);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spilled_results_survive_compaction_and_replay() {
+        let dir = std::env::temp_dir().join("trajdp-spill-replay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let result = big_result("durable");
+        {
+            let q = JobQueue::with_journal_opts(DatasetStore::new(), &path, 64).unwrap();
+            let id = q.submit(spec()).unwrap();
+            assert_eq!(id, "job-1");
+            q.finish(&id, result.clone());
+        }
+        // Restart: replay restores the job from the journal's finish
+        // event, re-spills it, and startup compaction must stream the
+        // spilled file back into the rewritten journal verbatim.
+        let q2 = JobQueue::with_journal_opts(DatasetStore::new(), &path, 64).unwrap();
+        let journal = std::fs::read_to_string(&path).unwrap();
+        assert!(journal.contains("\"event\":\"done\""), "{journal}");
+        assert!(journal.contains("durable,"), "compacted journal must inline the payload");
+        assert!(matches!(q2.state("job-1"), Some(JobState::Spilled { .. })));
+        let status = render_v1(q2.status_response("job-1"));
+        assert_eq!(status.get("csv"), result.get("csv"));
+        drop(q2);
+        // And the compacted journal replays again, byte-faithfully.
+        let q3 = JobQueue::with_journal_opts(DatasetStore::new(), &path, 64).unwrap();
+        let status = render_v1(q3.status_response("job-1"));
+        assert_eq!(status.get("csv"), result.get("csv"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicted_spilled_jobs_unlink_their_files_and_reclaim_their_handles() {
+        let dir = std::env::temp_dir().join("trajdp-spill-evict-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = crate::store::DatasetStore::with_config(crate::store::StoreConfig {
+            capacity: 2 * MAX_FINISHED_RETAINED,
+            ..crate::store::StoreConfig::default()
+        })
+        .unwrap();
+        let q = JobQueue::with_journal_opts(store.clone(), &dir.join("jobs.jsonl"), 1).unwrap();
+        let mut handles = Vec::new();
+        for i in 1..=MAX_FINISHED_RETAINED + 1 {
+            let (h, _) = store.insert_with_provenance(format!("result {i}\n"), true).unwrap();
+            q.finish(
+                &format!("job-{i}"),
+                Json::obj([("ok", Json::Bool(true)), ("dataset", Json::from(h.clone()))]),
+            );
+            handles.push(h);
+        }
+        assert_eq!(q.state("job-1"), None, "oldest job record evicted");
+        assert!(
+            !dir.join("results").join("job-1.json").exists(),
+            "evicted job's spill file must be unlinked with it"
+        );
+        assert!(
+            store.resolve(&handles[0]).unwrap_err().message.contains("unknown"),
+            "evicted spilled job's result handle must be reclaimed without reading the file"
+        );
+        assert!(dir.join("results").join("job-2.json").exists(), "retained files stay");
+        assert!(store.resolve(&handles[1]).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_spill_files_are_swept_at_startup() {
+        let dir = std::env::temp_dir().join("trajdp-spill-orphan-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        {
+            let q = JobQueue::with_journal_opts(DatasetStore::new(), &path, 64).unwrap();
+            let id = q.submit(spec()).unwrap();
+            assert_eq!(id, "job-1");
+            q.finish(&id, big_result("kept"));
+        }
+        // A stray file: a crash between an eviction's table update and
+        // its unlink, or a re-run whose first attempt never journaled.
+        std::fs::write(dir.join("results").join("job-9.json"), "{\"ok\":true}").unwrap();
+        let q = JobQueue::with_journal_opts(DatasetStore::new(), &path, 64).unwrap();
+        assert!(!dir.join("results").join("job-9.json").exists(), "orphan must be swept");
+        assert!(dir.join("results").join("job-1.json").exists(), "live spill file survives");
+        let status = render_v1(q.status_response("job-1"));
+        assert_eq!(status.get("csv"), big_result("kept").get("csv"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,7 +12,8 @@
 //! | [`protocol`] | request parsing + the handlers behind each verb |
 //! | [`store`] | chunked-transfer dataset handles (`ds-<id>`), optionally persisted, with delete/LRU/TTL lifecycle and job pinning |
 //! | [`jobs`] | job queue with ids, per-job status, and a durable, compacting JSON-lines journal |
-//! | [`service`] | `TcpListener` accept loop, bounded connection pool, graceful shutdown |
+//! | [`reactor`] | non-blocking connection plane: `epoll`/`poll` readiness loop, per-connection state machines, read deadlines, load shedding, drain-window shutdown |
+//! | [`service`] | server configuration, request dispatch, lifecycle around the reactor |
 //! | [`client`] | blocking JSON-lines client for tests and `trajdp submit` |
 //! | [`obs`] | observability: atomics-only metrics registry (the `metrics` verb), leveled JSON-lines logging, per-job phase timings |
 //!
@@ -31,6 +32,7 @@ pub mod jobs;
 pub mod json;
 pub mod obs;
 pub mod protocol;
+pub mod reactor;
 pub mod service;
 pub mod store;
 

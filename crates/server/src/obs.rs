@@ -202,6 +202,15 @@ pub struct Metrics {
     pub connections_active: AtomicU64,
     /// Connections accepted over the process lifetime.
     pub connections_total: AtomicU64,
+    /// Connections shed at accept because the server was at
+    /// `--max-conn` (answered `overloaded`, never served).
+    pub connections_shed: AtomicU64,
+    /// Connections closed because a partial request line outlived the
+    /// read deadline (slowloris / half-open peers).
+    pub deadline_closes: AtomicU64,
+    /// Wall-clock of each readiness-loop iteration (poll wait +
+    /// event handling) — the reactor's heartbeat.
+    pub reactor_iterations: Histogram,
     /// Jobs accepted by `submit`.
     pub jobs_submitted: AtomicU64,
     /// Jobs that reached `done`.
@@ -238,6 +247,9 @@ impl Default for Metrics {
             bytes_out: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            deadline_closes: AtomicU64::new(0),
+            reactor_iterations: Histogram::default(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -318,6 +330,9 @@ impl Metrics {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
             connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            deadline_closes: self.deadline_closes.load(Ordering::Relaxed),
+            reactor_iterations: self.reactor_iterations.snapshot(),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -362,6 +377,12 @@ pub struct MetricsSnapshot {
     pub connections_active: u64,
     /// Connections accepted over the lifetime.
     pub connections_total: u64,
+    /// Connections shed at accept (`overloaded`).
+    pub connections_shed: u64,
+    /// Connections closed at the read deadline.
+    pub deadline_closes: u64,
+    /// Readiness-loop iteration wall-clock.
+    pub reactor_iterations: HistogramSnapshot,
     /// Jobs accepted.
     pub jobs_submitted: u64,
     /// Jobs finished.
@@ -452,6 +473,14 @@ impl MetricsSnapshot {
                 ]),
             ),
             (
+                "reactor",
+                Json::obj([
+                    ("shed", Json::from(self.connections_shed)),
+                    ("deadline_closes", Json::from(self.deadline_closes)),
+                    ("iterations", self.reactor_iterations.to_json()),
+                ]),
+            ),
+            (
                 "bytes",
                 Json::obj([("in", Json::from(self.bytes_in)), ("out", Json::from(self.bytes_out))]),
             ),
@@ -498,6 +527,7 @@ impl MetricsSnapshot {
         let store = section("store")?;
         let journal = section("journal")?;
         let connections = section("connections")?;
+        let reactor = section("reactor")?;
         let bytes = section("bytes")?;
         Ok(MetricsSnapshot {
             uptime_secs: num(v, "uptime_secs")?,
@@ -507,6 +537,11 @@ impl MetricsSnapshot {
             bytes_out: num(bytes, "out")?,
             connections_active: num(connections, "active")?,
             connections_total: num(connections, "total")?,
+            connections_shed: num(reactor, "shed")?,
+            deadline_closes: num(reactor, "deadline_closes")?,
+            reactor_iterations: HistogramSnapshot::from_json(
+                reactor.get("iterations").ok_or("reactor missing iterations")?,
+            )?,
             jobs_submitted: num(jobs, "submitted")?,
             jobs_completed: num(jobs, "completed")?,
             queue_depth: num(jobs, "queue_depth")?,
@@ -560,6 +595,9 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "trajdp_journal_compactions_total {}", self.journal_compactions);
         let _ = writeln!(out, "trajdp_connections_active {}", self.connections_active);
         let _ = writeln!(out, "trajdp_connections_total {}", self.connections_total);
+        let _ = writeln!(out, "trajdp_connections_shed_total {}", self.connections_shed);
+        let _ = writeln!(out, "trajdp_deadline_closes_total {}", self.deadline_closes);
+        self.reactor_iterations.write_prometheus(&mut out, "trajdp_reactor_iteration_seconds", "");
         let _ = writeln!(out, "trajdp_bytes_in_total {}", self.bytes_in);
         let _ = writeln!(out, "trajdp_bytes_out_total {}", self.bytes_out);
         out
@@ -795,6 +833,9 @@ mod tests {
         m.journal_appends.fetch_add(3, Ordering::Relaxed);
         m.journal_fsync.observe(Duration::from_micros(400));
         m.journal_compactions.fetch_add(1, Ordering::Relaxed);
+        m.connections_shed.fetch_add(2, Ordering::Relaxed);
+        m.deadline_closes.fetch_add(1, Ordering::Relaxed);
+        m.reactor_iterations.observe(Duration::from_micros(30));
         let snap = m.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
@@ -806,6 +847,9 @@ mod tests {
         assert_eq!(parsed.errors.iter().find(|(c, _)| c == "bad-request").unwrap().1, 1);
         assert_eq!(parsed.store_bytes, 4096);
         assert_eq!(parsed.store_handles, 3);
+        assert_eq!(parsed.connections_shed, 2);
+        assert_eq!(parsed.deadline_closes, 1);
+        assert_eq!(parsed.reactor_iterations.count, 1);
     }
 
     #[test]
@@ -825,6 +869,9 @@ mod tests {
             "trajdp_store_bytes",
             "trajdp_journal_fsync_seconds_count",
             "trajdp_connections_active",
+            "trajdp_connections_shed_total",
+            "trajdp_deadline_closes_total",
+            "trajdp_reactor_iteration_seconds_count",
             "trajdp_bytes_in_total",
         ] {
             assert!(text.contains(family), "exposition must contain {family}:\n{text}");

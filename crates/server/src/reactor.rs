@@ -1,0 +1,1252 @@
+//! The non-blocking connection plane: a readiness loop (reactor)
+//! driving per-connection state machines instead of one thread per
+//! socket.
+//!
+//! ## Shape
+//!
+//! One reactor thread owns the listener, every connection socket, and a
+//! [`Poller`] — an `epoll` instance on Linux (bound via direct
+//! `extern "C"` declarations, matching the repo's vendor-offline style)
+//! with a portable `poll(2)` fallback selected at runtime (forced by
+//! the `TRAJDP_FORCE_POLL` environment variable, so the fallback stays
+//! exercised on Linux too). Each connection is a small state machine:
+//! bytes read into a [`LineScanner`] → a complete request line handed
+//! to a small executor pool → the rendered response appended to a
+//! write buffer flushed with partial-write continuation. The reactor
+//! itself never parses JSON and never runs a verb, so a CPU-heavy
+//! `anonymize` can never stall `accept` or another connection's I/O.
+//!
+//! One dispatch is in flight per connection at a time — responses keep
+//! the strict request order the JSON-lines protocol promises — and
+//! read interest is dropped while a dispatch is pending, so a
+//! pipelining client back-pressures into TCP instead of growing the
+//! input buffer without bound.
+//!
+//! ## What the blocking design could not express
+//!
+//! * **Read deadlines** — a connection that has *started* a request
+//!   line must finish it within the configured window. The deadline is
+//!   armed when the first partial byte is buffered and is *not*
+//!   extended by further partial bytes, so a slowloris drip cannot
+//!   hold the slot; it is cleared the moment a line completes. Idle
+//!   connections (empty buffer between requests) are never timed out.
+//!   Expiry answers a v1-shaped `bad-request` and closes.
+//! * **Load shedding** — past `max_connections` live connections, an
+//!   accept is answered with a one-line `overloaded` error and closed
+//!   instead of silently stalling in the TCP backlog ( `shutting-down`
+//!   when the accept races shutdown).
+//! * **Drain window** — on shutdown the listener closes immediately,
+//!   partial request lines are discarded, but requests already
+//!   received keep executing and their responses are flushed, up to
+//!   `drain_window`; only then are stragglers cut.
+//!
+//! The reactor is observable: shed and deadline-close counters plus a
+//! per-iteration latency histogram (the handling portion of each loop
+//! turn, not the poll wait) live in [`Metrics`].
+
+use crate::api::{self, ApiError};
+use crate::json::Json;
+use crate::obs::{log_enabled, log_event, LogLevel, Metrics};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Raw OS bindings (no libc crate — the workspace vendors everything)
+// ---------------------------------------------------------------------
+
+/// Portable POSIX pieces both backends need: `poll(2)`, a self-pipe,
+/// and non-blocking mode for raw fds.
+mod sys {
+    use std::os::raw::{c_int, c_ulong, c_void};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+    pub const POLLERR: i16 = 0x8;
+    pub const POLLHUP: i16 = 0x10;
+
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: c_int = 0x4;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        // Declared with a fixed third argument (the variadic C
+        // prototype passes it in the same register for the commands
+        // used here).
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Linux `epoll`, the preferred backend: O(ready) wakeups instead of
+/// O(registered) scans per loop turn.
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use std::os::raw::c_int;
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's `struct epoll_event`: packed on x86-64, where the
+    /// ABI leaves the 64-bit payload unaligned.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+/// Puts a raw fd (not owned by a std type) into non-blocking mode.
+fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Poller: one readiness-notification surface over both backends
+// ---------------------------------------------------------------------
+
+/// One readiness event: which registration fired and how.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup — the peer is gone or going; always delivered
+    /// by both backends regardless of the requested interest.
+    pub hangup: bool,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    /// Portable fallback: the registration table is rebuilt into a
+    /// `pollfd` array every wait.
+    Poll { fds: Vec<(RawFd, u64, bool, bool)> },
+}
+
+/// Readiness notification over raw fds: register with a `u64` token,
+/// wait for [`Event`]s. Level-triggered on both backends.
+pub struct Poller {
+    backend: Backend,
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(readable: bool, writable: bool) -> u32 {
+    (if readable { epoll_sys::EPOLLIN } else { 0 })
+        | (if writable { epoll_sys::EPOLLOUT } else { 0 })
+}
+
+/// `poll`/`epoll_wait` timeout argument: `-1` blocks indefinitely;
+/// finite waits round up so a 100 µs deadline cannot spin at 0 ms.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+    }
+}
+
+impl Poller {
+    /// The platform's best backend: `epoll` on Linux unless
+    /// `TRAJDP_FORCE_POLL` is set, `poll` everywhere else.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(std::env::var_os("TRAJDP_FORCE_POLL").is_some())
+    }
+
+    /// Backend selection split out so tests can drive the portable
+    /// fallback deterministically without mutating the environment.
+    pub fn with_backend(force_poll: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        if !force_poll {
+            let epfd = unsafe { epoll_sys::epoll_create1(epoll_sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            return Ok(Poller { backend: Backend::Epoll { epfd } });
+        }
+        let _ = force_poll;
+        Ok(Poller { backend: Backend::Poll { fds: Vec::new() } })
+    }
+
+    pub fn register(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev =
+                    epoll_sys::EpollEvent { events: epoll_mask(readable, writable), data: token };
+                if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_ADD, fd, &mut ev) } < 0
+                {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                fds.push((fd, token, readable, writable));
+                Ok(())
+            }
+        }
+    }
+
+    pub fn modify(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev =
+                    epoll_sys::EpollEvent { events: epoll_mask(readable, writable), data: token };
+                if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_MOD, fd, &mut ev) } < 0
+                {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                for entry in fds.iter_mut() {
+                    if entry.0 == fd {
+                        *entry = (fd, token, readable, writable);
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd is not registered"))
+            }
+        }
+    }
+
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                // Pre-2.6.9 kernels require a non-null event for DEL.
+                let mut ev = epoll_sys::EpollEvent { events: 0, data: 0 };
+                if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_DEL, fd, &mut ev) } < 0
+                {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                fds.retain(|&(f, ..)| f != fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registration is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `out`.
+    pub fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        let ms = timeout_ms(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut events = [epoll_sys::EpollEvent { events: 0, data: 0 }; 64];
+                let n = loop {
+                    let n = unsafe {
+                        epoll_sys::epoll_wait(*epfd, events.as_mut_ptr(), events.len() as i32, ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let e = io::Error::last_os_error();
+                    if e.kind() != io::ErrorKind::Interrupted {
+                        return Err(e);
+                    }
+                };
+                for ev in &events[..n] {
+                    // Plain field reads copy out of the packed struct.
+                    let bits = ev.events;
+                    let token = ev.data;
+                    out.push(Event {
+                        token,
+                        readable: bits & epoll_sys::EPOLLIN != 0,
+                        writable: bits & epoll_sys::EPOLLOUT != 0,
+                        hangup: bits & (epoll_sys::EPOLLERR | epoll_sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                let mut pfds: Vec<sys::PollFd> = fds
+                    .iter()
+                    .map(|&(fd, _, r, w)| sys::PollFd {
+                        fd,
+                        events: (if r { sys::POLLIN } else { 0 })
+                            | (if w { sys::POLLOUT } else { 0 }),
+                        revents: 0,
+                    })
+                    .collect();
+                let n = loop {
+                    let n = unsafe {
+                        sys::poll(pfds.as_mut_ptr(), pfds.len() as std::os::raw::c_ulong, ms)
+                    };
+                    if n >= 0 {
+                        break n;
+                    }
+                    let e = io::Error::last_os_error();
+                    if e.kind() != io::ErrorKind::Interrupted {
+                        return Err(e);
+                    }
+                };
+                if n > 0 {
+                    for (pfd, &(_, token, ..)) in pfds.iter().zip(fds.iter()) {
+                        if pfd.revents != 0 {
+                            out.push(Event {
+                                token,
+                                readable: pfd.revents & sys::POLLIN != 0,
+                                writable: pfd.revents & sys::POLLOUT != 0,
+                                hangup: pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll { epfd } = self.backend {
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker: a self-pipe that interrupts a blocked wait from any thread
+// ---------------------------------------------------------------------
+
+struct WakerFd {
+    fd: RawFd,
+}
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Wakes the reactor out of a blocked [`Poller::wait`] — used by
+/// executor workers when a completion is ready and by
+/// [`crate::service::Server::shutdown`]. Cloneable and safe from any
+/// thread; a full pipe means a wake is already pending, so the write
+/// result is ignored.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<WakerFd>,
+}
+
+impl Waker {
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe { sys::write(self.inner.fd, (&byte as *const u8).cast(), 1) };
+    }
+}
+
+/// The read half of the self-pipe, owned (and drained) by the reactor.
+struct PipeReader {
+    fd: RawFd,
+}
+
+impl PipeReader {
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// A non-blocking self-pipe: `(read_end, write_end)`.
+fn new_waker() -> io::Result<(PipeReader, Waker)> {
+    let mut fds = [0i32; 2];
+    if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let reader = PipeReader { fd: fds[0] };
+    let waker = Waker { inner: Arc::new(WakerFd { fd: fds[1] }) };
+    set_nonblocking_fd(fds[0])?;
+    set_nonblocking_fd(fds[1])?;
+    Ok((reader, waker))
+}
+
+// ---------------------------------------------------------------------
+// Line framing
+// ---------------------------------------------------------------------
+
+/// The oversized-line marker `framing_error` classifies on — the kind,
+/// not the message text, decides the wire code.
+fn oversized() -> io::Error {
+    io::Error::new(io::ErrorKind::FileTooLarge, "request line exceeds the size limit")
+}
+
+/// Incremental `\n`-framed line scanner with an exact content bound:
+/// a line of exactly `max` bytes (terminator not counted) passes, one
+/// more fails — checked as bytes arrive, so an oversized line is
+/// rejected before it is fully buffered. The non-blocking successor of
+/// the old `read_line_bounded`, with identical bound and error
+/// semantics.
+#[derive(Default)]
+pub struct LineScanner {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already searched for a terminator — makes
+    /// repeated scans over a slowly arriving large line linear overall.
+    searched: usize,
+}
+
+impl LineScanner {
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete line (terminator stripped), `None`
+    /// when more bytes are needed, or a framing error: an oversized
+    /// line ([`io::ErrorKind::FileTooLarge`]) or one that is not UTF-8
+    /// ([`io::ErrorKind::InvalidData`]). Framing errors poison the
+    /// stream — the caller must close the connection.
+    pub fn next_line(&mut self, max: usize) -> io::Result<Option<String>> {
+        match self.buf[self.searched..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let content_len = self.searched + off;
+                if content_len > max {
+                    return Err(oversized());
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=content_len).collect();
+                line.pop(); // the terminator
+                self.searched = 0;
+                match String::from_utf8(line) {
+                    Ok(s) => Ok(Some(s)),
+                    Err(_) => {
+                        Err(io::Error::new(io::ErrorKind::InvalidData, "request is not UTF-8"))
+                    }
+                }
+            }
+            None => {
+                self.searched = self.buf.len();
+                if self.buf.len() > max {
+                    return Err(oversized());
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Whether an incomplete line is buffered. Only meaningful right
+    /// after [`Self::next_line`] returned `Ok(None)` (the scanner has
+    /// then searched everything and found no terminator).
+    pub fn awaiting_line(&self) -> bool {
+        !self.buf.is_empty() && self.searched == self.buf.len()
+    }
+
+    /// Drops any trailing partial line, keeping buffered complete
+    /// lines — shutdown drains answers for requests fully received,
+    /// never half-received ones.
+    pub fn discard_partial(&mut self) {
+        match self.buf.iter().rposition(|&b| b == b'\n') {
+            Some(i) => self.buf.truncate(i + 1),
+            None => self.buf.clear(),
+        }
+        self.searched = self.searched.min(self.buf.len());
+    }
+}
+
+/// Classifies a framing-layer failure by its [`io::ErrorKind`] — never
+/// by message text. An oversized line is the client's fault and
+/// carries the payload cap's code; undecodable bytes are a bad
+/// request; anything else is the transport itself failing.
+pub fn framing_error(e: &io::Error) -> ApiError {
+    match e.kind() {
+        io::ErrorKind::FileTooLarge => ApiError::payload_too_large(e.to_string()),
+        io::ErrorKind::InvalidData => ApiError::bad_request(e.to_string()),
+        _ => ApiError::io(e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor: the small pool that runs dispatches off the reactor thread
+// ---------------------------------------------------------------------
+
+/// The service's request handler: `(connection id, request line,
+/// receive instant) → rendered response line` (newline included). Runs
+/// on executor threads; everything it needs travels in the closure.
+pub type Dispatch = Arc<dyn Fn(u64, String, Instant) -> String + Send + Sync>;
+
+struct Task {
+    conn: u64,
+    line: String,
+    received: Instant,
+}
+
+struct Completion {
+    conn: u64,
+    output: String,
+}
+
+/// A fixed pool of dispatch threads fed from an unbounded channel (the
+/// one-in-flight-per-connection rule bounds it at one task per live
+/// connection). Workers pull through a shared `Mutex<Receiver>` — the
+/// `core::pool` idiom of cheap scoped fan-out, adapted to a long-lived
+/// pool.
+struct Executor {
+    tx: Option<mpsc::Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    fn new(
+        threads: usize,
+        dispatch: Dispatch,
+        done_tx: mpsc::Sender<Completion>,
+        waker: Waker,
+    ) -> Executor {
+        let (tx, rx) = mpsc::channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let dispatch = Arc::clone(&dispatch);
+                let done_tx = done_tx.clone();
+                let waker = waker.clone();
+                std::thread::spawn(move || loop {
+                    // The receiver lock is held only while blocked in
+                    // recv; dispatch runs outside it, so workers
+                    // process tasks concurrently.
+                    let task = match rx.lock().expect("executor queue poisoned").recv() {
+                        Ok(t) => t,
+                        Err(_) => break,
+                    };
+                    let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        dispatch(task.conn, task.line, task.received)
+                    }))
+                    .unwrap_or_else(|_| {
+                        format!(
+                            "{}\n",
+                            api::render_v1(Err(ApiError::internal("request handler panicked")))
+                        )
+                    });
+                    if done_tx.send(Completion { conn: task.conn, output }).is_err() {
+                        break;
+                    }
+                    waker.wake();
+                })
+            })
+            .collect();
+        Executor { tx: Some(tx), workers }
+    }
+
+    fn submit(&self, conn: u64, line: String) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Task { conn, line, received: Instant::now() });
+        }
+    }
+
+    /// Closes the queue and joins every worker (waiting out a dispatch
+    /// still running).
+    fn shutdown(&mut self) {
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor itself
+// ---------------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Reactor tuning, filled from [`crate::service::ServerConfig`].
+pub struct ReactorConfig {
+    /// Live-connection cap; accepts beyond it are shed.
+    pub max_connections: usize,
+    /// Partial-line completion deadline.
+    pub read_timeout: Duration,
+    /// Shutdown grace for in-flight requests.
+    pub drain_window: Duration,
+    /// Executor pool size.
+    pub executor_threads: usize,
+    /// Per-line content cap ([`crate::service::MAX_REQUEST_BYTES`];
+    /// configurable so tests can hit it without 256 MiB lines).
+    pub max_request_bytes: usize,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    scanner: LineScanner,
+    outbuf: Vec<u8>,
+    written: usize,
+    /// A dispatch for this connection is on the executor; reads and
+    /// further line extraction pause until its completion.
+    busy: bool,
+    /// No more bytes will be read (peer EOF, a framing error, or the
+    /// drain window); buffered work still completes.
+    read_closed: bool,
+    /// Close as soon as the write buffer flushes.
+    close_after_flush: bool,
+    /// Hard transport failure; close immediately.
+    dead: bool,
+    /// Armed while an incomplete line is buffered.
+    deadline: Option<Instant>,
+    /// What the poller currently watches for this socket.
+    registered: bool,
+    interest: (bool, bool),
+}
+
+pub struct Reactor {
+    listener: Option<TcpListener>,
+    poller: Poller,
+    wake_reader: PipeReader,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    cfg: ReactorConfig,
+    metrics: Arc<Metrics>,
+    executor: Executor,
+    done_rx: mpsc::Receiver<Completion>,
+    stop: Arc<AtomicBool>,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    /// Builds the reactor around a bound listener. Returns the
+    /// [`Waker`] the owner uses to interrupt [`Reactor::run`] after
+    /// raising `stop`.
+    pub fn new(
+        listener: TcpListener,
+        cfg: ReactorConfig,
+        metrics: Arc<Metrics>,
+        dispatch: Dispatch,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<(Reactor, Waker)> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        let (wake_reader, waker) = new_waker()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        poller.register(wake_reader.fd, WAKER_TOKEN, true, false)?;
+        let (done_tx, done_rx) = mpsc::channel();
+        let executor = Executor::new(cfg.executor_threads, dispatch, done_tx, waker.clone());
+        let reactor = Reactor {
+            listener: Some(listener),
+            poller,
+            wake_reader,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            cfg,
+            metrics,
+            executor,
+            done_rx,
+            stop,
+            drain_deadline: None,
+        };
+        Ok((reactor, waker))
+    }
+
+    /// The readiness loop. Returns once shutdown has drained (or cut)
+    /// every connection and the executor has been joined.
+    pub fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.next_timeout();
+            if self.poller.wait(timeout, &mut events).is_err() {
+                break;
+            }
+            let iter_start = Instant::now();
+            // Connection events first, the listener last: a slot freed
+            // in this very batch is available to an accept in it.
+            for ev in &events {
+                match ev.token {
+                    WAKER_TOKEN => self.wake_reader.drain(),
+                    LISTENER_TOKEN => {}
+                    token => self.conn_ready(token, *ev),
+                }
+            }
+            if events.iter().any(|ev| ev.token == LISTENER_TOKEN) {
+                self.accept_ready();
+            }
+            self.drain_completions();
+            self.expire_deadlines();
+            if self.stop.load(Ordering::SeqCst) && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            if let Some(dd) = self.drain_deadline {
+                if Instant::now() >= dd {
+                    for token in self.conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_conn(token);
+                    }
+                }
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            self.metrics.reactor_iterations.observe(iter_start.elapsed());
+        }
+        self.executor.shutdown();
+    }
+
+    /// The next wait's timeout: the nearest read deadline or the drain
+    /// deadline; `None` (block indefinitely) when neither is armed —
+    /// an idle reactor takes zero wakeups.
+    fn next_timeout(&self) -> Option<Duration> {
+        let mut next: Option<Instant> = self.drain_deadline;
+        for c in self.conns.values() {
+            if let Some(d) = c.deadline {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        next.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    // -- accept path --------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.stop.load(Ordering::SeqCst) {
+            self.refuse(stream, ApiError::shutting_down("server is shutting down"));
+            return;
+        }
+        if self.conns.len() >= self.cfg.max_connections {
+            self.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+            if log_enabled(LogLevel::Warn) {
+                log_event(
+                    LogLevel::Warn,
+                    "connection shed",
+                    &[("active", Json::from(self.conns.len()))],
+                );
+            }
+            self.refuse(
+                stream,
+                ApiError::overloaded("server is serving its maximum number of connections"),
+            );
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.poller.register(stream.as_raw_fd(), token, true, false).is_err() {
+            return;
+        }
+        self.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        if log_enabled(LogLevel::Debug) {
+            log_event(LogLevel::Debug, "connection opened", &[("conn", Json::from(token))]);
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                scanner: LineScanner::default(),
+                outbuf: Vec::new(),
+                written: 0,
+                busy: false,
+                read_closed: false,
+                close_after_flush: false,
+                dead: false,
+                deadline: None,
+                registered: true,
+                interest: (true, false),
+            },
+        );
+    }
+
+    /// Answers a connection that will not be served with one v1-shaped
+    /// error line, then drops it. Best-effort: the socket is fresh, so
+    /// the short line fits its send buffer without blocking.
+    fn refuse(&self, mut stream: TcpStream, err: ApiError) {
+        self.metrics.record_error(err.code);
+        let out = format!("{}\n", api::render_v1(Err(err)));
+        self.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.write_all(out.as_bytes());
+    }
+
+    // -- per-connection I/O -------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        if ev.readable || ev.hangup {
+            self.read_ready(token);
+            self.pump(token);
+        }
+        if ev.writable || ev.hangup {
+            self.flush(token);
+        }
+        self.finish_io(token);
+    }
+
+    /// Reads everything currently available into the scanner.
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.read_closed || conn.dead {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => conn.scanner.push(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Extracts buffered lines until a dispatch goes in flight, more
+    /// bytes are needed, or the framing poisons. Maintains the
+    /// invariant that an idle (`!busy`) connection has no complete
+    /// line buffered.
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.busy || conn.close_after_flush || conn.dead {
+                return;
+            }
+            match conn.scanner.next_line(self.cfg.max_request_bytes) {
+                Ok(Some(line)) => {
+                    // Every consumed line counts, blank ones included —
+                    // the old handler skipped blanks before the
+                    // increment and under-counted.
+                    self.metrics.bytes_in.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    conn.busy = true;
+                    self.executor.submit(token, line);
+                    return;
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    // The framing is unrecoverable and the line never
+                    // parsed, so no envelope is known — framing errors
+                    // are always v1-shaped (documented in PROTOCOL.md).
+                    let err = framing_error(&e);
+                    self.metrics.record_error(err.code);
+                    self.metrics.record_request("invalid", Duration::ZERO);
+                    if log_enabled(LogLevel::Warn) {
+                        log_event(
+                            LogLevel::Warn,
+                            "framing error",
+                            &[("conn", Json::from(token)), ("code", Json::from(err.code.as_str()))],
+                        );
+                    }
+                    let out = format!("{}\n", api::render_v1(Err(err)));
+                    self.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+                    conn.outbuf.extend_from_slice(out.as_bytes());
+                    conn.close_after_flush = true;
+                    conn.read_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts,
+    /// continuing a partial write where it left off.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        while conn.written < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.written > 0 && conn.written == conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.written = 0;
+        }
+    }
+
+    /// Applies a completed dispatch, then immediately pumps the next
+    /// pipelined line and flushes.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            // The connection may have died while its dispatch ran; the
+            // response is then dropped on the floor.
+            if let Some(conn) = self.conns.get_mut(&done.conn) {
+                conn.outbuf.extend_from_slice(done.output.as_bytes());
+                conn.busy = false;
+            }
+            self.pump(done.conn);
+            self.flush(done.conn);
+            self.finish_io(done.conn);
+        }
+    }
+
+    /// Closes connections whose partial request line outlived the read
+    /// deadline, answering `bad-request` first.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            {
+                let Some(conn) = self.conns.get_mut(&token) else { continue };
+                conn.deadline = None;
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                let err = ApiError::bad_request("request read timed out before the line completed");
+                self.metrics.deadline_closes.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_error(err.code);
+                if log_enabled(LogLevel::Warn) {
+                    log_event(
+                        LogLevel::Warn,
+                        "read deadline exceeded",
+                        &[("conn", Json::from(token))],
+                    );
+                }
+                let out = format!("{}\n", api::render_v1(Err(err)));
+                self.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+                conn.outbuf.extend_from_slice(out.as_bytes());
+            }
+            self.flush(token);
+            self.finish_io(token);
+        }
+    }
+
+    /// Enters the drain window: the listener closes, partial lines are
+    /// discarded, already-received requests keep executing, idle
+    /// connections close now.
+    fn begin_drain(&mut self) {
+        self.drain_deadline = Some(Instant::now() + self.cfg.drain_window);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        if log_enabled(LogLevel::Info) {
+            log_event(
+                LogLevel::Info,
+                "draining connections",
+                &[("active", Json::from(self.conns.len()))],
+            );
+        }
+        for token in self.conns.keys().copied().collect::<Vec<_>>() {
+            // One final sweep of the kernel buffer so a request fully
+            // sent before shutdown is answered even if the reactor had
+            // not read it yet.
+            self.read_ready(token);
+            self.pump(token);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_closed = true;
+                conn.scanner.discard_partial();
+                conn.deadline = None;
+            }
+            self.flush(token);
+            self.finish_io(token);
+        }
+    }
+
+    /// Settles a connection after I/O: close it if it is finished (or
+    /// dead), otherwise re-arm the deadline and poller interest.
+    fn finish_io(&mut self, token: u64) {
+        let close = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let flushed = conn.written >= conn.outbuf.len();
+            let close = conn.dead
+                || (conn.close_after_flush && flushed)
+                || (conn.read_closed && flushed && !conn.busy);
+            if !close {
+                // Deadline: armed when a partial line is first
+                // buffered, kept (not extended) while it drips,
+                // cleared once no partial is pending.
+                let awaiting = !conn.busy && !conn.read_closed && conn.scanner.awaiting_line();
+                if !awaiting {
+                    conn.deadline = None;
+                } else if conn.deadline.is_none() {
+                    conn.deadline = Some(Instant::now() + self.cfg.read_timeout);
+                }
+            }
+            close
+        };
+        if close {
+            self.close_conn(token);
+            return;
+        }
+        self.sync_interest(token);
+    }
+
+    /// Matches the poller registration to what the state machine can
+    /// use. A connection needing neither reads nor writes (dispatch in
+    /// flight, nothing buffered) is deregistered entirely — both
+    /// backends report hangups unconditionally on registered fds, and
+    /// a half-dead peer must not spin the loop while its request runs.
+    fn sync_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let want_read = !conn.read_closed && !conn.busy && !conn.close_after_flush;
+        let want_write = conn.written < conn.outbuf.len();
+        let want = (want_read, want_write);
+        let fd = conn.stream.as_raw_fd();
+        let result = if want == (false, false) {
+            if conn.registered {
+                conn.registered = false;
+                self.poller.deregister(fd)
+            } else {
+                Ok(())
+            }
+        } else if !conn.registered {
+            conn.registered = true;
+            conn.interest = want;
+            self.poller.register(fd, token, want.0, want.1)
+        } else if conn.interest != want {
+            conn.interest = want;
+            self.poller.modify(fd, token, want.0, want.1)
+        } else {
+            Ok(())
+        };
+        if result.is_err() {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.registered {
+                let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            }
+            self.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+            if log_enabled(LogLevel::Debug) {
+                log_event(LogLevel::Debug, "connection closed", &[("conn", Json::from(token))]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ErrorCode;
+
+    /// Feeds `input` to a scanner in `chunk`-sized pieces and pulls
+    /// the first line — the incremental analogue of the old
+    /// `read_line_bounded` tests, chunk boundaries and all.
+    fn scan_first(input: &str, chunk: usize, max: usize) -> io::Result<Option<String>> {
+        let mut scanner = LineScanner::default();
+        let bytes = input.as_bytes();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let end = (offset + chunk).min(bytes.len());
+            scanner.push(&bytes[offset..end]);
+            offset = end;
+            match scanner.next_line(max) {
+                Ok(None) => continue,
+                other => return other,
+            }
+        }
+        Ok(None)
+    }
+
+    #[test]
+    fn scanner_bound_is_exact_at_the_limit() {
+        // Content of exactly `max` bytes passes; one more fails —
+        // regardless of where the chunk boundaries fall.
+        for chunk in [1, 2, 3, 5, 8, 64] {
+            let at = scan_first("aaaaaaaa\nrest", chunk, 8).unwrap();
+            assert_eq!(at.as_deref(), Some("aaaaaaaa"), "chunk {chunk}");
+            let over = scan_first("aaaaaaaaa\nrest", chunk, 8);
+            assert!(over.is_err(), "chunk {chunk}: 9 bytes must exceed max 8");
+        }
+    }
+
+    #[test]
+    fn scanner_rejects_line_terminating_in_next_chunk() {
+        // The terminator arriving in a later chunk must not defeat the
+        // bound: 5 content bytes > max 4 fails however it is sliced.
+        assert!(scan_first("aaaaa\n", 8, 4).is_err());
+        assert!(scan_first("aaa", 3, 4).unwrap().is_none()); // incomplete, no error
+        assert!(scan_first("aaaaa\n", 3, 4).is_err());
+        assert_eq!(scan_first("aaaa\n", 3, 4).unwrap().as_deref(), Some("aaaa"));
+    }
+
+    #[test]
+    fn scanner_streams_lines_and_tracks_partials() {
+        let mut s = LineScanner::default();
+        s.push(b"one\ntwo\nthr");
+        assert_eq!(s.next_line(100).unwrap().as_deref(), Some("one"));
+        assert_eq!(s.next_line(100).unwrap().as_deref(), Some("two"));
+        assert_eq!(s.next_line(100).unwrap(), None);
+        assert!(s.awaiting_line(), "a partial line is buffered");
+        s.push(b"ee\n");
+        assert_eq!(s.next_line(100).unwrap().as_deref(), Some("three"));
+        assert_eq!(s.next_line(100).unwrap(), None);
+        assert!(!s.awaiting_line(), "buffer is empty between requests");
+    }
+
+    #[test]
+    fn scanner_discard_partial_keeps_complete_lines() {
+        let mut s = LineScanner::default();
+        s.push(b"keep\nhalf");
+        s.discard_partial();
+        assert_eq!(s.next_line(100).unwrap().as_deref(), Some("keep"));
+        assert_eq!(s.next_line(100).unwrap(), None);
+        assert!(!s.awaiting_line());
+        // A buffer that is all partial clears entirely.
+        let mut s = LineScanner::default();
+        s.push(b"half");
+        assert_eq!(s.next_line(100).unwrap(), None);
+        s.discard_partial();
+        assert!(!s.awaiting_line());
+    }
+
+    #[test]
+    fn framing_errors_carry_the_documented_codes() {
+        // The mapping is pinned here because hitting it over the wire
+        // needs a line past MAX_REQUEST_BYTES (256 MiB).
+        let oversized = scan_first("aaaaa\n", 8, 4).unwrap_err();
+        assert_eq!(framing_error(&oversized).code, ErrorCode::PayloadTooLarge);
+        assert_eq!(framing_error(&oversized).message, "request line exceeds the size limit");
+        let mut s = LineScanner::default();
+        s.push(&[0xFF, 0xFE, b'\n']);
+        let not_utf8 = s.next_line(100).unwrap_err();
+        assert_eq!(not_utf8.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(framing_error(&not_utf8).code, ErrorCode::BadRequest);
+        let broken = io::Error::new(io::ErrorKind::ConnectionReset, "reset");
+        assert_eq!(framing_error(&broken).code, ErrorCode::Io);
+        // And the v1 message is byte-identical to the pre-reactor
+        // shape (the error string was the io::Error text verbatim).
+        assert_eq!(
+            api::render_v1(Err(framing_error(&oversized))).to_string(),
+            r#"{"error":"request line exceeds the size limit","ok":false}"#
+        );
+    }
+
+    /// Exercises a poller backend directly through a self-pipe:
+    /// readiness, token delivery, timeouts, and deregistration.
+    fn poller_roundtrip(force_poll: bool) {
+        let mut poller = Poller::with_backend(force_poll).unwrap();
+        let (reader, waker) = new_waker().unwrap();
+        poller.register(reader.fd, 7, true, false).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a finite wait times out empty.
+        poller.wait(Some(Duration::from_millis(5)), &mut events).unwrap();
+        assert!(events.is_empty(), "no event before the wake");
+        waker.wake();
+        poller.wait(Some(Duration::from_secs(5)), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        reader.drain();
+        // Deregistered fds never fire again.
+        poller.deregister(reader.fd).unwrap();
+        waker.wake();
+        poller.wait(Some(Duration::from_millis(5)), &mut events).unwrap();
+        assert!(events.is_empty(), "deregistered fd must not fire");
+    }
+
+    #[test]
+    fn poll_fallback_backend_delivers_events() {
+        poller_roundtrip(true);
+    }
+
+    #[test]
+    fn default_backend_delivers_events() {
+        poller_roundtrip(false);
+    }
+
+    #[test]
+    fn wait_timeouts_round_up_not_down() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1, "sub-ms waits must not spin");
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

@@ -1,29 +1,30 @@
-//! The TCP service: accept loop, bounded connection pool, dispatch,
-//! graceful shutdown.
+//! The TCP service: configuration, request dispatch, and server
+//! lifecycle around the [`crate::reactor`] connection plane.
 //!
-//! Each accepted connection is handled by its own thread speaking the
-//! JSON-lines protocol until the peer closes. A counting semaphore
-//! bounds concurrent connections: when `max_connections` handlers are
-//! live the accept loop blocks before accepting more, so overload
-//! back-pressures into the TCP backlog instead of unbounded threads.
+//! All connections are served by one non-blocking readiness loop (see
+//! [`crate::reactor`]): the reactor thread owns every socket and the
+//! listener, and hands complete request lines to a small executor pool
+//! that runs the request dispatcher. Concurrency is therefore bounded by file
+//! descriptors, not threads — `max_connections` is a shed threshold
+//! (excess accepts are answered with an `overloaded` error), no longer
+//! a thread-pool size, and a slow or half-open peer costs a buffer, not
+//! a pinned OS thread.
 //!
 //! Shutdown is cooperative and cannot deadlock on live connections:
-//! [`Server::shutdown`] sets a flag, pokes the listener with a loopback
-//! connection to unblock `accept`, half-closes every registered
-//! connection socket to unblock handler reads, drains the job queue
-//! workers, and joins every thread before returning. The semaphore wait
-//! in the accept loop re-checks the flag periodically so a cap-saturated
-//! server still shuts down.
+//! [`Server::shutdown`] raises the stop flag and wakes the reactor,
+//! which closes the listener and enters a bounded drain window —
+//! requests already received still get their responses, partial request
+//! lines are discarded, idle connections close immediately — then the
+//! job queue drains and every thread is joined before returning.
 
 use crate::api::{self, ApiError, Response};
 use crate::jobs::JobQueue;
 use crate::json::Json;
 use crate::obs::{log_enabled, log_event, LogLevel, Metrics};
 use crate::protocol::{self, Request};
+use crate::reactor::{Dispatch, Reactor, ReactorConfig, Waker};
 use crate::store::{DatasetStore, StoreConfig, MAX_STORED_DATASETS};
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -39,8 +40,18 @@ pub struct ServerConfig {
     /// leaving async jobs queued indefinitely — only useful to tests
     /// that need a job frozen in `queued`; the CLI rejects it.
     pub workers: usize,
-    /// Maximum concurrently served connections.
+    /// Maximum concurrently served connections (CLI `--max-conn`).
+    /// Accepts beyond the cap are answered with one `overloaded` error
+    /// line and closed — shed, not silently stalled in the backlog.
     pub max_connections: usize,
+    /// Per-connection read deadline (CLI `--read-timeout`): once a
+    /// partial request line is buffered it must complete within this
+    /// window or the connection is answered `bad-request` and closed.
+    /// Idle connections (no partial line) are never timed out.
+    pub read_timeout: Duration,
+    /// Shutdown grace: how long the reactor keeps flushing responses
+    /// for requests received before [`Server::shutdown`].
+    pub drain_window: Duration,
     /// Durable-state directory (CLI `--state-dir`). When set, the job
     /// table is journaled to `<dir>/jobs.jsonl` (compacted at startup
     /// and after enough finish events) and committed datasets are
@@ -64,71 +75,12 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
-            max_connections: 32,
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(10),
+            drain_window: Duration::from_secs(5),
             state_dir: None,
             max_datasets: MAX_STORED_DATASETS,
             dataset_ttl: None,
-        }
-    }
-}
-
-/// A counting semaphore (std has none until `Semaphore` stabilizes).
-struct Semaphore {
-    permits: Mutex<usize>,
-    cvar: Condvar,
-}
-
-impl Semaphore {
-    fn new(permits: usize) -> Self {
-        Self { permits: Mutex::new(permits), cvar: Condvar::new() }
-    }
-
-    /// Takes a permit, or returns `false` if `stop` is raised while
-    /// waiting (re-checked every 100 ms so shutdown is never blocked by
-    /// a saturated pool).
-    fn acquire_unless_stopped(&self, stop: &AtomicBool) -> bool {
-        let mut p = self.permits.lock().expect("semaphore poisoned");
-        loop {
-            if stop.load(Ordering::SeqCst) {
-                return false;
-            }
-            if *p > 0 {
-                *p -= 1;
-                return true;
-            }
-            let (guard, _timeout) =
-                self.cvar.wait_timeout(p, Duration::from_millis(100)).expect("semaphore poisoned");
-            p = guard;
-        }
-    }
-
-    fn release(&self) {
-        *self.permits.lock().expect("semaphore poisoned") += 1;
-        self.cvar.notify_one();
-    }
-}
-
-/// Registry of live connection sockets so shutdown can unblock their
-/// reader threads with `TcpStream::shutdown`.
-#[derive(Clone, Default)]
-struct Connections {
-    inner: Arc<Mutex<HashMap<u64, TcpStream>>>,
-}
-
-impl Connections {
-    fn register(&self, id: u64, stream: &TcpStream) {
-        if let Ok(clone) = stream.try_clone() {
-            self.inner.lock().expect("registry poisoned").insert(id, clone);
-        }
-    }
-
-    fn deregister(&self, id: u64) {
-        self.inner.lock().expect("registry poisoned").remove(&id);
-    }
-
-    fn shutdown_all(&self) {
-        for stream in self.inner.lock().expect("registry poisoned").values() {
-            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -138,21 +90,26 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     jobs: JobQueue,
-    connections: Connections,
-    accept_thread: Option<JoinHandle<()>>,
+    waker: Waker,
+    reactor_thread: Option<JoinHandle<()>>,
     job_threads: Vec<JoinHandle<()>>,
+    sweep_state: Arc<(Mutex<bool>, Condvar)>,
     sweep_thread: Option<JoinHandle<()>>,
 }
 
-/// Per-server context shared by every connection handler: the static
-/// facts the `info` verb reports plus the observability registry the
-/// `metrics` verb snapshots.
+/// Per-server context shared by every dispatch: the static facts the
+/// `info` verb reports plus the observability registry the `metrics`
+/// verb snapshots.
 #[derive(Clone)]
 struct ServiceContext {
     /// Job-queue worker threads.
     workers: usize,
     /// Configured dataset-store capacity (`--max-datasets`).
     max_datasets: usize,
+    /// Configured connection cap (`--max-conn`), for `info`.
+    max_connections: usize,
+    /// Configured read deadline (`--read-timeout`), for `info`.
+    read_timeout: Duration,
     /// Whether a durable `--state-dir` is configured.
     state_dir: bool,
     /// Unix epoch seconds at server start, for `info.started_at`.
@@ -182,11 +139,13 @@ fn dispatch(
         Request::Info => Ok(Response::Info {
             workers: ctx.workers,
             max_datasets: ctx.max_datasets,
+            max_connections: ctx.max_connections,
+            read_timeout_secs: ctx.read_timeout.as_secs(),
             uptime_secs: ctx.started.elapsed().as_secs(),
             started_at: ctx.started_at,
             state_dir: ctx.state_dir,
         }),
-        Request::Metrics => Ok(Response::Metrics { snapshot: ctx.metrics.snapshot() }),
+        Request::Metrics => Ok(Response::Metrics { snapshot: Box::new(ctx.metrics.snapshot()) }),
         Request::Gen { size, len, seed, store_result } => {
             let response = protocol::run_gen(size, len, seed);
             if store_result {
@@ -257,126 +216,18 @@ fn verb_name(req: &Request) -> &'static str {
 /// is served an error and closed instead of buffering without limit.
 pub const MAX_REQUEST_BYTES: usize = 256 * 1024 * 1024;
 
-/// Reads one `\n`-terminated line of at most `max` content bytes (the
-/// terminator not counted). Returns `Ok(None)` on clean EOF and `Err`
-/// on I/O failure or an oversized line (which poisons the framing — the
-/// caller must drop the connection).
-///
-/// The bound is exact. The previous version only checked after
-/// consuming a newline-free chunk, so a line whose terminator fell
-/// within the *next* buffered chunk was accepted up to one `BufReader`
-/// chunk past the limit.
-fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Option<String>> {
-    // `FileTooLarge` is the classification marker `framing_error`
-    // keys on — the kind, not the message text, decides the wire code.
-    let oversized = || {
-        std::io::Error::new(std::io::ErrorKind::FileTooLarge, "request line exceeds the size limit")
-    };
-    let mut buf = Vec::new();
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            // EOF; any partial unterminated line is discarded.
-            return Ok(None);
-        }
-        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
-            if buf.len() + pos > max {
-                return Err(oversized());
-            }
-            buf.extend_from_slice(&chunk[..pos]);
-            reader.consume(pos + 1);
-            let line = String::from_utf8(buf).map_err(|_| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8")
-            })?;
-            return Ok(Some(line));
-        }
-        // No terminator in sight: every buffered byte is line content,
-        // so the bound can be enforced before accepting the chunk.
-        if buf.len() + chunk.len() > max {
-            return Err(oversized());
-        }
-        buf.extend_from_slice(chunk);
-        let n = chunk.len();
-        reader.consume(n);
-    }
-}
-
-/// Classifies a framing-layer read failure by its [`std::io::ErrorKind`]
-/// — never by message text. An oversized line
-/// ([`std::io::ErrorKind::FileTooLarge`], the marker
-/// [`read_line_bounded`] constructs) is the client's fault and carries
-/// the payload cap's code; undecodable bytes are a bad request;
-/// anything else is the transport itself failing.
-fn framing_error(e: &std::io::Error) -> ApiError {
-    match e.kind() {
-        std::io::ErrorKind::FileTooLarge => ApiError::payload_too_large(e.to_string()),
-        std::io::ErrorKind::InvalidData => ApiError::bad_request(e.to_string()),
-        _ => ApiError::io(e.to_string()),
-    }
-}
-
-/// Serves one connection: a loop of request line → response line.
-/// Exits when the peer closes, on I/O error (including the socket being
-/// shut down by [`Server::shutdown`]), on an oversized request, or when
-/// `stop` is raised.
-fn handle_connection(
-    stream: TcpStream,
-    jobs: &JobQueue,
-    store: &DatasetStore,
-    ctx: &ServiceContext,
-    stop: &AtomicBool,
-    conn_id: u64,
-) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    if log_enabled(LogLevel::Debug) {
-        log_event(LogLevel::Debug, "connection opened", &[("conn", Json::from(conn_id))]);
-    }
-    let mut reader = BufReader::new(stream);
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let line = match read_line_bounded(&mut reader, MAX_REQUEST_BYTES) {
-            Ok(Some(l)) => l,
-            Ok(None) => break, // peer closed
-            Err(e) => {
-                // Tell the peer why before dropping the connection; the
-                // framing is unrecoverable after an oversized line, and
-                // the line was never parsed, so no envelope is known —
-                // framing errors are always v1-shaped (documented in
-                // PROTOCOL.md).
-                let err = framing_error(&e);
-                ctx.metrics.record_error(err.code);
-                ctx.metrics.record_request("invalid", Duration::ZERO);
-                if log_enabled(LogLevel::Warn) {
-                    log_event(
-                        LogLevel::Warn,
-                        "framing error",
-                        &[("conn", Json::from(conn_id)), ("code", Json::from(err.code.as_str()))],
-                    );
-                }
-                let response = api::render_v1(Err(err));
-                let out = format!("{response}\n");
-                ctx.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
-                let _ = writer.write_all(out.as_bytes());
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        ctx.metrics.bytes_in.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
-        let started = Instant::now();
+/// Builds the request handler the executor pool runs: one complete
+/// request line in, one rendered response line (newline included) out,
+/// with metrics and logging identical to the old per-thread handler.
+fn make_dispatch(jobs: JobQueue, store: DatasetStore, ctx: ServiceContext) -> Dispatch {
+    Arc::new(move |conn_id: u64, line: String, received: Instant| {
         let (envelope, parsed) = protocol::parse_request_line(&line);
         let verb = match &parsed {
             Ok(req) => verb_name(req),
             Err(_) => "invalid",
         };
         let cid = envelope.id.clone();
-        let result = parsed.and_then(|req| dispatch(req, jobs, store, ctx, cid.clone()));
+        let result = parsed.and_then(|req| dispatch(req, &jobs, &store, &ctx, cid.clone()));
         let code = result.as_ref().err().map(|e| e.code);
         if let Some(code) = code {
             ctx.metrics.record_error(code);
@@ -384,7 +235,9 @@ fn handle_connection(
         let response = api::render(&envelope, result);
         let out = format!("{response}\n");
         ctx.metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
-        let elapsed = started.elapsed();
+        // Latency is measured from the instant the reactor extracted
+        // the line, so executor queueing under load is visible.
+        let elapsed = received.elapsed();
         ctx.metrics.record_request(verb, elapsed);
         if log_enabled(LogLevel::Info) {
             let mut fields: Vec<(&str, Json)> = vec![
@@ -401,30 +254,8 @@ fn handle_connection(
             }
             log_event(LogLevel::Info, "request", &fields);
         }
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-    }
-    if log_enabled(LogLevel::Debug) {
-        log_event(LogLevel::Debug, "connection closed", &[("conn", Json::from(conn_id))]);
-    }
-}
-
-/// Releases the connection's permit and registry entry even if the
-/// handler panics (a leaked permit would permanently shrink the pool).
-struct ConnectionGuard {
-    pool: Arc<Semaphore>,
-    connections: Connections,
-    conn_id: u64,
-    metrics: Arc<Metrics>,
-}
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
-        self.connections.deregister(self.conn_id);
-        self.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
-        self.pool.release();
-    }
+        out
+    })
 }
 
 impl Server {
@@ -453,7 +284,6 @@ impl Server {
             None => JobQueue::with_store(store.clone()),
         }
         .with_metrics(Arc::clone(&metrics));
-        let connections = Connections::default();
 
         let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers)
             .map(|_| {
@@ -467,16 +297,33 @@ impl Server {
         // the abandoned-upload TTL is always configured, so a crashed
         // uploader must not hold a multi-GB pending buffer on an
         // otherwise idle server just because --dataset-ttl is unset.
+        // The sweeper blocks in a condvar wait between ticks (not a
+        // sleep loop), so shutdown interrupts it immediately and an
+        // idle server wakes once a second, not twenty times.
+        let sweep_state = Arc::new((Mutex::new(false), Condvar::new()));
         let sweep_thread = Some({
             let store = store.clone();
-            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&sweep_state);
             std::thread::spawn(move || {
-                let mut ticks = 0u32;
-                while !stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(Duration::from_millis(100));
-                    ticks += 1;
-                    if ticks.is_multiple_of(10) {
+                let (lock, cvar) = &*state;
+                let mut stopped = lock.lock().expect("sweeper poisoned");
+                loop {
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, Duration::from_secs(1))
+                        .expect("sweeper poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        // Sweep outside the flag lock so a slow sweep
+                        // never delays shutdown notification handling.
+                        drop(stopped);
                         store.sweep();
+                        stopped = lock.lock().expect("sweeper poisoned");
                     }
                 }
             })
@@ -485,6 +332,8 @@ impl Server {
         let ctx = ServiceContext {
             workers: cfg.workers,
             max_datasets: cfg.max_datasets,
+            max_connections: cfg.max_connections,
+            read_timeout: cfg.read_timeout,
             state_dir: cfg.state_dir.is_some(),
             started_at: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -500,78 +349,39 @@ impl Server {
                 &[
                     ("addr", Json::from(addr.to_string())),
                     ("workers", Json::from(cfg.workers)),
+                    ("max_connections", Json::from(cfg.max_connections)),
                     ("state_dir", Json::from(ctx.state_dir)),
                 ],
             );
         }
-        let accept_thread = {
-            let stop = Arc::clone(&stop);
-            let jobs = jobs.clone();
-            let store = store.clone();
-            let connections = connections.clone();
-            let pool = Arc::new(Semaphore::new(cfg.max_connections.max(1)));
-            std::thread::spawn(move || {
-                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-                let mut next_conn_id = 0u64;
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    if !pool.acquire_unless_stopped(&stop) {
-                        break;
-                    }
-                    let conn_id = next_conn_id;
-                    next_conn_id += 1;
-                    connections.register(conn_id, &stream);
-                    // Re-check stop *after* registering: shutdown_all()
-                    // may have run between the accept and the register,
-                    // in which case this socket was never half-closed
-                    // and its handler would block forever. The registry
-                    // mutex orders register against shutdown_all, so
-                    // one of the two paths always closes the socket.
-                    if stop.load(Ordering::SeqCst) {
-                        let _ = stream.shutdown(Shutdown::Both);
-                        connections.deregister(conn_id);
-                        pool.release();
-                        break;
-                    }
-                    let jobs = jobs.clone();
-                    let store = store.clone();
-                    let stop = Arc::clone(&stop);
-                    let ctx = ctx.clone();
-                    ctx.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                    ctx.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
-                    let guard = ConnectionGuard {
-                        pool: Arc::clone(&pool),
-                        connections: connections.clone(),
-                        conn_id,
-                        metrics: Arc::clone(&ctx.metrics),
-                    };
-                    handlers.push(std::thread::spawn(move || {
-                        // Guard releases the permit even on panic.
-                        let _guard = guard;
-                        handle_connection(stream, &jobs, &store, &ctx, &stop, conn_id);
-                    }));
-                    // Reap finished handlers so the vec stays small.
-                    handlers.retain(|h| !h.is_finished());
-                }
-                for h in handlers {
-                    let _ = h.join();
-                }
-            })
+
+        // The executor pool is sized from the machine, not from
+        // `workers` (which counts async job-queue threads and is 0 in
+        // some tests): even a job-worker-less server must answer
+        // synchronous verbs.
+        let executor_threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 4);
+        let reactor_cfg = ReactorConfig {
+            max_connections: cfg.max_connections.max(1),
+            read_timeout: cfg.read_timeout,
+            drain_window: cfg.drain_window,
+            executor_threads,
+            max_request_bytes: MAX_REQUEST_BYTES,
         };
+        let handler = make_dispatch(jobs.clone(), store, ctx);
+        let (reactor, waker) =
+            Reactor::new(listener, reactor_cfg, Arc::clone(&metrics), handler, Arc::clone(&stop))
+                .map_err(|e| std::io::Error::new(e.kind(), format!("reactor setup: {e}")))?;
+        let reactor_thread = Some(std::thread::spawn(move || reactor.run()));
 
         Ok(Server {
             addr,
             stop,
             jobs,
-            connections,
-            accept_thread: Some(accept_thread),
+            waker,
+            reactor_thread,
             job_threads,
+            sweep_state,
             sweep_thread,
         })
     }
@@ -581,21 +391,24 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, unblocks live connections, drains queued jobs,
-    /// joins all threads. Returns even if clients are still connected.
+    /// Stops accepting, drains in-flight requests (bounded by the
+    /// configured drain window), drains queued jobs, joins all threads.
+    /// Returns even if clients are still connected.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection, and the
-        // handler threads by half-closing their sockets.
-        let _ = TcpStream::connect(self.addr);
-        self.connections.shutdown_all();
-        if let Some(h) = self.accept_thread.take() {
+        // The reactor notices the flag on its next wakeup, closes the
+        // listener, and drains; joining it bounds on the drain window.
+        self.waker.wake();
+        if let Some(h) = self.reactor_thread.take() {
             let _ = h.join();
         }
         self.jobs.shutdown();
         for h in self.job_threads.drain(..) {
             let _ = h.join();
         }
+        let (lock, cvar) = &*self.sweep_state;
+        *lock.lock().expect("sweeper poisoned") = true;
+        cvar.notify_all();
         if let Some(h) = self.sweep_thread.take() {
             let _ = h.join();
         }
@@ -607,60 +420,8 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::json::Json;
-
-    /// Drives `read_line_bounded` with a tiny `BufReader` capacity so
-    /// lines terminate across chunk boundaries, the exact shape of the
-    /// old off-by-one-chunk bug.
-    fn read_bounded(input: &str, capacity: usize, max: usize) -> std::io::Result<Option<String>> {
-        let mut reader = BufReader::with_capacity(capacity, std::io::Cursor::new(input.as_bytes()));
-        read_line_bounded(&mut reader, max)
-    }
-
-    #[test]
-    fn read_line_bound_is_exact_at_the_limit() {
-        // Content of exactly `max` bytes passes; one more fails —
-        // regardless of where the BufReader chunk boundaries fall.
-        for capacity in [1, 2, 3, 5, 8, 64] {
-            let at = read_bounded("aaaaaaaa\nrest", capacity, 8).unwrap();
-            assert_eq!(at.as_deref(), Some("aaaaaaaa"), "capacity {capacity}");
-            let over = read_bounded("aaaaaaaaa\nrest", capacity, 8);
-            assert!(over.is_err(), "capacity {capacity}: 9 bytes must exceed max 8");
-        }
-    }
-
-    #[test]
-    fn read_line_bound_rejects_line_terminating_in_next_chunk() {
-        // Regression: with capacity 8 the whole "aaaaa\n" arrives in one
-        // chunk, so the old code saw the newline first and skipped the
-        // size check entirely, accepting 5 > max = 4.
-        assert!(read_bounded("aaaaa\n", 8, 4).is_err());
-        // And the buffered variant: 3-byte chunks, terminator in the
-        // second chunk; 5 content bytes > max 4 must still fail.
-        assert!(read_bounded("aaa", 3, 4).unwrap().is_none()); // EOF discard, sanity
-        assert!(read_bounded("aaaaa\n", 3, 4).is_err());
-        assert_eq!(read_bounded("aaaa\n", 3, 4).unwrap().as_deref(), Some("aaaa"));
-    }
-
-    #[test]
-    fn framing_errors_carry_the_documented_codes() {
-        use crate::api::ErrorCode;
-        // The oversized-line error produced by read_line_bounded maps
-        // to payload-too-large — over the wire this needs a line past
-        // MAX_REQUEST_BYTES (256 MiB), so the mapping is pinned here.
-        let oversized = read_bounded("aaaaa\n", 8, 4).unwrap_err();
-        assert_eq!(framing_error(&oversized).code, ErrorCode::PayloadTooLarge);
-        assert_eq!(framing_error(&oversized).message, "request line exceeds the size limit");
-        let not_utf8 = std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8");
-        assert_eq!(framing_error(&not_utf8).code, ErrorCode::BadRequest);
-        let broken = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
-        assert_eq!(framing_error(&broken).code, ErrorCode::Io);
-        // And the v1 message is byte-identical to the pre-redesign
-        // shape (the error string was the io::Error text verbatim).
-        assert_eq!(
-            api::render_v1(Err(framing_error(&oversized))).to_string(),
-            r#"{"error":"request line exceeds the size limit","ok":false}"#
-        );
-    }
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
 
     #[test]
     fn health_roundtrip_and_shutdown() {
@@ -687,18 +448,179 @@ mod tests {
     }
 
     #[test]
-    fn connection_cap_blocks_but_backlog_serves_eventually() {
+    fn blank_lines_count_toward_bytes_in() {
+        // Regression: blank request lines used to `continue` before the
+        // bytes_in increment, so their bytes never reached the metrics
+        // registry. Every consumed line must count.
+        let server = Server::start(ServerConfig::default()).unwrap();
+        // Raw socket: the typed client refuses multi-line sends.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let blank_then_metrics = "\n  \n{\"cmd\":\"metrics\"}";
+        stream.write_all(blank_then_metrics.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let bytes_in = r
+            .get("bytes")
+            .and_then(|b| b.get("in"))
+            .and_then(Json::as_u64)
+            .expect("metrics body has bytes.in");
+        // The request line itself is counted when it is extracted,
+        // before dispatch snapshots the registry, so the total is
+        // exact: both blank lines and the metrics line, newlines
+        // included.
+        assert_eq!(bytes_in, blank_then_metrics.len() as u64 + 1);
+        drop(reader);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_with_overloaded() {
         let server =
             Server::start(ServerConfig { max_connections: 1, ..ServerConfig::default() }).unwrap();
-        // With cap 1, a second client must still be served once the
-        // first disconnects.
-        let mut a = Client::connect(server.local_addr()).unwrap();
-        assert!(a.request_line(r#"{"cmd":"health"}"#).is_ok());
-        drop(a);
-        let mut b = Client::connect(server.local_addr()).unwrap();
-        assert!(b.request_line(r#"{"cmd":"health"}"#).is_ok());
-        drop(b);
+        let addr = server.local_addr();
+        // A request proves the first connection is admitted, not racing
+        // the accept.
+        let mut held = Client::connect(addr).unwrap();
+        assert!(held.request_line(r#"{"cmd":"health"}"#).is_ok());
+        // The second connection is answered with one v1 overloaded
+        // error line and closed — without the client sending anything.
+        let shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut line = String::new();
+        let mut reader = BufReader::new(shed);
+        reader.read_line(&mut line).unwrap();
+        let body = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(false)));
+        // Framing-level errors are v1-shaped (no envelope was ever
+        // received), so the stable code travels in the message; the
+        // counter below pins the classification.
+        let msg = body.get("error").and_then(Json::as_str).unwrap_or_default();
+        assert!(msg.contains("maximum number of connections"), "{msg}");
+        // And EOF follows: the shed socket was dropped server-side.
+        let mut rest = String::new();
+        assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+        // Once the held connection goes away, the slot frees and a new
+        // client is served (the close takes one reactor turn to land).
+        drop(held);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut c = Client::connect(addr).unwrap();
+            if c.request_line(r#"{"cmd":"health"}"#)
+                .is_ok_and(|r| r.get("ok") == Some(&Json::Bool(true)))
+            {
+                // This client holds the only slot, so the registry is
+                // reachable: the shed above was counted and classified.
+                // At-least rather than exactly one: a retry connect in
+                // this very loop can race the reaping of the dropped
+                // held connection and be (correctly) shed too.
+                let snapshot = c.metrics().unwrap();
+                assert!(snapshot.connections_shed >= 1, "{}", snapshot.connections_shed);
+                break;
+            }
+            assert!(Instant::now() < deadline, "freed slot never became usable");
+            std::thread::sleep(Duration::from_millis(20));
+        }
         server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_is_closed_at_the_read_deadline() {
+        let server = Server::start(ServerConfig {
+            read_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        // Start a request line and then go silent.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(br#"{"cmd":"#).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(slow.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let body = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(false)));
+        let msg = body.get("error").and_then(Json::as_str).unwrap_or_default();
+        assert!(msg.contains("read timed out"), "{msg}");
+        // EOF after the error: the connection was closed, not left
+        // holding a slot.
+        let mut rest = String::new();
+        assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+        // The close is visible in the metrics registry.
+        let mut client = Client::connect(addr).unwrap();
+        let snapshot = client.metrics().unwrap();
+        assert_eq!(snapshot.deadline_closes, 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_outlive_the_read_deadline() {
+        // The deadline applies to *partial* lines only: a connection
+        // sitting idle between requests must not be killed.
+        let server = Server::start(ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.request_line(r#"{"cmd":"health"}"#).is_ok());
+        std::thread::sleep(Duration::from_millis(300));
+        // Still alive and serving after 3× the deadline of idleness.
+        assert!(client.request_line(r#"{"cmd":"health"}"#).is_ok());
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn storm_of_clients_beyond_the_old_thread_cap_all_complete() {
+        // The old design capped concurrency at max_connections threads
+        // (default 32). The reactor serves far more concurrent sockets
+        // than that from one thread; every client must get an answer.
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..64)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr)?;
+                    c.request_line(r#"{"cmd":"health"}"#)
+                        .map_err(|e| std::io::Error::other(e.message))
+                })
+            })
+            .collect();
+        let mut ok = 0usize;
+        for handle in clients {
+            let r = handle.join().expect("client thread panicked").expect("client failed");
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+            ok += 1;
+        }
+        assert_eq!(ok, 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_in_flight_at_shutdown_is_answered_during_drain() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // The request is fully sent (possibly still in the kernel
+        // buffer) when shutdown fires; the drain window guarantees it
+        // is read, executed, and answered before shutdown returns.
+        stream.write_all(b"{\"cmd\":\"health\"}\n").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let body = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("healthy"));
     }
 
     #[test]
@@ -727,15 +649,15 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_returns_when_pool_is_saturated() {
+    fn shutdown_returns_when_connections_are_saturated() {
         let server =
             Server::start(ServerConfig { max_connections: 1, ..ServerConfig::default() }).unwrap();
         let addr = server.local_addr();
-        // Saturate the pool with one idle connection and queue a second
-        // (blocked in the semaphore wait inside the accept loop).
-        let _held = Client::connect(addr).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
-        let _queued = TcpStream::connect(addr).unwrap();
+        // Saturate the cap with one idle connection, plus a second
+        // socket the server shed.
+        let mut held = Client::connect(addr).unwrap();
+        assert!(held.request_line(r#"{"cmd":"health"}"#).is_ok());
+        let _shed = TcpStream::connect(addr).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let done = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&done);
@@ -747,7 +669,7 @@ mod tests {
         while !done.load(Ordering::SeqCst) {
             assert!(
                 std::time::Instant::now() < deadline,
-                "shutdown hung with a saturated connection pool"
+                "shutdown hung with a saturated connection cap"
             );
             std::thread::sleep(Duration::from_millis(20));
         }

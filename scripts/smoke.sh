@@ -194,6 +194,23 @@ printf '%s\n' "$METRICS" | grep '^trajdp_errors_total{code="unknown-verb"}' \
 "$BIN" metrics --addr "$ADDR2" --json | grep -q '"requests":' \
     || { echo "FAIL: metrics --json must emit the wire shape" >&2; exit 1; }
 
+# ---- parallel burst: the reactor serves concurrent clients ----------
+# A thread-per-connection server with a small worker cap serializes (or
+# refuses) this; the readiness loop must answer every one.
+BURST=24
+: > "$TMP/burst.out"
+BURST_PIDS=""
+for _ in $(seq 1 "$BURST"); do
+    ( echo '{"cmd":"health"}' | "$BIN" submit --addr "$ADDR2" >> "$TMP/burst.out" 2>&1 ) &
+    BURST_PIDS="$BURST_PIDS $!"
+done
+for pid in $BURST_PIDS; do
+    wait "$pid" || { echo "FAIL: a burst client exited non-zero" >&2; exit 1; }
+done
+OKS=$(grep -c '"ok":true' "$TMP/burst.out" || true)
+[ "$OKS" = "$BURST" ] \
+    || { echo "FAIL: only $OKS/$BURST burst clients got a healthy answer" >&2; exit 1; }
+
 # ---- CLI exit-code classes ------------------------------------------
 rc=0; "$BIN" delete --addr "$ADDR2" --dataset ds-nope 2>/dev/null || rc=$?
 [ "$rc" = 4 ] || { echo "FAIL: server-rejected request must exit 4 (got $rc)" >&2; exit 1; }
@@ -204,4 +221,4 @@ rc=0; "$BIN" gen --sizee 5 --out "$TMP/x.csv" 2>/dev/null || rc=$?
 rc=0; "$BIN" stats --input "$TMP/definitely-missing.csv" 2>/dev/null || rc=$?
 [ "$rc" = 1 ] || { echo "FAIL: local failure must exit 1 (got $rc)" >&2; exit 1; }
 
-echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + metrics scrape + exit classes OK"
+echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + metrics scrape + parallel burst + exit classes OK"

@@ -135,7 +135,8 @@ usage:
   trajdp evaluate  --original FILE.csv --anonymized FILE.csv
   trajdp stats     --input FILE.csv
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
-                   [--state-dir DIR] [--max-datasets N] [--dataset-ttl SECS]
+                   [--read-timeout SECS] [--state-dir DIR] [--max-datasets N]
+                   [--dataset-ttl SECS]
                    [--log-level off|error|warn|info|debug] [--log-json]
   trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
                    [--chunk-threshold BYTES]
@@ -346,6 +347,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "addr",
                     "workers",
                     "max-conn",
+                    "read-timeout",
                     "state-dir",
                     "max-datasets",
                     "dataset-ttl",
@@ -369,7 +371,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let addr = opt(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string();
             let workers = validate_workers(opt_parse(&flags, "workers", 2u64)?)
                 .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
-            let max_connections = opt_parse(&flags, "max-conn", 32usize)?;
+            let max_connections = opt_parse(&flags, "max-conn", 1024usize)?;
+            if max_connections == 0 {
+                return Err(CliError::Usage("--max-conn must be at least 1".into()));
+            }
+            let read_timeout_secs = opt_parse(&flags, "read-timeout", 10u64)?;
+            if read_timeout_secs == 0 {
+                return Err(CliError::Usage("--read-timeout must be at least 1 second".into()));
+            }
             let state_dir = opt(&flags, "state-dir").map(std::path::PathBuf::from);
             let max_datasets = opt_parse(
                 &flags,
@@ -398,9 +407,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 addr,
                 workers,
                 max_connections,
+                read_timeout: std::time::Duration::from_secs(read_timeout_secs),
                 state_dir,
                 max_datasets,
                 dataset_ttl,
+                ..ServerConfig::default()
             })
             .map_err(|e| CliError::Other(format!("cannot start: {e}")))?;
             eprintln!(
@@ -492,6 +503,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             println!("max_gen_points={}", info.max_gen_points);
             println!("max_m={}", info.max_m);
             println!("max_workers={}", info.max_workers);
+            println!("max_connections={}", info.max_connections);
+            println!("read_timeout_secs={}", info.read_timeout_secs);
             println!("uptime_secs={}", info.uptime_secs);
             println!("started_at={}", info.started_at);
             println!("state_dir={}", info.state_dir);
@@ -913,6 +926,8 @@ mod tests {
         assert_eq!(info.protocol_versions, vec![1, 2]);
         assert_eq!(info.workers, 2, "default ServerConfig starts 2 workers");
         assert_eq!(info.max_datasets, traj_freq_dp::server::store::MAX_STORED_DATASETS as u64);
+        assert_eq!(info.max_connections, 1024, "default shed threshold");
+        assert_eq!(info.read_timeout_secs, 10, "default read deadline");
         assert!(info.max_download_chunk_bytes >= info.default_download_chunk_bytes);
         drop(client);
         run(&a(&["info", "--addr", &addr])).unwrap();
@@ -957,6 +972,10 @@ mod tests {
         assert!(err.contains("dataset-ttl"), "{err}");
         let err = msg(run(&a(&["serve", "--dataset-ttl", "soon"])).unwrap_err());
         assert!(err.contains("dataset-ttl"), "{err}");
+        let err = msg(run(&a(&["serve", "--max-conn", "0"])).unwrap_err());
+        assert!(err.contains("max-conn"), "{err}");
+        let err = msg(run(&a(&["serve", "--read-timeout", "0"])).unwrap_err());
+        assert!(err.contains("read-timeout"), "{err}");
     }
 
     #[test]
