@@ -13,6 +13,8 @@
 //!   likelihood, Viterbi decoding) over the road network, reconstructing
 //!   plausible original routes from anonymized trajectories.
 
+#![forbid(unsafe_code)]
+
 pub mod linking;
 pub mod matching;
 

@@ -15,6 +15,8 @@
 //! * [`generative`] — the generative DP family: DPT (noisy prefix-tree
 //!   synthesis) and AdaTrace (utility-aware grid/Markov synthesis).
 
+#![forbid(unsafe_code)]
+
 pub mod generative;
 pub mod kanon;
 pub mod signature_closure;

@@ -12,6 +12,8 @@
 //! cargo run -p trajdp-bench --release --bin ablation_bboxprune
 //! ```
 
+#![forbid(unsafe_code)]
+
 use trajdp_bench::{env_param, standard_world};
 use trajdp_core::{anonymize, FreqDpConfig, Model};
 

@@ -11,6 +11,8 @@
 //! cargo run -p trajdp-bench --release --bin ablation_mean
 //! ```
 
+#![forbid(unsafe_code)]
+
 use trajdp_attacks::{LinkingAttack, SignatureType};
 use trajdp_bench::{env_param, standard_world};
 use trajdp_core::freq::FrequencyAnalysis;

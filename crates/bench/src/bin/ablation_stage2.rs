@@ -10,6 +10,8 @@
 //! cargo run -p trajdp-bench --release --bin ablation_stage2
 //! ```
 
+#![forbid(unsafe_code)]
+
 use trajdp_bench::{env_param, standard_world};
 use trajdp_core::local::LocalOptions;
 use trajdp_core::{anonymize, FreqDpConfig, Model};

@@ -9,6 +9,8 @@
 //! TRAJDP_SIZE=1000 cargo run -p trajdp-bench --release --bin fig4
 //! ```
 
+#![forbid(unsafe_code)]
+
 use trajdp_bench::{env_param, evaluate, standard_world, timed, EvalOptions};
 use trajdp_core::{anonymize, FreqDpConfig, Model};
 

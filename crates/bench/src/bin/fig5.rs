@@ -14,6 +14,8 @@
 //! TRAJDP_SIZES="1000 2000 4000" cargo run -p trajdp-bench --release --bin fig5
 //! ```
 
+#![forbid(unsafe_code)]
+
 use trajdp_bench::{env_param, standard_world};
 use trajdp_core::{anonymize, FreqDpConfig, IndexKind, Model};
 use trajdp_index::Strategy;

@@ -12,6 +12,8 @@
 //! but the method ordering — who wins on which axis — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;

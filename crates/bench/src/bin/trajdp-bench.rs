@@ -20,6 +20,8 @@
 //! holding its socket open for a run of request/response round trips.
 //! CI asserts the storm completes with zero dropped clients.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;

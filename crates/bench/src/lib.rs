@@ -14,6 +14,8 @@
 //! dataset generation ([`standard_world`]), per-model evaluation
 //! ([`evaluate`]), and fixed-width table printing.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 use trajdp_attacks::{HmmMapMatcher, LinkingAttack, SignatureType};
 use trajdp_metrics::{

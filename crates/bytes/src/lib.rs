@@ -7,6 +7,8 @@
 //! little-endian `get_*` accessors. Backed by a plain `Vec<u8>` — no
 //! refcounted zero-copy slicing, which the codec does not need.
 
+#![forbid(unsafe_code)]
+
 /// Read access to a contiguous byte buffer with a moving cursor.
 pub trait Buf {
     /// Bytes left to read.

@@ -206,8 +206,8 @@ impl TrajectoryEditor {
     pub fn check_invariants(&self) {
         assert_eq!(self.seg_ids.len(), self.traj.num_segments(), "seg_ids length mismatch");
         assert_eq!(self.index.len(), self.seg_ids.len(), "index size mismatch");
-        let ids: HashSet<u64> = self.seg_ids.iter().copied().collect();
-        assert_eq!(ids.len(), self.seg_ids.len(), "duplicate segment ids");
+        let distinct_ids: HashSet<u64> = self.seg_ids.iter().copied().collect();
+        assert_eq!(distinct_ids.len(), self.seg_ids.len(), "duplicate segment ids");
     }
 }
 
@@ -672,6 +672,7 @@ impl DatasetEditor {
             total += ids.len();
         }
         assert_eq!(self.index.len(), total, "index size mismatch");
+        // lint: allow(determinism): assertion-only walk; every entry is checked and no output depends on visit order
         for (k, set) in &self.containing {
             for &t in set {
                 assert!(self.trajs[t].passes_through(*k), "stale containing entry");

@@ -79,6 +79,7 @@ impl FrequencyAnalysis {
             }
             let len = traj.len().max(1) as f64;
             let mut entries: Vec<SignatureEntry> = pf
+                // lint: allow(determinism): entries are sorted by (weight, point) below before anything reads them
                 .into_iter()
                 .map(|(point, f)| {
                     let l = *tf.get(&point).unwrap_or(&1);
@@ -109,6 +110,7 @@ impl FrequencyAnalysis {
     /// The candidate set `P` as a deterministically ordered vector
     /// (sorted by key so downstream iteration order is reproducible).
     pub fn candidate_points(&self) -> Vec<PointKey> {
+        // lint: allow(determinism): collected then sorted on the next line; callers only ever see the sorted order
         let mut v: Vec<PointKey> = self.candidate_tf.keys().copied().collect();
         v.sort_unstable();
         v

@@ -143,6 +143,7 @@ pub fn realize_tf(
     workers: usize,
 ) -> (Dataset, GlobalReport) {
     let workers = workers.max(1);
+    // lint: allow(determinism): wall-clock feeds the timing report only; no edit decision reads it
     let realize_started = std::time::Instant::now();
     let mut editor = DatasetEditor::new(ds.trajectories.clone(), kind, ds.domain);
     editor.use_bbox_pruning = bbox_pruning;
@@ -172,6 +173,7 @@ pub fn realize_tf(
     let mut decrease_time = std::time::Duration::ZERO;
     let mut i = 0;
     while i < steps.len() {
+        // lint: allow(determinism): wall-clock feeds the timing report only; no edit decision reads it
         let step_started = std::time::Instant::now();
         match steps[i] {
             EditStep::Increase(p, delta) => {

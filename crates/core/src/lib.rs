@@ -41,6 +41,8 @@
 //! assert_eq!(out.dataset.len(), world.dataset.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod editor;
 pub mod freq;
 pub mod global;

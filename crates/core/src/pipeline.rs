@@ -133,6 +133,7 @@ where
         accountant
             .spend("global TF mechanism", cfg.eps_global)
             .expect("budget sized for the model");
+        // lint: allow(determinism): phase wall-time is reporting-only; the phase output never reads it
         let start = std::time::Instant::now();
         let (out, report) = global_phase(input, analysis)?;
         Ok((out, report, start.elapsed()))
@@ -141,6 +142,7 @@ where
                          accountant: &mut BudgetAccountant|
      -> Result<(Dataset, LocalReport, Duration), MechError> {
         accountant.spend("local PF mechanism", cfg.eps_local).expect("budget sized for the model");
+        // lint: allow(determinism): phase wall-time is reporting-only; the phase output never reads it
         let start = std::time::Instant::now();
         let (out, report) = local_phase(input, analysis)?;
         Ok((out, report, start.elapsed()))

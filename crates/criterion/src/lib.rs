@@ -11,6 +11,8 @@
 //! are for quick relative comparisons (e.g. serial vs. sharded executor
 //! at different worker counts), not rigorous benchmarking.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

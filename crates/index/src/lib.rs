@@ -19,6 +19,8 @@
 //! only in pruning power, which [`SearchStats`] exposes for the
 //! efficiency experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod entry;
 pub mod hier;
 pub mod linear;

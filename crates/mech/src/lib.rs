@@ -14,6 +14,8 @@
 //!   noisy frequencies (integer rounding, clamping to `[0, |D|]`), which
 //!   are DP-invariant.
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod laplace;
 pub mod post;

@@ -15,6 +15,8 @@
 //! Linking accuracy (LA) lives in `trajdp-attacks`, since it is the
 //! success rate of the re-identification attack itself.
 
+#![forbid(unsafe_code)]
+
 pub mod privacy;
 pub mod recovery;
 pub mod utility;

@@ -17,6 +17,8 @@
 //! visits to a location produce bit-identical coordinates; [`PointKey`]
 //! provides the hashable identity used for frequency counting.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod csv;
 pub mod dataset;

@@ -16,6 +16,8 @@
 //! `gen_range` and `gen::<f64>()` use the standard 53-bit mantissa
 //! construction yielding uniform values in `[0, 1)`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness: a stream of `u64` words.

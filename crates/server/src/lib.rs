@@ -25,6 +25,8 @@
 //! root seed — see `trajdp_core::stream`. Sharding changes only which
 //! thread evaluates a unit, never what the unit draws.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod client;
 pub mod executor;

@@ -137,10 +137,15 @@ mod epoll_sys {
 
 /// Puts a raw fd (not owned by a std type) into non-blocking mode.
 fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    // SAFETY: callers pass an fd they own and that is open for the
+    // duration of the call; F_GETFL reads flag bits and touches no
+    // user memory.
     let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
     if flags < 0 {
         return Err(io::Error::last_os_error());
     }
+    // SAFETY: same fd as above, still open; F_SETFL writes flag bits
+    // kernel-side only.
     if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
         return Err(io::Error::last_os_error());
     }
@@ -203,6 +208,8 @@ impl Poller {
     pub fn with_backend(force_poll: bool) -> io::Result<Poller> {
         #[cfg(target_os = "linux")]
         if !force_poll {
+            // SAFETY: epoll_create1 takes no pointers; it returns a
+            // fresh fd (or -1) that Poller::drop closes exactly once.
             let epfd = unsafe { epoll_sys::epoll_create1(epoll_sys::EPOLL_CLOEXEC) };
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
@@ -225,6 +232,10 @@ impl Poller {
             Backend::Epoll { epfd } => {
                 let mut ev =
                     epoll_sys::EpollEvent { events: epoll_mask(readable, writable), data: token };
+                // SAFETY: epfd is the live epoll fd this Poller owns;
+                // `ev` is an initialized repr(C) EpollEvent on the
+                // stack, valid for the duration of the call (the kernel
+                // copies it and keeps no reference).
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_ADD, fd, &mut ev) } < 0
                 {
                     return Err(io::Error::last_os_error());
@@ -250,6 +261,8 @@ impl Poller {
             Backend::Epoll { epfd } => {
                 let mut ev =
                     epoll_sys::EpollEvent { events: epoll_mask(readable, writable), data: token };
+                // SAFETY: as for EPOLL_CTL_ADD — owned live epfd, and
+                // `ev` is initialized stack memory the kernel copies.
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_MOD, fd, &mut ev) } < 0
                 {
                     return Err(io::Error::last_os_error());
@@ -274,6 +287,8 @@ impl Poller {
             Backend::Epoll { epfd } => {
                 // Pre-2.6.9 kernels require a non-null event for DEL.
                 let mut ev = epoll_sys::EpollEvent { events: 0, data: 0 };
+                // SAFETY: owned live epfd; `ev` is initialized stack
+                // memory that DEL at most reads.
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_DEL, fd, &mut ev) } < 0
                 {
                     return Err(io::Error::last_os_error());
@@ -297,6 +312,11 @@ impl Poller {
             Backend::Epoll { epfd } => {
                 let mut events = [epoll_sys::EpollEvent { events: 0, data: 0 }; 64];
                 let n = loop {
+                    // SAFETY: epfd is the live epoll fd this Poller
+                    // owns; `events` is a fully initialized stack array
+                    // and maxevents equals its real length, so the
+                    // kernel writes at most events.len() entries into
+                    // memory that outlives the call.
                     let n = unsafe {
                         epoll_sys::epoll_wait(*epfd, events.as_mut_ptr(), events.len() as i32, ms)
                     };
@@ -332,6 +352,10 @@ impl Poller {
                     })
                     .collect();
                 let n = loop {
+                    // SAFETY: `pfds` is an initialized Vec of repr(C)
+                    // PollFd and nfds is its exact length; the kernel
+                    // only rewrites the `revents` field of each entry,
+                    // and the Vec outlives the call.
                     let n = unsafe {
                         sys::poll(pfds.as_mut_ptr(), pfds.len() as std::os::raw::c_ulong, ms)
                     };
@@ -365,6 +389,8 @@ impl Drop for Poller {
     fn drop(&mut self) {
         #[cfg(target_os = "linux")]
         if let Backend::Epoll { epfd } = self.backend {
+            // SAFETY: this Poller is the sole owner of epfd and Drop
+            // runs once, so the fd is valid here and never double-closed.
             unsafe { sys::close(epfd) };
         }
     }
@@ -380,6 +406,9 @@ struct WakerFd {
 
 impl Drop for WakerFd {
     fn drop(&mut self) {
+        // SAFETY: WakerFd is the sole owner of the pipe's write end
+        // (Wakers share it behind one Arc, so this Drop runs after the
+        // last clone is gone); valid fd, closed exactly once.
         unsafe { sys::close(self.fd) };
     }
 }
@@ -397,6 +426,10 @@ pub struct Waker {
 impl Waker {
     pub fn wake(&self) {
         let byte = 1u8;
+        // SAFETY: the Arc<WakerFd> keeps the write end open for as
+        // long as any Waker exists, so the fd is valid; the buffer is
+        // one initialized stack byte and count matches its size. A
+        // short/failed write (full pipe) is deliberately ignored.
         unsafe { sys::write(self.inner.fd, (&byte as *const u8).cast(), 1) };
     }
 }
@@ -410,6 +443,10 @@ impl PipeReader {
     fn drain(&self) {
         let mut buf = [0u8; 64];
         loop {
+            // SAFETY: self.fd is the pipe read end this PipeReader
+            // owns (open until its Drop); `buf` is an initialized
+            // stack array and count equals its length, so the kernel
+            // writes at most buf.len() bytes into live memory.
             let n = unsafe { sys::read(self.fd, buf.as_mut_ptr().cast(), buf.len()) };
             if n <= 0 {
                 break;
@@ -420,6 +457,8 @@ impl PipeReader {
 
 impl Drop for PipeReader {
     fn drop(&mut self) {
+        // SAFETY: PipeReader is the sole owner of the pipe's read end;
+        // valid fd, closed exactly once.
         unsafe { sys::close(self.fd) };
     }
 }
@@ -427,6 +466,8 @@ impl Drop for PipeReader {
 /// A non-blocking self-pipe: `(read_end, write_end)`.
 fn new_waker() -> io::Result<(PipeReader, Waker)> {
     let mut fds = [0i32; 2];
+    // SAFETY: pipe writes exactly two c_ints into `fds`, which is an
+    // initialized stack array of exactly that size.
     if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
         return Err(io::Error::last_os_error());
     }

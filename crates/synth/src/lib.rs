@@ -18,6 +18,8 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod generator;
 pub mod road;

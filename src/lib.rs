@@ -42,6 +42,8 @@
 //! assert_eq!(out.dataset.len(), world.dataset.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use trajdp_attacks as attacks;
 pub use trajdp_baselines as baselines;
 pub use trajdp_core as core;

@@ -33,6 +33,8 @@
 //! | 3 | transport failure (cannot connect, connection lost) |
 //! | 4 | the server rejected the request (a stable API error code) |
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 use traj_freq_dp::core::{anonymize, FreqDpConfig};
