@@ -1,0 +1,447 @@
+//! Protocol drift check.
+//!
+//! PROTOCOL.md promises to be "the complete contract". This check makes
+//! that promise mechanical by extracting three inventories from the
+//! source and diffing them against the document's tables:
+//!
+//! * **error codes** — the `WIRE_ERROR_CODES` array in `api.rs`,
+//!   rendered through `ErrorCode::as_str`, must match the "Error codes"
+//!   table rows *in order* (the array is the documentation order);
+//! * **verbs** — the `VERBS` inventory (minus the internal `invalid`
+//!   bucket) must match the backticked verb names in the `###` headings
+//!   of the "Verbs" section, as a set;
+//! * **metric families** — every `trajdp_*` family name recorded in
+//!   `obs.rs` (outside tests) must match the `trajdp_*` table rows, as
+//!   a set.
+//!
+//! Extraction is token-level, so renaming a variant, adding a verb, or
+//! registering a new metric family fails CI until PROTOCOL.md says so.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{cfg_test_mask, Check, Finding};
+
+/// `WIRE_ERROR_CODES` variants in array order, rendered to their wire
+/// strings via the `ErrorCode::Variant => "literal"` arms of `as_str`.
+pub fn extract_wire_error_codes(api_src: &str) -> Vec<String> {
+    let toks = lex(api_src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+
+    // Variant -> wire string, from `ErrorCode::X => "y"` match arms.
+    let mut wire = std::collections::BTreeMap::new();
+    for i in 0..code.len().saturating_sub(6) {
+        if code[i].is_ident("ErrorCode")
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].kind == TokKind::Ident
+            && code[i + 4].is_punct('=')
+            && code[i + 5].is_punct('>')
+            && code[i + 6].kind == TokKind::Str
+        {
+            wire.insert(code[i + 3].text.clone(), code[i + 6].text.clone());
+        }
+    }
+
+    // Array order.
+    let mut out = Vec::new();
+    let Some(start) = code.iter().position(|t| t.is_ident("WIRE_ERROR_CODES")) else {
+        return out;
+    };
+    // Skip past the declared type (`: [ErrorCode; N] =`) to the
+    // initializer's own bracket.
+    let mut i = start;
+    while i < code.len() && !code[i].is_punct('=') {
+        i += 1;
+    }
+    while i < code.len() && !code[i].is_punct('[') {
+        i += 1;
+    }
+    while i < code.len() && !code[i].is_punct(']') {
+        if code[i].is_ident("ErrorCode")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let variant = &code[i + 3].text;
+            if let Some(s) = wire.get(variant) {
+                out.push(s.clone());
+            } else {
+                out.push(format!("<unmapped variant {variant}>"));
+            }
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The wire verb inventory: string literals of the `VERBS` array in
+/// `obs.rs`, minus the internal `invalid` accounting bucket.
+pub fn extract_verbs(obs_src: &str) -> BTreeSet<String> {
+    let toks = lex(obs_src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = BTreeSet::new();
+    let Some(start) = code.iter().position(|t| t.is_ident("VERBS")) else { return out };
+    let mut i = start;
+    while i < code.len() && !code[i].is_punct('=') {
+        i += 1;
+    }
+    while i < code.len() && !code[i].is_punct('[') {
+        i += 1;
+    }
+    while i < code.len() && !code[i].is_punct(']') {
+        if code[i].kind == TokKind::Str && code[i].text != "invalid" {
+            out.insert(code[i].text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Every Prometheus family name in `obs.rs` production code: string
+/// literals starting with `trajdp_`, truncated at the first character
+/// outside `[a-z0-9_]` (so a literal that embeds labels still yields
+/// its family name). Test modules are skipped — they assert on rendered
+/// exposition text, including derived `_bucket`/`_count` series.
+pub fn extract_metric_families(obs_src: &str) -> BTreeSet<String> {
+    let toks = lex(obs_src);
+    let mask = cfg_test_mask(&toks);
+    let mut out = BTreeSet::new();
+    for (t, masked) in toks.iter().zip(mask.iter()) {
+        if *masked || t.kind != TokKind::Str || !t.text.starts_with("trajdp_") {
+            continue;
+        }
+        let name: String = t
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        out.insert(name);
+    }
+    out
+}
+
+/// What PROTOCOL.md claims, with the line numbers of its rows.
+pub struct ProtocolDoc {
+    /// (code, line) rows of the "Error codes" table, in document order.
+    pub error_rows: Vec<(String, u32)>,
+    /// Backticked verb names from `###` headings of the "Verbs" section.
+    pub verbs: BTreeSet<String>,
+    /// `trajdp_*` first-cell rows of the metric-family table.
+    pub metric_rows: BTreeSet<String>,
+    /// Line of the "Error codes" heading (anchor for table-level diffs).
+    pub error_heading_line: u32,
+    /// Line of the "Verbs" heading.
+    pub verbs_heading_line: u32,
+    /// Line of the first metric row, or of the file start if none.
+    pub metrics_anchor_line: u32,
+}
+
+/// Pulls every `name` out of backticks in `s`.
+fn backticked(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+pub fn parse_protocol_md(md: &str) -> ProtocolDoc {
+    let mut doc = ProtocolDoc {
+        error_rows: Vec::new(),
+        verbs: BTreeSet::new(),
+        metric_rows: BTreeSet::new(),
+        error_heading_line: 1,
+        verbs_heading_line: 1,
+        metrics_anchor_line: 1,
+    };
+    #[derive(PartialEq)]
+    enum Section {
+        Other,
+        ErrorCodes,
+        Verbs,
+    }
+    let mut section = Section::Other;
+    for (idx, raw) in md.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim_end();
+        if let Some(h) = line.strip_prefix("## ") {
+            section = if h.trim() == "Error codes" {
+                doc.error_heading_line = line_no;
+                Section::ErrorCodes
+            } else if h.trim() == "Verbs" {
+                doc.verbs_heading_line = line_no;
+                Section::Verbs
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        if section == Section::Verbs {
+            if let Some(h) = line.strip_prefix("### ") {
+                for name in backticked(h) {
+                    // Single lowercase words only — `ds-<id>`-style
+                    // mentions in headings are not verbs.
+                    if !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '-')
+                    {
+                        doc.verbs.insert(name);
+                    }
+                }
+            }
+        }
+        if section == Section::ErrorCodes && line.starts_with('|') {
+            let cells = backticked(line);
+            if let Some(first) = cells.first() {
+                if !first.is_empty() && first.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+                    doc.error_rows.push((first.clone(), line_no));
+                }
+            }
+        }
+        // Metric rows are recognized anywhere by their `trajdp_` prefix.
+        if line.starts_with('|') {
+            if let Some(first) = backticked(line).first() {
+                if first.starts_with("trajdp_") {
+                    if doc.metric_rows.is_empty() {
+                        doc.metrics_anchor_line = line_no;
+                    }
+                    doc.metric_rows.insert(first.clone());
+                }
+            }
+        }
+    }
+    doc
+}
+
+/// Diffs the extracted inventories against the document. `md_file` is
+/// the repo-relative name used in diagnostics (the fixture tests pass a
+/// copy's name here).
+pub fn diff(
+    md_file: &str,
+    doc: &ProtocolDoc,
+    codes: &[String],
+    verbs: &BTreeSet<String>,
+    metrics: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let push = |out: &mut Vec<Finding>, line: u32, message: String| {
+        out.push(Finding { file: md_file.to_string(), line, check: Check::ProtocolDrift, message });
+    };
+
+    // Error codes: exact order.
+    let doc_codes: Vec<&String> = doc.error_rows.iter().map(|(c, _)| c).collect();
+    if doc_codes.len() != codes.len() || doc_codes.iter().zip(codes).any(|(a, b)| *a != b) {
+        // Report the first position that disagrees, then missing/extra.
+        let mut reported = false;
+        for (i, want) in codes.iter().enumerate() {
+            match doc.error_rows.get(i) {
+                Some((have, line)) if have != want => {
+                    push(
+                        out,
+                        *line,
+                        format!(
+                            "error-code table row {} is `{have}` but `WIRE_ERROR_CODES[{i}]` is `{want}` \
+                             (the array order in api.rs is the documentation order)",
+                            i + 1
+                        ),
+                    );
+                    reported = true;
+                    break;
+                }
+                None => {
+                    push(
+                        out,
+                        doc.error_heading_line,
+                        format!("error-code table is missing `{want}` (WIRE_ERROR_CODES[{i}])"),
+                    );
+                    reported = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !reported && doc_codes.len() > codes.len() {
+            let (extra, line) = &doc.error_rows[codes.len()];
+            push(
+                out,
+                *line,
+                format!("error-code table documents `{extra}`, which is not in WIRE_ERROR_CODES"),
+            );
+        }
+    }
+
+    // Verbs: set equality.
+    for missing in verbs.difference(&doc.verbs) {
+        push(
+            out,
+            doc.verbs_heading_line,
+            format!("verb `{missing}` is served but has no `###` heading in the Verbs section"),
+        );
+    }
+    for extra in doc.verbs.difference(verbs) {
+        push(
+            out,
+            doc.verbs_heading_line,
+            format!("Verbs section documents `{extra}`, which the server does not serve"),
+        );
+    }
+
+    // Metric families: set equality.
+    for missing in metrics.difference(&doc.metric_rows) {
+        push(
+            out,
+            doc.metrics_anchor_line,
+            format!(
+                "metric family `{missing}` is exported but missing from the metric-family table"
+            ),
+        );
+    }
+    for extra in doc.metric_rows.difference(metrics) {
+        push(
+            out,
+            doc.metrics_anchor_line,
+            format!("metric-family table documents `{extra}`, which obs.rs does not export"),
+        );
+    }
+}
+
+pub fn run(root: &Path, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    let api = std::fs::read_to_string(root.join("crates/server/src/api.rs"))?;
+    let obs = std::fs::read_to_string(root.join("crates/server/src/obs.rs"))?;
+    let md = std::fs::read_to_string(root.join("PROTOCOL.md"))?;
+    let codes = extract_wire_error_codes(&api);
+    if codes.is_empty() {
+        out.push(Finding {
+            file: "crates/server/src/api.rs".into(),
+            line: 1,
+            check: Check::ProtocolDrift,
+            message: "could not extract WIRE_ERROR_CODES — drift check cannot run".into(),
+        });
+        return Ok(());
+    }
+    let verbs = extract_verbs(&obs);
+    let metrics = extract_metric_families(&obs);
+    if verbs.is_empty() || metrics.is_empty() {
+        out.push(Finding {
+            file: "crates/server/src/obs.rs".into(),
+            line: 1,
+            check: Check::ProtocolDrift,
+            message: "could not extract VERBS / metric families — drift check cannot run".into(),
+        });
+        return Ok(());
+    }
+    let doc = parse_protocol_md(&md);
+    diff("PROTOCOL.md", &doc, &codes, &verbs, &metrics, out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const API: &str = r#"
+        pub enum ErrorCode { A, B }
+        impl ErrorCode {
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    ErrorCode::A => "a-code",
+                    ErrorCode::B => "b-code",
+                }
+            }
+        }
+        pub const WIRE_ERROR_CODES: [ErrorCode; 2] = [ErrorCode::A, ErrorCode::B];
+    "#;
+
+    const OBS: &str = r#"
+        pub const VERBS: [&str; 3] = ["health", "gen", "invalid"];
+        fn emit() {
+            let s = "trajdp_uptime_seconds";
+            let t = "trajdp_requests_total{verb=\"gen\"} 3";
+        }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { let x = "trajdp_requests_total_bucket"; }
+        }
+    "#;
+
+    #[test]
+    fn extracts_codes_in_array_order() {
+        assert_eq!(extract_wire_error_codes(API), vec!["a-code", "b-code"]);
+    }
+
+    #[test]
+    fn extracts_verbs_and_metrics() {
+        let verbs = extract_verbs(OBS);
+        assert_eq!(verbs.into_iter().collect::<Vec<_>>(), vec!["gen", "health"]);
+        let metrics = extract_metric_families(OBS);
+        assert_eq!(
+            metrics.into_iter().collect::<Vec<_>>(),
+            vec!["trajdp_requests_total", "trajdp_uptime_seconds"]
+        );
+    }
+
+    #[test]
+    fn clean_doc_has_no_findings() {
+        let md = "## Error codes\n\n| code | meaning |\n|---|---|\n| `a-code` | a |\n| `b-code` | b |\n\n\
+                  ## Verbs\n\n### `health`\n\n### `gen`\n\n\
+                  | family | meaning |\n|---|---|\n| `trajdp_uptime_seconds` | x |\n| `trajdp_requests_total` | y |\n";
+        let doc = parse_protocol_md(md);
+        let mut out = Vec::new();
+        diff(
+            "PROTOCOL.md",
+            &doc,
+            &extract_wire_error_codes(API),
+            &extract_verbs(OBS),
+            &extract_metric_families(OBS),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn row_order_swap_is_reported_with_line() {
+        let md = "## Error codes\n\n| code | meaning |\n|---|---|\n| `b-code` | b |\n| `a-code` | a |\n\n\
+                  ## Verbs\n\n### `health`\n\n### `gen`\n\n\
+                  | `trajdp_uptime_seconds` | x |\n| `trajdp_requests_total` | y |\n";
+        let doc = parse_protocol_md(md);
+        let mut out = Vec::new();
+        diff(
+            "PROTOCOL.md",
+            &doc,
+            &extract_wire_error_codes(API),
+            &extract_verbs(OBS),
+            &extract_metric_families(OBS),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("`b-code`"));
+        assert!(out[0].message.contains("`a-code`"));
+    }
+
+    #[test]
+    fn missing_metric_and_verb_reported() {
+        let md = "## Error codes\n\n| `a-code` | a |\n| `b-code` | b |\n\n\
+                  ## Verbs\n\n### `health`\n\n| `trajdp_uptime_seconds` | x |\n";
+        let doc = parse_protocol_md(md);
+        let mut out = Vec::new();
+        diff(
+            "PROTOCOL.md",
+            &doc,
+            &extract_wire_error_codes(API),
+            &extract_verbs(OBS),
+            &extract_metric_families(OBS),
+            &mut out,
+        );
+        let msgs: Vec<_> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("verb `gen`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`trajdp_requests_total`")), "{msgs:?}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Lock-across-I/O lint (the PR 4 invariant).
+//!
+//! The server's rule: service locks (store, queue) are never held
+//! across durable disk writes, so reads proceed during large persists
+//! and fsyncs. This check flags any `Mutex`/`RwLock` guard binding that
+//! is still live when a durable-write call executes.
+//!
+//! *Guards* are `let` bindings whose initializer contains a no-argument
+//! `.lock()`, `.try_lock()`, `.read()`, or `.write()` call (the
+//! no-argument shape distinguishes lock acquisition from
+//! `io::Read::read(&mut buf)` and `io::Write::write(&buf)`). A guard
+//! dies at `drop(name)` or when its enclosing block closes.
+//!
+//! *Durable writes* are calls to `sync_all`, `sync_data`, `fsync`,
+//! `persist`, and the journal's `append`/`rewrite` methods — the
+//! workspace's own durable-write entry points. (`.append(true)` on
+//! `OpenOptions` is recognized and skipped.)
+//!
+//! The journal holds its *own* dedicated mutex across appends by
+//! design — that lock exists precisely to serialize disk writes and is
+//! never taken by the read path. Those sites carry
+//! `// lint: allow(lock-across-io): …` pragmas naming that rationale.
+
+use std::path::Path;
+
+use crate::{collect_rs_files, rel_path, Check, Finding, SourceFile};
+
+const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
+const IO_METHODS: [&str; 6] = ["sync_all", "sync_data", "fsync", "persist", "append", "rewrite"];
+
+struct Guard {
+    name: String,
+    depth: i32,
+    line: u32,
+}
+
+pub fn check_source(sf: &SourceFile, out: &mut Vec<Finding>) {
+    // Work on code tokens only; comments never affect liveness. Test
+    // items are exempt: the invariant binds the production server (a
+    // test may hold a lock to stage a scenario — e.g. the store's
+    // persist gate — without racing real readers).
+    let mask = crate::cfg_test_mask(&sf.toks);
+    let code: Vec<&crate::lexer::Tok> = sf
+        .toks
+        .iter()
+        .zip(mask.iter())
+        .filter(|(t, &m)| !t.is_comment() && !m)
+        .map(|(t, _)| t)
+        .collect();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("drop")
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = code.get(i + 2).filter(|n| n.kind == crate::lexer::TokKind::Ident) {
+                guards.retain(|g| g.name != name.text);
+            }
+        } else if t.is_ident("let") {
+            // `let [mut] NAME = <rhs> ;` — register NAME as a guard if
+            // the rhs acquires a lock. Non-trivial patterns (tuples,
+            // struct destructuring) are skipped: the workspace never
+            // binds guards that way.
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name_tok) = code.get(j).filter(|n| n.kind == crate::lexer::TokKind::Ident)
+            else {
+                i += 1;
+                continue;
+            };
+            // Only simple `NAME =` / `NAME:` bindings can hold a guard;
+            // `if let Some(x) = …` and destructuring patterns are not
+            // trackable and are skipped.
+            if !code.get(j + 1).is_some_and(|n| n.is_punct('=') || n.is_punct(':')) {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let line = name_tok.line;
+            // Scan the initializer up to the statement-ending `;`,
+            // tracking every delimiter so `;` inside closures/blocks
+            // does not end the statement early.
+            let mut k = j + 1;
+            let mut nest = 0i32;
+            let mut brace_nest = 0i32;
+            let mut saw_eq = false;
+            let mut acquires = false;
+            while k < code.len() {
+                let c = code[k];
+                if c.is_punct('(') || c.is_punct('[') || c.is_punct('{') {
+                    nest += 1;
+                    if c.is_punct('{') {
+                        brace_nest += 1;
+                    }
+                } else if c.is_punct(')') || c.is_punct(']') || c.is_punct('}') {
+                    nest -= 1;
+                    if c.is_punct('}') {
+                        brace_nest -= 1;
+                    }
+                    if nest < 0 {
+                        break;
+                    }
+                } else if c.is_punct(';') && nest == 0 {
+                    break;
+                } else if c.is_punct('=') && nest == 0 {
+                    saw_eq = true;
+                } else if saw_eq
+                    // A lock taken inside a brace block (`let id = {
+                    // q.lock()… }`) is released inside that block; only
+                    // a top-of-expression acquisition binds NAME.
+                    && brace_nest == 0
+                    && c.is_punct('.')
+                    && code.get(k + 1).is_some_and(|m| {
+                        LOCK_METHODS.iter().any(|l| m.is_ident(l))
+                    })
+                    && code.get(k + 2).is_some_and(|m| m.is_punct('('))
+                    && code.get(k + 3).is_some_and(|m| m.is_punct(')'))
+                {
+                    acquires = true;
+                }
+                k += 1;
+            }
+            if acquires {
+                guards.push(Guard { name, depth, line });
+            }
+            // Do NOT jump past the initializer: braces inside it must
+            // still be counted by the main loop. The `let` registration
+            // was a pure lookahead.
+        } else if t.is_punct('.')
+            && code.get(i + 1).is_some_and(|n| IO_METHODS.iter().any(|m| n.is_ident(m)))
+            && code.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let method = &code[i + 1].text;
+            // `OpenOptions::append(true)` is flag configuration, not I/O.
+            let is_open_options_flag =
+                method == "append" && code.get(i + 3).is_some_and(|n| n.is_ident("true"));
+            if !is_open_options_flag {
+                for g in &guards {
+                    sf.push(
+                        out,
+                        Check::LockAcrossIo,
+                        code[i + 1].line,
+                        format!(
+                            "durable write `{method}()` while lock guard `{}` (bound at line {}) is live; \
+                             release the lock before disk I/O or justify with `// lint: allow(lock-across-io): <why>`",
+                            g.name, g.line
+                        ),
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+pub fn run(root: &Path, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    let dir = root.join("crates/server/src");
+    for path in collect_rs_files(&dir) {
+        let src = std::fs::read_to_string(&path)?;
+        let sf = SourceFile::from_source(&rel_path(root, &path), &src);
+        check_source(&sf, out);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let sf = SourceFile::from_source("t.rs", src);
+        let mut out = Vec::new();
+        check_source(&sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_guard_live_across_sync() {
+        let out = findings(
+            "fn f(&self) {\n  let mut s = self.inner.lock().unwrap();\n  s.file.sync_all().unwrap();\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`sync_all()`"));
+        assert!(out[0].message.contains("`s`"));
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn scoped_guard_released_before_io_is_clean() {
+        let out = findings(
+            "fn f(&self) {\n  { let mut s = self.inner.lock().unwrap(); s.touch(); }\n  self.file.sync_all().unwrap();\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn explicit_drop_kills_guard() {
+        let out = findings(
+            "fn f(&self) {\n  let s = self.inner.lock().unwrap();\n  drop(s);\n  self.file.sync_data().unwrap();\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let out = findings(
+            "fn f(&self) {\n  let n = stream.read(&mut buf).unwrap();\n  self.file.sync_all().unwrap();\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn open_options_append_flag_is_not_io() {
+        let out = findings(
+            "fn f(&self) {\n  let g = self.m.lock().unwrap();\n  let f = OpenOptions::new().append(true).open(p);\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn rwlock_write_guard_tracked() {
+        let out = findings(
+            "fn f(&self) {\n  let w = self.map.write();\n  self.journal.rewrite(&w).unwrap();\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`rewrite()`"));
+    }
+
+    #[test]
+    fn pragma_suppresses_on_call_line() {
+        let out = findings(
+            "fn f(&self) {\n  let j = self.journal.lock().unwrap();\n  // lint: allow(lock-across-io): dedicated journal lock, never on the read path\n  j.file.sync_data().unwrap();\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,8 @@
+//! The four invariant checks. Each exposes a pure `check_source`-style
+//! function (so the fixture tests can drive it on literal sources) and a
+//! `run` entry point that walks the relevant part of the workspace.
+
+pub mod determinism;
+pub mod drift;
+pub mod lock_io;
+pub mod unsafe_audit;

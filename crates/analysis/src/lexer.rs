@@ -1,0 +1,352 @@
+//! A small, line-aware Rust token scanner.
+//!
+//! This is deliberately *not* a full lexer: the invariant checks only
+//! need to distinguish identifiers, punctuation, literals, and comments,
+//! and to know the 1-based source line of each token. What it must get
+//! exactly right — because every check depends on it — is *skipping*
+//! string/char literals and comments so that the word `unsafe` inside a
+//! doc comment or `"HashMap"` inside a log message never produces a
+//! finding. Raw strings (`r#"…"#`), byte strings, nested block comments,
+//! and the char-vs-lifetime ambiguity are all handled.
+
+/// Token classes the checks care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `let`, `HashMap`, …).
+    Ident,
+    /// String literal of any flavour; `text` holds the raw contents
+    /// without quotes, hashes, or the `b`/`r` prefix.
+    Str,
+    /// Character literal (contents not preserved).
+    Char,
+    /// Lifetime such as `'a` (contents not preserved).
+    Lifetime,
+    /// Numeric literal (contents preserved loosely, suffix included).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment; `text` holds everything after the slashes.
+    LineComment,
+    /// `/* … */` comment; `text` holds the interior.
+    BlockComment,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Scans `src` into tokens. Never fails: unterminated literals and
+/// comments are closed at end of input, which is good enough for a
+/// linter that only runs on code `rustc` already accepted.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts newlines in b[from..to] so multi-line tokens advance `line`.
+    let count_nl = |from: usize, to: usize| -> u32 {
+        b[from..to].iter().filter(|&&c| c == b'\n').count() as u32
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1u32;
+                while j < b.len() && depth > 0 {
+                    if j + 1 < b.len() && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < b.len() && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = if depth == 0 { j - 2 } else { j };
+                line += count_nl(i, j);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let start_line = line;
+                let (text, j) = scan_quoted(src, i + 1);
+                line += count_nl(i, j);
+                toks.push(Tok { kind: TokKind::Str, text, line: start_line });
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\…'` and `'x'` are chars;
+                // `'ident` not followed by a closing quote is a lifetime.
+                let start_line = line;
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    if j < b.len() {
+                        j += 1; // escaped char
+                    }
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1; // \u{…} etc.
+                    }
+                    i = (j + 1).min(b.len());
+                    toks.push(Tok { kind: TokKind::Char, text: String::new(), line: start_line });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j > i + 1 {
+                        // 'a' — a char literal spelled with ident chars.
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        i = j + 1;
+                    } else if j == i + 1 && j < b.len() && b[j] == b'\'' {
+                        // '…' with a single non-ident char, e.g. '(' — but we
+                        // landed here only if b[i+1] == '\'' i.e. empty ''.
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        i = j + 1;
+                    } else if j == i + 1 {
+                        // '(' etc: single-char literal like '(' — consume
+                        // the char and the closing quote if present.
+                        let mut k = i + 1;
+                        if k < b.len() {
+                            k += 1;
+                        }
+                        if k < b.len() && b[k] == b'\'' {
+                            k += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        i = k;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: src[i + 1..j].to_string(),
+                            line: start_line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let is_raw_prefix = matches!(word, "r" | "br" | "rb");
+                let is_byte_prefix = word == "b";
+                if is_raw_prefix && j < b.len() && (b[j] == b'"' || b[j] == b'#') {
+                    let start_line = line;
+                    let (text, k) = scan_raw(src, j);
+                    line += count_nl(j, k);
+                    toks.push(Tok { kind: TokKind::Str, text, line: start_line });
+                    i = k;
+                } else if is_byte_prefix && j < b.len() && b[j] == b'"' {
+                    let start_line = line;
+                    let (text, k) = scan_quoted(src, j + 1);
+                    line += count_nl(j, k);
+                    toks.push(Tok { kind: TokKind::Str, text, line: start_line });
+                    i = k;
+                } else if is_byte_prefix && j < b.len() && b[j] == b'\'' {
+                    // byte char literal b'x'
+                    let mut k = j + 1;
+                    if k < b.len() && b[k] == b'\\' {
+                        k += 1;
+                    }
+                    if k < b.len() {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'\'' {
+                        k += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                    i = k;
+                } else {
+                    toks.push(Tok { kind: TokKind::Ident, text: word.to_string(), line });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() && j > start
+                    {
+                        // 1.5 — but not `0..n` (range) or `1.method()`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Num, text: src[start..j].to_string(), line });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a conventional `"…"` string body starting just after the
+/// opening quote; returns (contents, index just past the closing quote).
+fn scan_quoted(src: &str, mut j: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j = (j + 2).min(b.len()),
+            b'"' => return (src[start..j].to_string(), j + 1),
+            _ => j += 1,
+        }
+    }
+    (src[start..j].to_string(), j)
+}
+
+/// Scans a raw string starting at the `#`s or quote after the `r`
+/// prefix; returns (contents, index just past the final hash/quote).
+fn scan_raw(src: &str, mut j: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // `r#foo` raw identifier, not a string; emit as empty str — the
+        // caller has already consumed the prefix, so just back out.
+        return (String::new(), j);
+    }
+    j += 1;
+    let start = j;
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && k < b.len() && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (src[start..j].to_string(), k);
+            }
+        }
+        j += 1;
+    }
+    (src[start..j].to_string(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn skips_strings_and_comments() {
+        let src = r##"
+            // unsafe in a comment
+            /* unsafe in /* a nested */ block */
+            let s = "unsafe in a string";
+            let r = r#"unsafe in a raw "quoted" string"#;
+            let c = 'u';
+            fn real_unsafe() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_unsafe".to_string()));
+    }
+
+    #[test]
+    fn tracks_lines_across_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // The str idents must survive (a char mis-scan would eat them).
+        assert!(toks.iter().filter(|t| t.is_ident("str")).count() == 2);
+    }
+
+    #[test]
+    fn comment_text_is_preserved() {
+        let toks = lex("// SAFETY: fd is valid\nunsafe {}");
+        assert!(matches!(&toks[0].kind, TokKind::LineComment));
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ids: Vec<_> = lex("for i in 0..n {}").into_iter().collect();
+        assert!(ids.iter().any(|t| t.is_ident("n")));
+        assert!(ids.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+    }
+}

@@ -1,0 +1,87 @@
+#![forbid(unsafe_code)]
+//! `trajdp-analysis` — run the workspace invariant lints.
+//!
+//! ```text
+//! cargo run -p trajdp-analysis --release [-- --root <path>]
+//! ```
+//!
+//! Exit codes: `0` no findings, `1` findings (printed one per line as
+//! `file:line: [check] message`, sorted), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return Some(root);
+    }
+    // `cargo run -p trajdp-analysis` sets CARGO_MANIFEST_DIR to
+    // crates/analysis; the workspace root is two levels up. Fall back
+    // to walking up from the current directory to a `[workspace]`
+    // manifest so the binary also works when invoked directly.
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(md);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return Some(root.to_path_buf());
+            }
+        }
+    }
+    let cwd = std::env::current_dir().ok()?;
+    for dir in cwd.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut explicit_root = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => explicit_root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("trajdp-analysis: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: trajdp-analysis [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("trajdp-analysis: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = workspace_root(explicit_root) else {
+        eprintln!("trajdp-analysis: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    match trajdp_analysis::run_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("trajdp-analysis: workspace clean (4 checks)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("trajdp-analysis: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("trajdp-analysis: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

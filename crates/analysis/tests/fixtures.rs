@@ -1,0 +1,203 @@
+//! Fixture corpus for the invariant linter: positive and negative cases
+//! per check, a drift test that mutates a copy of the real PROTOCOL.md
+//! and asserts the exact diagnostic, and the workspace-clean regression
+//! test that keeps the real tree lint-free.
+
+use std::path::{Path, PathBuf};
+
+use trajdp_analysis::checks::{determinism, drift, lock_io, unsafe_audit};
+use trajdp_analysis::{Check, Finding, SourceFile};
+
+fn fixture(rel: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {rel}: {e}"));
+    SourceFile::from_source(rel, &src)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+fn lines_of(findings: &[Finding]) -> Vec<u32> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+// ---- unsafe audit ----------------------------------------------------
+
+#[test]
+fn unsafe_audit_flags_every_seeded_site() {
+    let sf = fixture("unsafe_audit/missing_safety.rs");
+    let mut out = Vec::new();
+    unsafe_audit::check_source(&sf, &mut out);
+    assert_eq!(lines_of(&out), vec![5, 8, 12], "{out:?}");
+    assert!(out.iter().all(|f| f.check == Check::UnsafeAudit));
+    assert!(out[0].message.contains("unsafe block"));
+    assert!(out[1].message.contains("unsafe fn"));
+    assert!(out[2].message.contains("unsafe impl"));
+}
+
+#[test]
+fn unsafe_audit_accepts_documented_sites() {
+    let sf = fixture("unsafe_audit/has_safety.rs");
+    let mut out = Vec::new();
+    unsafe_audit::check_source(&sf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- lock across I/O -------------------------------------------------
+
+#[test]
+fn lock_io_flags_every_seeded_site() {
+    let sf = fixture("lock_io/guard_across_sync.rs");
+    let mut out = Vec::new();
+    lock_io::check_source(&sf, &mut out);
+    assert_eq!(lines_of(&out), vec![7, 12], "{out:?}");
+    assert!(out[0].message.contains("`sync_all()`") && out[0].message.contains("`s`"));
+    assert!(out[1].message.contains("`sync_data()`") && out[1].message.contains("`map`"));
+}
+
+#[test]
+fn lock_io_accepts_sanctioned_shapes() {
+    let sf = fixture("lock_io/released_before_io.rs");
+    let mut out = Vec::new();
+    lock_io::check_source(&sf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- determinism -----------------------------------------------------
+
+#[test]
+fn determinism_flags_every_seeded_site() {
+    let sf = fixture("determinism/violations.rs");
+    let mut out = Vec::new();
+    determinism::check_source(&sf, &mut out);
+    assert_eq!(lines_of(&out), vec![10, 14, 23, 29], "{out:?}");
+    assert!(out[0].message.contains("candidate_tf.keys()"));
+    assert!(out[1].message.contains("for … in candidate_tf"));
+    assert!(out[2].message.contains("pf.drain()"));
+    assert!(out[3].message.contains("Instant::now()"));
+}
+
+#[test]
+fn determinism_accepts_sanctioned_shapes() {
+    let sf = fixture("determinism/clean.rs");
+    let mut out = Vec::new();
+    determinism::check_source(&sf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- protocol drift --------------------------------------------------
+
+/// Extractions from the real tree, shared by the drift tests.
+fn real_inventories(
+) -> (Vec<String>, std::collections::BTreeSet<String>, std::collections::BTreeSet<String>) {
+    let root = workspace_root();
+    let api = std::fs::read_to_string(root.join("crates/server/src/api.rs")).unwrap();
+    let obs = std::fs::read_to_string(root.join("crates/server/src/obs.rs")).unwrap();
+    (
+        drift::extract_wire_error_codes(&api),
+        drift::extract_verbs(&obs),
+        drift::extract_metric_families(&obs),
+    )
+}
+
+#[test]
+fn drift_extracts_the_full_inventories() {
+    let (codes, verbs, metrics) = real_inventories();
+    assert_eq!(codes.len(), 13, "wire error codes: {codes:?}");
+    assert_eq!(codes.first().map(String::as_str), Some("bad-request"));
+    assert_eq!(codes.last().map(String::as_str), Some("internal"));
+    assert_eq!(verbs.len(), 14, "wire verbs: {verbs:?}");
+    assert!(verbs.contains("anonymize") && verbs.contains("health"));
+    assert!(!verbs.contains("invalid"), "internal bucket must be excluded");
+    assert!(metrics.len() >= 20, "metric families: {metrics:?}");
+    assert!(metrics.contains("trajdp_requests_total"));
+    assert!(
+        !metrics.contains("trajdp_request_latency_seconds_bucket"),
+        "derived test-asserted series must not leak into the family set"
+    );
+}
+
+#[test]
+fn drift_mutated_protocol_copy_yields_exact_diagnostic() {
+    let (codes, verbs, metrics) = real_inventories();
+    let md = std::fs::read_to_string(workspace_root().join("PROTOCOL.md")).unwrap();
+
+    // Swap the first two error-code rows in a copy of the document.
+    let first = format!("| `{}` |", codes[0]);
+    let second = format!("| `{}` |", codes[1]);
+    let line_of =
+        |needle: &str| md.lines().position(|l| l.starts_with(needle)).expect("row present") + 1;
+    let (l1, l2) = (line_of(&first), line_of(&second));
+    let mutated: Vec<&str> = {
+        let lines: Vec<&str> = md.lines().collect();
+        let mut v = lines.clone();
+        v.swap(l1 - 1, l2 - 1);
+        v
+    };
+    let mutated = mutated.join("\n");
+
+    let doc = drift::parse_protocol_md(&mutated);
+    let mut out = Vec::new();
+    drift::diff("PROTOCOL.md(copy)", &doc, &codes, &verbs, &metrics, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    let f = &out[0];
+    assert_eq!(f.file, "PROTOCOL.md(copy)");
+    assert_eq!(f.line as usize, l1, "diagnostic must point at the first wrong row");
+    assert_eq!(
+        f.message,
+        format!(
+            "error-code table row 1 is `{}` but `WIRE_ERROR_CODES[0]` is `{}` \
+             (the array order in api.rs is the documentation order)",
+            codes[1], codes[0]
+        )
+    );
+}
+
+#[test]
+fn drift_dropped_metric_row_is_reported() {
+    let (codes, verbs, metrics) = real_inventories();
+    let md = std::fs::read_to_string(workspace_root().join("PROTOCOL.md")).unwrap();
+    let mutated: String = md
+        .lines()
+        .filter(|l| !l.starts_with("| `trajdp_journal_fsync_seconds`"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(mutated.len(), md.len(), "the metric row must exist to be dropped");
+    let doc = drift::parse_protocol_md(&mutated);
+    let mut out = Vec::new();
+    drift::diff("PROTOCOL.md(copy)", &doc, &codes, &verbs, &metrics, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(
+        out[0].message.contains("`trajdp_journal_fsync_seconds` is exported but missing"),
+        "{out:?}"
+    );
+}
+
+/// The other direction of the CI gate: the deliberately broken mini
+/// workspace under `fixtures/bad_workspace/` must trip every check.
+#[test]
+fn bad_workspace_trips_every_check() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace");
+    let findings = trajdp_analysis::run_workspace(&root).unwrap();
+    let hit = |c: Check| findings.iter().filter(|f| f.check == c).count();
+    assert!(hit(Check::UnsafeAudit) >= 2, "{findings:?}");
+    assert!(hit(Check::LockAcrossIo) >= 1, "{findings:?}");
+    assert!(hit(Check::Determinism) >= 1, "{findings:?}");
+    assert!(hit(Check::ProtocolDrift) >= 1, "{findings:?}");
+}
+
+// ---- the real tree ---------------------------------------------------
+
+/// The regression test behind the PROTOCOL.md fixes and the annotation
+/// sweep: the workspace itself must stay lint-clean. This is exactly
+/// what CI runs via `scripts/analyze.sh`.
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = trajdp_analysis::run_workspace(&workspace_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}

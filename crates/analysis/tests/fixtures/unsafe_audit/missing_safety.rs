@@ -1,0 +1,12 @@
+// Fixture: unsafe sites with no SAFETY comments — every one must be
+// flagged. Not compiled; scanned by the fixture tests.
+
+fn fcntl_without_comment(fd: i32) -> i32 {
+    unsafe { sys::fcntl(fd, F_GETFL, 0) }
+}
+
+unsafe fn raw_read(fd: i32, buf: &mut [u8]) -> isize {
+    sys::read(fd, buf.as_mut_ptr(), buf.len())
+}
+
+unsafe impl Send for Handle {}
