@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the workspace invariant linter (crates/analysis) against the
+# repository root. Exit 0 means every invariant holds; exit 1 prints
+# one `file:line: [check] message` finding per line; exit 2 is a
+# usage/IO error in the linter itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q -p trajdp-analysis --release -- "$@"
