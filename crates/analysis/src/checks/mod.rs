@@ -1,8 +1,16 @@
-//! The four invariant checks. Each exposes a pure `check_source`-style
-//! function (so the fixture tests can drive it on literal sources) and a
-//! `run` entry point that walks the relevant part of the workspace.
+//! The eight invariant checks. Each exposes a pure `check_source`/
+//! `check_sources`-style function (so the fixture tests can drive it on
+//! literal sources) and a `run` entry point that walks the relevant
+//! part of the workspace. The PR 8 checks (`unsafe_audit`, `lock_io`,
+//! `determinism`, `drift`) are per-line token scans; the PR 9 checks
+//! (`lock_order`, `panic_path`, `reactor_blocking`, `rng_discipline`)
+//! consume the [`crate::model`] dataflow layer.
 
 pub mod determinism;
 pub mod drift;
 pub mod lock_io;
+pub mod lock_order;
+pub mod panic_path;
+pub mod reactor_blocking;
+pub mod rng_discipline;
 pub mod unsafe_audit;

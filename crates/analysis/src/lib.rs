@@ -5,8 +5,8 @@
 //! It exists because the system's hardest-won guarantees are invisible
 //! to `rustc`: byte-reproducible anonymization at any worker count, acks
 //! only after fsync with no service lock held across disk I/O, and a
-//! frozen wire contract documented in PROTOCOL.md. Each is enforced here
-//! as a token-level check:
+//! frozen wire contract documented in PROTOCOL.md. Four checks are
+//! token-level scans:
 //!
 //! * [`checks::unsafe_audit`] — every `unsafe` site needs an adjacent
 //!   `// SAFETY:` comment; crates without unsafe must carry
@@ -20,6 +20,21 @@
 //! * [`checks::drift`] — PROTOCOL.md's error-code, verb, and metric
 //!   tables must match `api.rs`/`obs.rs` exactly.
 //!
+//! Four more consume the [`model`] dataflow layer (function/impl spans,
+//! guard liveness, a name-resolved call graph) because the invariants
+//! they guard span functions and files:
+//!
+//! * [`checks::lock_order`] — the server's lock graph must match the
+//!   documented hierarchy (journal → queue, journal → store, nothing
+//!   else) and be cycle-free.
+//! * [`checks::panic_path`] — no `unwrap`/`expect`/`panic!`-family
+//!   macro/slice-index reachable from request dispatch without a
+//!   `// PANIC: <why impossible>` justification.
+//! * [`checks::reactor_blocking`] — the reactor thread must not do
+//!   durable I/O, sleep, or take locks outside `impl Executor`.
+//! * [`checks::rng_discipline`] — `crates/core` + `crates/mech` derive
+//!   every RNG from `core::stream` per-unit streams.
+//!
 //! Findings are deterministic, `file:line`-addressed, and suppressible
 //! only via an inline `// lint: allow(<check>): <reason>` pragma on the
 //! flagged line or the line directly above it. A pragma without a
@@ -27,6 +42,7 @@
 
 pub mod checks;
 pub mod lexer;
+pub mod model;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -34,34 +50,48 @@ use std::path::{Path, PathBuf};
 
 use lexer::Tok;
 
-/// The four invariant checks. The wire names (used in pragmas and
-/// diagnostics) are kebab-case.
+/// The eight invariant checks. The wire names (used in pragmas,
+/// diagnostics, and `--check`) are kebab-case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Check {
     UnsafeAudit,
     LockAcrossIo,
+    LockOrder,
+    PanicPath,
+    ReactorBlocking,
     Determinism,
+    RngDiscipline,
     ProtocolDrift,
 }
 
 impl Check {
+    /// Every check, in run order.
+    pub const ALL: [Check; 8] = [
+        Check::UnsafeAudit,
+        Check::LockAcrossIo,
+        Check::LockOrder,
+        Check::PanicPath,
+        Check::ReactorBlocking,
+        Check::Determinism,
+        Check::RngDiscipline,
+        Check::ProtocolDrift,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             Check::UnsafeAudit => "unsafe-audit",
             Check::LockAcrossIo => "lock-across-io",
+            Check::LockOrder => "lock-order",
+            Check::PanicPath => "panic-path",
+            Check::ReactorBlocking => "reactor-blocking",
             Check::Determinism => "determinism",
+            Check::RngDiscipline => "rng-discipline",
             Check::ProtocolDrift => "protocol-drift",
         }
     }
 
     pub fn from_name(s: &str) -> Option<Check> {
-        Some(match s {
-            "unsafe-audit" => Check::UnsafeAudit,
-            "lock-across-io" => Check::LockAcrossIo,
-            "determinism" => Check::Determinism,
-            "protocol-drift" => Check::ProtocolDrift,
-            _ => return None,
-        })
+        Check::ALL.into_iter().find(|c| c.name() == s)
     }
 }
 
@@ -293,14 +323,43 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
 }
 
-/// Runs all four checks over the workspace at `root` and returns the
+/// Runs all eight checks over the workspace at `root` and returns the
 /// sorted findings. This is what `main` and the integration tests call.
 pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    run_workspace_filtered(root, None)
+}
+
+/// [`run_workspace`], optionally restricted to a single check
+/// (`--check <name>`). Note that pragma-grammar errors are reported by
+/// the unsafe-audit pass, so a filtered run of another check will not
+/// surface them.
+pub fn run_workspace_filtered(root: &Path, only: Option<Check>) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    checks::unsafe_audit::run(root, &mut findings)?;
-    checks::lock_io::run(root, &mut findings)?;
-    checks::determinism::run(root, &mut findings)?;
-    checks::drift::run(root, &mut findings)?;
+    let want = |c: Check| only.is_none() || only == Some(c);
+    if want(Check::UnsafeAudit) {
+        checks::unsafe_audit::run(root, &mut findings)?;
+    }
+    if want(Check::LockAcrossIo) {
+        checks::lock_io::run(root, &mut findings)?;
+    }
+    if want(Check::LockOrder) {
+        checks::lock_order::run(root, &mut findings)?;
+    }
+    if want(Check::PanicPath) {
+        checks::panic_path::run(root, &mut findings)?;
+    }
+    if want(Check::ReactorBlocking) {
+        checks::reactor_blocking::run(root, &mut findings)?;
+    }
+    if want(Check::Determinism) {
+        checks::determinism::run(root, &mut findings)?;
+    }
+    if want(Check::RngDiscipline) {
+        checks::rng_discipline::run(root, &mut findings)?;
+    }
+    if want(Check::ProtocolDrift) {
+        checks::drift::run(root, &mut findings)?;
+    }
     findings.sort();
     findings.dedup();
     Ok(findings)

@@ -2,14 +2,21 @@
 //! `trajdp-analysis` — run the workspace invariant lints.
 //!
 //! ```text
-//! cargo run -p trajdp-analysis --release [-- --root <path>]
+//! cargo run -p trajdp-analysis --release [-- --root <path>] \
+//!     [--check <name>] [--format text|json]
 //! ```
 //!
-//! Exit codes: `0` no findings, `1` findings (printed one per line as
-//! `file:line: [check] message`, sorted), `2` usage or I/O error.
+//! Exit codes: `0` no findings, `1` findings, `2` usage or I/O error.
+//! Text output is one finding per line as `file:line: [check] message`,
+//! sorted; `--format json` emits the same findings as a JSON array of
+//! `{"file", "line", "check", "message"}` objects (an empty array when
+//! clean) for CI annotation tooling. `--check` restricts the run to a
+//! single check by its kebab-case name.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use trajdp_analysis::{Check, Finding};
 
 fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     if let Some(root) = explicit {
@@ -39,8 +46,47 @@ fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     None
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(findings: &[Finding]) {
+    println!("[");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"check\": \"{}\", \"message\": \"{}\"}}{comma}",
+            json_escape(&f.file),
+            f.line,
+            f.check,
+            json_escape(&f.message)
+        );
+    }
+    println!("]");
+}
+
 fn main() -> ExitCode {
     let mut explicit_root = None;
+    let mut only: Option<Check> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,8 +97,27 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--check" => match args.next().as_deref().map(Check::from_name) {
+                Some(Some(c)) => only = Some(c),
+                _ => {
+                    let names: Vec<&str> = Check::ALL.iter().map(|c| c.name()).collect();
+                    eprintln!("trajdp-analysis: --check requires one of: {}", names.join(", "));
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => {
+                    eprintln!("trajdp-analysis: --format requires `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: trajdp-analysis [--root <workspace-root>]");
+                println!(
+                    "usage: trajdp-analysis [--root <workspace-root>] \
+                     [--check <name>] [--format text|json]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -67,14 +132,26 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    match trajdp_analysis::run_workspace(&root) {
+    let checks_run = if only.is_some() { 1 } else { Check::ALL.len() };
+    match trajdp_analysis::run_workspace_filtered(&root, only) {
         Ok(findings) if findings.is_empty() => {
-            eprintln!("trajdp-analysis: workspace clean (4 checks)");
+            if format == Format::Json {
+                print_json(&findings);
+            }
+            eprintln!(
+                "trajdp-analysis: workspace clean ({checks_run} check{})",
+                if checks_run == 1 { "" } else { "s" }
+            );
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            match format {
+                Format::Text => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                }
+                Format::Json => print_json(&findings),
             }
             eprintln!("trajdp-analysis: {} finding(s)", findings.len());
             ExitCode::FAILURE

@@ -5,7 +5,10 @@
 
 use std::path::{Path, PathBuf};
 
-use trajdp_analysis::checks::{determinism, drift, lock_io, unsafe_audit};
+use trajdp_analysis::checks::{
+    determinism, drift, lock_io, lock_order, panic_path, reactor_blocking, rng_discipline,
+    unsafe_audit,
+};
 use trajdp_analysis::{Check, Finding, SourceFile};
 
 fn fixture(rel: &str) -> SourceFile {
@@ -83,6 +86,101 @@ fn determinism_accepts_sanctioned_shapes() {
     let sf = fixture("determinism/clean.rs");
     let mut out = Vec::new();
     determinism::check_source(&sf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- lock order ------------------------------------------------------
+
+#[test]
+fn lock_order_flags_inversion_cycle_call_edge_and_self_edge() {
+    let sources = [fixture("lock_order/bad/jobs.rs"), fixture("lock_order/bad/store.rs")];
+    let mut out = Vec::new();
+    lock_order::check_sources(&sources, &mut out);
+    out.sort();
+    assert!(out.iter().all(|f| f.check == Check::LockOrder));
+    let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`journal` acquired while `queue` is held")), "{out:?}");
+    assert!(msgs.iter().any(|m| m.contains("lock-order cycle:")), "{out:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("`queue` acquired while `store` is held")
+            && m.contains("via call to `queue_len`")),
+        "{out:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("self-deadlock")), "{out:?}");
+}
+
+#[test]
+fn lock_order_accepts_the_documented_hierarchy() {
+    let sources = [fixture("lock_order/clean/jobs.rs"), fixture("lock_order/clean/store.rs")];
+    let mut out = Vec::new();
+    lock_order::check_sources(&sources, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- panic path ------------------------------------------------------
+
+#[test]
+fn panic_path_flags_every_reachable_site() {
+    let sf = fixture("panic_path/violations.rs");
+    let mut out = Vec::new();
+    panic_path::check_sources(std::slice::from_ref(&sf), &mut out);
+    out.sort();
+    assert_eq!(lines_of(&out), vec![6, 7, 12, 14], "{out:?}");
+    assert!(out[0].message.contains("`unwrap()` in `handle`"), "{out:?}");
+    assert!(out[1].message.contains("slice/array index in `handle`"), "{out:?}");
+    assert!(out[2].message.contains("`expect()` in `route`"), "{out:?}");
+    assert!(out[3].message.contains("`unreachable!` in `route`"), "{out:?}");
+}
+
+#[test]
+fn panic_path_accepts_annotated_and_test_only_sites() {
+    let sf = fixture("panic_path/annotated.rs");
+    let mut out = Vec::new();
+    panic_path::check_sources(std::slice::from_ref(&sf), &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- reactor blocking ------------------------------------------------
+
+#[test]
+fn reactor_blocking_flags_each_blocking_class() {
+    let sf = fixture("reactor_blocking/blocking.rs");
+    let mut out = Vec::new();
+    reactor_blocking::check_source(&sf, &mut out);
+    assert_eq!(lines_of(&out), vec![7, 8, 9], "{out:?}");
+    assert!(out[0].message.contains("`sleep` called"), "{out:?}");
+    assert!(out[1].message.contains("lock `pending` acquired"), "{out:?}");
+    assert!(out[2].message.contains("durable I/O `sync_all()`"), "{out:?}");
+}
+
+#[test]
+fn reactor_blocking_accepts_the_executor_plane() {
+    let sf = fixture("reactor_blocking/clean.rs");
+    let mut out = Vec::new();
+    reactor_blocking::check_source(&sf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---- rng discipline --------------------------------------------------
+
+#[test]
+fn rng_discipline_flags_every_direct_construction() {
+    let sf = fixture("rng_discipline/violations.rs");
+    let mut out = Vec::new();
+    rng_discipline::check_source(&sf, &mut out);
+    assert_eq!(lines_of(&out), vec![5, 6, 7, 8, 9], "{out:?}");
+    assert!(out[0].message.contains("`StdRng::seed_from_u64`"), "{out:?}");
+    assert!(out[1].message.contains("`SmallRng::from_entropy`"), "{out:?}");
+    assert!(out[2].message.contains("`thread_rng()`"), "{out:?}");
+    assert!(out[3].message.contains("`rand::random()`"), "{out:?}");
+    assert!(out[4].message.contains("`from_os_rng` seeds an RNG"), "{out:?}");
+}
+
+#[test]
+fn rng_discipline_accepts_the_sanctioned_stream() {
+    let sf = fixture("rng_discipline/clean.rs");
+    let mut out = Vec::new();
+    rng_discipline::check_source(&sf, &mut out);
     assert!(out.is_empty(), "{out:?}");
 }
 
@@ -183,8 +281,15 @@ fn bad_workspace_trips_every_check() {
     let hit = |c: Check| findings.iter().filter(|f| f.check == c).count();
     assert!(hit(Check::UnsafeAudit) >= 2, "{findings:?}");
     assert!(hit(Check::LockAcrossIo) >= 1, "{findings:?}");
+    assert!(hit(Check::LockOrder) >= 2, "{findings:?}");
+    assert!(hit(Check::PanicPath) >= 2, "{findings:?}");
+    assert!(hit(Check::ReactorBlocking) >= 3, "{findings:?}");
     assert!(hit(Check::Determinism) >= 1, "{findings:?}");
+    assert!(hit(Check::RngDiscipline) >= 2, "{findings:?}");
     assert!(hit(Check::ProtocolDrift) >= 1, "{findings:?}");
+    for c in Check::ALL {
+        assert!(hit(c) >= 1, "check `{c}` found nothing in bad_workspace:\n{findings:?}");
+    }
 }
 
 // ---- the real tree ---------------------------------------------------

@@ -1,0 +1,10 @@
+// Core crate: constructs RNGs outside `core::stream`.
+
+pub fn thread_local_noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn reseed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

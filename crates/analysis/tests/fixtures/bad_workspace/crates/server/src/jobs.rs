@@ -1,0 +1,19 @@
+// Job queue: takes the queue lock first and the journal inside it —
+// the inverse of the documented hierarchy — while `finish` uses the
+// sanctioned order, closing a queue ↔ journal cycle.
+
+impl JobQueue {
+    pub fn submit(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().unwrap();
+        let mut j = self.journal.lock().unwrap();
+        j.record(&q.head);
+    }
+
+    pub fn finish(&self) {
+        let mut j = self.journal.lock().unwrap();
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().unwrap();
+        q.done += 1;
+    }
+}

@@ -1,0 +1,13 @@
+// Reactor: blocks the readiness loop with a sleep, a lock
+// acquisition, and a durable write.
+
+impl Reactor {
+    pub fn run(&mut self) {
+        loop {
+            std::thread::sleep(self.tick);
+            let mut q = self.pending.lock().unwrap();
+            self.journal.sync_all().unwrap();
+            q.clear();
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Service entry point: panics on the request path instead of
+// returning a stable error code.
+
+pub fn handle(req: &Request) -> Response {
+    let spec = req.spec.unwrap();
+    let first = req.body[0];
+    Response::of(spec, first)
+}

@@ -1,0 +1,26 @@
+// Fixture: `submit` takes the queue lock first and the journal inside
+// it — the inverse of the documented hierarchy — while `finish` uses
+// the sanctioned order, closing a queue ↔ journal cycle. `queue_len`
+// is the target of the call-deep edge seeded in bad/store.rs.
+
+impl JobQueue {
+    fn submit(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().unwrap();
+        let mut j = self.journal.lock().unwrap();
+        j.record(&q.head);
+    }
+
+    fn finish(&self) {
+        let mut j = self.journal.lock().unwrap();
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock().unwrap();
+        q.done += 1;
+    }
+
+    fn queue_len(&self) -> usize {
+        let (lock, cvar) = &*self.inner;
+        let q = lock.lock().unwrap();
+        q.len()
+    }
+}

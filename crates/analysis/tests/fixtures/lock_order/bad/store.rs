@@ -1,0 +1,17 @@
+// Fixture: `reserve` re-enters its own mutex (self-deadlock with
+// std::sync::Mutex) and `reclaim` reaches the queue lock through a
+// call while the store lock is held — an edge the hierarchy forbids.
+
+impl DatasetStore {
+    fn reserve(&self) {
+        let a = self.inner.lock().unwrap();
+        let b = self.inner.lock().unwrap();
+        a.merge(b);
+    }
+
+    fn reclaim(&self) {
+        let s = self.inner.lock().unwrap();
+        self.queue_len();
+        s.touch();
+    }
+}

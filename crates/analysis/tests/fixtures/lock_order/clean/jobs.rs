@@ -1,0 +1,19 @@
+// Fixture: the sanctioned hierarchy, mirroring the real submit path —
+// journal outermost, the queue guard scoped to its block, the store
+// pinned under the journal alone. Nothing may be flagged.
+
+impl JobQueue {
+    fn submit(&self) {
+        let mut j = self.journal.lock().unwrap();
+        j.record(spec);
+        let (lock, cvar) = &*self.inner;
+        let id = {
+            let mut q = lock.lock().unwrap();
+            q.push_spec(spec)
+        };
+        self.store.pin(id);
+        let mut q = lock.lock().unwrap();
+        q.publish(id);
+        cvar.notify_all();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: the pin target of clean/jobs.rs — acquiring the store while
+// only the journal is held is one of the two sanctioned edges.
+
+impl DatasetStore {
+    fn pin(&self, id: u64) {
+        let mut s = self.inner.lock().unwrap();
+        s.pins += 1;
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: every panic site is justified with a `// PANIC:` comment or
+// sits in test-only code — nothing may be flagged.
+
+pub fn handle(req: &Request) -> Response {
+    // PANIC: the framer rejects empty bodies before dispatch runs.
+    let first = req.body[0];
+    let spec = req.spec.clone().unwrap_or_default();
+    respond(spec, first)
+}
+
+fn respond(spec: Spec, first: u8) -> Response {
+    Response::of(spec, first)
+}
+
+fn dispatch(frame: &[u8]) -> u8 {
+    // PANIC: `decode` only returns offsets it bounds-checked against
+    // `frame.len()` — the index below re-reads the same range.
+    frame[decode(frame)]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Vec<u8> = Vec::new();
+        let _ = v.first().unwrap();
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: panic sites reachable from request dispatch — the four
+// sites in `handle` and `route` must be flagged; `bench_probe` is not
+// reachable from any root and may index freely.
+
+pub fn handle(req: &Request) -> Response {
+    let spec = req.spec.unwrap();
+    let first = req.body[0];
+    route(spec, first)
+}
+
+fn route(spec: Spec, first: u8) -> Response {
+    let table = tables().get(&spec.verb).expect("verb table");
+    if first == 0 {
+        unreachable!("zero byte rejected by the framer");
+    }
+    table.call(first)
+}
+
+fn bench_probe(req: &Request) -> u8 {
+    req.body[1]
+}

@@ -1,0 +1,13 @@
+// Fixture: the readiness loop blocks three ways — a sleep, a lock
+// acquisition, and a durable write — and all three must be flagged.
+
+impl Reactor {
+    fn run(&mut self) {
+        loop {
+            std::thread::sleep(self.tick);
+            let mut q = self.pending.lock().unwrap();
+            self.journal.sync_all().unwrap();
+            q.clear();
+        }
+    }
+}

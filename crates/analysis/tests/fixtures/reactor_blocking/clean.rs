@@ -1,0 +1,19 @@
+// Fixture: the readiness loop only moves bytes and hands work to the
+// executor, whose `impl Executor` block is the sanctioned blocking
+// plane — nothing may be flagged.
+
+impl Reactor {
+    fn poll_once(&mut self) {
+        let n = self.poller.wait(&mut self.events);
+        for ev in &self.events[..n] {
+            self.executor.submit(ev.token);
+        }
+    }
+}
+
+impl Executor {
+    fn worker(&self) {
+        let task = self.rx.lock().unwrap().recv();
+        self.journal.sync_all().unwrap();
+    }
+}

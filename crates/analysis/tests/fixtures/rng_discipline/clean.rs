@@ -1,0 +1,21 @@
+// Fixture: the sanctioned shapes — the pragma'd stream constructor, a
+// consumer that only draws from an RNG it was handed, and test-only
+// seeding. Nothing may be flagged.
+
+pub fn stream_rng(root: u64, phase: Phase, unit: u64) -> ChaCha8Rng {
+    // lint: allow(rng-discipline): the one sanctioned per-unit constructor
+    ChaCha8Rng::from_seed(derive(root, phase, unit))
+}
+
+pub fn jitter(rng: &mut impl Rng) -> f64 {
+    rng.gen_range(0.0..1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_seed_directly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.gen::<u64>();
+    }
+}

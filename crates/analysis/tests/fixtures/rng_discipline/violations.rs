@@ -1,0 +1,10 @@
+// Fixture: direct RNG constructions — every site in `noise_sources`
+// must be flagged.
+
+fn noise_sources() {
+    let a = StdRng::seed_from_u64(42);
+    let b = SmallRng::from_entropy();
+    let c = rand::thread_rng();
+    let d: f64 = rand::random();
+    let e = WorkerRng::from_os_rng();
+}

@@ -47,6 +47,7 @@ pub fn stream_seed(root: u64, phase: u64, unit: u64) -> u64 {
 /// A generator positioned at the start of stream `(root, phase, unit)`.
 #[inline]
 pub fn stream_rng(root: u64, phase: u64, unit: u64) -> StdRng {
+    // lint: allow(rng-discipline): this is the sanctioned per-unit constructor every other site must call
     StdRng::seed_from_u64(stream_seed(root, phase, unit))
 }
 

@@ -282,6 +282,9 @@ impl QueueInner {
             next_id: self.next_id,
             submits: unfinished
                 .into_iter()
+                // PANIC: `unfinished` was collected from `live_specs.keys()`
+                // above, with no mutation in between, so every id indexes
+                // a present entry.
                 .map(|id| (id.clone(), self.live_specs[id].clone()))
                 .collect(),
             dones: self
@@ -603,10 +606,11 @@ impl JobQueue {
         mut spec: AnonymizeSpec,
         cid: Option<String>,
     ) -> Result<String, ApiError> {
-        let mut journal = self.journal.lock().expect("journal poisoned");
+        let poisoned = || ApiError::internal("job queue state poisoned by a panic");
+        let mut journal = self.journal.lock().map_err(|_| poisoned())?;
         let (lock, cvar) = &*self.inner;
         let id = {
-            let mut q = lock.lock().expect("queue poisoned");
+            let mut q = lock.lock().map_err(|_| poisoned())?;
             if q.shutdown {
                 return Err(ApiError::shutting_down("server is shutting down; submit rejected"));
             }
@@ -646,7 +650,7 @@ impl JobQueue {
                 }
             }
         }
-        let mut q = lock.lock().expect("queue poisoned");
+        let mut q = lock.lock().map_err(|_| poisoned())?;
         if q.shutdown {
             // Shutdown raced the journal write: the last workers may
             // already have drained and exited, so enqueueing now could
@@ -693,7 +697,7 @@ impl JobQueue {
     /// Number of jobs not yet finished.
     pub fn outstanding(&self) -> usize {
         let (lock, _) = &*self.inner;
-        let q = lock.lock().expect("queue poisoned");
+        let Ok(q) = lock.lock() else { return 0 };
         q.states.values().filter(|s| matches!(s, JobState::Queued | JobState::Running)).count()
     }
 
@@ -701,7 +705,7 @@ impl JobQueue {
     /// verb. Touches only the queue mutex, never the journal.
     pub fn list(&self) -> Vec<(String, &'static str)> {
         let (lock, _) = &*self.inner;
-        let q = lock.lock().expect("queue poisoned");
+        let Ok(q) = lock.lock() else { return Vec::new() };
         let mut out: Vec<(String, &'static str)> =
             q.states.iter().map(|(id, s)| (id.clone(), s.name())).collect();
         out.sort_by_key(|(id, _)| job_number(id).unwrap_or(u64::MAX));
@@ -835,7 +839,12 @@ impl JobQueue {
     /// submits are rejected from this point on.
     pub fn shutdown(&self) {
         let (lock, cvar) = &*self.inner;
-        lock.lock().expect("queue poisoned").shutdown = true;
+        // Recover from poisoning rather than panic: shutdown must always
+        // go through, and flipping the flag cannot compound whatever
+        // half-state the panicking holder left behind.
+        let mut q = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        q.shutdown = true;
+        drop(q);
         cvar.notify_all();
     }
 
@@ -905,7 +914,9 @@ impl JobQueue {
     pub fn status_response(&self, id: &str) -> Result<Response, ApiError> {
         let (lock, _) = &*self.inner;
         let (state, meta) = {
-            let q = lock.lock().expect("queue poisoned");
+            let q = lock
+                .lock()
+                .map_err(|_| ApiError::internal("job queue state poisoned by a panic"))?;
             (q.states.get(id).cloned(), q.meta.get(id).cloned())
         };
         match state {

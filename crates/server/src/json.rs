@@ -248,6 +248,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        // PANIC: `pos` only ever advances by the length of bytes already
+        // peeked, so `pos <= bytes.len()` and the open range is valid.
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -278,6 +280,8 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
+        // PANIC: every byte in `start..pos` matched the ASCII digit/sign
+        // classes above, so the range is in bounds and valid UTF-8.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Json::Num)
@@ -288,6 +292,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
+        // PANIC: `pos + 4 <= bytes.len()` was checked two lines up.
         let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("non-ASCII in \\u escape"))?;
         let v = u16::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
@@ -346,8 +351,11 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
+                    // PANIC: `peek()` returned `Some`, so `pos` is in
+                    // bounds and the open range is valid.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
+                    // PANIC: `peek()` saw a byte, so `rest` is non-empty.
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -91,6 +91,8 @@ impl Histogram {
         let us = d.as_micros().min(u64::MAX as u128) as u64;
         let idx =
             LATENCY_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BOUNDS_US.len());
+        // PANIC: `counts` has `LATENCY_BOUNDS_US.len() + 1` cells and
+        // `idx` is at most `LATENCY_BOUNDS_US.len()`.
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -274,6 +276,9 @@ impl Metrics {
 
     /// Records one handled request: its verb bucket and latency.
     pub fn record_request(&self, verb: &str, elapsed: Duration) {
+        // PANIC: `verb_index` returns a position into `VERBS` (falling
+        // back to the `invalid` bucket) and `requests` has one cell per
+        // verb by construction.
         let stats = &self.requests[verb_index(verb)];
         stats.count.fetch_add(1, Ordering::Relaxed);
         stats.latency.observe(elapsed);
@@ -282,6 +287,8 @@ impl Metrics {
     /// Records one rejection under its stable code.
     pub fn record_error(&self, code: ErrorCode) {
         if let Some(idx) = WIRE_ERROR_CODES.iter().position(|&c| c == code) {
+            // PANIC: `idx` is a position into `WIRE_ERROR_CODES` and
+            // `errors` has one cell per code by construction.
             self.errors[idx].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -308,18 +315,18 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut requests: Vec<VerbSnapshot> = VERBS
             .iter()
-            .enumerate()
-            .map(|(i, verb)| VerbSnapshot {
+            .zip(self.requests.iter())
+            .map(|(verb, stats)| VerbSnapshot {
                 verb: verb.to_string(),
-                count: self.requests[i].count.load(Ordering::Relaxed),
-                latency: self.requests[i].latency.snapshot(),
+                count: stats.count.load(Ordering::Relaxed),
+                latency: stats.latency.snapshot(),
             })
             .collect();
         requests.sort_by(|a, b| a.verb.cmp(&b.verb));
         let mut errors: Vec<(String, u64)> = WIRE_ERROR_CODES
             .iter()
-            .enumerate()
-            .map(|(i, code)| (code.as_str().to_string(), self.errors[i].load(Ordering::Relaxed)))
+            .zip(self.errors.iter())
+            .map(|(code, cell)| (code.as_str().to_string(), cell.load(Ordering::Relaxed)))
             .collect();
         errors.sort();
         MetricsSnapshot {

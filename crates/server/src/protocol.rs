@@ -594,6 +594,7 @@ pub fn spec_to_json(spec: &AnonymizeSpec) -> Json {
         ("store", Json::from(spec.store_result)),
     ]) {
         Json::Obj(m) => m,
+        // PANIC: `Json::obj` returns the `Obj` variant by construction.
         _ => unreachable!(),
     };
     match &spec.source {

@@ -328,6 +328,8 @@ impl Poller {
                         return Err(e);
                     }
                 };
+                // PANIC: the kernel returns at most `events.len()`
+                // ready entries, so `n` is within the buffer.
                 for ev in &events[..n] {
                     // Plain field reads copy out of the packed struct.
                     let bits = ev.events;
@@ -471,10 +473,11 @@ fn new_waker() -> io::Result<(PipeReader, Waker)> {
     if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
         return Err(io::Error::last_os_error());
     }
-    let reader = PipeReader { fd: fds[0] };
-    let waker = Waker { inner: Arc::new(WakerFd { fd: fds[1] }) };
-    set_nonblocking_fd(fds[0])?;
-    set_nonblocking_fd(fds[1])?;
+    let [read_fd, write_fd] = fds;
+    let reader = PipeReader { fd: read_fd };
+    let waker = Waker { inner: Arc::new(WakerFd { fd: write_fd }) };
+    set_nonblocking_fd(read_fd)?;
+    set_nonblocking_fd(write_fd)?;
     Ok((reader, waker))
 }
 
@@ -513,6 +516,8 @@ impl LineScanner {
     /// ([`io::ErrorKind::InvalidData`]). Framing errors poison the
     /// stream — the caller must close the connection.
     pub fn next_line(&mut self, max: usize) -> io::Result<Option<String>> {
+        // PANIC: `searched` counts bytes of `buf` already scanned, and
+        // bytes are only ever appended, so `searched <= buf.len()`.
         match self.buf[self.searched..].iter().position(|&b| b == b'\n') {
             Some(off) => {
                 let content_len = self.searched + off;
@@ -618,10 +623,14 @@ impl Executor {
                 std::thread::spawn(move || loop {
                     // The receiver lock is held only while blocked in
                     // recv; dispatch runs outside it, so workers
-                    // process tasks concurrently.
-                    let task = match rx.lock().expect("executor queue poisoned").recv() {
-                        Ok(t) => t,
-                        Err(_) => break,
+                    // process tasks concurrently. A poisoned queue lock
+                    // (a sibling worker panicked while blocked — recv
+                    // itself cannot panic) retires this worker instead
+                    // of panicking the pool down one thread at a time.
+                    let recv = rx.lock().map(|g| g.recv());
+                    let task = match recv {
+                        Ok(Ok(t)) => t,
+                        Ok(Err(_)) | Err(_) => break,
                     };
                     let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         dispatch(task.conn, task.line, task.received)
@@ -909,6 +918,7 @@ impl Reactor {
                     conn.read_closed = true;
                     break;
                 }
+                // PANIC: `read` returns at most the buffer's length.
                 Ok(n) => conn.scanner.push(&chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -974,6 +984,8 @@ impl Reactor {
     fn flush(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else { return };
         while conn.written < conn.outbuf.len() {
+            // PANIC: the loop condition bounds `written` by the buffer
+            // length, so the open range is valid.
             match conn.stream.write(&conn.outbuf[conn.written..]) {
                 Ok(0) => {
                     conn.dead = true;

@@ -407,7 +407,9 @@ impl Server {
             let _ = h.join();
         }
         let (lock, cvar) = &*self.sweep_state;
-        *lock.lock().expect("sweeper poisoned") = true;
+        // Recover from poisoning rather than panic: shutdown must always
+        // reach the sweeper, and the flag is a plain bool.
+        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         cvar.notify_all();
         if let Some(h) = self.sweep_thread.take() {
             let _ = h.join();

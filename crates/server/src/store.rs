@@ -398,8 +398,14 @@ impl DatasetStore {
         })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
-        self.inner.lock().expect("store poisoned")
+    /// The store mutex, with poisoning surfaced as a stable `internal`
+    /// error instead of a server-killing panic. A poisoned store means
+    /// a worker panicked mid-mutation; refusing every subsequent
+    /// operation with a wire error keeps the connection plane alive and
+    /// the failure observable, where an unwrap would take down the
+    /// whole process.
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, StoreInner>, ApiError> {
+        self.inner.lock().map_err(|_| ApiError::internal("store state poisoned by a panic"))
     }
 
     /// Attaches the shared observability registry and seeds the
@@ -407,8 +413,7 @@ impl DatasetStore {
     /// from disk starts non-empty). The registry propagates through the
     /// shared inner state, so clones made before or after see it too.
     pub fn with_metrics(self, metrics: Arc<Metrics>) -> Self {
-        {
-            let mut s = self.lock();
+        if let Ok(mut s) = self.lock() {
             s.metrics = metrics;
             s.publish_gauges();
         }
@@ -417,14 +422,14 @@ impl DatasetStore {
 
     /// Number of held handles (pending + committed).
     pub fn count(&self) -> usize {
-        self.lock().entries.len()
+        self.lock().map(|s| s.entries.len()).unwrap_or(0)
     }
 
     /// Runs the expiry sweep (abandoned uploads + TTL-stale committed
     /// entries), returning how many slots were reclaimed. Also runs
     /// implicitly before every `begin`/`insert`.
     pub fn sweep(&self) -> usize {
-        let mut s = self.lock();
+        let Ok(mut s) = self.lock() else { return 0 };
         let reclaimed = s.sweep(Instant::now());
         s.publish_gauges();
         reclaimed
@@ -434,7 +439,7 @@ impl DatasetStore {
     /// `max_age` old, regardless of the configured
     /// [`StoreConfig::upload_ttl`]. Returns how many were reclaimed.
     pub fn expire_uploads(&self, max_age: Duration) -> usize {
-        let mut s = self.lock();
+        let Ok(mut s) = self.lock() else { return 0 };
         let reclaimed = s.expire_pending(Instant::now(), max_age);
         s.publish_gauges();
         reclaimed
@@ -443,7 +448,7 @@ impl DatasetStore {
     /// Opens a new pending handle for chunked upload, evicting the LRU
     /// unpinned committed dataset if the store is full.
     pub fn begin(&self) -> Result<String, ApiError> {
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         s.make_room()?;
         s.next_id += 1;
         let id = format!("ds-{}", s.next_id);
@@ -456,7 +461,7 @@ impl DatasetStore {
     /// Appends one piece to a pending handle, returning the assembled
     /// size so far.
     pub fn append(&self, id: &str, data: &str) -> Result<usize, ApiError> {
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         let assembled = match s.entries.get_mut(id) {
             None => return Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
             Some(Entry::Committed { .. }) => {
@@ -492,7 +497,7 @@ impl DatasetStore {
     /// failed write leaves the handle pending so the client may retry.
     pub fn commit(&self, id: &str) -> Result<usize, ApiError> {
         let (buf, dir) = {
-            let mut s = self.lock();
+            let mut s = self.lock()?;
             match s.entries.get(id) {
                 None => return Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
                 Some(Entry::Committed { .. }) => {
@@ -510,18 +515,20 @@ impl DatasetStore {
             let Some(Entry::Pending { buf, .. }) =
                 s.entries.insert(id.to_string(), Entry::Committing)
             else {
+                // PANIC: the match above saw `Entry::Pending` for this id
+                // and the mutex has been held since.
                 unreachable!()
             };
             (buf, s.dir.clone())
         };
         if let Some(dir) = dir {
             if let Err(e) = self.persist(&dir, &file_name(id, false), &buf) {
-                let mut s = self.lock();
+                let mut s = self.lock()?;
                 s.entries.insert(id.to_string(), Entry::Pending { buf, touched: Instant::now() });
                 return Err(e);
             }
         }
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         let bytes = buf.len();
         s.install_committed(id, buf, false);
         s.publish_gauges();
@@ -544,7 +551,7 @@ impl DatasetStore {
             )));
         }
         let (id, dir) = {
-            let mut s = self.lock();
+            let mut s = self.lock()?;
             s.make_room()?;
             s.next_id += 1;
             let id = format!("ds-{}", s.next_id);
@@ -553,12 +560,12 @@ impl DatasetStore {
         };
         if let Some(dir) = dir {
             if let Err(e) = self.persist(&dir, &file_name(&id, from_job), &csv) {
-                self.lock().entries.remove(&id);
+                self.lock()?.entries.remove(&id);
                 return Err(e);
             }
         }
         let bytes = csv.len();
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         s.install_committed(&id, csv, from_job);
         s.publish_gauges();
         Ok((id, bytes))
@@ -575,7 +582,7 @@ impl DatasetStore {
     /// with a distinct error — the job owns that data until it
     /// finishes.
     pub fn delete(&self, id: &str) -> Result<usize, ApiError> {
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         match s.entries.get(id) {
             None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
             Some(Entry::Committing) => Err(ApiError::dataset_state(format!(
@@ -594,6 +601,9 @@ impl DatasetStore {
                         text.len()
                     }
                     Some(Entry::Pending { buf, .. }) => buf.len(),
+                    // PANIC: this arm is guarded by the outer
+                    // `Committed | Pending` match and the mutex has been
+                    // held since.
                     _ => unreachable!(),
                 };
                 s.publish_gauges();
@@ -607,7 +617,7 @@ impl DatasetStore {
     /// — deleted now, or already gone — and `false` when it must be
     /// retried later (pinned, or mid-commit).
     pub fn try_reclaim(&self, id: &str) -> bool {
-        let mut s = self.lock();
+        let Ok(mut s) = self.lock() else { return false };
         match s.entries.get(id) {
             None => true,
             Some(Entry::Committing) => false,
@@ -625,7 +635,7 @@ impl DatasetStore {
     /// Pins a committed handle against eviction and deletion (one pin
     /// per referencing job; pins stack).
     pub fn pin(&self, id: &str) -> Result<(), ApiError> {
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         s.touch(id);
         match s.entries.get_mut(id) {
             Some(Entry::Committed { pins, .. }) => {
@@ -639,7 +649,8 @@ impl DatasetStore {
 
     /// Releases one pin of a committed handle.
     pub fn unpin(&self, id: &str) {
-        if let Some(Entry::Committed { pins, .. }) = self.lock().entries.get_mut(id) {
+        let Ok(mut s) = self.lock() else { return };
+        if let Some(Entry::Committed { pins, .. }) = s.entries.get_mut(id) {
             *pins = pins.saturating_sub(1);
         }
     }
@@ -651,7 +662,7 @@ impl DatasetStore {
     /// handle, so nothing will ever reference the old one again).
     /// Returns the ids deleted.
     pub fn reconcile_job_results(&self, referenced: &HashSet<String>) -> Vec<String> {
-        let mut s = self.lock();
+        let Ok(mut s) = self.lock() else { return Vec::new() };
         let orphans: Vec<String> = s
             .entries
             .iter()
@@ -673,7 +684,7 @@ impl DatasetStore {
     /// The full text of a committed dataset (refreshes its LRU/TTL
     /// stamp).
     pub fn resolve(&self, id: &str) -> Result<Arc<String>, ApiError> {
-        let mut s = self.lock();
+        let mut s = self.lock()?;
         s.touch(id);
         match s.entries.get(id) {
             None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
@@ -690,7 +701,7 @@ impl DatasetStore {
     /// `"committed"`, sorted by id number for a deterministic `list`
     /// response.
     pub fn list(&self) -> Vec<(String, usize, &'static str, usize)> {
-        let s = self.lock();
+        let Ok(s) = self.lock() else { return Vec::new() };
         let mut out: Vec<(String, usize, &'static str, usize)> = s
             .entries
             .iter()
@@ -725,8 +736,14 @@ impl DatasetStore {
         if end <= offset && offset < text.len() {
             // A chunk budget smaller than one scalar still makes
             // progress: ship exactly one character.
+            // PANIC: `offset` was checked to be a char boundary at or
+            // before `text.len()`, so the range is valid.
             end = offset + text[offset..].chars().next().map_or(1, char::len_utf8);
         }
+        // PANIC: both ends are char boundaries: `offset` was checked,
+        // `end` comes from `floor_char_boundary` (or the one-scalar
+        // bump above) and is >= `offset` whenever the piece is
+        // non-empty.
         Ok((text[offset..end].to_string(), text.len(), end == text.len()))
     }
 

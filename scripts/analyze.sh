@@ -2,7 +2,9 @@
 # Run the workspace invariant linter (crates/analysis) against the
 # repository root. Exit 0 means every invariant holds; exit 1 prints
 # one `file:line: [check] message` finding per line; exit 2 is a
-# usage/IO error in the linter itself.
+# usage/IO error in the linter itself. Arguments are passed through:
+#   scripts/analyze.sh --check lock-order     # run a single check
+#   scripts/analyze.sh --format json          # machine-readable output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec cargo run -q -p trajdp-analysis --release -- "$@"
