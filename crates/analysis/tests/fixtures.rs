@@ -202,10 +202,11 @@ fn real_inventories(
 #[test]
 fn drift_extracts_the_full_inventories() {
     let (codes, verbs, metrics) = real_inventories();
-    assert_eq!(codes.len(), 13, "wire error codes: {codes:?}");
+    assert_eq!(codes.len(), 16, "wire error codes: {codes:?}");
     assert_eq!(codes.first().map(String::as_str), Some("bad-request"));
-    assert_eq!(codes.last().map(String::as_str), Some("internal"));
-    assert_eq!(verbs.len(), 14, "wire verbs: {verbs:?}");
+    assert_eq!(codes.last().map(String::as_str), Some("budget-exhausted"));
+    assert_eq!(verbs.len(), 15, "wire verbs: {verbs:?}");
+    assert!(verbs.contains("cancel"), "{verbs:?}");
     assert!(verbs.contains("anonymize") && verbs.contains("health"));
     assert!(!verbs.contains("invalid"), "internal bucket must be excluded");
     assert!(metrics.len() >= 20, "metric families: {metrics:?}");

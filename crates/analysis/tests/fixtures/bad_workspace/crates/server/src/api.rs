@@ -1,15 +1,27 @@
 pub enum ErrorCode {
     BadRequest,
     Internal,
+    TenantUnknown,
+    QuotaExceeded,
+    BudgetExhausted,
 }
 
-pub const WIRE_ERROR_CODES: [ErrorCode; 2] = [ErrorCode::BadRequest, ErrorCode::Internal];
+pub const WIRE_ERROR_CODES: [ErrorCode; 5] = [
+    ErrorCode::BadRequest,
+    ErrorCode::Internal,
+    ErrorCode::TenantUnknown,
+    ErrorCode::QuotaExceeded,
+    ErrorCode::BudgetExhausted,
+];
 
 impl ErrorCode {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Internal => "internal",
+            ErrorCode::TenantUnknown => "tenant-unknown",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::BudgetExhausted => "budget-exhausted",
         }
     }
 }

@@ -1,6 +1,10 @@
-pub const VERBS: [&str; 3] = ["gen", "health", "invalid"];
+pub const VERBS: [&str; 4] = ["cancel", "gen", "health", "invalid"];
 
 pub fn write_prometheus(out: &mut String) {
     out.push_str("trajdp_uptime_seconds 1\n");
     out.push_str("trajdp_requests_total 2\n");
+    out.push_str("trajdp_jobs_shed_total 3\n");
+    out.push_str("trajdp_tenant_requests_total{tenant=\"acme\"} 4\n");
+    out.push_str("trajdp_tenant_rejections_total{tenant=\"acme\"} 5\n");
+    out.push_str("trajdp_eps_spent{dataset=\"ds-1\"} 0.5\n");
 }

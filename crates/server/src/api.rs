@@ -76,6 +76,21 @@ pub enum ErrorCode {
     /// job. These indicate a server-side bug or resource problem, not
     /// a request the client could fix.
     Internal,
+    /// The request named a tenant the server's registry does not know,
+    /// or presented a token that does not match the registered one.
+    /// Sent only when `serve --tenants` is in effect; tenant-less
+    /// requests always map to the built-in default tenant instead.
+    TenantUnknown,
+    /// The authenticated tenant is at one of its registered caps —
+    /// dataset handles, stored bytes, or concurrent job slots. Free a
+    /// resource (delete a dataset, wait for a job) and retry.
+    QuotaExceeded,
+    /// The job's epsilon spend would push its source dataset past the
+    /// dataset's privacy budget. The budget is cumulative and durable:
+    /// it does not reset on restart, and no retry will succeed until
+    /// the budget itself is raised (or the dataset re-uploaded as a
+    /// fresh handle, which is a deliberate act of re-release).
+    BudgetExhausted,
     /// Client-side only — never sent by the server. The exchange
     /// failed beneath or around the protocol: connect/send/receive
     /// errors, a closed connection, or a response that violates the
@@ -87,7 +102,7 @@ pub enum ErrorCode {
 
 /// Every code the *server* can put on the wire, in documentation
 /// order ([`ErrorCode::Transport`] is client-side only).
-pub const WIRE_ERROR_CODES: [ErrorCode; 13] = [
+pub const WIRE_ERROR_CODES: [ErrorCode; 16] = [
     ErrorCode::BadRequest,
     ErrorCode::UnknownVerb,
     ErrorCode::PayloadTooLarge,
@@ -101,6 +116,9 @@ pub const WIRE_ERROR_CODES: [ErrorCode; 13] = [
     ErrorCode::Overloaded,
     ErrorCode::Io,
     ErrorCode::Internal,
+    ErrorCode::TenantUnknown,
+    ErrorCode::QuotaExceeded,
+    ErrorCode::BudgetExhausted,
 ];
 
 impl ErrorCode {
@@ -120,6 +138,9 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Io => "io-error",
             ErrorCode::Internal => "internal",
+            ErrorCode::TenantUnknown => "tenant-unknown",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::BudgetExhausted => "budget-exhausted",
             ErrorCode::Transport => "transport",
         }
     }
@@ -224,6 +245,21 @@ impl ApiError {
         ApiError::new(ErrorCode::Internal, message)
     }
 
+    /// [`ErrorCode::TenantUnknown`] shorthand.
+    pub fn tenant_unknown(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::TenantUnknown, message)
+    }
+
+    /// [`ErrorCode::QuotaExceeded`] shorthand.
+    pub fn quota_exceeded(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::QuotaExceeded, message)
+    }
+
+    /// [`ErrorCode::BudgetExhausted`] shorthand.
+    pub fn budget_exhausted(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::BudgetExhausted, message)
+    }
+
     /// [`ErrorCode::Transport`] shorthand (client-side only).
     pub fn transport(message: impl Into<String>) -> ApiError {
         ApiError::new(ErrorCode::Transport, message)
@@ -261,20 +297,24 @@ pub const SUPPORTED_PROTOCOL_VERSIONS: [u64; 2] = [1, 2];
 
 /// The per-request wire envelope: which response shapes to produce and
 /// which correlation id (if any) to echo. Parsed from the request's
-/// optional `"v"` and `"id"` members before the verb is dispatched, so
-/// even a request whose *verb* fails to validate still gets the
-/// response shape it asked for.
+/// optional `"v"`, `"id"`, and `"tenant"` members before the verb is
+/// dispatched, so even a request whose *verb* fails to validate still
+/// gets the response shape it asked for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// The protocol version the client asked for.
     pub version: ProtocolVersion,
     /// Opaque correlation id, echoed verbatim in v2 responses.
     pub id: Option<String>,
+    /// Tenant credential (`"name:token"`), v2 only. `None` — and every
+    /// v1 request — maps to the built-in default tenant. Never echoed:
+    /// it carries a secret.
+    pub tenant: Option<String>,
 }
 
 impl Envelope {
-    /// The version-less default: v1, no id.
-    pub const V1: Envelope = Envelope { version: ProtocolVersion::V1, id: None };
+    /// The version-less default: v1, no id, default tenant.
+    pub const V1: Envelope = Envelope { version: ProtocolVersion::V1, id: None, tenant: None };
 }
 
 /// The outcome of one request, mirroring [`crate::protocol::Request`].
@@ -310,6 +350,12 @@ pub enum Response {
         started_at: u64,
         /// Whether the server persists state (`--state-dir` given).
         state_dir: bool,
+        /// Registered tenants (`--tenants`); 0 means the registry is
+        /// off and every request maps to the default tenant.
+        tenants: usize,
+        /// The default per-dataset privacy budget (`--eps-budget`),
+        /// when one is configured.
+        eps_budget: Option<f64>,
     },
     /// `metrics` — a frozen snapshot of the observability registry.
     Metrics {
@@ -441,9 +487,34 @@ pub enum Response {
     List {
         /// `(id, state name)` per job, in id order.
         jobs: Vec<(String, &'static str)>,
-        /// `(id, bytes, state name, pins)` per handle, in id order.
-        datasets: Vec<(String, usize, &'static str, usize)>,
+        /// One row per handle, in id order.
+        datasets: Vec<DatasetRow>,
     },
+    /// `cancel` — a queued job was dequeued before running.
+    Cancelled {
+        /// The cancelled job id.
+        job: String,
+    },
+}
+
+/// One dataset row of a `list` response. The first four members are
+/// the frozen v1 shape; the ledger members are v2-only additions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// The handle.
+    pub dataset: String,
+    /// Stored size.
+    pub bytes: usize,
+    /// Lifecycle state name.
+    pub state: &'static str,
+    /// Pin count (queued/running jobs reading it).
+    pub pins: usize,
+    /// Cumulative ε charged against the handle (v2 only; the v1 list
+    /// shape is frozen). Counts settled *and* in-flight jobs.
+    pub eps_spent: f64,
+    /// The handle's effective privacy budget, when one applies
+    /// (explicit per-upload budget, else the server default). v2 only.
+    pub eps_budget: Option<f64>,
 }
 
 /// Where a produced dataset went: inline in the response, or kept
@@ -503,6 +574,8 @@ impl Response {
                 uptime_secs,
                 started_at,
                 state_dir,
+                tenants,
+                eps_budget,
             } => {
                 obj.insert("server".to_string(), Json::from("trajdp-server"));
                 obj.insert("version".to_string(), Json::from(env!("CARGO_PKG_VERSION")));
@@ -542,6 +615,12 @@ impl Response {
                 obj.insert("uptime_secs".to_string(), Json::from(uptime_secs));
                 obj.insert("started_at".to_string(), Json::from(started_at));
                 obj.insert("state_dir".to_string(), Json::Bool(state_dir));
+                // Tenancy members: `info` was never captured in the
+                // frozen v1 transcript, so both versions carry them.
+                obj.insert("tenants".to_string(), Json::from(tenants));
+                if let Some(b) = eps_budget {
+                    obj.insert("eps_budget".to_string(), Json::from(b));
+                }
             }
             Response::Metrics { snapshot } => {
                 if let Json::Obj(m) = snapshot.to_json() {
@@ -663,17 +742,30 @@ impl Response {
                     Json::Arr(
                         datasets
                             .into_iter()
-                            .map(|(id, bytes, state, pins)| {
-                                Json::obj([
-                                    ("dataset", Json::Str(id)),
-                                    ("bytes", Json::from(bytes)),
-                                    ("state", Json::from(state)),
-                                    ("pins", Json::from(pins)),
-                                ])
+                            .map(|row| {
+                                let mut m = BTreeMap::new();
+                                m.insert("dataset".to_string(), Json::Str(row.dataset));
+                                m.insert("bytes".to_string(), Json::from(row.bytes));
+                                m.insert("state".to_string(), Json::from(row.state));
+                                m.insert("pins".to_string(), Json::from(row.pins));
+                                // Ledger members are v2-only: the v1
+                                // list response is byte-frozen in the
+                                // capture transcript.
+                                if version == ProtocolVersion::V2 {
+                                    m.insert("eps_spent".to_string(), Json::from(row.eps_spent));
+                                    if let Some(b) = row.eps_budget {
+                                        m.insert("eps_budget".to_string(), Json::from(b));
+                                    }
+                                }
+                                Json::Obj(m)
                             })
                             .collect(),
                     ),
                 );
+            }
+            Response::Cancelled { job } => {
+                obj.insert("job".to_string(), Json::Str(job));
+                obj.insert("state".to_string(), Json::from("cancelled"));
             }
         }
         obj
@@ -771,14 +863,15 @@ mod tests {
 
     #[test]
     fn v2_error_shape_carries_code_and_id() {
-        let envelope = Envelope { version: ProtocolVersion::V2, id: Some("req-7".to_string()) };
+        let envelope =
+            Envelope { version: ProtocolVersion::V2, id: Some("req-7".to_string()), tenant: None };
         let err = || -> Result<Response, ApiError> { Err(ApiError::store_full("full")) };
         assert_eq!(
             render(&envelope, err()).to_string(),
             r#"{"error":{"code":"store-full","message":"full"},"id":"req-7","ok":false}"#
         );
         // Without an id, no id member appears.
-        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None, tenant: None };
         assert_eq!(
             render(&envelope, err()).to_string(),
             r#"{"error":{"code":"store-full","message":"full"},"ok":false}"#
@@ -787,7 +880,8 @@ mod tests {
 
     #[test]
     fn v2_success_echoes_the_id() {
-        let envelope = Envelope { version: ProtocolVersion::V2, id: Some("abc".to_string()) };
+        let envelope =
+            Envelope { version: ProtocolVersion::V2, id: Some("abc".to_string()), tenant: None };
         let ok = Ok(Response::Upload { dataset: "ds-1".to_string() });
         assert_eq!(render(&envelope, ok).to_string(), r#"{"dataset":"ds-1","id":"abc","ok":true}"#);
     }
@@ -814,7 +908,7 @@ mod tests {
         // query* succeeded, the nested result says the job failed. The
         // wall-clock duration appears here and only here — v1 stays
         // byte-frozen above.
-        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None, tenant: None };
         assert_eq!(
             render(&envelope, Ok(status)).to_string(),
             r#"{"duration_secs":1.25,"job":"job-3","ok":true,"result":{"error":"job panicked: boom","ok":false},"state":"done"}"#
@@ -837,7 +931,7 @@ mod tests {
             r#"{"csv":"csv","edits":2,"epsilon_spent":1,"ok":true,"utility_loss":0.5,"workers":1}"#
         );
         // v2: timings present.
-        let envelope = Envelope { version: ProtocolVersion::V2, id: None };
+        let envelope = Envelope { version: ProtocolVersion::V2, id: None, tenant: None };
         let rendered = render(&envelope, Ok(resp()));
         let t = rendered.get("timings").expect("v2 anonymize must carry timings");
         assert_eq!(t.get("total_secs").and_then(Json::as_f64), Some(0.25));

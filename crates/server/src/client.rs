@@ -34,6 +34,9 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     /// Correlation-id counter for typed (v2) calls.
     next_id: u64,
+    /// `"name:token"` credential stamped on every typed call (the
+    /// wire's `"tenant"` member) when the server runs with `--tenants`.
+    tenant: Option<String>,
 }
 
 /// `health` — liveness plus coarse load.
@@ -47,7 +50,8 @@ pub struct Health {
 
 /// `info` — the server's identity, supported protocol versions, and
 /// every limit a client would otherwise have to guess.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Eq`: `eps_budget` is a float.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerInfo {
     /// Server software version.
     pub version: String,
@@ -83,6 +87,11 @@ pub struct ServerInfo {
     pub started_at: u64,
     /// Whether the server runs with a durable `--state-dir`.
     pub state_dir: bool,
+    /// Registered tenants (`--tenants`); 0 means the server runs open.
+    pub tenants: u64,
+    /// The server's default per-dataset privacy budget
+    /// (`--eps-budget`), when one is configured.
+    pub eps_budget: Option<f64>,
 }
 
 /// A successfully enqueued async `anonymize`.
@@ -201,6 +210,9 @@ impl ServerInfo {
             uptime_secs: want_u64(v, "info", "uptime_secs")?,
             started_at: want_u64(v, "info", "started_at")?,
             state_dir: want_bool(v, "info", "state_dir")?,
+            tenants: want_u64(v, "info", "tenants")?,
+            // Absent unless the server was started with --eps-budget.
+            eps_budget: v.get("eps_budget").and_then(Json::as_f64),
         })
     }
 }
@@ -252,7 +264,16 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: BufReader::new(stream), next_id: 0 })
+        Ok(Client { writer, reader: BufReader::new(stream), next_id: 0, tenant: None })
+    }
+
+    /// Stamps every subsequent typed call with a `"name:token"` tenant
+    /// credential (the v2 envelope's `"tenant"` member). Raw
+    /// [`Client::request_line`] sends are never rewritten — a
+    /// user-authored request file speaks for itself.
+    pub fn with_tenant(mut self, credential: impl Into<String>) -> Client {
+        self.tenant = Some(credential.into());
+        self
     }
 
     /// Sends one raw request line and reads one response object. I/O
@@ -290,6 +311,9 @@ impl Client {
         let id = format!("c-{}", self.next_id);
         obj.insert("v".to_string(), Json::from(2u64));
         obj.insert("id".to_string(), Json::from(id.as_str()));
+        if let Some(tenant) = &self.tenant {
+            obj.insert("tenant".to_string(), Json::from(tenant.clone()));
+        }
         let response = self.request(&Json::Obj(obj))?;
         // Inspect `ok` before the id echo: an error may legitimately
         // arrive without an id (framing errors are always v1-shaped,
@@ -371,6 +395,19 @@ impl Client {
         JobStatus::from_response(&v)
     }
 
+    /// Cancels a still-queued job, returning its id. Fails with
+    /// [`ErrorCode::JobNotFound`] for unknown (or already-cancelled)
+    /// ids and [`ErrorCode::DatasetState`] for jobs already running or
+    /// done — running jobs are never preempted.
+    pub fn cancel(&mut self, job: &str) -> Result<String, ApiError> {
+        let v = self.call(Self::members("cancel", [("job", Json::from(job))]))?;
+        let cancelled = want_str(&v, "cancel", "job")?;
+        match v.get("state").and_then(Json::as_str) {
+            Some("cancelled") => Ok(cancelled),
+            other => Err(malformed("cancel", format_args!("state is {other:?}, not cancelled"))),
+        }
+    }
+
     /// Streams a dataset to the server in pieces of at most
     /// `chunk_bytes` via `upload` / `chunk` / `commit`, returning the
     /// committed handle and its acknowledged size. The commit
@@ -381,8 +418,22 @@ impl Client {
         csv: &str,
         chunk_bytes: usize,
     ) -> Result<DatasetInfo, ApiError> {
+        self.upload_dataset_with_budget(csv, chunk_bytes, None)
+    }
+
+    /// [`Self::upload_dataset`] with an explicit per-dataset privacy
+    /// budget: jobs against the returned handle refuse with
+    /// [`ErrorCode::BudgetExhausted`] once their cumulative ε would
+    /// exceed `eps_budget`.
+    pub fn upload_dataset_with_budget(
+        &mut self,
+        csv: &str,
+        chunk_bytes: usize,
+        eps_budget: Option<f64>,
+    ) -> Result<DatasetInfo, ApiError> {
         let chunk_bytes = chunk_bytes.max(1);
-        let opened = self.call(Self::members("upload", []))?;
+        let members = eps_budget.map(|b| ("eps_budget", Json::from(b)));
+        let opened = self.call(Self::members("upload", members))?;
         let handle = want_str(&opened, "upload", "dataset")?;
         let mut offset = 0;
         while offset < csv.len() {
@@ -490,7 +541,7 @@ mod tests {
     use std::sync::Arc;
 
     fn v2(id: &str) -> Envelope {
-        Envelope { version: ProtocolVersion::V2, id: Some(id.to_string()) }
+        Envelope { version: ProtocolVersion::V2, id: Some(id.to_string()), tenant: None }
     }
 
     /// Round-trip: every typed parser inverts the server's rendering of
@@ -514,6 +565,8 @@ mod tests {
                 uptime_secs: 12,
                 started_at: 1_700_000_000,
                 state_dir: true,
+                tenants: 2,
+                eps_budget: Some(3.0),
             }),
         );
         let parsed = ServerInfo::from_response(&info).unwrap();
@@ -524,6 +577,8 @@ mod tests {
         assert_eq!(parsed.uptime_secs, 12);
         assert_eq!(parsed.started_at, 1_700_000_000);
         assert!(parsed.state_dir);
+        assert_eq!(parsed.tenants, 2);
+        assert_eq!(parsed.eps_budget, Some(3.0));
         assert_eq!(parsed.protocol_versions, vec![1, 2]);
         assert_eq!(parsed.max_dataset_bytes, crate::store::MAX_DATASET_BYTES as u64);
         assert_eq!(parsed.max_request_bytes, crate::service::MAX_REQUEST_BYTES as u64);

@@ -33,6 +33,36 @@
 //! exactly what a crash mid-append leaves behind and means that submit
 //! was never acknowledged.
 //!
+//! ## Privacy-budget ledger
+//!
+//! The queue owns the per-dataset ε accumulator ([`EpsLedger`]) under
+//! its existing mutex, and the journal makes it durable with four more
+//! event kinds:
+//!
+//! ```text
+//! {"event":"budget","dataset":"ds-1","eps_budget":3.5}   explicit upload budget
+//! {"event":"spend","dataset":"ds-1","eps":0.5}           synchronous run charge
+//! {"event":"reset","dataset":"ds-1"}                     dataset deleted
+//! {"event":"cancel","job":"job-3"}                       queued job cancelled
+//! ```
+//!
+//! The ledger's `spent` holds **settled** charges only (finished jobs
+//! and synchronous runs); the charge of an accepted-but-unfinished job
+//! is derived from its live spec at check time. That split is what
+//! makes replay exact: a journaled `submit` without a matching `finish`
+//! re-enqueues and thereby re-charges in flight, a `finish` settles the
+//! same `f64` the original run settled (same additions, same order —
+//! bit-identical), and compaction folds settled spend into the
+//! snapshot line's `"ledger"` member, which round-trips through JSON
+//! exactly (Rust floats print shortest-round-trip). A crash between
+//! the fsynced event and the acknowledgement replays the charge —
+//! over-counting at worst, never under-counting.
+//!
+//! Every budget mutation fsyncs *before* the in-memory ledger changes
+//! and before the client hears an acknowledgement, under the same
+//! journal lock that serializes submits — so concurrent
+//! check-then-charge sequences cannot interleave and overspend.
+//!
 //! ## Compaction
 //!
 //! An append-only journal's replay cost scales with lifetime job count,
@@ -73,8 +103,9 @@
 
 use crate::api::{render_v1, ApiError, Response};
 use crate::json::Json;
+use crate::ledger::EpsLedger;
 use crate::obs::{log_enabled, log_event, LogLevel, Metrics, PhaseTimings};
-use crate::protocol::{run_anonymize, spec_from_json, spec_to_json, AnonymizeSpec};
+use crate::protocol::{run_anonymize, spec_from_json, spec_to_json, AnonymizeSpec, DataRef};
 use crate::store::DatasetStore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Seek, Write};
@@ -210,6 +241,10 @@ struct JobMeta {
     /// The v2 envelope id of the submitting request, carried through
     /// the queue so worker log lines correlate with the submit.
     cid: Option<String>,
+    /// The authenticated tenant that submitted the job. Never journaled
+    /// — job slots are admission control, not durable state, so a
+    /// replayed job counts toward nobody's quota.
+    tenant: Option<String>,
 }
 
 #[derive(Default)]
@@ -229,11 +264,44 @@ struct QueueInner {
     /// still pinned (it is some queued job's input): reclaim is retried
     /// when the pinning job finishes and drops its pin.
     deferred_deletes: HashSet<String>,
+    /// Settled ε spend and explicit budgets per dataset handle. Guarded
+    /// by the queue mutex like everything else here; every mutation is
+    /// journaled first (see the module doc).
+    ledger: EpsLedger,
     next_id: u64,
     shutdown: bool,
 }
 
 impl QueueInner {
+    /// Sum of the ε charges of accepted-but-unfinished jobs reading
+    /// `handle`. Together with the ledger's settled spend this is the
+    /// handle's total committed spend — live specs are the in-flight
+    /// half precisely so replay (which re-enqueues unfinished submits)
+    /// reconstructs the same total without any float subtraction.
+    fn in_flight(&self, handle: &str) -> f64 {
+        self.live_specs
+            .values()
+            .filter(|s| s.source.as_deref() == Some(handle))
+            .map(|s| s.epsilon)
+            .sum()
+    }
+
+    /// Settled + in-flight spend for `handle` — the value `list`/`info`
+    /// report and the `trajdp_eps_spent` gauge publishes.
+    fn eps_spent(&self, handle: &str) -> f64 {
+        self.ledger.spent(handle) + self.in_flight(handle)
+    }
+
+    /// How many unfinished jobs `tenant` has in the queue right now.
+    fn tenant_job_slots(&self, tenant: &str) -> usize {
+        self.states
+            .iter()
+            .filter(|(_, s)| matches!(s, JobState::Queued | JobState::Running))
+            .filter(|(id, _)| {
+                self.meta.get(id.as_str()).and_then(|m| m.tenant.as_deref()) == Some(tenant)
+            })
+            .count()
+    }
     /// Records a completion, evicting the oldest finished jobs past the
     /// retention cap. Returns the result dataset handles and spill
     /// files of the evicted jobs: a `store:true` result lives *at most*
@@ -300,16 +368,20 @@ impl QueueInner {
                     _ => None,
                 })
                 .collect(),
+            ledger: self.ledger.clone(),
         }
     }
 }
 
 /// State captured for one journal compaction: id counter, unfinished
-/// submits in id order, retained results in completion order.
+/// submits in id order, retained results in completion order, and the
+/// settled half of the ε ledger (in-flight charges re-derive from the
+/// re-recorded submits on replay).
 struct Snapshot {
     next_id: u64,
     submits: Vec<(String, AnonymizeSpec)>,
     dones: Vec<(String, DoneRecord)>,
+    ledger: EpsLedger,
 }
 
 /// Where one retained result's bytes live at compaction time. Spilled
@@ -387,7 +459,19 @@ impl JournalWriter {
         // assembled journal text may be copied into a transient buffer
         // (the `Arc`-shared results serialize via Display, no clone).
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-        writeln!(f, "{{\"event\":\"snapshot\",\"next\":{}}}", snapshot.next_id)?;
+        // The `ledger` member is omitted when empty so journals that
+        // never touched the budget machinery keep their pre-ledger
+        // byte shape.
+        if snapshot.ledger.is_empty() {
+            writeln!(f, "{{\"event\":\"snapshot\",\"next\":{}}}", snapshot.next_id)?;
+        } else {
+            writeln!(
+                f,
+                "{{\"event\":\"snapshot\",\"next\":{},\"ledger\":{}}}",
+                snapshot.next_id,
+                snapshot.ledger.to_json()
+            )?;
+        }
         for (id, spec) in &snapshot.submits {
             writeln!(
                 f,
@@ -432,11 +516,17 @@ pub struct JobQueue {
     /// Result spill policy; `None` on memory-only queues.
     spill: Option<Arc<Spill>>,
     store: DatasetStore,
-    /// Observability registry. All-atomic: the queue publishes counters
-    /// and histogram samples into it from inside its own critical
-    /// sections, and readers (the `metrics` verb) never touch the
-    /// queue or journal locks.
+    /// Observability registry. The queue publishes counters and
+    /// histogram samples (all-atomic) from inside its own critical
+    /// sections, but the mutex-guarded ε gauge is only ever updated
+    /// *after* the queue/journal locks are released; readers (the
+    /// `metrics` verb) never touch the queue or journal locks.
     metrics: Arc<Metrics>,
+    /// Server-wide default ε budget (`serve --eps-budget`), applied to
+    /// any handle without an explicit `upload` budget. Configuration,
+    /// not state: it is re-derived from the flag at every start and
+    /// never journaled.
+    default_eps_budget: Option<f64>,
 }
 
 impl JobQueue {
@@ -454,14 +544,44 @@ impl JobQueue {
             spill: None,
             store,
             metrics: Arc::default(),
+            default_eps_budget: None,
         }
     }
 
     /// The same queue publishing into `metrics` instead of its private
     /// registry — the server wires all layers to one shared registry.
+    /// Republishes any replayed ledger state as `trajdp_eps_spent`
+    /// gauges, so a restarted server's metrics reflect spend from the
+    /// first scrape.
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = metrics;
+        let gauges = {
+            let (lock, _) = &*self.inner;
+            let Ok(q) = lock.lock() else { return self };
+            let mut handles: HashSet<String> =
+                q.ledger.iter().map(|(h, _)| h.to_string()).collect();
+            handles.extend(q.live_specs.values().filter_map(|s| s.source.clone()));
+            handles.into_iter().map(|h| (q.eps_spent(&h), h)).collect::<Vec<_>>()
+        };
+        // Publish outside the queue mutex: the gauge family is behind
+        // its own metrics lock, and mixing the two would couple the
+        // read path to queue contention.
+        for (spent, handle) in gauges {
+            self.metrics.set_eps_spent(&handle, spent);
+        }
         self
+    }
+
+    /// The same queue applying `budget` as the default ε budget for
+    /// handles without an explicit one (`serve --eps-budget`).
+    pub fn with_eps_budget(mut self, budget: Option<f64>) -> Self {
+        self.default_eps_budget = budget;
+        self
+    }
+
+    /// The server-wide default ε budget, if one was configured.
+    pub fn default_eps_budget(&self) -> Option<f64> {
+        self.default_eps_budget
     }
 
     /// A queue journaled at `path`: replays the existing journal (if
@@ -584,6 +704,7 @@ impl JobQueue {
             spill: Some(spill),
             store,
             metrics: Arc::default(),
+            default_eps_budget: None,
         })
     }
 
@@ -603,8 +724,25 @@ impl JobQueue {
     /// the request that queued the job.
     pub fn submit_with_cid(
         &self,
+        spec: AnonymizeSpec,
+        cid: Option<String>,
+    ) -> Result<String, ApiError> {
+        self.submit_scoped(spec, cid, None, None)
+    }
+
+    /// [`Self::submit_with_cid`] on behalf of an authenticated tenant:
+    /// refuses with `quota-exceeded` once the tenant already has
+    /// `max_jobs` unfinished jobs, and attributes the job to the tenant
+    /// for later slot accounting. Both checks — this one and the ε
+    /// budget check every submit runs — happen under the journal lock
+    /// that serializes all accepting paths, so two concurrent submits
+    /// can never both pass a check only one of them fits under.
+    pub fn submit_scoped(
+        &self,
         mut spec: AnonymizeSpec,
         cid: Option<String>,
+        tenant: Option<String>,
+        max_jobs: Option<usize>,
     ) -> Result<String, ApiError> {
         let poisoned = || ApiError::internal("job queue state poisoned by a panic");
         let mut journal = self.journal.lock().map_err(|_| poisoned())?;
@@ -613,6 +751,24 @@ impl JobQueue {
             let mut q = lock.lock().map_err(|_| poisoned())?;
             if q.shutdown {
                 return Err(ApiError::shutting_down("server is shutting down; submit rejected"));
+            }
+            // Budget check before anything is minted or journaled: the
+            // job's charge is implicit in its live spec once enqueued,
+            // so refusal here leaves no state to unwind.
+            if let Some(handle) = &spec.source {
+                q.ledger.check(
+                    handle,
+                    q.in_flight(handle),
+                    spec.epsilon,
+                    self.default_eps_budget,
+                )?;
+            }
+            if let (Some(tenant), Some(cap)) = (tenant.as_deref(), max_jobs) {
+                if q.tenant_job_slots(tenant) >= cap {
+                    return Err(ApiError::quota_exceeded(format!(
+                        "tenant {tenant:?} already has {cap} unfinished jobs (max_jobs quota)"
+                    )));
+                }
             }
             q.next_id += 1;
             format!("job-{}", q.next_id)
@@ -669,14 +825,24 @@ impl JobQueue {
         }
         q.pending.push_back(id.clone());
         q.states.insert(id.clone(), JobState::Queued);
+        let charged = spec.source.clone();
         q.live_specs.insert(id.clone(), spec);
         q.meta.insert(
             id.clone(),
-            JobMeta { submitted_at: Some(Instant::now()), cid: cid.clone(), ..JobMeta::default() },
+            JobMeta {
+                submitted_at: Some(Instant::now()),
+                cid: cid.clone(),
+                tenant,
+                ..JobMeta::default()
+            },
         );
         self.metrics.jobs_submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.metrics.set_queue_depth(q.live_specs.len() as u64);
+        let eps_gauge = charged.map(|h| (q.eps_spent(&h), h));
         drop(q);
+        if let Some((spent, handle)) = eps_gauge {
+            self.metrics.set_eps_spent(&handle, spent);
+        }
         cvar.notify_one();
         if log_enabled(LogLevel::Info) {
             let mut fields = vec![("job", Json::from(id.as_str()))];
@@ -773,10 +939,22 @@ impl JobQueue {
         // (the journal lock held here already serializes disk work),
         // and only the resulting path enters the table.
         let done = done_state(self.spill.as_deref(), id, result);
-        let (source, dropped, snapshot) = {
+        let (source, dropped, snapshot, eps_gauge) = {
             let (lock, _) = &*self.inner;
             let mut q = lock.lock().expect("queue poisoned");
-            let source = q.live_specs.remove(id).and_then(|spec| spec.source);
+            let removed = q.live_specs.remove(id);
+            // Settle the job's ε charge: it moves from in-flight
+            // (derived from the live spec that just left the table) to
+            // the ledger's durable `spent`. Replay performs the same
+            // settle from the journaled finish event.
+            let mut eps_gauge = None;
+            if let Some(spec) = &removed {
+                if let Some(handle) = &spec.source {
+                    q.ledger.settle(handle, spec.epsilon);
+                    eps_gauge = Some((q.eps_spent(handle), handle.clone()));
+                }
+            }
+            let source = removed.and_then(|spec| spec.source);
             let dropped = q.record_done(id, done);
             let now = Instant::now();
             let meta = q.meta.entry(id.to_string()).or_default();
@@ -793,8 +971,11 @@ impl JobQueue {
                 Some(w) if w.finished_appends >= COMPACT_FINISHED_EVENTS => Some(q.snapshot()),
                 _ => None,
             };
-            (source, dropped, snapshot)
+            (source, dropped, snapshot, eps_gauge)
         };
+        if let Some((spent, handle)) = eps_gauge {
+            self.metrics.set_eps_spent(&handle, spent);
+        }
         if let Some(handle) = &source {
             self.store.unpin(handle);
         }
@@ -955,6 +1136,209 @@ impl JobQueue {
             }),
         }
     }
+
+    /// Cancels a **queued** job: journals the cancellation (fsync
+    /// before the acknowledgement, like every accepting path), removes
+    /// the job record entirely — `status` on a cancelled id answers
+    /// `job-not-found` — and unpins its input, refunding the job's
+    /// in-flight ε charge implicitly (the live spec that carried it is
+    /// gone). Running jobs are never preempted: a worker that took the
+    /// job between the state check and the journal append wins the
+    /// race, and the journaled cancel is rolled back.
+    pub fn cancel(&self, id: &str) -> Result<Response, ApiError> {
+        let poisoned = || ApiError::internal("job queue state poisoned by a panic");
+        let mut journal = self.journal.lock().map_err(|_| poisoned())?;
+        let (lock, _) = &*self.inner;
+        {
+            let q = lock.lock().map_err(|_| poisoned())?;
+            match q.states.get(id) {
+                None => return Err(ApiError::job_not_found(format!("unknown job {id:?}"))),
+                Some(JobState::Queued) => {}
+                Some(state) => {
+                    return Err(ApiError::dataset_state(format!(
+                        "job {id:?} is {}; only queued jobs can be cancelled",
+                        state.name()
+                    )))
+                }
+            }
+        }
+        let mut appended_at = None;
+        if let Some(writer) = journal.as_mut() {
+            let event =
+                Json::obj([("event", Json::from("cancel")), ("job", Json::from(id.to_string()))]);
+            let append_started = Instant::now();
+            // lint: allow(lock-across-io): the journal mutex is the dedicated disk-write lock (order: journal -> queue); the read path never takes it
+            match writer.append(&event) {
+                Ok(before) => {
+                    self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.journal_fsync.observe(append_started.elapsed());
+                    appended_at = Some(before);
+                }
+                Err(e) => return Err(ApiError::io(format!("cannot journal cancel: {e}"))),
+            }
+        }
+        let mut q = lock.lock().map_err(|_| poisoned())?;
+        if !matches!(q.states.get(id), Some(JobState::Queued)) {
+            // A worker took the job while the append ran. The journal
+            // lock held since the append means no later event landed,
+            // so the cancel event can be rolled straight back out.
+            drop(q);
+            if let (Some(writer), Some(before)) = (journal.as_mut(), appended_at) {
+                writer.rollback_to(before);
+            }
+            return Err(ApiError::dataset_state(format!(
+                "job {id:?} started running before the cancellation landed; \
+                 running jobs are not preempted"
+            )));
+        }
+        q.pending.retain(|pending| pending != id);
+        q.states.remove(id);
+        q.meta.remove(id);
+        let source = q.live_specs.remove(id).and_then(|spec| spec.source);
+        self.metrics.set_queue_depth(q.live_specs.len() as u64);
+        let eps_gauge = source.as_ref().map(|h| (q.eps_spent(h), h.clone()));
+        drop(q);
+        if let Some((spent, handle)) = eps_gauge {
+            self.metrics.set_eps_spent(&handle, spent);
+        }
+        if let Some(handle) = &source {
+            self.store.unpin(handle);
+        }
+        if log_enabled(LogLevel::Info) {
+            log_event(LogLevel::Info, "job cancelled", &[("job", Json::from(id))]);
+        }
+        Ok(Response::Cancelled { job: id.to_string() })
+    }
+
+    /// Journals and applies an explicit per-handle ε budget (`upload`
+    /// `eps_budget`). Fails without applying anything if the budget
+    /// cannot be made durable — an unjournaled budget would silently
+    /// loosen to the server default on restart.
+    pub fn set_eps_budget(&self, handle: &str, budget: f64) -> Result<(), ApiError> {
+        let poisoned = || ApiError::internal("job queue state poisoned by a panic");
+        let mut journal = self.journal.lock().map_err(|_| poisoned())?;
+        if let Some(writer) = journal.as_mut() {
+            let event = Json::obj([
+                ("event", Json::from("budget")),
+                ("dataset", Json::from(handle.to_string())),
+                ("eps_budget", Json::from(budget)),
+            ]);
+            let append_started = Instant::now();
+            // lint: allow(lock-across-io): the journal mutex is the dedicated disk-write lock (order: journal -> queue); the read path never takes it
+            match writer.append(&event) {
+                Ok(_) => {
+                    self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.journal_fsync.observe(append_started.elapsed());
+                }
+                Err(e) => return Err(ApiError::io(format!("cannot journal budget: {e}"))),
+            }
+        }
+        let (lock, _) = &*self.inner;
+        let mut q = lock.lock().map_err(|_| poisoned())?;
+        q.ledger.set_budget(handle, budget);
+        Ok(())
+    }
+
+    /// Forgets a deleted handle's ledger row, journaling a `reset` so a
+    /// future handle that happens to reuse the id does not inherit its
+    /// spend. The append is best-effort: if it fails, the replayed
+    /// ledger keeps a row for a dataset that no longer exists —
+    /// over-counting, which is the safe direction for a privacy budget.
+    pub fn reset_eps(&self, handle: &str) {
+        let Ok(mut journal) = self.journal.lock() else { return };
+        if let Some(writer) = journal.as_mut() {
+            let event = Json::obj([
+                ("event", Json::from("reset")),
+                ("dataset", Json::from(handle.to_string())),
+            ]);
+            let append_started = Instant::now();
+            // lint: allow(lock-across-io): the journal mutex is the dedicated disk-write lock (order: journal -> queue); the read path never takes it
+            if writer.append(&event).is_ok() {
+                self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.journal_fsync.observe(append_started.elapsed());
+            }
+        }
+        let (lock, _) = &*self.inner;
+        if let Ok(mut q) = lock.lock() {
+            q.ledger.forget(handle);
+        }
+        self.metrics.clear_eps_spent(handle);
+    }
+
+    /// Atomically checks and settles a synchronous run's ε charge
+    /// against `handle` — the path for `anonymize` (non-async) on a
+    /// stored dataset. The charge is journaled (`spend`) and fsynced
+    /// *before* this returns, i.e. before the run starts: a crash
+    /// mid-run replays the charge, so the budget can over-count but
+    /// never under-count. Refuses with `budget-exhausted` when the
+    /// charge does not fit, and with an `io` error when it cannot be
+    /// made durable.
+    pub fn charge_sync(&self, handle: &str, eps: f64) -> Result<(), ApiError> {
+        let poisoned = || ApiError::internal("job queue state poisoned by a panic");
+        let mut journal = self.journal.lock().map_err(|_| poisoned())?;
+        let (lock, _) = &*self.inner;
+        {
+            let q = lock.lock().map_err(|_| poisoned())?;
+            q.ledger.check(handle, q.in_flight(handle), eps, self.default_eps_budget)?;
+        }
+        if let Some(writer) = journal.as_mut() {
+            let event = Json::obj([
+                ("event", Json::from("spend")),
+                ("dataset", Json::from(handle.to_string())),
+                ("eps", Json::from(eps)),
+            ]);
+            let append_started = Instant::now();
+            // lint: allow(lock-across-io): the journal mutex is the dedicated disk-write lock (order: journal -> queue); the read path never takes it
+            match writer.append(&event) {
+                Ok(_) => {
+                    self.metrics.journal_appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.journal_fsync.observe(append_started.elapsed());
+                }
+                Err(e) => return Err(ApiError::io(format!("cannot journal spend: {e}"))),
+            }
+        }
+        let mut q = lock.lock().map_err(|_| poisoned())?;
+        q.ledger.settle(handle, eps);
+        let spent = q.eps_spent(handle);
+        drop(q);
+        self.metrics.set_eps_spent(handle, spent);
+        Ok(())
+    }
+
+    /// One handle's `(eps_spent, effective budget)` — settled plus
+    /// in-flight spend, and the explicit budget falling back to the
+    /// server default. For the `info` verb.
+    pub fn eps_info(&self, handle: &str) -> (f64, Option<f64>) {
+        let (lock, _) = &*self.inner;
+        let Ok(q) = lock.lock() else { return (0.0, self.default_eps_budget) };
+        (q.eps_spent(handle), q.ledger.effective_budget(handle, self.default_eps_budget))
+    }
+
+    /// `(eps_spent, effective budget)` for every handle the ledger or
+    /// the live job table knows — one lock acquisition for the whole
+    /// `list` verb. Handles absent from the map have zero spend and the
+    /// server default budget.
+    pub fn eps_overview(&self) -> HashMap<String, (f64, Option<f64>)> {
+        let (lock, _) = &*self.inner;
+        let Ok(q) = lock.lock() else { return HashMap::new() };
+        let mut handles: HashSet<String> = q.ledger.iter().map(|(h, _)| h.to_string()).collect();
+        handles.extend(q.live_specs.values().filter_map(|s| s.source.clone()));
+        handles
+            .into_iter()
+            .map(|h| {
+                let row = (q.eps_spent(&h), q.ledger.effective_budget(&h, self.default_eps_budget));
+                (h, row)
+            })
+            .collect()
+    }
+
+    /// How many unfinished jobs `tenant` currently has — the quantity
+    /// its `max_jobs` quota caps.
+    pub fn jobs_for_tenant(&self, tenant: &str) -> usize {
+        let (lock, _) = &*self.inner;
+        let Ok(q) = lock.lock() else { return 0 };
+        q.tenant_job_slots(tenant)
+    }
 }
 
 /// Numeric suffix of a `job-<n>` id.
@@ -998,12 +1382,43 @@ fn replay(
             v.get("event").and_then(Json::as_str).ok_or_else(|| fail("missing event".into()))?;
         if event == "snapshot" {
             // Compaction header: preserves the id counter across jobs
-            // whose records were dropped entirely (finished + evicted).
+            // whose records were dropped entirely (finished + evicted)
+            // and the settled ε spend those jobs charged.
             let next = v
                 .get("next")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| fail("snapshot without next id".into()))?;
             inner.next_id = inner.next_id.max(next);
+            if let Some(ledger) = v.get("ledger") {
+                inner.ledger = EpsLedger::from_json(ledger).map_err(fail)?;
+            }
+            continue;
+        }
+        if matches!(event, "budget" | "spend" | "reset") {
+            // Ledger events carry a dataset handle, not a job id.
+            let dataset = v
+                .get("dataset")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail(format!("{event} without dataset")))?;
+            match event {
+                "budget" => {
+                    let budget = v
+                        .get("eps_budget")
+                        .and_then(Json::as_f64)
+                        .filter(|b| b.is_finite() && *b > 0.0)
+                        .ok_or_else(|| fail("budget without a positive eps_budget".into()))?;
+                    inner.ledger.set_budget(dataset, budget);
+                }
+                "spend" => {
+                    let eps = v
+                        .get("eps")
+                        .and_then(Json::as_f64)
+                        .filter(|e| e.is_finite() && *e > 0.0)
+                        .ok_or_else(|| fail("spend without a positive eps".into()))?;
+                    inner.ledger.settle(dataset, eps);
+                }
+                _ => inner.ledger.forget(dataset),
+            }
             continue;
         }
         let id = v
@@ -1023,8 +1438,14 @@ fn replay(
             }
             "finish" => {
                 let result = v.get("result").ok_or_else(|| fail("finish without result".into()))?;
-                if specs.remove(&id).is_none() {
+                let Some(params) = specs.remove(&id) else {
                     return Err(fail(format!("finish for unsubmitted job {id:?}")));
+                };
+                // Settle the finished job's ε exactly as the original
+                // run did: same f64, added in journal (= completion)
+                // order, so the replayed total is bit-identical.
+                if let DataRef::Handle(handle) = &params.data {
+                    inner.ledger.settle(handle, params.epsilon);
                 }
                 unfinished.retain(|u| u != &id);
                 let state = done_state(spill, &id, result.clone());
@@ -1046,6 +1467,15 @@ fn replay(
                 for file in files {
                     let _ = std::fs::remove_file(file);
                 }
+            }
+            "cancel" => {
+                // A cancelled job's record was removed entirely; its
+                // in-flight charge went with its spec, so the ledger
+                // needs no adjustment.
+                if specs.remove(&id).is_none() {
+                    return Err(fail(format!("cancel for a job not queued: {id:?}")));
+                }
+                unfinished.retain(|u| u != &id);
             }
             other => return Err(fail(format!("unknown event {other:?}"))),
         }
@@ -1716,7 +2146,11 @@ mod tests {
             other => panic!("wrong response {other:?}"),
         }
         // The v2 rendering carries both members; v1 stays frozen.
-        let v2 = crate::api::Envelope { version: crate::api::ProtocolVersion::V2, id: None };
+        let v2 = crate::api::Envelope {
+            version: crate::api::ProtocolVersion::V2,
+            id: None,
+            tenant: None,
+        };
         let rendered = crate::api::render(&v2, q.status_response(&id));
         assert!(rendered.get("duration_secs").is_some());
         assert!(rendered.get("timings").is_some());
@@ -1903,6 +2337,168 @@ mod tests {
         assert!(dir.join("results").join("job-1.json").exists(), "live spill file survives");
         let status = render_v1(q.status_response("job-1"));
         assert_eq!(status.get("csv"), big_result("kept").get("csv"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// [`handle_spec`], with the job's ε overridden. Dyadic values
+    /// (0.25, 0.5) keep the budget arithmetic exact in the asserts.
+    fn handle_spec_eps(store: &DatasetStore, epsilon: f64) -> (AnonymizeSpec, String) {
+        let (mut s, handle) = handle_spec(store);
+        s.epsilon = epsilon;
+        (s, handle)
+    }
+
+    #[test]
+    fn budget_gates_submits_counting_in_flight_jobs() {
+        let store = DatasetStore::new();
+        let q = JobQueue::with_store(store.clone()).with_eps_budget(Some(1.0));
+        let (s, handle) = handle_spec_eps(&store, 0.5);
+        // No worker runs, so both accepted jobs stay in flight: the
+        // budget must count them, not just settled spend.
+        q.submit(s.clone()).unwrap();
+        q.submit(s.clone()).unwrap();
+        let err = q.submit(s.clone()).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::BudgetExhausted);
+        assert!(err.message.contains(&handle), "{err}");
+        // Synchronous charges share the same accumulator.
+        let err = q.charge_sync(&handle, 0.25).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::BudgetExhausted);
+        assert_eq!(q.eps_info(&handle), (1.0, Some(1.0)));
+        // An inline (source-less) spec is never budget-gated: the
+        // server holds no handle to account it against.
+        q.submit(spec()).unwrap();
+        // A per-dataset budget overrides the server default — widening
+        // to 2.0 lets one more half-ε job through, exactly to the cap.
+        q.set_eps_budget(&handle, 2.0).unwrap();
+        q.submit(s.clone()).unwrap();
+        q.submit(s.clone()).unwrap();
+        assert_eq!(q.eps_info(&handle), (2.0, Some(2.0)));
+        assert_eq!(q.submit(s).unwrap_err().code, crate::api::ErrorCode::BudgetExhausted);
+        // reset_eps forgets the ledger row — settled spend and the
+        // explicit budget — but in-flight charges still derive from the
+        // live queued specs, so the four queued jobs keep counting.
+        q.reset_eps(&handle);
+        assert_eq!(q.eps_info(&handle), (2.0, Some(1.0)));
+    }
+
+    #[test]
+    fn cancel_dequeues_refunds_budget_and_survives_replay() {
+        let dir = std::env::temp_dir().join("trajdp-cancel-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let store = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
+        let q = JobQueue::with_journal(store.clone(), &path).unwrap().with_eps_budget(Some(1.0));
+        let (s, handle) = handle_spec_eps(&store, 0.5);
+        let a = q.submit(s.clone()).unwrap();
+        let b = q.submit(s.clone()).unwrap();
+        assert_eq!(q.submit(s.clone()).unwrap_err().code, crate::api::ErrorCode::BudgetExhausted);
+
+        // Cancel dequeues b: its record is gone, its pin released, and
+        // its in-flight ε refunded — the third submit now fits.
+        match q.cancel(&b).unwrap() {
+            Response::Cancelled { job } => assert_eq!(job, b),
+            other => panic!("unexpected cancel response {other:?}"),
+        }
+        assert_eq!(q.state(&b), None);
+        assert_eq!(q.cancel(&b).unwrap_err().code, crate::api::ErrorCode::JobNotFound);
+        assert_eq!(q.status_response(&b).unwrap_err().code, crate::api::ErrorCode::JobNotFound);
+        assert_eq!(q.eps_info(&handle), (0.5, Some(1.0)));
+        let c = q.submit(s.clone()).unwrap();
+
+        // Only queued jobs can be cancelled: a finished job reports its
+        // state instead of being silently "cancelled".
+        q.finish(&a, Json::obj([("ok", Json::Bool(true))]));
+        let err = q.cancel(&a).unwrap_err();
+        assert_eq!(err.code, crate::api::ErrorCode::DatasetState);
+        assert!(err.message.contains("done"), "{err}");
+
+        // Replay: the cancellation is durable (b stays gone, c is
+        // re-queued) and the accumulator comes back exactly — a's
+        // finish settled 0.5, c holds 0.5 in flight.
+        drop(q);
+        let store2 = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
+        let q2 = JobQueue::with_journal(store2.clone(), &path).unwrap().with_eps_budget(Some(1.0));
+        assert_eq!(q2.state(&b), None, "cancelled job must not be resurrected");
+        assert_eq!(q2.state(&c), Some(JobState::Queued));
+        assert_eq!(q2.eps_info(&handle), (1.0, Some(1.0)));
+        assert_eq!(
+            q2.submit(s).unwrap_err().code,
+            crate::api::ErrorCode::BudgetExhausted,
+            "replayed ledger must still refuse over-budget submits"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ledger_replay_is_exact_across_compaction_and_torn_tails() {
+        let dir = std::env::temp_dir().join("trajdp-ledger-replay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let store = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
+        let q = JobQueue::with_journal(store.clone(), &path).unwrap();
+        let (_, handle) = handle_spec(&store);
+        // 0.1 + 0.2 is the classic inexact sum: replay must reproduce
+        // the same accumulated f64 bit for bit, not a re-rounded one.
+        q.set_eps_budget(&handle, 2.5).unwrap();
+        q.charge_sync(&handle, 0.1).unwrap();
+        q.charge_sync(&handle, 0.2).unwrap();
+        let before = q.eps_info(&handle);
+        assert_eq!(before, (0.1 + 0.2, Some(2.5)));
+        drop(q);
+
+        // Reopen twice: the first replay compacts the journal into a
+        // snapshot event, so the second exercises the snapshot's ledger
+        // round-trip as well as the raw event path.
+        for reopen in 0..2 {
+            let store = DatasetStore::open(Some(dir.join("datasets"))).unwrap();
+            let q = JobQueue::with_journal(store, &path).unwrap();
+            assert_eq!(q.eps_info(&handle), before, "reopen {reopen} drifted");
+            drop(q);
+        }
+
+        // A spend torn mid-write (the crash-between-write-and-ack case)
+        // is discarded like any torn tail: the spend was never
+        // acknowledged, so dropping it cannot under-count an answer.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            format!("{good}{{\"event\":\"spend\",\"dataset\":\"{handle}\",\"eps\":0."),
+        )
+        .unwrap();
+        let q =
+            JobQueue::with_journal(DatasetStore::open(Some(dir.join("datasets"))).unwrap(), &path)
+                .unwrap();
+        assert_eq!(q.eps_info(&handle), before);
+        drop(q);
+
+        // A complete spend that only lost its newline is kept: it may
+        // have been acknowledged, so it must be counted.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            format!("{good}{{\"event\":\"spend\",\"dataset\":\"{handle}\",\"eps\":0.25}}"),
+        )
+        .unwrap();
+        let q =
+            JobQueue::with_journal(DatasetStore::open(Some(dir.join("datasets"))).unwrap(), &path)
+                .unwrap();
+        assert_eq!(q.eps_info(&handle), (before.0 + 0.25, Some(2.5)));
+        drop(q);
+
+        // Semantically invalid ledger events fail startup loudly.
+        for (bad, diagnostic) in [
+            ("{\"event\":\"spend\",\"eps\":0.5}", "without dataset"),
+            ("{\"event\":\"spend\",\"dataset\":\"ds-1\",\"eps\":-1}", "positive"),
+            ("{\"event\":\"budget\",\"dataset\":\"ds-1\"}", "eps_budget"),
+        ] {
+            let good = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, format!("{good}{bad}\n")).unwrap();
+            let err = JobQueue::with_journal(DatasetStore::new(), &path).map(|_| ()).unwrap_err();
+            assert!(err.contains(diagnostic), "{bad} must fail with {diagnostic}: {err}");
+            std::fs::write(&path, good).unwrap();
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

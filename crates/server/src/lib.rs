@@ -12,6 +12,7 @@
 //! | [`protocol`] | request parsing + the handlers behind each verb |
 //! | [`store`] | chunked-transfer dataset handles (`ds-<id>`), optionally persisted, with delete/LRU/TTL lifecycle and job pinning |
 //! | [`jobs`] | job queue with ids, per-job status, and a durable, compacting JSON-lines journal |
+//! | [`ledger`] | tenancy + privacy budget: the tenant registry (`--tenants`), per-tenant quotas, and the per-dataset ε accumulator |
 //! | [`reactor`] | non-blocking connection plane: `epoll`/`poll` readiness loop, per-connection state machines, read deadlines, load shedding, drain-window shutdown |
 //! | [`service`] | server configuration, request dispatch, lifecycle around the reactor |
 //! | [`client`] | blocking JSON-lines client for tests and `trajdp submit` |
@@ -32,6 +33,7 @@ pub mod client;
 pub mod executor;
 pub mod jobs;
 pub mod json;
+pub mod ledger;
 pub mod obs;
 pub mod protocol;
 pub mod reactor;
@@ -42,6 +44,7 @@ pub use api::{ApiError, Envelope, ErrorCode, ProtocolVersion, Response};
 pub use client::Client;
 pub use executor::anonymize_parallel;
 pub use json::Json;
+pub use ledger::{EpsLedger, TenantLimits, TenantRegistry, DEFAULT_TENANT};
 pub use obs::{init_logger, LogLevel, Metrics, MetricsSnapshot, PhaseTimings};
 pub use service::{Server, ServerConfig};
 pub use store::{DatasetStore, StoreConfig};

@@ -3,12 +3,14 @@
 //! ## Metrics
 //!
 //! [`Metrics`] is a fixed-shape registry of atomic counters, gauges,
-//! and fixed-bucket latency histograms. Every cell is a plain
-//! [`AtomicU64`]; recording and snapshotting never take a lock, so the
-//! instrumentation can sit inside the request hot path (and inside
-//! code that *does* hold the store/queue/journal locks) without adding
-//! any lock shared with request handling — asserted by a no-stall test
-//! in `jobs`.
+//! and fixed-bucket latency histograms. Almost every cell is a plain
+//! [`AtomicU64`]; recording and snapshotting never take a lock shared
+//! with request handling, so the instrumentation can sit inside the
+//! request hot path (and inside code that *does* hold the
+//! store/queue/journal locks) without adding contention — asserted by
+//! a no-stall test in `jobs`. The label-keyed tenancy/ε families are
+//! the one exception: they sit behind a private mutex that writers
+//! only touch outside the store/queue/journal critical sections.
 //!
 //! The registry instruments every layer of the server: per-verb
 //! request counts and latencies, per-[`ErrorCode`] rejection counts,
@@ -35,14 +37,15 @@
 
 use crate::api::{ErrorCode, WIRE_ERROR_CODES};
 use crate::json::Json;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Wire names of every request verb the service dispatches, plus the
 /// `"invalid"` bucket for lines whose verb never parsed (bad JSON, an
 /// unknown `cmd`, a malformed envelope). Indexed by [`verb_index`].
-pub const VERBS: [&str; 15] = [
+pub const VERBS: [&str; 16] = [
     "health",
     "info",
     "metrics",
@@ -51,6 +54,7 @@ pub const VERBS: [&str; 15] = [
     "evaluate",
     "stats",
     "status",
+    "cancel",
     "upload",
     "chunk",
     "commit",
@@ -237,6 +241,25 @@ pub struct Metrics {
     pub journal_fsync: Histogram,
     /// Journal compactions (rewrites) completed.
     pub journal_compactions: AtomicU64,
+    /// Submits refused because the queue was at `--max-queue`
+    /// (answered `overloaded`, never enqueued).
+    pub jobs_shed: AtomicU64,
+    /// Label-keyed families (per-tenant counters, per-dataset ε). These
+    /// are the one exception to the atomics-only rule: the key sets are
+    /// dynamic, so they live behind a private mutex. Writers only touch
+    /// it *outside* the store/queue/journal locks, and the `metrics`
+    /// read path takes it alone — it can never participate in a lock
+    /// cycle.
+    tenancy: Mutex<TenancyMetrics>,
+}
+
+/// The label-keyed half of the registry: per-tenant request/rejection
+/// counters and the per-dataset settled + in-flight ε gauge.
+#[derive(Debug, Default)]
+struct TenancyMetrics {
+    requests: BTreeMap<String, u64>,
+    rejections: BTreeMap<String, u64>,
+    eps_spent: BTreeMap<String, f64>,
 }
 
 impl Default for Metrics {
@@ -264,6 +287,8 @@ impl Default for Metrics {
             journal_appends: AtomicU64::new(0),
             journal_fsync: Histogram::default(),
             journal_compactions: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            tenancy: Mutex::default(),
         }
     }
 }
@@ -306,7 +331,39 @@ impl Metrics {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// Freezes the registry. Reads only atomics — never a lock.
+    /// The label-keyed section, recovered from poisoning — dropping
+    /// observability forever because one panicking writer held this
+    /// lock would be worse than any half-written counter (all values
+    /// here are plain numbers, never invariants).
+    fn tenancy(&self) -> std::sync::MutexGuard<'_, TenancyMetrics> {
+        self.tenancy.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Counts one authenticated request for `tenant`.
+    pub fn record_tenant_request(&self, tenant: &str) {
+        *self.tenancy().requests.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Counts one rejected request for `tenant` (bad token, quota,
+    /// budget, or any other error answer).
+    pub fn record_tenant_rejection(&self, tenant: &str) {
+        *self.tenancy().rejections.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Publishes one dataset's ε-spent gauge (settled + in-flight).
+    /// Callers must not hold the queue/journal/store locks — compute
+    /// the value inside the critical section, publish after it.
+    pub fn set_eps_spent(&self, dataset: &str, eps: f64) {
+        self.tenancy().eps_spent.insert(dataset.to_string(), eps);
+    }
+
+    /// Drops a deleted dataset's ε gauge row.
+    pub fn clear_eps_spent(&self, dataset: &str) {
+        self.tenancy().eps_spent.remove(dataset);
+    }
+
+    /// Freezes the registry. Reads atomics plus the private label-keyed
+    /// mutex — never a lock shared with request handling.
     ///
     /// Verbs and error codes are sorted by name — the order the JSON
     /// wire shape (an object with sorted keys) imposes anyway, so a
@@ -329,6 +386,14 @@ impl Metrics {
             .map(|(code, cell)| (code.as_str().to_string(), cell.load(Ordering::Relaxed)))
             .collect();
         errors.sort();
+        let (tenant_requests, tenant_rejections, eps_spent) = {
+            let t = self.tenancy();
+            (
+                t.requests.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                t.rejections.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                t.eps_spent.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            )
+        };
         MetricsSnapshot {
             uptime_secs: self.started.elapsed().as_secs(),
             requests,
@@ -352,6 +417,10 @@ impl Metrics {
             journal_appends: self.journal_appends.load(Ordering::Relaxed),
             journal_fsync: self.journal_fsync.snapshot(),
             journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            tenant_requests,
+            tenant_rejections,
+            eps_spent,
         }
     }
 }
@@ -368,7 +437,8 @@ pub struct VerbSnapshot {
 }
 
 /// A frozen [`Metrics`] registry — the payload of the `metrics` verb.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (`Eq` would be wrong here: the ε gauge values are `f64`.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Seconds since the registry (≈ the server) started.
     pub uptime_secs: u64,
@@ -414,6 +484,14 @@ pub struct MetricsSnapshot {
     pub journal_fsync: HistogramSnapshot,
     /// Journal compactions.
     pub journal_compactions: u64,
+    /// Submits refused at `--max-queue`.
+    pub jobs_shed: u64,
+    /// `(tenant, count)` of authenticated requests, sorted by tenant.
+    pub tenant_requests: Vec<(String, u64)>,
+    /// `(tenant, count)` of rejected requests, sorted by tenant.
+    pub tenant_rejections: Vec<(String, u64)>,
+    /// `(dataset, ε)` settled + in-flight spend, sorted by handle.
+    pub eps_spent: Vec<(String, f64)>,
 }
 
 impl MetricsSnapshot {
@@ -450,10 +528,40 @@ impl MetricsSnapshot {
                 Json::obj([
                     ("submitted", Json::from(self.jobs_submitted)),
                     ("completed", Json::from(self.jobs_completed)),
+                    ("shed", Json::from(self.jobs_shed)),
                     ("queue_depth", Json::from(self.queue_depth)),
                     ("queue_wait", self.queue_wait.to_json()),
                     ("run_time", self.run_time.to_json()),
                 ]),
+            ),
+            (
+                "tenants",
+                Json::obj([
+                    (
+                        "requests",
+                        Json::Obj(
+                            self.tenant_requests
+                                .iter()
+                                .map(|(t, n)| (t.clone(), Json::from(*n)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rejections",
+                        Json::Obj(
+                            self.tenant_rejections
+                                .iter()
+                                .map(|(t, n)| (t.clone(), Json::from(*n)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "eps_spent",
+                Json::Obj(
+                    self.eps_spent.iter().map(|(ds, e)| (ds.clone(), Json::from(*e))).collect(),
+                ),
             ),
             (
                 "store",
@@ -536,6 +644,29 @@ impl MetricsSnapshot {
         let connections = section("connections")?;
         let reactor = section("reactor")?;
         let bytes = section("bytes")?;
+        let tenants = section("tenants")?;
+        let counter_map = |obj: Option<&Json>, what: &str| match obj {
+            Some(Json::Obj(map)) => map
+                .iter()
+                .map(|(k, n)| {
+                    n.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("{what} count for {k:?} not an integer"))
+                })
+                .collect::<Result<Vec<_>, String>>(),
+            _ => Err(format!("{what} must be an object")),
+        };
+        let eps_spent = match section("eps_spent")? {
+            Json::Obj(map) => map
+                .iter()
+                .map(|(ds, e)| {
+                    e.as_f64()
+                        .map(|e| (ds.clone(), e))
+                        .ok_or_else(|| format!("eps_spent for {ds:?} not a number"))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("eps_spent must be an object".to_string()),
+        };
         Ok(MetricsSnapshot {
             uptime_secs: num(v, "uptime_secs")?,
             requests,
@@ -567,6 +698,10 @@ impl MetricsSnapshot {
                 journal.get("fsync").ok_or("journal missing fsync")?,
             )?,
             journal_compactions: num(journal, "compactions")?,
+            jobs_shed: num(jobs, "shed")?,
+            tenant_requests: counter_map(tenants.get("requests"), "tenant request")?,
+            tenant_rejections: counter_map(tenants.get("rejections"), "tenant rejection")?,
+            eps_spent,
         })
     }
 
@@ -590,7 +725,17 @@ impl MetricsSnapshot {
         }
         let _ = writeln!(out, "trajdp_jobs_submitted_total {}", self.jobs_submitted);
         let _ = writeln!(out, "trajdp_jobs_completed_total {}", self.jobs_completed);
+        let _ = writeln!(out, "trajdp_jobs_shed_total {}", self.jobs_shed);
         let _ = writeln!(out, "trajdp_job_queue_depth {}", self.queue_depth);
+        for (tenant, n) in &self.tenant_requests {
+            let _ = writeln!(out, "trajdp_tenant_requests_total{{tenant=\"{tenant}\"}} {n}");
+        }
+        for (tenant, n) in &self.tenant_rejections {
+            let _ = writeln!(out, "trajdp_tenant_rejections_total{{tenant=\"{tenant}\"}} {n}");
+        }
+        for (dataset, eps) in &self.eps_spent {
+            let _ = writeln!(out, "trajdp_eps_spent{{dataset=\"{dataset}\"}} {eps}");
+        }
         self.queue_wait.write_prometheus(&mut out, "trajdp_job_queue_wait_seconds", "");
         self.run_time.write_prometheus(&mut out, "trajdp_job_run_seconds", "");
         let _ = writeln!(out, "trajdp_store_bytes {}", self.store_bytes);
@@ -843,6 +988,13 @@ mod tests {
         m.connections_shed.fetch_add(2, Ordering::Relaxed);
         m.deadline_closes.fetch_add(1, Ordering::Relaxed);
         m.reactor_iterations.observe(Duration::from_micros(30));
+        m.jobs_shed.fetch_add(4, Ordering::Relaxed);
+        m.record_tenant_request("acme");
+        m.record_tenant_request("acme");
+        m.record_tenant_rejection("acme");
+        m.record_tenant_request("default");
+        m.set_eps_spent("ds-1", 1.25);
+        m.set_eps_spent("ds-2", 0.1 + 0.2); // deliberately non-representable
         let snap = m.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
@@ -857,6 +1009,29 @@ mod tests {
         assert_eq!(parsed.connections_shed, 2);
         assert_eq!(parsed.deadline_closes, 1);
         assert_eq!(parsed.reactor_iterations.count, 1);
+        assert_eq!(parsed.jobs_shed, 4);
+        assert_eq!(
+            parsed.tenant_requests,
+            vec![("acme".to_string(), 2), ("default".to_string(), 1)]
+        );
+        assert_eq!(parsed.tenant_rejections, vec![("acme".to_string(), 1)]);
+        // ε survives the JSON round trip bit-exactly (shortest
+        // round-trip float formatting), including sums that are not
+        // exactly representable.
+        assert_eq!(
+            parsed.eps_spent,
+            vec![("ds-1".to_string(), 1.25), ("ds-2".to_string(), 0.1 + 0.2)]
+        );
+    }
+
+    #[test]
+    fn eps_gauge_rows_can_be_cleared() {
+        let m = Metrics::new();
+        m.set_eps_spent("ds-1", 0.5);
+        m.set_eps_spent("ds-1", 0.75); // a gauge: set replaces
+        assert_eq!(m.snapshot().eps_spent, vec![("ds-1".to_string(), 0.75)]);
+        m.clear_eps_spent("ds-1");
+        assert!(m.snapshot().eps_spent.is_empty());
     }
 
     #[test]
@@ -864,6 +1039,9 @@ mod tests {
         let m = Metrics::new();
         m.record_request("health", Duration::from_micros(10));
         m.record_error(ErrorCode::JobNotFound);
+        m.record_tenant_request("acme");
+        m.record_tenant_rejection("acme");
+        m.set_eps_spent("ds-1", 0.5);
         let text = m.snapshot().to_prometheus();
         for family in [
             "trajdp_uptime_seconds",
@@ -871,6 +1049,7 @@ mod tests {
             "trajdp_request_latency_seconds_bucket{verb=\"health\",le=\"+Inf\"} 1",
             "trajdp_errors_total{code=\"job-not-found\"} 1",
             "trajdp_jobs_submitted_total",
+            "trajdp_jobs_shed_total",
             "trajdp_job_queue_depth",
             "trajdp_job_queue_wait_seconds_count",
             "trajdp_store_bytes",
@@ -880,6 +1059,9 @@ mod tests {
             "trajdp_deadline_closes_total",
             "trajdp_reactor_iteration_seconds_count",
             "trajdp_bytes_in_total",
+            "trajdp_tenant_requests_total{tenant=\"acme\"} 1",
+            "trajdp_tenant_rejections_total{tenant=\"acme\"} 1",
+            "trajdp_eps_spent{dataset=\"ds-1\"} 0.5",
         ] {
             assert!(text.contains(family), "exposition must contain {family}:\n{text}");
         }

@@ -242,8 +242,17 @@ pub enum Request {
         /// The job id returned by an async `anonymize`.
         job: String,
     },
+    /// Dequeue a not-yet-running job. Running jobs are not preempted.
+    Cancel {
+        /// The job id returned by an async `anonymize`.
+        job: String,
+    },
     /// Open a pending dataset handle for chunked upload.
-    Upload,
+    Upload {
+        /// Privacy budget for the dataset being uploaded; overrides
+        /// the server's `--eps-budget` default for this handle.
+        eps_budget: Option<f64>,
+    },
     /// Append one piece to a pending dataset handle.
     Chunk {
         /// The pending handle.
@@ -349,12 +358,17 @@ fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ApiError> {
 /// Rejects members outside the command's accepted set by name — a
 /// misspelled `"epsilom"` or `"worker"` must never be silently ignored
 /// and run with the default (the bug class the CLI's strict flag parser
-/// already kills for flags). The envelope members `"v"` and `"id"` are
-/// accepted on every command, like `"cmd"` itself.
+/// already kills for flags). The envelope members `"v"`, `"id"`, and
+/// `"tenant"` are accepted on every command, like `"cmd"` itself.
 fn check_members(v: &Json, cmd: &str, accepted: &[&str]) -> Result<(), ApiError> {
     if let Json::Obj(map) = v {
         for key in map.keys() {
-            if key != "cmd" && key != "v" && key != "id" && !accepted.contains(&key.as_str()) {
+            if key != "cmd"
+                && key != "v"
+                && key != "id"
+                && key != "tenant"
+                && !accepted.contains(&key.as_str())
+            {
                 let list = if accepted.is_empty() {
                     "none besides \"cmd\"".to_string()
                 } else {
@@ -412,7 +426,7 @@ pub fn parse_request_line(line: &str) -> (Envelope, Result<Request, ApiError>) {
             }
         },
     };
-    let mut envelope = Envelope { version, id: None };
+    let mut envelope = Envelope { version, id: None, tenant: None };
     match v.get("id") {
         None => {}
         Some(Json::Str(s)) if version == ProtocolVersion::V2 => envelope.id = Some(s.clone()),
@@ -424,6 +438,17 @@ pub fn parse_request_line(line: &str) -> (Envelope, Result<Request, ApiError>) {
             return (envelope, Err(ApiError::bad_request("member \"id\" requires \"v\": 2")));
         }
         Some(_) => return (envelope, Err(ApiError::bad_request("id must be a string"))),
+    }
+    match v.get("tenant") {
+        None => {}
+        Some(Json::Str(s)) if version == ProtocolVersion::V2 => envelope.tenant = Some(s.clone()),
+        Some(Json::Str(_)) => {
+            // Same reasoning as `id`: a tenant credential on a v1
+            // request would be silently ignored (and the request
+            // accounted to the default tenant) — reject instead.
+            return (envelope, Err(ApiError::bad_request("member \"tenant\" requires \"v\": 2")));
+        }
+        Some(_) => return (envelope, Err(ApiError::bad_request("tenant must be a string"))),
     }
     (envelope, parse_verb(&v))
 }
@@ -528,9 +553,25 @@ fn parse_verb(v: &Json) -> Result<Request, ApiError> {
             check_members(v, cmd, &["job"])?;
             Ok(Request::Status { job: get_str(v, "job")?.to_string() })
         }
+        "cancel" => {
+            check_members(v, cmd, &["job"])?;
+            Ok(Request::Cancel { job: get_str(v, "job")?.to_string() })
+        }
         "upload" => {
-            check_members(v, cmd, &[])?;
-            Ok(Request::Upload)
+            check_members(v, cmd, &["eps_budget"])?;
+            let eps_budget = match v.get("eps_budget") {
+                None => None,
+                Some(j) => {
+                    let b = j
+                        .as_f64()
+                        .ok_or_else(|| ApiError::bad_request("eps_budget must be a number"))?;
+                    if !b.is_finite() || b <= 0.0 {
+                        return Err(ApiError::bad_request("eps_budget must be positive"));
+                    }
+                    Some(b)
+                }
+            };
+            Ok(Request::Upload { eps_budget })
         }
         "chunk" => {
             check_members(v, cmd, &["dataset", "data"])?;
@@ -827,7 +868,18 @@ mod tests {
             parse_request(r#"{"cmd":"status","job":"job-1"}"#).unwrap(),
             Request::Status { .. }
         ));
-        assert_eq!(parse_request(r#"{"cmd":"upload"}"#).unwrap(), Request::Upload);
+        assert_eq!(
+            parse_request(r#"{"cmd":"upload"}"#).unwrap(),
+            Request::Upload { eps_budget: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"upload","eps_budget":2.5}"#).unwrap(),
+            Request::Upload { eps_budget: Some(2.5) }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"cancel","job":"job-4"}"#).unwrap(),
+            Request::Cancel { job: "job-4".to_string() }
+        );
         assert_eq!(
             parse_request(r#"{"cmd":"chunk","dataset":"ds-1","data":"0,1,2,3\n"}"#).unwrap(),
             Request::Chunk { dataset: "ds-1".to_string(), data: "0,1,2,3\n".to_string() }
@@ -1244,8 +1296,31 @@ mod tests {
         }
         // v2 without an id is fine; the id is optional.
         let (envelope, req) = parse_request_line(r#"{"cmd":"health","v":2}"#);
-        assert_eq!(envelope, Envelope { version: ProtocolVersion::V2, id: None });
+        assert_eq!(envelope, Envelope { version: ProtocolVersion::V2, id: None, tenant: None });
         assert!(req.is_ok());
+    }
+
+    #[test]
+    fn envelope_tenant_is_v2_only_and_must_be_a_string() {
+        // A v2 tenant credential parses on every command.
+        let (envelope, req) =
+            parse_request_line(r#"{"cmd":"health","v":2,"tenant":"acme:s3cret"}"#);
+        assert_eq!(envelope.version, ProtocolVersion::V2);
+        assert_eq!(envelope.tenant.as_deref(), Some("acme:s3cret"));
+        assert!(req.is_ok());
+        // Tenant composes with the id member.
+        let (envelope, _) =
+            parse_request_line(r#"{"cmd":"upload","v":2,"id":"r-1","tenant":"acme:t"}"#);
+        assert_eq!(envelope.id.as_deref(), Some("r-1"));
+        assert_eq!(envelope.tenant.as_deref(), Some("acme:t"));
+        // A tenant on a version-less request is rejected, like id: it
+        // would silently be accounted to the default tenant otherwise.
+        let (envelope, req) = parse_request_line(r#"{"cmd":"health","tenant":"acme:t"}"#);
+        assert_eq!(envelope.version, ProtocolVersion::V1);
+        assert!(req.unwrap_err().message.contains("requires \"v\": 2"));
+        // A non-string tenant is rejected.
+        let (_, req) = parse_request_line(r#"{"cmd":"health","v":2,"tenant":9}"#);
+        assert!(req.unwrap_err().message.contains("tenant must be a string"));
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! lines are discarded, idle connections close immediately — then the
 //! job queue drains and every thread is joined before returning.
 
-use crate::api::{self, ApiError, Response};
+use crate::api::{self, ApiError, DatasetRow, ErrorCode, Response};
 use crate::jobs::JobQueue;
 use crate::json::Json;
+use crate::ledger::TenantRegistry;
 use crate::obs::{log_enabled, log_event, LogLevel, Metrics};
 use crate::protocol::{self, Request};
 use crate::reactor::{Dispatch, Reactor, ReactorConfig, Waker};
@@ -68,6 +69,20 @@ pub struct ServerConfig {
     /// LRU-evicted. A background sweeper enforces the TTL even on an
     /// idle store.
     pub dataset_ttl: Option<Duration>,
+    /// Tenant registry file (CLI `--tenants`): `name:token` lines with
+    /// optional per-tenant quotas, loaded once at startup. `None` runs
+    /// the server open — every request maps to the default tenant.
+    pub tenants: Option<PathBuf>,
+    /// Default per-dataset privacy budget (CLI `--eps-budget`): jobs
+    /// against a handle with no explicit upload budget refuse with
+    /// `budget-exhausted` once their cumulative ε would exceed this.
+    /// `None` leaves unbudgeted handles unmetered (spend still ledgered).
+    pub eps_budget: Option<f64>,
+    /// Queue-depth shed threshold (CLI `--max-queue`): async submits
+    /// arriving while this many jobs are already queued or running are
+    /// answered `overloaded` instead of growing the queue without
+    /// bound. `None` never sheds.
+    pub max_queue: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +96,9 @@ impl Default for ServerConfig {
             state_dir: None,
             max_datasets: MAX_STORED_DATASETS,
             dataset_ttl: None,
+            tenants: None,
+            eps_budget: None,
+            max_queue: None,
         }
     }
 }
@@ -119,16 +137,30 @@ struct ServiceContext {
     /// Shared observability registry (also wired into the store and
     /// the job queue).
     metrics: Arc<Metrics>,
+    /// The tenant registry (`--tenants`), empty when the server runs
+    /// open. Loaded once at startup; every request authenticates
+    /// against it before dispatch.
+    registry: Arc<TenantRegistry>,
+    /// Default per-dataset privacy budget (`--eps-budget`), for `info`.
+    eps_budget: Option<f64>,
+    /// Queue-depth shed threshold (`--max-queue`).
+    max_queue: Option<usize>,
 }
 
 /// Dispatches one parsed request to its handler. Dataset handles are
 /// resolved here, before any job is enqueued, so queued work owns its
 /// data and cannot be changed by later store mutations.
+///
+/// `tenant` is the already-authenticated tenant name (the default
+/// tenant on an open server): quota checks read its limits from the
+/// registry, uploads attribute their handles to it, and submits carry
+/// it into the queue for job-slot accounting.
 fn dispatch(
     req: Request,
     jobs: &JobQueue,
     store: &DatasetStore,
     ctx: &ServiceContext,
+    tenant: &str,
     cid: Option<String>,
 ) -> Result<Response, ApiError> {
     match req {
@@ -144,6 +176,8 @@ fn dispatch(
             uptime_secs: ctx.started.elapsed().as_secs(),
             started_at: ctx.started_at,
             state_dir: ctx.state_dir,
+            tenants: ctx.registry.len(),
+            eps_budget: ctx.eps_budget,
         }),
         Request::Metrics => Ok(Response::Metrics { snapshot: Box::new(ctx.metrics.snapshot()) }),
         Request::Gen { size, len, seed, store_result } => {
@@ -157,11 +191,35 @@ fn dispatch(
         Request::Anonymize { params, asynchronous } => {
             let spec = params.resolve(store)?;
             if asynchronous {
+                // Queue-depth back-pressure: past --max-queue the
+                // submit is shed with `overloaded` before anything is
+                // minted or journaled, and the shed is counted. The
+                // check is advisory (racing submits may briefly
+                // overshoot by the executor-pool width); the bound it
+                // enforces is on unbounded growth, not an exact cap.
+                if let Some(cap) = ctx.max_queue {
+                    if jobs.outstanding() >= cap {
+                        ctx.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(ApiError::overloaded(format!(
+                            "job queue is full ({cap} outstanding jobs); retry later"
+                        )));
+                    }
+                }
                 // The envelope id rides along as the job's correlation
                 // id, so logs emitted by the worker thread can be tied
                 // back to the submitting request.
-                jobs.submit_with_cid(spec, cid).map(|job| Response::Submitted { job })
+                let max_jobs = ctx.registry.limits(tenant).max_jobs;
+                jobs.submit_scoped(spec, cid, Some(tenant.to_string()), max_jobs)
+                    .map(|job| Response::Submitted { job })
             } else {
+                // A synchronous run against a stored handle spends ε
+                // just like a job does: charge (journaled, checked
+                // against the budget) before the run. A run that then
+                // fails leaves the charge in place — over-counting is
+                // the safe direction for a privacy ledger.
+                if let Some(handle) = &spec.source {
+                    jobs.charge_sync(handle, spec.epsilon)?;
+                }
                 let response = protocol::run_anonymize(&spec)?;
                 if spec.store_result {
                     // Synchronous results are acknowledged inline, not
@@ -179,14 +237,72 @@ fn dispatch(
         }
         Request::Stats { data } => protocol::run_stats(&data.resolve_shared(store)?),
         Request::Status { job } => jobs.status_response(&job),
-        Request::Upload => protocol::run_upload(store),
-        Request::Chunk { dataset, data } => protocol::run_chunk(store, &dataset, &data),
+        Request::Upload { eps_budget } => {
+            if let Some(cap) = ctx.registry.limits(tenant).max_datasets {
+                let (datasets, _) = store.usage(tenant);
+                if datasets >= cap {
+                    return Err(ApiError::quota_exceeded(format!(
+                        "tenant {tenant:?} already holds {cap} datasets (max_datasets quota)"
+                    )));
+                }
+            }
+            let dataset = store.begin_for(Some(tenant))?;
+            if let Some(budget) = eps_budget {
+                // The budget must be journaled before the handle is
+                // acknowledged: an acked budget that evaporated on
+                // restart would loosen the ledger. On journal failure
+                // the fresh handle is withdrawn so the client never
+                // holds an unbudgeted handle it asked a budget for.
+                if let Err(e) = jobs.set_eps_budget(&dataset, budget) {
+                    let _ = store.delete(&dataset);
+                    return Err(e);
+                }
+            }
+            Ok(Response::Upload { dataset })
+        }
+        Request::Chunk { dataset, data } => {
+            // The byte quota is enforced per chunk against the bytes
+            // already attributed to the requesting tenant (pending
+            // buffers included), so a tenant cannot stream past its cap
+            // one append at a time.
+            if let Some(cap) = ctx.registry.limits(tenant).max_bytes {
+                let (_, bytes) = store.usage(tenant);
+                if bytes + data.len() > cap {
+                    return Err(ApiError::quota_exceeded(format!(
+                        "chunk would put tenant {tenant:?} over its {cap}-byte quota \
+                         ({bytes} bytes already stored)"
+                    )));
+                }
+            }
+            protocol::run_chunk(store, &dataset, &data)
+        }
         Request::Commit { dataset } => protocol::run_commit(store, &dataset),
         Request::Download { dataset, offset, max_bytes } => {
             protocol::run_download(store, &dataset, offset, max_bytes)
         }
-        Request::Delete { dataset } => protocol::run_delete(store, &dataset),
-        Request::List => Ok(Response::List { jobs: jobs.list(), datasets: store.list() }),
+        Request::Delete { dataset } => {
+            let response = protocol::run_delete(store, &dataset)?;
+            // The handle is gone; drop its ledger row so a recycled id
+            // starts fresh. Ordered after the delete so a refused
+            // delete (pinned handle) keeps its spend.
+            jobs.reset_eps(&dataset);
+            Ok(response)
+        }
+        Request::Cancel { job } => jobs.cancel(&job),
+        Request::List => {
+            let mut eps = jobs.eps_overview();
+            let default_budget = jobs.default_eps_budget();
+            let datasets = store
+                .list()
+                .into_iter()
+                .map(|(dataset, bytes, state, pins)| {
+                    let (eps_spent, eps_budget) =
+                        eps.remove(&dataset).unwrap_or((0.0, default_budget));
+                    DatasetRow { dataset, bytes, state, pins, eps_spent, eps_budget }
+                })
+                .collect();
+            Ok(Response::List { jobs: jobs.list(), datasets })
+        }
     }
 }
 
@@ -202,7 +318,8 @@ fn verb_name(req: &Request) -> &'static str {
         Request::Evaluate { .. } => "evaluate",
         Request::Stats { .. } => "stats",
         Request::Status { .. } => "status",
-        Request::Upload => "upload",
+        Request::Cancel { .. } => "cancel",
+        Request::Upload { .. } => "upload",
         Request::Chunk { .. } => "chunk",
         Request::Commit { .. } => "commit",
         Request::Download { .. } => "download",
@@ -227,10 +344,29 @@ fn make_dispatch(jobs: JobQueue, store: DatasetStore, ctx: ServiceContext) -> Di
             Err(_) => "invalid",
         };
         let cid = envelope.id.clone();
-        let result = parsed.and_then(|req| dispatch(req, &jobs, &store, &ctx, cid.clone()));
+        let mut tenant_label: Option<String> = None;
+        let result = parsed.and_then(|req| {
+            // Authentication precedes dispatch: a bad credential is
+            // refused with `tenant-unknown` before any handler runs.
+            // On an open server (no --tenants) a credential-less
+            // request maps to the default tenant.
+            let tenant = ctx.registry.authenticate(envelope.tenant.as_deref())?;
+            ctx.metrics.record_tenant_request(tenant);
+            tenant_label = Some(tenant.to_string());
+            dispatch(req, &jobs, &store, &ctx, tenant, cid.clone())
+        });
         let code = result.as_ref().err().map(|e| e.code);
         if let Some(code) = code {
             ctx.metrics.record_error(code);
+            // Quota/budget refusals are additionally attributed to the
+            // authenticated tenant; `tenant-unknown` never reaches here
+            // with a label (authentication failed), so bad credentials
+            // are visible only in the per-code error counters.
+            if matches!(code, ErrorCode::QuotaExceeded | ErrorCode::BudgetExhausted) {
+                if let Some(tenant) = &tenant_label {
+                    ctx.metrics.record_tenant_rejection(tenant);
+                }
+            }
         }
         let response = api::render(&envelope, result);
         let out = format!("{response}\n");
@@ -278,11 +414,20 @@ impl Server {
             ..StoreConfig::default()
         })?
         .with_metrics(Arc::clone(&metrics));
+        // The tenant registry is loaded once, before the listener
+        // accepts anything: token changes require a restart, so there
+        // is no window where half the connections see old credentials.
+        let registry = Arc::new(match &cfg.tenants {
+            Some(path) => TenantRegistry::load(path)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            None => TenantRegistry::empty(),
+        });
         let jobs = match &cfg.state_dir {
             Some(dir) => JobQueue::with_journal(store.clone(), &dir.join("jobs.jsonl"))
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
             None => JobQueue::with_store(store.clone()),
         }
+        .with_eps_budget(cfg.eps_budget)
         .with_metrics(Arc::clone(&metrics));
 
         let job_threads: Vec<JoinHandle<()>> = (0..cfg.workers)
@@ -341,6 +486,9 @@ impl Server {
                 .unwrap_or(0),
             started: Instant::now(),
             metrics: Arc::clone(&metrics),
+            registry: Arc::clone(&registry),
+            eps_budget: cfg.eps_budget,
+            max_queue: cfg.max_queue,
         };
         if log_enabled(LogLevel::Info) {
             log_event(
@@ -351,6 +499,7 @@ impl Server {
                     ("workers", Json::from(cfg.workers)),
                     ("max_connections", Json::from(cfg.max_connections)),
                     ("state_dir", Json::from(ctx.state_dir)),
+                    ("tenants", Json::from(registry.len())),
                 ],
             );
         }

@@ -111,10 +111,11 @@ pub(crate) fn floor_char_boundary(s: &str, i: usize) -> usize {
 enum Entry {
     /// Being assembled by `chunk` commands. `touched` is the last
     /// `begin`/`append` time, for the abandoned-upload sweep.
-    Pending { buf: String, touched: Instant },
+    Pending { buf: String, touched: Instant, owner: Option<String> },
     /// Owned by an in-flight `commit`/`insert` that is persisting to
-    /// disk outside the lock; rejects all mutation until it lands.
-    Committing,
+    /// disk outside the lock; rejects all mutation until it lands. The
+    /// tenant owner rides along so the commit tail can restore it.
+    Committing { owner: Option<String> },
     /// Sealed; usable as a request dataset and by `download`.
     Committed {
         text: Arc<String>,
@@ -129,7 +130,22 @@ enum Entry {
         /// client upload; persisted as `ds-<id>.job.csv` and subject to
         /// startup orphan reconciliation.
         from_job: bool,
+        /// The authenticated tenant that uploaded the dataset, for
+        /// quota accounting ([`DatasetStore::usage`]). In-memory only:
+        /// ownership is admission control, not durable state, so
+        /// datasets reloaded from disk (and job results) are unowned.
+        owner: Option<String>,
     },
+}
+
+impl Entry {
+    fn owner(&self) -> Option<&str> {
+        match self {
+            Entry::Pending { owner, .. }
+            | Entry::Committing { owner }
+            | Entry::Committed { owner, .. } => owner.as_deref(),
+        }
+    }
 }
 
 struct StoreInner {
@@ -157,7 +173,7 @@ impl StoreInner {
             .values()
             .map(|e| match e {
                 Entry::Pending { buf, .. } => buf.len(),
-                Entry::Committing => 0,
+                Entry::Committing { .. } => 0,
                 Entry::Committed { text, .. } => text.len(),
             })
             .sum();
@@ -177,7 +193,7 @@ impl StoreInner {
     /// LRU/TTL stamp — the single tail of both `commit` and
     /// `insert_with_provenance`, so a future `Committed` field cannot
     /// be threaded into one path and missed in the other.
-    fn install_committed(&mut self, id: &str, text: String, from_job: bool) {
+    fn install_committed(&mut self, id: &str, text: String, from_job: bool, owner: Option<String>) {
         self.clock += 1;
         let stamp = self.clock;
         self.entries.insert(
@@ -188,6 +204,7 @@ impl StoreInner {
                 touched: Instant::now(),
                 pins: 0,
                 from_job,
+                owner,
             },
         );
     }
@@ -378,6 +395,7 @@ impl DatasetStore {
                         touched: now,
                         pins: 0,
                         from_job,
+                        owner: None,
                     },
                 );
             }
@@ -448,14 +466,47 @@ impl DatasetStore {
     /// Opens a new pending handle for chunked upload, evicting the LRU
     /// unpinned committed dataset if the store is full.
     pub fn begin(&self) -> Result<String, ApiError> {
+        self.begin_for(None)
+    }
+
+    /// [`Self::begin`] attributing the handle to an authenticated
+    /// tenant, so [`Self::usage`] can enforce per-tenant dataset and
+    /// byte quotas. Ownership follows the handle through commit.
+    pub fn begin_for(&self, owner: Option<&str>) -> Result<String, ApiError> {
         let mut s = self.lock()?;
         s.make_room()?;
         s.next_id += 1;
         let id = format!("ds-{}", s.next_id);
-        s.entries
-            .insert(id.clone(), Entry::Pending { buf: String::new(), touched: Instant::now() });
+        s.entries.insert(
+            id.clone(),
+            Entry::Pending {
+                buf: String::new(),
+                touched: Instant::now(),
+                owner: owner.map(str::to_string),
+            },
+        );
         s.publish_gauges();
         Ok(id)
+    }
+
+    /// Datasets and bytes currently attributed to `owner` — pending
+    /// uploads count too (their bytes are already resident), so a
+    /// tenant cannot dodge its byte quota by never committing.
+    pub fn usage(&self, owner: &str) -> (usize, usize) {
+        let Ok(s) = self.lock() else { return (0, 0) };
+        let mut datasets = 0;
+        let mut bytes = 0;
+        for entry in s.entries.values() {
+            if entry.owner() == Some(owner) {
+                datasets += 1;
+                bytes += match entry {
+                    Entry::Pending { buf, .. } => buf.len(),
+                    Entry::Committing { .. } => 0,
+                    Entry::Committed { text, .. } => text.len(),
+                };
+            }
+        }
+        (datasets, bytes)
     }
 
     /// Appends one piece to a pending handle, returning the assembled
@@ -469,12 +520,12 @@ impl DatasetStore {
                     "dataset {id:?} is already committed; chunks are rejected"
                 )))
             }
-            Some(Entry::Committing) => {
+            Some(Entry::Committing { .. }) => {
                 return Err(ApiError::dataset_state(format!(
                     "dataset {id:?} is being committed; chunks are rejected"
                 )))
             }
-            Some(Entry::Pending { buf, touched }) => {
+            Some(Entry::Pending { buf, touched, .. }) => {
                 if buf.len().saturating_add(data.len()) > MAX_DATASET_BYTES {
                     return Err(ApiError::payload_too_large(format!(
                         "dataset {id:?} would exceed {MAX_DATASET_BYTES} bytes"
@@ -496,7 +547,7 @@ impl DatasetStore {
     /// the store mutex**, so concurrent reads never stall behind it; a
     /// failed write leaves the handle pending so the client may retry.
     pub fn commit(&self, id: &str) -> Result<usize, ApiError> {
-        let (buf, dir) = {
+        let (buf, owner, dir) = {
             let mut s = self.lock()?;
             match s.entries.get(id) {
                 None => return Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
@@ -505,32 +556,34 @@ impl DatasetStore {
                         "dataset {id:?} is already committed"
                     )))
                 }
-                Some(Entry::Committing) => {
+                Some(Entry::Committing { .. }) => {
                     return Err(ApiError::dataset_state(format!(
                         "dataset {id:?} is already being committed"
                     )))
                 }
                 Some(Entry::Pending { .. }) => {}
             }
+            let owner = s.entries.get(id).and_then(|e| e.owner().map(str::to_string));
             let Some(Entry::Pending { buf, .. }) =
-                s.entries.insert(id.to_string(), Entry::Committing)
+                s.entries.insert(id.to_string(), Entry::Committing { owner: owner.clone() })
             else {
                 // PANIC: the match above saw `Entry::Pending` for this id
                 // and the mutex has been held since.
                 unreachable!()
             };
-            (buf, s.dir.clone())
+            (buf, owner, s.dir.clone())
         };
         if let Some(dir) = dir {
             if let Err(e) = self.persist(&dir, &file_name(id, false), &buf) {
                 let mut s = self.lock()?;
-                s.entries.insert(id.to_string(), Entry::Pending { buf, touched: Instant::now() });
+                s.entries
+                    .insert(id.to_string(), Entry::Pending { buf, touched: Instant::now(), owner });
                 return Err(e);
             }
         }
         let mut s = self.lock()?;
         let bytes = buf.len();
-        s.install_committed(id, buf, false);
+        s.install_committed(id, buf, false, owner);
         s.publish_gauges();
         Ok(bytes)
     }
@@ -555,7 +608,7 @@ impl DatasetStore {
             s.make_room()?;
             s.next_id += 1;
             let id = format!("ds-{}", s.next_id);
-            s.entries.insert(id.clone(), Entry::Committing);
+            s.entries.insert(id.clone(), Entry::Committing { owner: None });
             (id, s.dir.clone())
         };
         if let Some(dir) = dir {
@@ -566,7 +619,9 @@ impl DatasetStore {
         }
         let bytes = csv.len();
         let mut s = self.lock()?;
-        s.install_committed(&id, csv, from_job);
+        // Job results are unowned: they are minted by the server, not
+        // uploaded by a tenant, so they never count against a quota.
+        s.install_committed(&id, csv, from_job, None);
         s.publish_gauges();
         Ok((id, bytes))
     }
@@ -585,7 +640,7 @@ impl DatasetStore {
         let mut s = self.lock()?;
         match s.entries.get(id) {
             None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
-            Some(Entry::Committing) => Err(ApiError::dataset_state(format!(
+            Some(Entry::Committing { .. }) => Err(ApiError::dataset_state(format!(
                 "dataset {id:?} is being committed; retry the delete"
             ))),
             Some(Entry::Committed { pins, .. }) if *pins > 0 => {
@@ -620,7 +675,7 @@ impl DatasetStore {
         let Ok(mut s) = self.lock() else { return false };
         match s.entries.get(id) {
             None => true,
-            Some(Entry::Committing) => false,
+            Some(Entry::Committing { .. }) => false,
             Some(Entry::Committed { pins, .. }) if *pins > 0 => false,
             Some(Entry::Committed { .. } | Entry::Pending { .. }) => {
                 if let Some(Entry::Committed { from_job, .. }) = s.entries.remove(id) {
@@ -688,7 +743,7 @@ impl DatasetStore {
         s.touch(id);
         match s.entries.get(id) {
             None => Err(ApiError::dataset_not_found(format!("unknown dataset {id:?}"))),
-            Some(Entry::Pending { .. } | Entry::Committing) => {
+            Some(Entry::Pending { .. } | Entry::Committing { .. }) => {
                 Err(ApiError::dataset_state(format!("dataset {id:?} is not committed yet")))
             }
             Some(Entry::Committed { text, .. }) => Ok(Arc::clone(text)),
@@ -707,7 +762,7 @@ impl DatasetStore {
             .iter()
             .map(|(id, e)| match e {
                 Entry::Pending { buf, .. } => (id.clone(), buf.len(), "pending", 0),
-                Entry::Committing => (id.clone(), 0, "committing", 0),
+                Entry::Committing { .. } => (id.clone(), 0, "committing", 0),
                 Entry::Committed { text, pins, .. } => (id.clone(), text.len(), "committed", *pins),
             })
             .collect();

@@ -466,3 +466,192 @@ fn restarted_server_replays_journal_and_completes_queued_jobs() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Two authenticated tenants and the open default path share one
+/// server: quotas bind only the tenant that exhausted them, and every
+/// other identity keeps full service.
+#[test]
+fn tenant_quotas_isolate_tenants_from_each_other() {
+    let dir = std::env::temp_dir().join("trajdp-tenant-isolation-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.txt");
+    std::fs::write(&tenants, "acme:sesame:1:100:\nglobex:gx-token\n").unwrap();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_connections: 8,
+        tenants: Some(tenants),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let csv = "traj_id,x,y,t\n0,1.0,2.0,3\n";
+
+    let mut acme = Client::connect(addr).unwrap().with_tenant("acme:sesame");
+    let mut globex = Client::connect(addr).unwrap().with_tenant("globex:gx-token");
+    let mut open = Client::connect(addr).unwrap();
+
+    // acme fills its single-dataset quota; the refusal names the quota
+    // and does not consume a handle.
+    let held = acme.upload_dataset(csv, 1 << 20).unwrap().dataset;
+    let err = acme.upload_dataset(csv, 1 << 20).unwrap_err();
+    assert_eq!(err.code, trajdp_server::api::ErrorCode::QuotaExceeded, "{err}");
+    assert!(err.message.contains("max_datasets"), "{err}");
+
+    // The other tenant and the open path are untouched by acme's cap —
+    // globex is unlimited, and the default tenant can never be quota'd.
+    let g1 = globex.upload_dataset(csv, 1 << 20).unwrap().dataset;
+    let g2 = globex.upload_dataset(csv, 1 << 20).unwrap().dataset;
+    assert_ne!(g1, g2);
+    let o1 = open.upload_dataset(csv, 1 << 20).unwrap().dataset;
+
+    // acme's byte quota (100) refuses an over-cap chunk mid-stream
+    // without wedging the pending handle; globex streams the same
+    // payload freely. (`request` sends lines verbatim, so the v2
+    // members are spelled out here.)
+    let acme_raw = |client: &mut Client, members: Vec<(&'static str, Json)>| {
+        let mut members = members;
+        members.push(("v", Json::from(2u64)));
+        members.push(("tenant", Json::from("acme:sesame")));
+        client.request(&Json::obj(members)).unwrap()
+    };
+    let big: String = std::iter::once("traj_id,x,y,t\n".to_string())
+        .chain((0..10).map(|i| format!("0,1.0,2.0,{i}\n")))
+        .collect();
+    assert!(big.len() > 100, "payload must cross acme's byte cap");
+    // The count quota is on held handles, so free acme's slot first.
+    acme.delete_dataset(&held).unwrap();
+    let r = acme_raw(&mut acme, vec![("cmd", Json::from("upload"))]);
+    let pending = r.get("dataset").and_then(Json::as_str).unwrap().to_string();
+    let refused = acme_raw(
+        &mut acme,
+        vec![
+            ("cmd", Json::from("chunk")),
+            ("dataset", Json::from(pending.clone())),
+            ("data", Json::from(big.clone())),
+        ],
+    );
+    assert_eq!(
+        refused.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("quota-exceeded"),
+        "{refused}"
+    );
+    // The refusal left the handle usable: an under-cap stream commits.
+    let r = acme_raw(
+        &mut acme,
+        vec![
+            ("cmd", Json::from("chunk")),
+            ("dataset", Json::from(pending.clone())),
+            ("data", Json::from(csv)),
+        ],
+    );
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    let r = acme_raw(
+        &mut acme,
+        vec![("cmd", Json::from("commit")), ("dataset", Json::from(pending.clone()))],
+    );
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    assert_eq!(acme.download_dataset(&pending).unwrap(), csv);
+    let g3 = globex.upload_dataset(&big, 1 << 20).unwrap();
+    assert_eq!(g3.bytes, big.len() as u64);
+
+    // Everyone still gets answers: the caps never poisoned the shared
+    // queue or store.
+    for client in [&mut acme, &mut globex, &mut open] {
+        assert_eq!(client.health().unwrap().outstanding_jobs, 0);
+    }
+    assert_eq!(open.download_dataset(&o1).unwrap(), csv);
+
+    drop((acme, globex, open));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ε ledger across a restart: spend accumulated before the kill is
+/// reported bit-for-bit identically after replay, and the budget keeps
+/// refusing exactly where it did before.
+#[test]
+fn eps_spend_survives_restart_bit_for_bit() {
+    let dir = std::env::temp_dir().join("trajdp-eps-restart-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let start = || {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_connections: 8,
+            state_dir: Some(dir.clone()),
+            eps_budget: Some(0.5),
+            ..ServerConfig::default()
+        })
+        .expect("bind on loopback with state dir")
+    };
+    // One row of the v2 `list` response, `(eps_spent, eps_budget)`.
+    let eps_row = |client: &mut Client, handle: &str| {
+        let listed = client.request_line(r#"{"cmd":"list","v":2}"#).unwrap();
+        let Some(Json::Arr(rows)) = listed.get("datasets") else { panic!("{listed}") };
+        let row = rows
+            .iter()
+            .find(|r| r.get("dataset").and_then(Json::as_str) == Some(handle))
+            .unwrap_or_else(|| panic!("{handle} missing from {listed}"));
+        (
+            row.get("eps_spent").and_then(Json::as_f64).unwrap(),
+            row.get("eps_budget").and_then(Json::as_f64),
+        )
+    };
+
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // An explicit per-dataset budget (journaled at upload) over the
+    // 0.5 server default, then two synchronous spends whose f64 sum is
+    // not representable exactly — the replay fidelity probe.
+    // Points need spatial extent: a zero-area domain is rejected by the
+    // model layer, and this test is about the ledger, not the model.
+    let csv = "traj_id,x,y,t\n0,1.0,2.0,3\n0,500.0,600.0,40\n1,1000.0,1200.0,5\n1,40.0,900.0,17\n";
+    let handle = client.upload_dataset_with_budget(csv, 1 << 20, Some(2.0)).unwrap().dataset;
+    for eps in ["0.1", "0.2"] {
+        let r = client
+            .request_line(&format!(
+                r#"{{"cmd":"anonymize","model":"purel","m":2,"seed":1,"epsilon":{eps},"dataset":"{handle}"}}"#
+            ))
+            .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    }
+    let before = eps_row(&mut client, &handle);
+    assert_eq!(before, (0.1 + 0.2, Some(2.0)), "the inexact sum is the point");
+    drop(client);
+    server.shutdown();
+
+    let server = start();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(
+        eps_row(&mut client, &handle),
+        before,
+        "replayed spend must be bit-identical, not re-rounded"
+    );
+    // The replayed ledger still enforces: 0.30000000000000004 + 1.71
+    // exceeds 2.0, while a smaller request fits — the boundary survives
+    // the restart exactly. (1.7 would NOT be refused: its f64 error
+    // cancels the sum's and lands on 2.0 on the nose.)
+    let refused = client
+        .request_line(&format!(
+            r#"{{"cmd":"anonymize","model":"purel","m":2,"seed":1,"epsilon":1.71,"dataset":"{handle}"}}"#
+        ))
+        .unwrap();
+    assert_eq!(refused.get("ok"), Some(&Json::Bool(false)), "{refused}");
+    assert!(
+        refused.get("error").and_then(Json::as_str).unwrap().contains("privacy budget exhausted"),
+        "{refused}"
+    );
+    let fits = client
+        .request_line(&format!(
+            r#"{{"cmd":"anonymize","model":"purel","m":2,"seed":1,"epsilon":1.69,"dataset":"{handle}"}}"#
+        ))
+        .unwrap();
+    assert_eq!(fits.get("ok"), Some(&Json::Bool(true)), "{fits}");
+
+    drop(client);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -521,3 +521,244 @@ fn metrics_verb_snapshots_are_monotonic_and_count_errors() {
     drop(c);
     server.shutdown();
 }
+
+/// The tenancy wire contract: v1 stays tenant-free (a `tenant` member
+/// is rejected with the frozen flat shape, byte for byte), each new
+/// code — `tenant-unknown`, `quota-exceeded`, `budget-exhausted` — is
+/// reachable and rendered in its documented shape, the credential is
+/// never echoed, and per-tenant metrics attribute the traffic.
+#[test]
+fn tenancy_codes_render_in_both_shapes_and_v1_stays_tenant_free() {
+    let dir = std::env::temp_dir().join("trajdp-wire-tenancy-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.txt");
+    // acme: 2 handles, 40 bytes, 1 concurrent job. globex: unlimited.
+    std::fs::write(&tenants, "# test registry\nacme:sesame:2:40:1\nglobex:gx-token\n").unwrap();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        max_connections: 8,
+        tenants: Some(tenants),
+        eps_budget: Some(1.0),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Raw::connect(server.local_addr());
+
+    // v1 must never grow a tenant member: the rejection shape is flat
+    // and byte-frozen, and carries no error code.
+    assert_eq!(
+        c.send(r#"{"cmd":"health","tenant":"acme:sesame"}"#),
+        r#"{"error":"member \"tenant\" requires \"v\": 2","ok":false}"#,
+    );
+    // v2 type and credential-shape errors.
+    let send_json = |c: &mut Raw, line: &str| trajdp_server::json::parse(&c.send(line)).unwrap();
+    let code_of = |r: &Json| {
+        r.get("error").and_then(|e| e.get("code")).and_then(Json::as_str).map(str::to_string)
+    };
+    let message_of = |r: &Json| {
+        r.get("error").and_then(|e| e.get("message")).and_then(Json::as_str).map(str::to_string)
+    };
+    let r = send_json(&mut c, r#"{"cmd":"health","v":2,"tenant":7}"#);
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::BadRequest.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("tenant must be a string"), "{r}");
+    let r = send_json(&mut c, r#"{"cmd":"health","v":2,"tenant":"no-colon"}"#);
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::TenantUnknown.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("name:token"), "{r}");
+    let r = send_json(&mut c, r#"{"cmd":"health","v":2,"id":"t-1","tenant":"acme:wrong"}"#);
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::TenantUnknown.as_str()), "{r}");
+    assert_eq!(message_of(&r).as_deref(), Some("unknown tenant or bad token"), "{r}");
+    assert_eq!(r.get("id").and_then(Json::as_str), Some("t-1"), "ids echo on tenant rejections");
+
+    // An authenticated acme session. The credential must never be
+    // echoed back in any response.
+    let acme = |members: &str| format!(r#"{{{members},"v":2,"tenant":"acme:sesame"}}"#);
+    let acme_send = |c: &mut Raw, members: &str| {
+        let line = acme(members);
+        let raw = c.send(&line);
+        assert!(!raw.contains("sesame") && !raw.contains("tenant\":"), "credential echoed: {raw}");
+        trajdp_server::json::parse(&raw).unwrap()
+    };
+    let r = acme_send(&mut c, r#""cmd":"upload""#);
+    let ds = r.get("dataset").and_then(Json::as_str).expect("upload handle").to_string();
+    let chunk = format!(r#""cmd":"chunk","dataset":"{ds}","data":"traj_id,x,y,t\n0,1.0,2.0,3\n""#);
+    assert_eq!(acme_send(&mut c, &chunk).get("ok"), Some(&Json::Bool(true)));
+    // 26 bytes stored; another 26 would cross the 40-byte cap.
+    let r = acme_send(&mut c, &chunk);
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::QuotaExceeded.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("40-byte quota"), "{r}");
+    let commit = format!(r#""cmd":"commit","dataset":"{ds}""#);
+    assert_eq!(acme_send(&mut c, &commit).get("ok"), Some(&Json::Bool(true)));
+
+    // Job-slot quota: the first half-ε job queues (no workers, so it
+    // stays in flight); a second submit fits the ε budget exactly but
+    // trips max_jobs=1; a larger third request trips the budget check,
+    // which runs first.
+    let submit = |eps: &str| {
+        format!(
+            r#""cmd":"anonymize","model":"purel","m":2,"epsilon":{eps},"dataset":"{ds}","async":true"#
+        )
+    };
+    let r = acme_send(&mut c, &submit("0.5"));
+    assert_eq!(r.get("state").and_then(Json::as_str), Some("queued"), "{r}");
+    let r = acme_send(&mut c, &submit("0.5"));
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::QuotaExceeded.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("max_jobs"), "{r}");
+    let r = acme_send(&mut c, &submit("0.6"));
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::BudgetExhausted.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("privacy budget exhausted"), "{r}");
+
+    // Dataset-count quota: the committed handle plus one pending handle
+    // reach acme's cap of 2; a third upload is refused.
+    assert!(acme_send(&mut c, r#""cmd":"upload""#).get("dataset").is_some());
+    let r = acme_send(&mut c, r#""cmd":"upload""#);
+    assert_eq!(code_of(&r).as_deref(), Some(ErrorCode::QuotaExceeded.as_str()), "{r}");
+    assert!(message_of(&r).unwrap().contains("max_datasets"), "{r}");
+
+    // budget-exhausted is the one tenancy code reachable from v1: the
+    // server-wide --eps-budget default gates the tenant-less path too,
+    // and the flat string shape carries the same message text.
+    assert!(c.send(r#"{"cmd":"gen","size":2,"len":3,"seed":1,"store":true}"#).contains("dataset"));
+    let v1 = send_json(
+        &mut c,
+        r#"{"cmd":"anonymize","model":"purel","m":2,"epsilon":2.0,"dataset":"ds-3"}"#,
+    );
+    assert_eq!(v1.get("ok"), Some(&Json::Bool(false)), "{v1}");
+    let flat = v1.get("error").and_then(Json::as_str).expect("v1 error is a bare string");
+    assert!(flat.contains("privacy budget exhausted for ds-3"), "{flat}");
+
+    // Discoverability: v2 info reports the registry size and the
+    // default budget; v2 list rows carry the ledger columns while the
+    // frozen v1 list shape stays without them.
+    let info = send_json(&mut c, r#"{"cmd":"info","v":2}"#);
+    assert_eq!(info.get("tenants").and_then(Json::as_u64), Some(2), "{info}");
+    assert_eq!(info.get("eps_budget").and_then(Json::as_f64), Some(1.0), "{info}");
+    let v1_list = c.send(r#"{"cmd":"list"}"#);
+    assert!(!v1_list.contains("eps_spent"), "v1 list must stay ledger-free: {v1_list}");
+    let v2_list = send_json(&mut c, r#"{"cmd":"list","v":2}"#);
+    let rows = match v2_list.get("datasets") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("list datasets: {other:?}"),
+    };
+    let row = rows
+        .iter()
+        .find(|r| r.get("dataset").and_then(Json::as_str) == Some(ds.as_str()))
+        .unwrap_or_else(|| panic!("{ds} missing from {v2_list}"));
+    assert_eq!(row.get("eps_spent").and_then(Json::as_f64), Some(0.5), "{row}");
+    assert_eq!(row.get("eps_budget").and_then(Json::as_f64), Some(1.0), "{row}");
+
+    // Attribution: every authenticated acme request counted, and
+    // exactly the four quota/budget refusals above counted as
+    // rejections. The queued job's in-flight ε is published as a gauge.
+    let metrics = send_json(&mut c, r#"{"cmd":"metrics","v":2}"#);
+    let tenant_stat = |kind: &str, name: &str| {
+        metrics
+            .get("tenants")
+            .and_then(|t| t.get(kind))
+            .and_then(|m| m.get(name))
+            .and_then(Json::as_u64)
+    };
+    assert_eq!(tenant_stat("requests", "acme"), Some(9), "{metrics}");
+    assert_eq!(tenant_stat("rejections", "acme"), Some(4), "{metrics}");
+    assert_eq!(
+        metrics.get("eps_spent").and_then(|e| e.get(&ds)).and_then(Json::as_f64),
+        Some(0.5),
+        "{metrics}"
+    );
+
+    drop(c);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `cancel` verb's wire shapes (frozen v1 flat form and the v2
+/// envelope) and `--max-queue` back-pressure: submits past the cap are
+/// shed with `overloaded`, counted in the jobs metrics, and a
+/// cancellation frees the slot.
+#[test]
+fn cancel_shapes_and_max_queue_back_pressure() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        max_connections: 8,
+        max_queue: Some(1),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Raw::connect(server.local_addr());
+
+    assert!(c.send(r#"{"cmd":"gen","size":2,"len":3,"seed":1,"store":true}"#).contains("ds-1"));
+    let submit = r#"{"cmd":"anonymize","model":"purel","m":2,"dataset":"ds-1","async":true}"#;
+    assert_eq!(c.send(submit), r#"{"job":"job-1","ok":true,"state":"queued"}"#);
+    // The queue is at its cap of 1: the next submit is shed in the
+    // frozen v1 flat shape, and again with the v2 code.
+    assert_eq!(
+        c.send(submit),
+        r#"{"error":"job queue is full (1 outstanding jobs); retry later","ok":false}"#,
+    );
+    let shed = trajdp_server::json::parse(
+        &c.send(r#"{"cmd":"anonymize","model":"purel","m":2,"dataset":"ds-1","async":true,"v":2,"id":"s-1"}"#),
+    )
+    .unwrap();
+    assert_eq!(shed.get("id").and_then(Json::as_str), Some("s-1"), "{shed}");
+    assert_eq!(
+        shed.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some(ErrorCode::Overloaded.as_str()),
+        "{shed}"
+    );
+    let metrics = trajdp_server::json::parse(&c.send(r#"{"cmd":"metrics"}"#)).unwrap();
+    assert_eq!(
+        metrics.get("jobs").and_then(|j| j.get("shed")).and_then(Json::as_u64),
+        Some(2),
+        "both shed submits must be counted: {metrics}"
+    );
+
+    // Cancel: the frozen v1 flat shape, then the job is gone for
+    // status and repeat cancels alike — and its queue slot is free.
+    assert_eq!(
+        c.send(r#"{"cmd":"cancel","job":"job-1"}"#),
+        r#"{"job":"job-1","ok":true,"state":"cancelled"}"#,
+    );
+    assert_eq!(
+        c.send(r#"{"cmd":"status","job":"job-1"}"#),
+        r#"{"error":"unknown job \"job-1\"","ok":false}"#,
+    );
+    assert_eq!(
+        c.send(r#"{"cmd":"cancel","job":"job-1"}"#),
+        r#"{"error":"unknown job \"job-1\"","ok":false}"#,
+    );
+    assert_eq!(c.send(submit), r#"{"job":"job-2","ok":true,"state":"queued"}"#);
+
+    // v2: id echo on the success envelope and the job-not-found code.
+    let cancelled =
+        trajdp_server::json::parse(&c.send(r#"{"cmd":"cancel","job":"job-2","v":2,"id":"c-1"}"#))
+            .unwrap();
+    assert_eq!(cancelled.get("ok"), Some(&Json::Bool(true)), "{cancelled}");
+    assert_eq!(cancelled.get("id").and_then(Json::as_str), Some("c-1"), "{cancelled}");
+    assert_eq!(cancelled.get("state").and_then(Json::as_str), Some("cancelled"), "{cancelled}");
+    let missing =
+        trajdp_server::json::parse(&c.send(r#"{"cmd":"cancel","job":"job-404","v":2}"#)).unwrap();
+    assert_eq!(
+        missing.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some(ErrorCode::JobNotFound.as_str()),
+        "{missing}"
+    );
+
+    // The typed client drives the same verb.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let receipt = client
+        .submit(&Json::obj([
+            ("model", Json::from("purel")),
+            ("m", Json::from(2u64)),
+            ("dataset", Json::from("ds-1")),
+        ]))
+        .unwrap();
+    assert_eq!(client.cancel(&receipt.job).unwrap(), receipt.job);
+    let err = client.cancel(&receipt.job).unwrap_err();
+    assert_eq!(err.code, ErrorCode::JobNotFound);
+
+    drop(client);
+    drop(c);
+    server.shutdown();
+}

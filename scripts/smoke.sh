@@ -6,9 +6,11 @@
 # dataset cap (LRU eviction, `delete` freeing a slot, re-upload),
 # restart the server on the same --state-dir and check that the
 # compacted journal still resolves the finished job and its stored
-# result. Exercises the code paths `cargo test` cannot: the actual
-# process boundary, CLI flag plumbing, and journal replay/compaction
-# across a process death.
+# result. A final two-tenant phase spends a dataset's ε budget to the
+# brim, kills the server, and proves the replayed ledger still refuses
+# further spend. Exercises the code paths `cargo test` cannot: the
+# actual process boundary, CLI flag plumbing, and journal
+# replay/compaction across a process death.
 #
 # Usage: scripts/smoke.sh   (expects target/release/trajdp to exist)
 set -euo pipefail
@@ -16,6 +18,8 @@ set -euo pipefail
 BIN=${BIN:-target/release/trajdp}
 ADDR=${ADDR:-127.0.0.1:7943}
 ADDR2=${ADDR2:-127.0.0.1:7944} # restart on a fresh port: no TIME_WAIT races
+ADDR3=${ADDR3:-127.0.0.1:7945} # tenancy phase
+ADDR4=${ADDR4:-127.0.0.1:7946} # tenancy phase, after the kill
 TMP=$(mktemp -d)
 SERVER_PID=""
 
@@ -221,4 +225,62 @@ rc=0; "$BIN" gen --sizee 5 --out "$TMP/x.csv" 2>/dev/null || rc=$?
 rc=0; "$BIN" stats --input "$TMP/definitely-missing.csv" 2>/dev/null || rc=$?
 [ "$rc" = 1 ] || { echo "FAIL: local failure must exit 1 (got $rc)" >&2; exit 1; }
 
-echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + metrics scrape + parallel burst + exit classes OK"
+# ---- tenancy + ε ledger: spend survives a kill ----------------------
+# Two tenants and a per-dataset ε budget of 0.5. acme spends its
+# dataset to exactly the budget, the server dies, and the restarted
+# process must still refuse further spend — the ledger replays from
+# the journal bit-for-bit. globex's own dataset is untouched.
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+printf '# smoke registry\nacme:sesame\nglobex:gx-token\n' > "$TMP/tenants.txt"
+"$BIN" serve --addr "$ADDR3" --workers 2 --state-dir "$TMP/tstate" \
+    --tenants "$TMP/tenants.txt" --eps-budget 0.5 &
+SERVER_PID=$!
+wait_healthy "$ADDR3"
+
+BADTOK=$(echo '{"cmd":"health","v":2,"id":"smoke-t1","tenant":"acme:nope"}' \
+    | "$BIN" submit --addr "$ADDR3")
+printf '%s' "$BADTOK" | grep -q '"code":"tenant-unknown"' \
+    || { echo "FAIL: bad token must code tenant-unknown: $BADTOK" >&2; exit 1; }
+
+ADS=$(echo '{"cmd":"gen","size":6,"len":30,"seed":11,"store":true,"v":2,"tenant":"acme:sesame"}' \
+    | "$BIN" submit --addr "$ADDR3" | grep -o '"dataset":"[^"]*"' | cut -d'"' -f4)
+GDS=$(echo '{"cmd":"gen","size":6,"len":30,"seed":12,"store":true,"v":2,"tenant":"globex:gx-token"}' \
+    | "$BIN" submit --addr "$ADDR3" | grep -o '"dataset":"[^"]*"' | cut -d'"' -f4)
+[ -n "$ADS" ] && [ -n "$GDS" ] || { echo "FAIL: tenant gen-store uploads failed" >&2; exit 1; }
+
+echo "{\"cmd\":\"anonymize\",\"dataset\":\"$ADS\",\"model\":\"gl\",\"m\":4,\"seed\":9,\"epsilon\":0.5,\"v\":2,\"tenant\":\"acme:sesame\"}" \
+    | "$BIN" submit --addr "$ADDR3" | grep -q '"ok":true' \
+    || { echo "FAIL: in-budget anonymize refused" >&2; exit 1; }
+OVER=$(echo "{\"cmd\":\"anonymize\",\"dataset\":\"$ADS\",\"model\":\"gl\",\"m\":4,\"seed\":9,\"epsilon\":0.25,\"v\":2,\"id\":\"smoke-t2\",\"tenant\":\"acme:sesame\"}" \
+    | "$BIN" submit --addr "$ADDR3")
+printf '%s' "$OVER" | grep -q '"code":"budget-exhausted"' \
+    || { echo "FAIL: over-budget spend must be refused: $OVER" >&2; exit 1; }
+echo "{\"cmd\":\"anonymize\",\"dataset\":\"$GDS\",\"model\":\"gl\",\"m\":4,\"seed\":9,\"epsilon\":0.25,\"v\":2,\"tenant\":\"globex:gx-token\"}" \
+    | "$BIN" submit --addr "$ADDR3" | grep -q '"ok":true' \
+    || { echo "FAIL: second tenant must be unaffected by acme's exhaustion" >&2; exit 1; }
+grep -q '"event":"spend"' "$TMP/tstate/jobs.jsonl" \
+    || { echo "FAIL: ε spend must be journaled" >&2; exit 1; }
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+"$BIN" serve --addr "$ADDR4" --workers 2 --state-dir "$TMP/tstate" \
+    --tenants "$TMP/tenants.txt" --eps-budget 0.5 &
+SERVER_PID=$!
+wait_healthy "$ADDR4"
+
+LISTED=$(echo '{"cmd":"list","v":2,"id":"smoke-t3","tenant":"acme:sesame"}' \
+    | "$BIN" submit --addr "$ADDR4")
+printf '%s' "$LISTED" | grep -q '"eps_spent":0.5' \
+    || { echo "FAIL: replayed ledger must report the exact spend: $LISTED" >&2; exit 1; }
+# The credential must never round-trip into any response.
+printf '%s' "$LISTED" | grep -q 'sesame' \
+    && { echo "FAIL: responses must never echo tenant tokens: $LISTED" >&2; exit 1; }
+STILL=$(echo "{\"cmd\":\"anonymize\",\"dataset\":\"$ADS\",\"model\":\"gl\",\"m\":4,\"seed\":9,\"epsilon\":0.25,\"v\":2,\"id\":\"smoke-t4\",\"tenant\":\"acme:sesame\"}" \
+    | "$BIN" submit --addr "$ADDR4")
+printf '%s' "$STILL" | grep -q '"code":"budget-exhausted"' \
+    || { echo "FAIL: ε spend must survive the restart: $STILL" >&2; exit 1; }
+
+echo "smoke test passed: chunked transfer byte-identical, lifecycle at the cap OK, compacted journal replays, v2 envelope + error codes + metrics scrape + parallel burst + exit classes OK, tenant budget survives kill+restart"

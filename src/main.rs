@@ -138,12 +138,15 @@ usage:
   trajdp stats     --input FILE.csv
   trajdp serve     [--addr HOST:PORT] [--workers N] [--max-conn N]
                    [--read-timeout SECS] [--state-dir DIR] [--max-datasets N]
-                   [--dataset-ttl SECS]
+                   [--dataset-ttl SECS] [--tenants FILE] [--eps-budget E]
+                   [--max-queue N]
                    [--log-level off|error|warn|info|debug] [--log-json]
   trajdp submit    --addr HOST:PORT [--file REQUEST.json] [--data FILE.csv]
-                   [--chunk-threshold BYTES]
+                   [--chunk-threshold BYTES] [--tenant NAME:TOKEN]
   trajdp fetch     --addr HOST:PORT --dataset DS-ID --out FILE.csv
-  trajdp delete    --addr HOST:PORT --dataset DS-ID
+                   [--tenant NAME:TOKEN]
+  trajdp delete    --addr HOST:PORT --dataset DS-ID [--tenant NAME:TOKEN]
+  trajdp cancel    --addr HOST:PORT --job JOB-ID [--tenant NAME:TOKEN]
   trajdp info      --addr HOST:PORT
   trajdp metrics   --addr HOST:PORT [--json]
 
@@ -253,6 +256,16 @@ fn connect(addr: &str) -> Result<Client, CliError> {
         .map_err(|e| CliError::Transport(format!("cannot connect to {addr} ({:?}): {e}", e.kind())))
 }
 
+/// [`connect`], stamping every typed call with the `--tenant`
+/// credential when one was given.
+fn connect_as(addr: &str, tenant: Option<&str>) -> Result<Client, CliError> {
+    let client = connect(addr)?;
+    Ok(match tenant {
+        Some(credential) => client.with_tenant(credential),
+        None => client,
+    })
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().map(String::as_str).ok_or(CliError::Usage("no command given".into()))?;
     let rest = &args[1..];
@@ -353,6 +366,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "state-dir",
                     "max-datasets",
                     "dataset-ttl",
+                    "tenants",
+                    "eps-budget",
+                    "max-queue",
                     "log-level",
                 ],
                 &["log-json"],
@@ -404,6 +420,33 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     Some(std::time::Duration::from_secs(secs))
                 }
             };
+            let tenants = opt(&flags, "tenants").map(std::path::PathBuf::from);
+            let eps_budget = match opt(&flags, "eps-budget") {
+                None => None,
+                Some(v) => {
+                    let eps: f64 = v
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --eps-budget: {v:?}")))?;
+                    if !eps.is_finite() || eps <= 0.0 {
+                        return Err(CliError::Usage(
+                            "--eps-budget must be a positive number".into(),
+                        ));
+                    }
+                    Some(eps)
+                }
+            };
+            let max_queue = match opt(&flags, "max-queue") {
+                None => None,
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --max-queue: {v:?}")))?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--max-queue must be at least 1".into()));
+                    }
+                    Some(n)
+                }
+            };
             let durable = state_dir.is_some();
             let server = Server::start(ServerConfig {
                 addr,
@@ -413,6 +456,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 state_dir,
                 max_datasets,
                 dataset_ttl,
+                tenants,
+                eps_budget,
+                max_queue,
                 ..ServerConfig::default()
             })
             .map_err(|e| CliError::Other(format!("cannot start: {e}")))?;
@@ -429,7 +475,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
         }
         "submit" => {
-            let flags = parse_flags(cmd, rest, &["addr", "file", "data", "chunk-threshold"])?;
+            let flags =
+                parse_flags(cmd, rest, &["addr", "file", "data", "chunk-threshold", "tenant"])?;
             let addr = required(&flags, "addr")?;
             let threshold = opt_parse(&flags, "chunk-threshold", CHUNK_THRESHOLD_BYTES)?;
             if threshold == 0 {
@@ -452,7 +499,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     buf
                 }
             };
-            let mut client = connect(addr)?;
+            // --tenant stamps the typed chunked-upload calls; raw
+            // request lines still travel verbatim — a request file
+            // carries its own "tenant" member if it wants one.
+            let mut client = connect_as(addr, opt(&flags, "tenant"))?;
             for line in request.lines().filter(|l| !l.trim().is_empty()) {
                 let response = match prepare_request(&mut client, line, data.as_deref(), threshold)?
                 {
@@ -464,11 +514,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "fetch" => {
-            let flags = parse_flags(cmd, rest, &["addr", "dataset", "out"])?;
+            let flags = parse_flags(cmd, rest, &["addr", "dataset", "out", "tenant"])?;
             let addr = required(&flags, "addr")?;
             let dataset = required(&flags, "dataset")?;
             let out = required(&flags, "out")?;
-            let mut client = connect(addr)?;
+            let mut client = connect_as(addr, opt(&flags, "tenant"))?;
             let csv = client.download_dataset(dataset)?;
             std::fs::write(out, &csv)
                 .map_err(|e| CliError::Other(format!("cannot write {out}: {e}")))?;
@@ -476,12 +526,21 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "delete" => {
-            let flags = parse_flags(cmd, rest, &["addr", "dataset"])?;
+            let flags = parse_flags(cmd, rest, &["addr", "dataset", "tenant"])?;
             let addr = required(&flags, "addr")?;
             let dataset = required(&flags, "dataset")?;
-            let mut client = connect(addr)?;
+            let mut client = connect_as(addr, opt(&flags, "tenant"))?;
             let info = client.delete_dataset(dataset)?;
             eprintln!("deleted {dataset}: freed {} bytes", info.bytes);
+            Ok(())
+        }
+        "cancel" => {
+            let flags = parse_flags(cmd, rest, &["addr", "job", "tenant"])?;
+            let addr = required(&flags, "addr")?;
+            let job = required(&flags, "job")?;
+            let mut client = connect_as(addr, opt(&flags, "tenant"))?;
+            let cancelled = client.cancel(job)?;
+            eprintln!("cancelled {cancelled}");
             Ok(())
         }
         "info" => {
@@ -510,6 +569,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
             println!("uptime_secs={}", info.uptime_secs);
             println!("started_at={}", info.started_at);
             println!("state_dir={}", info.state_dir);
+            println!("tenants={}", info.tenants);
+            if let Some(eps) = info.eps_budget {
+                println!("eps_budget={eps}");
+            }
             Ok(())
         }
         "metrics" => {
@@ -978,6 +1041,34 @@ mod tests {
         assert!(err.contains("max-conn"), "{err}");
         let err = msg(run(&a(&["serve", "--read-timeout", "0"])).unwrap_err());
         assert!(err.contains("read-timeout"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_tenancy_knobs() {
+        for bad in ["0", "-1", "nan", "inf", "x"] {
+            let err = msg(run(&a(&["serve", "--eps-budget", bad])).unwrap_err());
+            assert!(err.contains("eps-budget"), "{bad}: {err}");
+        }
+        for bad in ["0", "x"] {
+            let err = msg(run(&a(&["serve", "--max-queue", bad])).unwrap_err());
+            assert!(err.contains("max-queue"), "{bad}: {err}");
+        }
+        // A tenants file that cannot be loaded fails startup loudly
+        // (exit 1, not a silent open server).
+        let err = run(&a(&["serve", "--tenants", "/definitely/not/a/file"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+        assert!(msg(err).contains("tenants"), "names the tenants file");
+    }
+
+    #[test]
+    fn cancel_requires_job_and_classifies_api_rejections() {
+        assert!(msg(run(&a(&["cancel", "--addr", "127.0.0.1:1"])).unwrap_err()).contains("--job"));
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let err = run(&a(&["cancel", "--addr", &addr, "--job", "job-404"])).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(msg(err).contains("job-not-found"));
+        server.shutdown();
     }
 
     #[test]
